@@ -1,0 +1,66 @@
+// Reproduces Fig. 1(c): latency of TPCx-BB Q2 under configurations
+// recommended by OtterTune vs UDAO at preference weights (0.5, 0.5) and
+// (0.9, 0.1) for (latency, cost), measured on the execution substrate.
+// The paper reports 43%-56% latency reduction for UDAO on this query.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "tuning/ottertune.h"
+#include "tuning/udao.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace udao;
+  using namespace udao::bench;
+
+  std::printf("=== Fig. 1(c): UDAO vs OtterTune on TPCx-BB Q2 ===\n\n");
+  SparkEngine engine;
+
+  // UDAO side: DNN models over the workload's own traces.
+  BenchProblem udao_bp = MakeBatchProblem(2);
+
+  // OtterTune side: GP models with workload mapping; give the server a
+  // second workload (same template, different scale) to map against.
+  BenchProblem ot_bp = MakeBatchProblem(2, 24, ModelKind::kGp);
+  {
+    BatchWorkload partner = MakeTpcxbbWorkload(2 + 4 * 30);
+    Rng rng(77);
+    auto configs = SampleConfigs(BatchParamSpace(), 60,
+                                 SamplingStrategy::kLatinHypercube, &rng);
+    CollectBatchTraces(engine, partner, configs, ot_bp.server.get());
+  }
+  OtterTune ottertune(ot_bp.server.get(), OtterTuneConfig{});
+
+  Udao optimizer(udao_bp.server.get());
+
+  std::printf("%-22s %-14s %-14s %-10s\n", "weights(lat,cost)", "Ottertune(s)",
+              "Udao(s)", "reduction");
+  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
+           {0.5, 0.5}, {0.9, 0.1}}) {
+    auto ot_conf = ottertune.Recommend(
+        BatchParamSpace(), ot_bp.workload_id,
+        {objectives::kLatency, objectives::kCostCores}, {wl, wc});
+    UdaoRequest request;
+    request.workload_id = udao_bp.workload_id;
+    request.space = &BatchParamSpace();
+    request.objectives = {{objectives::kLatency, true},
+                          {objectives::kCostCores, true}};
+    request.preference_weights = {wl, wc};
+    auto udao_rec = optimizer.Optimize(request);
+    if (!ot_conf.ok() || !udao_rec.ok()) {
+      std::printf("optimization failed: %s / %s\n",
+                  ot_conf.status().ToString().c_str(),
+                  udao_rec.status().ToString().c_str());
+      return 1;
+    }
+    const double ot_latency = engine.Latency(udao_bp.batch->flow, *ot_conf);
+    const double udao_latency =
+        engine.Latency(udao_bp.batch->flow, udao_rec->conf_raw);
+    std::printf("(%.1f, %.1f)             %-14.1f %-14.1f %.0f%%\n", wl, wc,
+                ot_latency, udao_latency,
+                100.0 * (ot_latency - udao_latency) / ot_latency);
+  }
+  std::printf("\n(the paper reports 43%%-56%% latency reduction for UDAO "
+              "while adapting to the preference shift)\n");
+  return 0;
+}

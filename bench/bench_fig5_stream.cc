@@ -1,0 +1,76 @@
+// Reproduces Fig. 5(a)-(d) and the appendix Fig. 8: streaming workloads
+// under 2D (latency, throughput) and 3D (+ cost in cores) objectives.
+//
+//  5(a)/(b)/(c) frontiers of WS / NC / PF on job 54, 3D;
+//  5(d)        uncertain space vs time on job 54, 2D, all methods;
+//  8(a)-(e)    job 56 details and Evo inconsistency;
+//  8(f)        uncertain space of PF-AP vs Evo within 1 s and 2 s budgets.
+#include <cstdio>
+
+#include "common/stats.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace udao;
+  using namespace udao::bench;
+
+  std::printf("=== Fig. 5(a)-(c): frontiers on streaming job 54 (3D: "
+              "latency s, -throughput krps, cost cores) ===\n\n");
+  {
+    BenchProblem bp3 = MakeStreamProblem(54, /*num_objectives=*/3);
+    const MetricBox box3 = ComputeBox(*bp3.problem);
+    for (const char* method : {"WS", "NC", "PF-AP"}) {
+      MooRunResult run = RunMethod(method, *bp3.problem, 15, box3);
+      PrintFrontier(method, run.frontier);
+    }
+  }
+
+  std::printf("=== Fig. 5(d): uncertain space vs time, job 54 (2D) ===\n\n");
+  BenchProblem bp = MakeStreamProblem(54, /*num_objectives=*/2);
+  const MetricBox box = ComputeBox(*bp.problem);
+  std::vector<std::pair<std::string, MooRunResult>> runs;
+  for (const char* method :
+       {"PF-AP", "Evo", "WS", "NC", "qEHVI", "PESM"}) {
+    runs.emplace_back(method, RunMethod(method, *bp.problem, 20, box));
+  }
+  for (const auto& [name, run] : runs) {
+    std::vector<std::pair<double, double>> series;
+    for (const MooSnapshot& snap : run.history) {
+      series.push_back({snap.seconds, snap.uncertain_percent});
+    }
+    PrintSeries(name, series);
+  }
+  std::printf("--- time to first Pareto set (s) ---\n");
+  for (const auto& [name, run] : runs) {
+    std::printf("%-7s %.3f\n", name.c_str(), TimeToFirstParetoSet(run));
+  }
+
+  std::printf("\n=== Fig. 8(a)-(d): streaming job 56 (2D) ===\n\n");
+  {
+    BenchProblem bp56 = MakeStreamProblem(56, /*num_objectives=*/2);
+    const MetricBox box56 = ComputeBox(*bp56.problem);
+    for (const char* method : {"WS", "NC", "PF-AP"}) {
+      MooRunResult run = RunMethod(method, *bp56.problem, 15, box56);
+      PrintFrontier(method, run.frontier);
+    }
+    std::printf("--- Fig. 8(d)/(e): Evo frontiers at 30/40/50 probes "
+                "(inconsistency) ---\n");
+    for (int probes : {30, 40, 50}) {
+      MooRunResult run = RunMethod("Evo", *bp56.problem, probes, box56);
+      char title[32];
+      std::snprintf(title, sizeof(title), "%d_evo", probes);
+      PrintFrontier(title, run.frontier);
+    }
+
+    // Fig. 8(f): uncertain space achieved within fixed small time budgets.
+    std::printf("--- Fig. 8(f): uncertain space within 1 s and 2 s ---\n");
+    MooRunResult pf = RunMethod("PF-AP", *bp56.problem, 40, box56);
+    MooRunResult evo = RunMethod("Evo", *bp56.problem, 40, box56);
+    for (double budget : {1.0, 2.0}) {
+      std::printf("budget %.0f s: PF-AP %.1f%%  Evo %.1f%%\n", budget,
+                  UncertainAt(pf, budget), UncertainAt(evo, budget));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces the Section V solver comparison: MOGD vs a general
+// derivative-free MINLP solver on single constrained-optimization problems
+// over DNN and GP models.
+//
+// The paper: Knitro takes 42 min (DNN) / 17 min (GP) per CO problem with 16
+// threads, while MOGD takes 0.1-0.5 s "while achieving the same or lower
+// value of the target objective". Our MINLP stand-in is a dense Halton
+// enumeration whose budget is swept to show the time/quality tradeoff.
+#include <chrono>
+#include <cstdio>
+
+#include "moo/exhaustive.h"
+#include "moo/mogd.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace udao;
+using namespace udao::bench;
+using Clock = std::chrono::steady_clock;
+
+double TimeIt(const std::function<void()>& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void Compare(const char* label, const MooProblem& problem) {
+  // A representative middle-point-probe CO problem: minimize latency within
+  // the central box of the objective space.
+  MogdSolver mogd(BenchMogd());
+  CoResult lat_min = mogd.Minimize(problem, 0);
+  CoResult cost_min = mogd.Minimize(problem, 1);
+  CoProblem co;
+  co.target = 0;
+  co.lower = {std::min(lat_min.objectives[0], cost_min.objectives[0]),
+              std::min(lat_min.objectives[1], cost_min.objectives[1])};
+  co.upper = {std::max(lat_min.objectives[0], cost_min.objectives[0]),
+              std::max(lat_min.objectives[1], cost_min.objectives[1])};
+
+  std::printf("--- %s models ---\n", label);
+  std::printf("%-24s %-12s %-14s\n", "solver", "time (s)", "target value");
+  std::optional<CoResult> mogd_result;
+  const double mogd_s = TimeIt([&] { mogd_result = mogd.SolveCo(problem, co); });
+  std::printf("%-24s %-12.3f %-14.4f\n", "MOGD (multi-start GD)", mogd_s,
+              mogd_result.has_value() ? mogd_result->target_value : -1.0);
+  for (int budget : {2000, 20000, 200000}) {
+    ExhaustiveSolver minlp(budget);
+    std::optional<CoResult> result;
+    const double s = TimeIt([&] { result = minlp.SolveCo(problem, co); });
+    std::printf("MINLP enumeration %-6d %-12.3f %-14.4f\n", budget, s,
+                result.has_value() ? result->target_value : -1.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section V: MOGD vs general MINLP solving, one CO problem "
+              "===\n\n");
+  {
+    BenchProblem dnn = MakeBatchProblem(9, 60, ModelKind::kDnn);
+    Compare("DNN", *dnn.problem);
+  }
+  {
+    BenchProblem gp = MakeBatchProblem(9, 60, ModelKind::kGp);
+    Compare("GP", *gp.problem);
+  }
+  std::printf("(the paper: Knitro needs 42 min on DNN / 17 min on GP per CO "
+              "problem; MOGD 0.1-0.5 s at equal-or-better target values)\n");
+  return 0;
+}

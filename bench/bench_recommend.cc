@@ -1,0 +1,71 @@
+// Appendix B: the automatic solution-selection strategies compared on one
+// computed Pareto frontier (batch job 9, latency vs cost in #cores).
+//
+// Shows where each strategy lands: Utopia Nearest (UN), Weighted Utopia
+// Nearest (WUN) under different preference vectors, workload-aware WUN,
+// Slope Maximization (SLL/SLR), and Knee Point (KPL/KPR) -- including the
+// appendix's observation that slope maximization can pick near-extreme
+// points while the knee strategies pick interior trade-offs.
+#include <cstdio>
+
+#include "moo/progressive_frontier.h"
+#include "moo/recommend.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace udao;
+  using namespace udao::bench;
+
+  std::printf("=== Appendix B: recommendation strategies on batch job 9 "
+              "===\n\n");
+  BenchProblem bp = MakeBatchProblem(9);
+  PfConfig cfg;
+  cfg.parallel = true;
+  cfg.mogd = BenchMogd();
+  ProgressiveFrontier pf(bp.problem.get(), cfg);
+  const PfResult& result = pf.Run(20);
+  PrintFrontier("frontier (latency s, cost cores)", result.frontier);
+
+  auto show = [&](const char* name, const std::optional<MooPoint>& point) {
+    if (!point.has_value()) {
+      std::printf("%-28s (none)\n", name);
+      return;
+    }
+    std::printf("%-28s latency %7.2f s  cost %6.1f cores\n", name,
+                point->objectives[0], point->objectives[1]);
+  };
+
+  show("UN (Utopia Nearest)",
+       UtopiaNearest(result.frontier, result.utopia, result.nadir));
+  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
+           {0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}}) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "WUN (%.1f, %.1f)", wl, wc);
+    show(name, WeightedUtopiaNearest(result.frontier, result.utopia,
+                                     result.nadir, {wl, wc}));
+  }
+  // Workload-aware WUN: internal weights keyed to the default-config latency.
+  const Vector default_enc =
+      BatchParamSpace().Encode(BatchParamSpace().Defaults());
+  const double default_latency = bp.problem->EvaluateOne(0, default_enc);
+  const Vector internal = WorkloadAwareInternalWeights(default_latency);
+  std::printf("(default-config latency %.1f s -> internal weights "
+              "(%.2f, %.2f))\n",
+              default_latency, internal[0], internal[1]);
+  show("workload-aware WUN (0.5,0.5)",
+       WeightedUtopiaNearest(result.frontier, result.utopia, result.nadir,
+                             CombineWeights(internal, {0.5, 0.5})));
+  show("SLL (slope max, left)",
+       SlopeMaximization(result.frontier, SlopeSide::kLeft));
+  show("SLR (slope max, right)",
+       SlopeMaximization(result.frontier, SlopeSide::kRight));
+  show("KPL (knee point, left)", KneePoint(result.frontier, SlopeSide::kLeft));
+  show("KPR (knee point, right)",
+       KneePoint(result.frontier, SlopeSide::kRight));
+  std::printf("\n(slope maximization optimizes one objective's marginal gain "
+              "and can sit near an extreme; the knee strategies and WUN pick "
+              "interior trade-offs, which is why UDAO ships WUN as the "
+              "default)\n");
+  return 0;
+}

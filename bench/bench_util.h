@@ -1,0 +1,88 @@
+#ifndef UDAO_BENCH_BENCH_UTIL_H_
+#define UDAO_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction benchmarks: build a trained MOO
+// problem for a workload, compute the shared Utopia-Nadir measurement box,
+// and run every MOO method with uniform outputs. Each bench binary prints
+// the rows/series of one paper figure or table (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for paper-vs-measured numbers).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/model_server.h"
+#include "moo/evo.h"
+#include "moo/mobo.h"
+#include "moo/normal_constraints.h"
+#include "moo/progressive_frontier.h"
+#include "moo/run_result.h"
+#include "moo/weighted_sum.h"
+#include "spark/engine.h"
+#include "spark/streaming.h"
+#include "workload/streambench.h"
+#include "workload/tpcxbb.h"
+
+namespace udao {
+namespace bench {
+
+/// A MOO problem whose objectives are learned models trained on simulator
+/// traces of one workload, plus everything needed to keep it alive and to
+/// measure recommendations on the "cluster" (the simulator).
+struct BenchProblem {
+  std::string workload_id;
+  std::unique_ptr<ModelServer> server;
+  std::unique_ptr<MooProblem> problem;
+  // Batch workloads carry their dataflow for measured (deployed) runs.
+  std::unique_ptr<BatchWorkload> batch;
+  std::unique_ptr<StreamWorkload> stream;
+};
+
+/// 2D batch problem: latency + cost in #cores (the Fig. 4 setting).
+BenchProblem MakeBatchProblem(int job, int traces = 150,
+                              ModelKind kind = ModelKind::kDnn,
+                              bool cost2 = false);
+
+/// Streaming problem: latency + throughput (2D) or + cost in cores (3D),
+/// the Fig. 5 settings.
+BenchProblem MakeStreamProblem(int job, int num_objectives = 2,
+                               int traces = 150,
+                               ModelKind kind = ModelKind::kDnn);
+
+/// Shared Utopia-Nadir measurement box from per-objective MOGD optima, so
+/// that every method's uncertain space is measured in the same coordinates.
+MetricBox ComputeBox(const MooProblem& problem);
+
+/// Default per-probe solver settings used by all benches (tuned so one PF
+/// probe lands in the tens of milliseconds, the scale at which the paper's
+/// relative comparisons play out).
+MogdConfig BenchMogd();
+
+/// Runs one named method ("PF-AP", "PF-AS", "WS", "NC", "Evo", "qEHVI",
+/// "PESM") for a probe budget; PF variants run incrementally internally.
+MooRunResult RunMethod(const std::string& method, const MooProblem& problem,
+                       int probes, const MetricBox& box);
+
+/// First time at which the method had a non-trivial Pareto set (uncertain
+/// space below 100%); +inf if it never got there.
+double TimeToFirstParetoSet(const MooRunResult& result);
+
+/// Uncertain space (%) of the method at wall-clock `seconds` into its run.
+double UncertainAt(const MooRunResult& result, double seconds);
+
+/// Prints "x y" series under a "# <title>" header (gnuplot-pasteable).
+void PrintSeries(const std::string& title,
+                 const std::vector<std::pair<double, double>>& series);
+
+/// Prints a frontier as objective-space rows.
+void PrintFrontier(const std::string& title,
+                   const std::vector<MooPoint>& frontier);
+
+/// True when the environment asks for the full-scale (all-jobs) sweep
+/// (UDAO_BENCH_FULL=1); benches subsample otherwise to stay laptop-friendly.
+bool FullScale();
+
+}  // namespace bench
+}  // namespace udao
+
+#endif  // UDAO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+#ifndef UDAO_COMMON_CHECK_H_
+#define UDAO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// CHECK-style invariant macros. A failed CHECK indicates a programming error
+/// (violated precondition or internal invariant), prints the failing condition
+/// with its source location, and aborts. Recoverable errors are reported via
+/// udao::Status instead (see status.h).
+
+#define UDAO_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "UDAO_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define UDAO_CHECK_OP(a, op, b)                                               \
+  do {                                                                        \
+    if (!((a)op(b))) {                                                        \
+      std::fprintf(stderr, "UDAO_CHECK failed at %s:%d: %s %s %s\n",          \
+                   __FILE__, __LINE__, #a, #op, #b);                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define UDAO_CHECK_EQ(a, b) UDAO_CHECK_OP(a, ==, b)
+#define UDAO_CHECK_NE(a, b) UDAO_CHECK_OP(a, !=, b)
+#define UDAO_CHECK_LT(a, b) UDAO_CHECK_OP(a, <, b)
+#define UDAO_CHECK_LE(a, b) UDAO_CHECK_OP(a, <=, b)
+#define UDAO_CHECK_GT(a, b) UDAO_CHECK_OP(a, >, b)
+#define UDAO_CHECK_GE(a, b) UDAO_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define UDAO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define UDAO_DCHECK(cond) UDAO_CHECK(cond)
+#endif
+
+#endif  // UDAO_COMMON_CHECK_H_

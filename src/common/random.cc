@@ -1,0 +1,58 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace udao {
+
+std::vector<std::vector<double>> LatinHypercube(int n, int dim, Rng* rng) {
+  UDAO_CHECK_GT(n, 0);
+  UDAO_CHECK_GT(dim, 0);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  std::vector<int> perm(n);
+  for (int d = 0; d < dim; ++d) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng->Shuffle(&perm);
+    for (int i = 0; i < n; ++i) {
+      points[i][d] = (perm[i] + rng->Uniform()) / n;
+    }
+  }
+  return points;
+}
+
+namespace {
+
+// First 16 primes; enough for every parameter space in this project.
+constexpr int kPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                           23, 29, 31, 37, 41, 43, 47, 53};
+
+double HaltonValue(int index, int base) {
+  double f = 1.0;
+  double r = 0.0;
+  int i = index;
+  while (i > 0) {
+    f /= base;
+    r += f * (i % base);
+    i /= base;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> HaltonSequence(int n, int dim) {
+  UDAO_CHECK_GT(n, 0);
+  UDAO_CHECK_GT(dim, 0);
+  UDAO_CHECK_LE(dim, static_cast<int>(sizeof(kPrimes) / sizeof(kPrimes[0])));
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      points[i][d] = HaltonValue(i + 1, kPrimes[d]);
+    }
+  }
+  return points;
+}
+
+}  // namespace udao

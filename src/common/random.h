@@ -1,0 +1,65 @@
+#ifndef UDAO_COMMON_RANDOM_H_
+#define UDAO_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace udao {
+
+/// Deterministic random number generator used throughout UDAO. All stochastic
+/// components (trace sampling, NSGA-II, MOGD multi-start, MOBO) take an
+/// explicit Rng so that experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample scaled to N(mean, stddev^2).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child generator; useful for parallel workers.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Draws `n` points from the unit hypercube [0,1]^dim using Latin hypercube
+/// sampling: each dimension is split into n strata and each stratum is hit
+/// exactly once, giving much better space coverage than i.i.d. uniform draws.
+std::vector<std::vector<double>> LatinHypercube(int n, int dim, Rng* rng);
+
+/// Generates `n` points of the low-discrepancy Halton sequence in [0,1]^dim
+/// (bases = first `dim` primes). Deterministic; used for grid-free coverage
+/// baselines and exhaustive-solver seeding.
+std::vector<std::vector<double>> HaltonSequence(int n, int dim);
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_RANDOM_H_

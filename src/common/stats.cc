@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double Percentile(std::vector<double> v, double p) {
+  UDAO_CHECK(!v.empty());
+  UDAO_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(const std::vector<double>& v) { return Percentile(v, 50.0); }
+
+double WeightedMape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted) {
+  UDAO_CHECK_EQ(actual.size(), predicted.size());
+  UDAO_CHECK(!actual.empty());
+  double err = 0.0;
+  double denom = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    err += std::abs(actual[i] - predicted[i]);
+    denom += std::abs(actual[i]);
+  }
+  if (denom == 0.0) return 0.0;
+  return err / denom;
+}
+
+}  // namespace udao

@@ -1,0 +1,28 @@
+#ifndef UDAO_COMMON_STATS_H_
+#define UDAO_COMMON_STATS_H_
+
+#include <vector>
+
+namespace udao {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); returns 0 when n < 2.
+double StdDev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> v, double p);
+
+/// Median (50th percentile).
+double Median(const std::vector<double>& v);
+
+/// Weighted mean absolute percentage error of predictions against actuals,
+/// weighting each term by the actual value, as used in the paper's Expt 4:
+///   WMAPE = sum_i |y_i - yhat_i| / sum_i |y_i|.
+double WeightedMape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted);
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_STATS_H_

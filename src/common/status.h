@@ -1,0 +1,126 @@
+#ifndef UDAO_COMMON_STATUS_H_
+#define UDAO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace udao {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kNumericalError,
+  kUnimplemented,
+};
+
+/// Lightweight success/error result for fallible public APIs. UDAO does not
+/// use exceptions; operations that can fail for reasons other than programmer
+/// error return Status (or StatusOr<T> when they produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-line rendering, e.g. "InvalidArgument: bad knob".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kNumericalError:
+        return "NumericalError";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to the value is only
+/// legal when ok(); this is enforced with UDAO_CHECK.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error Status mirrors
+  /// absl::StatusOr and keeps call sites terse.
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT
+    UDAO_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    UDAO_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    UDAO_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    UDAO_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef UDAO_COMMON_THREAD_POOL_H_
+#define UDAO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace udao {
+
+/// Fixed-size worker pool used by the PF-AP algorithm and the MOGD solver's
+/// multi-threaded batch mode. Tasks are plain std::function<void()>; callers
+/// coordinate results themselves (typically by writing to pre-sized slots and
+/// waiting on WaitIdle).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_THREAD_POOL_H_

@@ -1,0 +1,163 @@
+#include "model/analytic_models.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+namespace {
+
+// Numerically safe softplus; smooth stand-in for max(0, v).
+double Softplus(double v, double beta = 1.0) {
+  const double bv = beta * v;
+  if (bv > 30) return v;
+  return std::log1p(std::exp(bv)) / beta;
+}
+
+// Smooth min via soft clipping: smin(v, cap) = cap - softplus(cap - v).
+double SoftMin(double v, double cap, double beta = 1.0) {
+  return cap - Softplus(cap - v, beta);
+}
+
+// Denormalizes one encoded [0,1] coordinate to its knob range *without*
+// rounding, keeping the model smooth in the relaxed variables.
+double Denorm(const ParamSpec& spec, double u) {
+  const double c = std::min(1.0, std::max(0.0, u));
+  return spec.lo + c * (spec.hi - spec.lo);
+}
+
+}  // namespace
+
+std::shared_ptr<ObjectiveModel> MakeAnalyticBatchLatencyModel(
+    const AnalyticWorkload& workload) {
+  const ParamSpace& space = BatchParamSpace();
+  const int dim = space.EncodedDim();
+  AnalyticWorkload w = workload;
+  auto fn = [w, &space](const Vector& x) {
+    // Encoded layout of BatchParamSpace(): all scalar knobs, one dim each.
+    const double parallelism = Denorm(space.spec(0), x[0]);
+    const double instances = Denorm(space.spec(1), x[1]);
+    const double cores_per_exec = Denorm(space.spec(2), x[2]);
+    const double mem_gb = Denorm(space.spec(3), x[3]);
+    const double inflight_mb = Denorm(space.spec(4), x[4]);
+    const double compress = std::min(1.0, std::max(0.0, x[6]));
+    const double mem_fraction = Denorm(space.spec(7), x[7]);
+    const double partitions = Denorm(space.spec(11), x[11]);
+
+    const double cores = instances * cores_per_exec;
+    // Amdahl split of compute work; 1e9 ops ~ 20 core-seconds at baseline.
+    const double work_s = w.work * 20.0;
+    const double serial_s = work_s * (1.0 - w.parallel_fraction);
+    const double parallel_s = work_s * w.parallel_fraction / cores;
+    // Shuffle: compression shrinks the transfer 3x but costs CPU.
+    const double net_factor = 1.0 - 0.65 * compress;
+    const double shuffle_s =
+        w.shuffle_gb * 1024.0 * net_factor / (instances * 1100.0) +
+        compress * w.shuffle_gb * 0.4;
+    // Fetch-wait grows when per-partition transfers exceed the window.
+    const double fetch_s =
+        0.01 * Softplus(w.shuffle_gb * 1024.0 * net_factor / partitions /
+                            inflight_mb - 1.0);
+    // Memory pressure: spill when per-task state exceeds execution memory.
+    const double state_per_task_mb = w.state_gb * 1024.0 / partitions * 2.5;
+    const double mem_per_task_mb =
+        mem_gb * 1024.0 * mem_fraction / cores_per_exec;
+    const double spill_s =
+        Softplus((state_per_task_mb - mem_per_task_mb) / 200.0, 0.5) * 1.5;
+    // Per-partition scheduling overhead and a parallelism sweet spot.
+    const double overhead_s = 0.004 * (partitions + parallelism) +
+                              0.02 * Softplus(cores - parallelism, 0.2);
+    return 1.2 + serial_s + parallel_s + shuffle_s + fetch_s + spill_s +
+           overhead_s;
+  };
+  return std::make_shared<CallableModel>("analytic-latency", dim,
+                                         std::move(fn));
+}
+
+std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
+  const ParamSpace& space = BatchParamSpace();
+  const int dim = space.EncodedDim();
+  auto fn = [&space](const Vector& x) {
+    const double instances = Denorm(space.spec(1), x[1]);
+    const double cores_per_exec = Denorm(space.spec(2), x[2]);
+    return instances * cores_per_exec;
+  };
+  auto grad = [&space, dim](const Vector& x) {
+    Vector g(dim, 0.0);
+    const ParamSpec& si = space.spec(1);
+    const ParamSpec& sc = space.spec(2);
+    const double instances = Denorm(si, x[1]);
+    const double cores_per_exec = Denorm(sc, x[2]);
+    g[1] = (si.hi - si.lo) * cores_per_exec;
+    g[2] = (sc.hi - sc.lo) * instances;
+    return g;
+  };
+  return std::make_shared<CallableModel>("cost-cores", dim, std::move(fn),
+                                         std::move(grad));
+}
+
+std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
+  const ParamSpace& space = StreamParamSpace();
+  const int dim = space.EncodedDim();
+  // Stream space layout: executor instances at knob 4, cores/executor at 5.
+  auto fn = [&space](const Vector& x) {
+    const double instances = Denorm(space.spec(4), x[4]);
+    const double cores_per_exec = Denorm(space.spec(5), x[5]);
+    return instances * cores_per_exec;
+  };
+  auto grad = [&space, dim](const Vector& x) {
+    Vector g(dim, 0.0);
+    const ParamSpec& si = space.spec(4);
+    const ParamSpec& sc = space.spec(5);
+    g[4] = (si.hi - si.lo) * Denorm(sc, x[5]);
+    g[5] = (sc.hi - sc.lo) * Denorm(si, x[4]);
+    return g;
+  };
+  return std::make_shared<CallableModel>("stream-cost-cores", dim,
+                                         std::move(fn), std::move(grad));
+}
+
+std::shared_ptr<ObjectiveModel> MakeCpuHourModel(
+    std::shared_ptr<ObjectiveModel> latency_model) {
+  UDAO_CHECK(latency_model != nullptr);
+  const int dim = latency_model->input_dim();
+  std::shared_ptr<ObjectiveModel> cores = MakeCostCoresModel();
+  UDAO_CHECK_EQ(dim, cores->input_dim());
+  auto fn = [latency_model, cores](const Vector& x) {
+    return latency_model->Predict(x) * cores->Predict(x) / 3600.0;
+  };
+  auto grad = [latency_model, cores](const Vector& x) {
+    const double lat = latency_model->Predict(x);
+    const double c = cores->Predict(x);
+    Vector gl = latency_model->InputGradient(x);
+    Vector gc = cores->InputGradient(x);
+    for (size_t d = 0; d < gl.size(); ++d) {
+      gl[d] = (gl[d] * c + lat * gc[d]) / 3600.0;
+    }
+    return gl;
+  };
+  return std::make_shared<CallableModel>("cost-cpu-hour", dim, std::move(fn),
+                                         std::move(grad));
+}
+
+std::shared_ptr<ObjectiveModel> MakeFig3LatencyModel() {
+  auto fn = [](const Vector& x) {
+    const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
+    const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
+    const double cores = SoftMin(execs * cpe, 24.0, 2.0);
+    return 100.0 + Softplus(2400.0 / std::max(1e-6, cores) - 100.0, 0.5);
+  };
+  return std::make_shared<CallableModel>("fig3-latency", 2, std::move(fn));
+}
+
+std::shared_ptr<ObjectiveModel> MakeFig3CostModel() {
+  auto fn = [](const Vector& x) {
+    const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
+    const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
+    return SoftMin(execs * cpe, 24.0, 2.0);
+  };
+  return std::make_shared<CallableModel>("fig3-cost", 2, std::move(fn));
+}
+
+}  // namespace udao

@@ -1,0 +1,57 @@
+#ifndef UDAO_MODEL_ANALYTIC_MODELS_H_
+#define UDAO_MODEL_ANALYTIC_MODELS_H_
+
+#include <memory>
+
+#include "model/objective_model.h"
+#include "spark/conf.h"
+
+namespace udao {
+
+/// Hand-crafted (Ernest-style) regression models of Spark objectives
+/// (modeling option 1 in Section II-B "Remarks on modeling choices"). They
+/// are smooth closed forms over the *encoded* configuration: integer knobs
+/// are treated as relaxed continuous values, so the models are differentiable
+/// everywhere MOGD needs them (gradients via central differences, which are
+/// exact up to O(h^2) for these smooth forms).
+///
+/// Workload-specific coefficients:
+struct AnalyticWorkload {
+  /// Total compute work (row-op equivalents / 1e9).
+  double work = 5.0;
+  /// Bytes shuffled (GB).
+  double shuffle_gb = 3.0;
+  /// Fraction of work that is embarrassingly parallel (Amdahl).
+  double parallel_fraction = 0.97;
+  /// Memory demand of the widest stage (GB, pre-partitioning).
+  double state_gb = 6.0;
+};
+
+/// Latency model over BatchParamSpace(): serial + parallel/cores terms,
+/// shuffle transfer, memory-pressure spill penalty (softplus), and
+/// per-partition overhead. Seconds.
+std::shared_ptr<ObjectiveModel> MakeAnalyticBatchLatencyModel(
+    const AnalyticWorkload& workload);
+
+/// Cost in allocated cores over BatchParamSpace() (objective 6). This
+/// objective is *certain* (a known function of the knobs, as the paper notes
+/// in Expt 4), so it is always served analytically rather than learned.
+std::shared_ptr<ObjectiveModel> MakeCostCoresModel();
+
+/// Cost in allocated cores over StreamParamSpace().
+std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel();
+
+/// Cost in CPU-hours: latency(x) * cores(x) / 3600 (objective 7).
+std::shared_ptr<ObjectiveModel> MakeCpuHourModel(
+    std::shared_ptr<ObjectiveModel> latency_model);
+
+/// The paper's running example (Fig. 3(f)): two relaxed inputs x1 (#exec),
+/// x2 (#cores/exec) on [0,1]^2 mapped to [1,12]x[1,2], with
+///   latency = max(100, 2400 / min(24, x1*x2))   (softened for gradients)
+///   cost    = min(24, x1*x2)
+std::shared_ptr<ObjectiveModel> MakeFig3LatencyModel();
+std::shared_ptr<ObjectiveModel> MakeFig3CostModel();
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_ANALYTIC_MODELS_H_

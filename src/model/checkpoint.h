@@ -1,0 +1,44 @@
+#ifndef UDAO_MODEL_CHECKPOINT_H_
+#define UDAO_MODEL_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "model/gp_model.h"
+#include "model/mlp_model.h"
+#include "model/model_server.h"
+
+namespace udao {
+
+/// Model checkpointing (Section V: the model server "checkpoints the best
+/// model weights" as training data accumulates over months). Checkpoints use
+/// a small self-describing text format: a header line with a magic tag and
+/// shape information, followed by whitespace-separated doubles, so files are
+/// portable and diffable.
+
+/// Writes the MLP's architecture and weights to `path`.
+Status SaveMlpModel(const MlpModel& model, const std::string& path);
+
+/// Reads an MLP checkpoint written by SaveMlpModel.
+StatusOr<std::shared_ptr<MlpModel>> LoadMlpModel(const std::string& path);
+
+/// Writes the GP's training set and fitted hyperparameters to `path`.
+Status SaveGpModel(const GpModel& model, const std::string& path);
+
+/// Reads a GP checkpoint; the kernel factorization is rebuilt on load.
+StatusOr<std::shared_ptr<GpModel>> LoadGpModel(const std::string& path);
+
+/// Persists every training dataset held by the model server under
+/// `directory` (one file per workload/objective pair named
+/// `<workload>__<objective>.traces`). Models retrain from these on demand.
+Status SaveModelServerData(const ModelServer& server,
+                           const std::vector<std::string>& workload_ids,
+                           const std::vector<std::string>& objective_names,
+                           const std::string& directory);
+
+/// Reloads datasets written by SaveModelServerData into `server`.
+Status LoadModelServerData(const std::string& directory, ModelServer* server);
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_CHECKPOINT_H_

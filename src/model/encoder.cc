@@ -1,0 +1,102 @@
+#include "model/encoder.h"
+
+#include "common/check.h"
+#include "nn/train.h"
+
+namespace udao {
+
+StatusOr<std::shared_ptr<WorkloadEncoder>> WorkloadEncoder::Fit(
+    const Matrix& metrics, const EncoderConfig& config, Rng* rng) {
+  if (metrics.rows() == 0 || metrics.cols() == 0) {
+    return Status::InvalidArgument("encoder fit needs non-empty metrics");
+  }
+  if (config.encoding_dim <= 0 || config.encoding_dim >= metrics.cols()) {
+    return Status::InvalidArgument(
+        "encoding_dim must be in (0, metric_dim)");
+  }
+  StandardScaler scaler;
+  scaler.Fit(metrics);
+  Matrix z = scaler.Transform(metrics);
+
+  MlpConfig net_config;
+  net_config.layer_sizes = {metrics.cols(), config.hidden,
+                            config.encoding_dim, config.hidden,
+                            metrics.cols()};
+  net_config.activation = Activation::kTanh;  // bounded encodings
+  net_config.l2 = config.l2;
+  net_config.dropout = 0.0;
+  auto net = std::make_unique<Mlp>(net_config, rng);
+  TrainMlpMulti(net.get(), z, z, config.train, rng);
+  return std::shared_ptr<WorkloadEncoder>(
+      new WorkloadEncoder(config, std::move(scaler), std::move(net)));
+}
+
+Vector WorkloadEncoder::Encode(const Vector& metrics) const {
+  // Bottleneck = post-activation of layer 1 (0-based) in the 5-layer stack.
+  return net_->LayerActivations(scaler_.TransformRow(metrics), 1);
+}
+
+Vector WorkloadEncoder::Reconstruct(const Vector& metrics) const {
+  Vector z = net_->Forward(scaler_.TransformRow(metrics));
+  for (size_t c = 0; c < z.size(); ++c) {
+    z[c] = scaler_.Inverse(static_cast<int>(c), z[c]);
+  }
+  return z;
+}
+
+double WorkloadEncoder::ReconstructionError(const Matrix& metrics) const {
+  UDAO_CHECK_GT(metrics.rows(), 0);
+  Matrix z = scaler_.Transform(metrics);
+  double total = 0.0;
+  for (int r = 0; r < z.rows(); ++r) {
+    const Vector out = net_->Forward(z.Row(r));
+    for (int c = 0; c < z.cols(); ++c) {
+      const double err = out[c] - z(r, c);
+      total += err * err;
+    }
+  }
+  return total / (static_cast<double>(z.rows()) * z.cols());
+}
+
+StatusOr<std::shared_ptr<GlobalPredictor>> GlobalPredictor::Fit(
+    const std::vector<Observation>& observations,
+    std::shared_ptr<const WorkloadEncoder> encoder,
+    const MlpModelConfig& config, Rng* rng) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("global fit needs observations");
+  }
+  UDAO_CHECK(encoder != nullptr);
+  const int conf_dim =
+      static_cast<int>(observations.front().conf_encoded.size());
+  const int input_dim = encoder->encoding_dim() + conf_dim;
+  Matrix x(static_cast<int>(observations.size()), input_dim);
+  Vector y(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& obs = observations[i];
+    if (static_cast<int>(obs.conf_encoded.size()) != conf_dim) {
+      return Status::InvalidArgument("inconsistent configuration arity");
+    }
+    const Vector enc = encoder->Encode(obs.metrics);
+    int col = 0;
+    for (double v : enc) x(static_cast<int>(i), col++) = v;
+    for (double v : obs.conf_encoded) x(static_cast<int>(i), col++) = v;
+    y[i] = obs.value;
+  }
+  StatusOr<std::shared_ptr<MlpModel>> model =
+      MlpModel::Fit(x, y, config, rng);
+  if (!model.ok()) return model.status();
+  return std::shared_ptr<GlobalPredictor>(
+      new GlobalPredictor(std::move(encoder), *model));
+}
+
+double GlobalPredictor::Predict(const Vector& workload_metrics,
+                                const Vector& conf_encoded) const {
+  const Vector enc = encoder_->Encode(workload_metrics);
+  Vector input;
+  input.reserve(enc.size() + conf_encoded.size());
+  input.insert(input.end(), enc.begin(), enc.end());
+  input.insert(input.end(), conf_encoded.begin(), conf_encoded.end());
+  return model_->Predict(input);
+}
+
+}  // namespace udao

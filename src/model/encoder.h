@@ -1,0 +1,106 @@
+#ifndef UDAO_MODEL_ENCODER_H_
+#define UDAO_MODEL_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "model/feature.h"
+#include "model/mlp_model.h"
+#include "nn/mlp.h"
+
+namespace udao {
+
+/// Autoencoder settings for workload encodings.
+struct EncoderConfig {
+  /// Width of the bottleneck (the workload encoding).
+  int encoding_dim = 4;
+  /// Hidden width on each side of the bottleneck.
+  int hidden = 32;
+  TrainConfig train = [] {
+    TrainConfig cfg;
+    cfg.epochs = 400;
+    return cfg;
+  }();
+  double l2 = 1e-5;
+};
+
+/// Workload encoder (the paper's reference [38]: "our custom DNN models can
+/// further extract workload encodings for blackbox programs using advanced
+/// autoencoders to improve prediction").
+///
+/// An autoencoder metric -> encoding -> metric is trained on standardized
+/// runtime-metric vectors; the bottleneck activation is the workload's
+/// encoding. Workloads with similar observed behaviour land near each other
+/// in encoding space, which is what lets a single *global* model generalize
+/// across workloads (see GlobalPredictor).
+class WorkloadEncoder {
+ public:
+  /// Trains the autoencoder on rows of `metrics` (one row per observed run).
+  static StatusOr<std::shared_ptr<WorkloadEncoder>> Fit(
+      const Matrix& metrics, const EncoderConfig& config, Rng* rng);
+
+  /// Encoding of one metric vector.
+  Vector Encode(const Vector& metrics) const;
+
+  /// Round trip through the bottleneck, in original metric units.
+  Vector Reconstruct(const Vector& metrics) const;
+
+  /// Mean squared reconstruction error over rows of `metrics`
+  /// (standardized space); small values mean the encoding preserved the
+  /// workload's behavioural signature.
+  double ReconstructionError(const Matrix& metrics) const;
+
+  int encoding_dim() const { return config_.encoding_dim; }
+  int metric_dim() const { return static_cast<int>(scaler_.mean().size()); }
+
+ private:
+  WorkloadEncoder(EncoderConfig config, StandardScaler scaler,
+                  std::unique_ptr<Mlp> net)
+      : config_(config), scaler_(std::move(scaler)), net_(std::move(net)) {}
+
+  EncoderConfig config_;
+  StandardScaler scaler_;
+  std::unique_ptr<Mlp> net_;  // metric_dim -> hidden -> enc -> hidden -> dim
+};
+
+/// A single cross-workload objective model: predicts an objective from the
+/// concatenation [workload encoding, encoded configuration]. Once trained on
+/// traces of many workloads, it gives *cold-start* predictions for a new
+/// workload after a single default-configuration run (enough to compute its
+/// metric vector), before any workload-specific model exists.
+class GlobalPredictor {
+ public:
+  /// One training observation: the run's metric vector (for encoding), the
+  /// encoded configuration, and the objective value.
+  struct Observation {
+    Vector metrics;
+    Vector conf_encoded;
+    double value = 0;
+  };
+
+  static StatusOr<std::shared_ptr<GlobalPredictor>> Fit(
+      const std::vector<Observation>& observations,
+      std::shared_ptr<const WorkloadEncoder> encoder,
+      const MlpModelConfig& config, Rng* rng);
+
+  /// Predicts the objective for a workload characterized by
+  /// `workload_metrics` (e.g. its default-run metric vector) under
+  /// configuration `conf_encoded`.
+  double Predict(const Vector& workload_metrics,
+                 const Vector& conf_encoded) const;
+
+ private:
+  GlobalPredictor(std::shared_ptr<const WorkloadEncoder> encoder,
+                  std::shared_ptr<MlpModel> model)
+      : encoder_(std::move(encoder)), model_(std::move(model)) {}
+
+  std::shared_ptr<const WorkloadEncoder> encoder_;
+  std::shared_ptr<MlpModel> model_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_ENCODER_H_

@@ -1,0 +1,170 @@
+#include "model/feature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace udao {
+
+void StandardScaler::Fit(const Matrix& x) {
+  UDAO_CHECK_GT(x.rows(), 0);
+  const int cols = x.cols();
+  mean_.assign(cols, 0.0);
+  scale_.assign(cols, 1.0);
+  constant_.assign(cols, false);
+  for (int c = 0; c < cols; ++c) {
+    Vector col(x.rows());
+    for (int r = 0; r < x.rows(); ++r) col[r] = x(r, c);
+    mean_[c] = Mean(col);
+    const double sd = StdDev(col);
+    if (sd < 1e-12) {
+      constant_[c] = true;
+      scale_[c] = 1.0;
+    } else {
+      scale_[c] = sd;
+    }
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  UDAO_CHECK(fitted());
+  UDAO_CHECK_EQ(x.cols(), static_cast<int>(mean_.size()));
+  Matrix out(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / scale_[c];
+    }
+  }
+  return out;
+}
+
+Vector StandardScaler::TransformRow(const Vector& row) const {
+  UDAO_CHECK(fitted());
+  UDAO_CHECK_EQ(row.size(), mean_.size());
+  Vector out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / scale_[c];
+  }
+  return out;
+}
+
+double StandardScaler::Inverse(int col, double v) const {
+  UDAO_CHECK(fitted());
+  return v * scale_[col] + mean_[col];
+}
+
+LassoResult LassoFit(const Matrix& x, const Vector& y, double lambda,
+                     int max_iters, double tol) {
+  UDAO_CHECK_EQ(x.rows(), static_cast<int>(y.size()));
+  UDAO_CHECK_GT(x.rows(), 0);
+  const int n = x.rows();
+  const int p = x.cols();
+
+  // Standardize columns and center targets internally.
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix xs = scaler.Transform(x);
+  const double y_mean = Mean(y);
+  Vector yc(n);
+  for (int i = 0; i < n; ++i) yc[i] = y[i] - y_mean;
+
+  // Precompute column squared norms / n (constant columns give 0 -> skip).
+  Vector col_sq(p, 0.0);
+  for (int c = 0; c < p; ++c) {
+    for (int r = 0; r < n; ++r) col_sq[c] += xs(r, c) * xs(r, c);
+    col_sq[c] /= n;
+  }
+
+  LassoResult result;
+  result.coefficients.assign(p, 0.0);
+  Vector residual = yc;  // y - Xw with w = 0
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (int c = 0; c < p; ++c) {
+      if (col_sq[c] < 1e-12) continue;
+      // rho = (1/n) x_c . (residual + x_c w_c)
+      double rho = 0.0;
+      for (int r = 0; r < n; ++r) rho += xs(r, c) * residual[r];
+      rho = rho / n + col_sq[c] * result.coefficients[c];
+      // Soft threshold.
+      double w_new = 0.0;
+      if (rho > lambda) {
+        w_new = (rho - lambda) / col_sq[c];
+      } else if (rho < -lambda) {
+        w_new = (rho + lambda) / col_sq[c];
+      }
+      const double delta = w_new - result.coefficients[c];
+      if (delta != 0.0) {
+        for (int r = 0; r < n; ++r) residual[r] -= xs(r, c) * delta;
+        result.coefficients[c] = w_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    result.iterations = iter + 1;
+    if (max_delta < tol) break;
+  }
+  result.intercept = y_mean;
+  return result;
+}
+
+std::vector<int> LassoPathRank(const Matrix& x, const Vector& y,
+                               int num_lambdas) {
+  UDAO_CHECK_GT(num_lambdas, 1);
+  const int p = x.cols();
+  // lambda_max: smallest lambda with all-zero solution on standardized data.
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix xs = scaler.Transform(x);
+  const double y_mean = Mean(y);
+  double lambda_max = 1e-12;
+  for (int c = 0; c < p; ++c) {
+    double rho = 0.0;
+    for (int r = 0; r < x.rows(); ++r) rho += xs(r, c) * (y[r] - y_mean);
+    lambda_max = std::max(lambda_max, std::abs(rho) / x.rows());
+  }
+
+  std::vector<int> entry_step(p, num_lambdas + 1);
+  Vector final_coefs(p, 0.0);
+  for (int step = 0; step < num_lambdas; ++step) {
+    // Geometric path from lambda_max down to lambda_max * 1e-3.
+    const double frac =
+        static_cast<double>(step) / std::max(1, num_lambdas - 1);
+    const double lambda = lambda_max * std::pow(1e-3, frac);
+    LassoResult fit = LassoFit(x, y, lambda);
+    for (int c = 0; c < p; ++c) {
+      if (fit.coefficients[c] != 0.0 && entry_step[c] > num_lambdas) {
+        entry_step[c] = step;
+      }
+    }
+    if (step == num_lambdas - 1) final_coefs = fit.coefficients;
+  }
+
+  std::vector<int> order(p);
+  for (int c = 0; c < p; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (entry_step[a] != entry_step[b]) return entry_step[a] < entry_step[b];
+    return std::abs(final_coefs[a]) > std::abs(final_coefs[b]);
+  });
+  return order;
+}
+
+std::vector<int> SelectKnobs(const Matrix& x, const Vector& y, int k,
+                             const std::vector<int>& always_keep) {
+  UDAO_CHECK_GT(k, 0);
+  std::set<int> chosen(always_keep.begin(), always_keep.end());
+  for (int idx : always_keep) {
+    UDAO_CHECK(idx >= 0 && idx < x.cols());
+  }
+  const std::vector<int> ranked = LassoPathRank(x, y);
+  for (int idx : ranked) {
+    if (static_cast<int>(chosen.size()) >= k) break;
+    chosen.insert(idx);
+  }
+  return std::vector<int>(chosen.begin(), chosen.end());
+}
+
+}  // namespace udao

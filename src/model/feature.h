@@ -1,0 +1,68 @@
+#ifndef UDAO_MODEL_FEATURE_H_
+#define UDAO_MODEL_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace udao {
+
+/// Column-wise standardizer (zero mean / unit variance). Constant columns are
+/// passed through unchanged (scale 1), implementing the paper's
+/// "filter features with a constant value" step.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from rows of `x`.
+  void Fit(const Matrix& x);
+
+  /// Applies (v - mean) / std column-wise.
+  Matrix Transform(const Matrix& x) const;
+  Vector TransformRow(const Vector& row) const;
+
+  /// Inverse transform for one column index.
+  double Inverse(int col, double v) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const Vector& mean() const { return mean_; }
+  const Vector& scale() const { return scale_; }
+  /// Columns whose training values were constant.
+  const std::vector<bool>& constant_columns() const { return constant_; }
+
+ private:
+  Vector mean_;
+  Vector scale_;
+  std::vector<bool> constant_;
+};
+
+/// LASSO linear regression by cyclic coordinate descent on standardized data.
+/// Used for knob selection: knobs whose coefficients survive the strongest
+/// regularization are the most important (the OtterTune-style LASSO-path
+/// practice the paper follows in Section V "Feature Engineering").
+struct LassoResult {
+  Vector coefficients;  ///< One per input column (standardized space).
+  double intercept = 0.0;
+  int iterations = 0;
+};
+
+/// Solves min_w 1/(2n) ||y - Xw||^2 + lambda ||w||_1.
+LassoResult LassoFit(const Matrix& x, const Vector& y, double lambda,
+                     int max_iters = 500, double tol = 1e-7);
+
+/// Ranks input columns by the regularization strength at which they enter the
+/// LASSO path (earlier entry = more important), breaking ties by |coef| at
+/// the weakest lambda. Returns column indices in importance order.
+std::vector<int> LassoPathRank(const Matrix& x, const Vector& y,
+                               int num_lambdas = 20);
+
+/// Selects the `k` most important knobs for predicting `y` from raw knob
+/// matrix `x`, mixing the LASSO ranking with an always-keep list (indices
+/// that Spark practice says matter, mirroring the paper's hybrid approach in
+/// Appendix C-A). Returned indices are sorted ascending.
+std::vector<int> SelectKnobs(const Matrix& x, const Vector& y, int k,
+                             const std::vector<int>& always_keep);
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_FEATURE_H_

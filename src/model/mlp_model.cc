@@ -1,0 +1,185 @@
+#include "model/mlp_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace udao {
+
+namespace {
+
+// Deterministic seed from the query point so MC-dropout estimates are
+// reproducible and safe under concurrent callers.
+uint64_t SeedFromPoint(const Vector& x) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (double v : x) {
+    uint64_t bits = 0;
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h ^= bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+double MlpModel::ToTarget(double y) const {
+  if (!config_.log_transform_targets) return y;
+  return std::log(std::max(1e-9, y));
+}
+
+double MlpModel::FromTarget(double t) const {
+  if (!config_.log_transform_targets) return t;
+  return std::exp(t);
+}
+
+StatusOr<std::shared_ptr<MlpModel>> MlpModel::Fit(const Matrix& x,
+                                                  const Vector& y,
+                                                  const MlpModelConfig& config,
+                                                  Rng* rng) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("MLP fit requires non-empty inputs");
+  }
+  if (x.rows() != static_cast<int>(y.size())) {
+    return Status::InvalidArgument("MLP fit: |x| != |y|");
+  }
+  MlpConfig net_config;
+  net_config.layer_sizes.push_back(x.cols());
+  for (int h : config.hidden) net_config.layer_sizes.push_back(h);
+  net_config.layer_sizes.push_back(1);
+  net_config.activation = config.activation;
+  net_config.l2 = config.l2;
+  net_config.dropout = config.dropout;
+  auto mlp = std::make_unique<Mlp>(net_config, rng);
+
+  Vector t(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    t[i] = config.log_transform_targets ? std::log(std::max(1e-9, y[i]))
+                                        : y[i];
+  }
+  const double y_mean = Mean(t);
+  const double y_std = std::max(1e-9, StdDev(t));
+  Vector z(t.size());
+  for (size_t i = 0; i < t.size(); ++i) z[i] = (t[i] - y_mean) / y_std;
+  TrainMlp(mlp.get(), x, z, config.train, rng);
+  return std::shared_ptr<MlpModel>(
+      new MlpModel(config, std::move(mlp), y_mean, y_std));
+}
+
+TrainResult MlpModel::FineTune(const Matrix& x, const Vector& y, int epochs,
+                               Rng* rng) {
+  UDAO_CHECK_EQ(x.rows(), static_cast<int>(y.size()));
+  Vector z(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    z[i] = (ToTarget(y[i]) - y_mean_) / y_std_;
+  }
+  TrainConfig ft = config_.train;
+  ft.epochs = epochs;
+  ft.learning_rate = config_.train.learning_rate * 0.1;
+  return TrainMlp(mlp_.get(), x, z, ft, rng);
+}
+
+double MlpModel::Predict(const Vector& x) const {
+  return FromTarget(mlp_->Predict(x) * y_std_ + y_mean_);
+}
+
+void MlpModel::PredictWithUncertainty(const Vector& x, double* mean,
+                                      double* stddev) const {
+  if (config_.dropout <= 0.0 || config_.mc_samples < 2) {
+    *mean = Predict(x);
+    *stddev = 0.0;
+    return;
+  }
+  Rng rng(SeedFromPoint(x));
+  double zm = 0.0;
+  double zs = 0.0;
+  mlp_->PredictWithUncertainty(x, config_.mc_samples, &rng, &zm, &zs);
+  const double t_mean = zm * y_std_ + y_mean_;
+  const double t_std = zs * y_std_;
+  if (config_.log_transform_targets) {
+    // Delta method around the log-space mean.
+    *mean = std::exp(t_mean);
+    *stddev = *mean * t_std;
+  } else {
+    *mean = t_mean;
+    *stddev = t_std;
+  }
+}
+
+Vector MlpModel::InputGradient(const Vector& x) const {
+  Vector grad = mlp_->InputGradient(x);
+  double scale = y_std_;
+  if (config_.log_transform_targets) {
+    // d exp(t(x)) / dx = exp(t(x)) * dt/dx.
+    scale *= FromTarget(mlp_->Predict(x) * y_std_ + y_mean_);
+  }
+  for (double& g : grad) g *= scale;
+  return grad;
+}
+
+void MlpModel::SerializeTo(std::ostream& out) const {
+  out << "udao-mlp-v1\n";
+  const auto& sizes = mlp_->config().layer_sizes;
+  out << sizes.size();
+  for (int s : sizes) out << ' ' << s;
+  out << '\n';
+  out << static_cast<int>(config_.activation) << ' ' << config_.l2 << ' '
+      << config_.dropout << ' ' << config_.mc_samples << ' '
+      << (config_.log_transform_targets ? 1 : 0) << '\n';
+  out.precision(17);
+  out << y_mean_ << ' ' << y_std_ << '\n';
+  const Vector snapshot = mlp_->Snapshot();
+  out << snapshot.size() << '\n';
+  for (double w : snapshot) out << w << ' ';
+  out << '\n';
+}
+
+StatusOr<std::shared_ptr<MlpModel>> MlpModel::Deserialize(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != "udao-mlp-v1") {
+    return Status::InvalidArgument("not an MLP checkpoint");
+  }
+  size_t num_sizes = 0;
+  in >> num_sizes;
+  if (!in || num_sizes < 2 || num_sizes > 64) {
+    return Status::InvalidArgument("corrupt MLP checkpoint header");
+  }
+  MlpConfig net;
+  net.layer_sizes.resize(num_sizes);
+  for (size_t i = 0; i < num_sizes; ++i) in >> net.layer_sizes[i];
+  MlpModelConfig cfg;
+  int activation = 0;
+  int log_flag = 0;
+  in >> activation >> cfg.l2 >> cfg.dropout >> cfg.mc_samples >> log_flag;
+  cfg.activation = static_cast<Activation>(activation);
+  cfg.log_transform_targets = log_flag != 0;
+  cfg.hidden.assign(net.layer_sizes.begin() + 1, net.layer_sizes.end() - 1);
+  net.activation = cfg.activation;
+  net.l2 = cfg.l2;
+  net.dropout = cfg.dropout;
+  double y_mean = 0.0;
+  double y_std = 1.0;
+  in >> y_mean >> y_std;
+  size_t num_weights = 0;
+  in >> num_weights;
+  if (!in || num_weights > (1u << 26)) {
+    return Status::InvalidArgument("corrupt MLP checkpoint body");
+  }
+  Vector snapshot(num_weights);
+  for (double& w : snapshot) in >> w;
+  if (!in) return Status::InvalidArgument("truncated MLP checkpoint");
+  Rng rng(0);
+  auto mlp = std::make_unique<Mlp>(net, &rng);
+  if (mlp->Snapshot().size() != snapshot.size()) {
+    return Status::InvalidArgument("MLP checkpoint weight count mismatch");
+  }
+  mlp->Restore(snapshot);
+  return std::shared_ptr<MlpModel>(
+      new MlpModel(cfg, std::move(mlp), y_mean, y_std));
+}
+
+}  // namespace udao

@@ -1,0 +1,124 @@
+#include "model/model_server.h"
+
+#include "common/check.h"
+
+namespace udao {
+
+ModelServer::ModelServer(ModelServerConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void ModelServer::Ingest(const std::string& workload_id,
+                         const std::string& objective,
+                         const Vector& encoded_conf, double value) {
+  UDAO_CHECK(!encoded_conf.empty());
+  Entry& entry = entries_[{workload_id, objective}];
+  if (!entry.data.x.empty()) {
+    UDAO_CHECK_EQ(entry.data.x.front().size(), encoded_conf.size());
+  }
+  entry.data.x.push_back(encoded_conf);
+  entry.data.y.push_back(value);
+  ++entry.pending;
+}
+
+void ModelServer::IngestMetrics(const std::string& workload_id,
+                                const RuntimeMetrics& metrics) {
+  metrics_[workload_id].push_back(metrics.ToVector());
+}
+
+StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFresh(
+    const DataSet& data) {
+  Matrix x = Matrix::FromRows(data.x);
+  if (config_.kind == ModelKind::kGp) {
+    StatusOr<std::shared_ptr<GpModel>> gp =
+        GpModel::Fit(x, data.y, config_.gp);
+    if (!gp.ok()) return gp.status();
+    return std::shared_ptr<const ObjectiveModel>(*gp);
+  }
+  StatusOr<std::shared_ptr<MlpModel>> dnn =
+      MlpModel::Fit(x, data.y, config_.dnn, &rng_);
+  if (!dnn.ok()) return dnn.status();
+  return std::shared_ptr<const ObjectiveModel>(*dnn);
+}
+
+StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
+    const std::string& workload_id, const std::string& objective) {
+  auto it = entries_.find({workload_id, objective});
+  if (it == entries_.end() || it->second.data.x.empty()) {
+    return Status::NotFound("no traces for workload " + workload_id +
+                            " objective " + objective);
+  }
+  Entry& entry = it->second;
+  if (entry.model == nullptr || entry.pending >= config_.retrain_threshold) {
+    // First model, or a large trace update: full retrain.
+    StatusOr<std::shared_ptr<const ObjectiveModel>> model =
+        TrainFresh(entry.data);
+    if (!model.ok()) return model.status();
+    entry.model = *model;
+    entry.pending = 0;
+  } else if (entry.pending >= config_.finetune_threshold) {
+    if (config_.kind == ModelKind::kDnn) {
+      // Small update: fine-tune the existing network from its checkpoint.
+      // The served model is shared as const, so fine-tuning builds on a copy
+      // of the dataset through a fresh mutable handle.
+      auto mutable_model = std::const_pointer_cast<ObjectiveModel>(
+          std::static_pointer_cast<const ObjectiveModel>(entry.model));
+      auto* dnn = dynamic_cast<MlpModel*>(mutable_model.get());
+      UDAO_CHECK(dnn != nullptr);
+      Matrix x = Matrix::FromRows(entry.data.x);
+      dnn->FineTune(x, entry.data.y, config_.finetune_epochs, &rng_);
+    } else {
+      // GPs have no incremental path; refit on all data.
+      StatusOr<std::shared_ptr<const ObjectiveModel>> model =
+          TrainFresh(entry.data);
+      if (!model.ok()) return model.status();
+      entry.model = *model;
+    }
+    entry.pending = 0;
+  }
+  return entry.model;
+}
+
+bool ModelServer::HasTraces(const std::string& workload_id,
+                            const std::string& objective) const {
+  auto it = entries_.find({workload_id, objective});
+  return it != entries_.end() && !it->second.data.x.empty();
+}
+
+StatusOr<const ModelServer::DataSet*> ModelServer::GetData(
+    const std::string& workload_id, const std::string& objective) const {
+  auto it = entries_.find({workload_id, objective});
+  if (it == entries_.end()) {
+    return Status::NotFound("no traces for workload " + workload_id);
+  }
+  return &it->second.data;
+}
+
+StatusOr<Vector> ModelServer::MeanMetrics(
+    const std::string& workload_id) const {
+  auto it = metrics_.find(workload_id);
+  if (it == metrics_.end() || it->second.empty()) {
+    return Status::NotFound("no metrics for workload " + workload_id);
+  }
+  Vector mean(it->second.front().size(), 0.0);
+  for (const Vector& v : it->second) {
+    for (size_t i = 0; i < mean.size(); ++i) mean[i] += v[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(it->second.size());
+  return mean;
+}
+
+std::vector<std::string> ModelServer::WorkloadsWithMetrics() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [id, unused] : metrics_) out.push_back(id);
+  return out;
+}
+
+int ModelServer::NumTraces(const std::string& workload_id,
+                           const std::string& objective) const {
+  auto it = entries_.find({workload_id, objective});
+  if (it == entries_.end()) return 0;
+  return static_cast<int>(it->second.data.x.size());
+}
+
+}  // namespace udao

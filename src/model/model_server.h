@@ -1,0 +1,123 @@
+#ifndef UDAO_MODEL_MODEL_SERVER_H_
+#define UDAO_MODEL_MODEL_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "model/gp_model.h"
+#include "model/mlp_model.h"
+#include "model/objective_model.h"
+#include "spark/metrics.h"
+
+namespace udao {
+
+/// Which learned-model family the server trains for its objectives.
+enum class ModelKind { kGp, kDnn };
+
+/// Model-server policy knobs.
+struct ModelServerConfig {
+  ModelKind kind = ModelKind::kDnn;
+  /// All served objectives (latency, throughput, costs) are positive-valued,
+  /// so models train in log space by default (see log_transform_targets).
+  GpConfig gp = [] {
+    GpConfig cfg;
+    cfg.log_transform_targets = true;
+    return cfg;
+  }();
+  MlpModelConfig dnn = [] {
+    MlpModelConfig cfg;
+    cfg.log_transform_targets = true;
+    return cfg;
+  }();
+  /// A "large trace update": at least this many new traces triggers a full
+  /// retrain (the paper retrains with hyper-parameter tuning on ~5000 new
+  /// traces; scaled to simulator data volumes).
+  int retrain_threshold = 48;
+  /// A "small trace update": at least this many new traces triggers
+  /// incremental fine-tuning from the latest checkpoint (DNN only).
+  int finetune_threshold = 8;
+  int finetune_epochs = 40;
+  uint64_t seed = 7;
+};
+
+/// Offline model server (Section II-B / V). Collects runtime traces
+/// asynchronously from the optimizer's hot path, trains one predictive model
+/// per (workload, objective), and serves the most recent model to the MOO
+/// module on demand.
+///
+/// Training is lazy: traces accumulate via Ingest(); the first GetModel()
+/// call after enough new data applies the paper's retrain/fine-tune policy.
+/// This mirrors the architecture's key property -- modeling never blocks the
+/// few-seconds MOO path, which always uses the latest *available* model.
+class ModelServer {
+ public:
+  /// A training dataset for one (workload, objective) pair: encoded
+  /// configurations against observed objective values.
+  struct DataSet {
+    std::vector<Vector> x;
+    Vector y;
+  };
+
+  explicit ModelServer(ModelServerConfig config = ModelServerConfig());
+
+  /// Records one observation: the encoded configuration and the value of one
+  /// objective for `workload_id`.
+  void Ingest(const std::string& workload_id, const std::string& objective,
+              const Vector& encoded_conf, double value);
+
+  /// Records the runtime metric vector of one run (used for OtterTune-style
+  /// workload mapping).
+  void IngestMetrics(const std::string& workload_id,
+                     const RuntimeMetrics& metrics);
+
+  /// Returns the current model, training or updating it first if the policy
+  /// calls for it. NotFound if no traces exist for the pair.
+  StatusOr<std::shared_ptr<const ObjectiveModel>> GetModel(
+      const std::string& workload_id, const std::string& objective);
+
+  /// True once at least one trace exists for the pair.
+  bool HasTraces(const std::string& workload_id,
+                 const std::string& objective) const;
+
+  /// Training data for the pair (for workload mapping / baselines).
+  StatusOr<const DataSet*> GetData(const std::string& workload_id,
+                                   const std::string& objective) const;
+
+  /// Mean metric vector over all ingested runs of a workload.
+  StatusOr<Vector> MeanMetrics(const std::string& workload_id) const;
+
+  /// All workload ids with metric observations.
+  std::vector<std::string> WorkloadsWithMetrics() const;
+
+  /// Number of traces ingested for the pair (0 if none).
+  int NumTraces(const std::string& workload_id,
+                const std::string& objective) const;
+
+  const ModelServerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    DataSet data;
+    std::shared_ptr<const ObjectiveModel> model;
+    /// Traces ingested since the model was last (re)trained.
+    int pending = 0;
+  };
+
+  StatusOr<std::shared_ptr<const ObjectiveModel>> TrainFresh(
+      const DataSet& data);
+
+  ModelServerConfig config_;
+  Rng rng_;
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+  std::map<std::string, std::vector<Vector>> metrics_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_MODEL_SERVER_H_

@@ -1,0 +1,82 @@
+#include "model/objective_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace udao {
+
+Vector FiniteDifferenceGradient(const ObjectiveModel& model, const Vector& x,
+                                double h) {
+  Vector grad(x.size());
+  Vector probe = x;
+  for (size_t d = 0; d < x.size(); ++d) {
+    const double orig = probe[d];
+    probe[d] = orig + h;
+    const double fp = model.Predict(probe);
+    probe[d] = orig - h;
+    const double fm = model.Predict(probe);
+    probe[d] = orig;
+    grad[d] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+CallableModel::CallableModel(std::string name, int dim, Fn fn)
+    : name_(std::move(name)), dim_(dim), fn_(std::move(fn)) {
+  grad_ = [this](const Vector& x) {
+    return FiniteDifferenceGradient(*this, x);
+  };
+}
+
+double NonNegativeModel::Predict(const Vector& x) const {
+  return std::max(0.0, base_->Predict(x));
+}
+
+void NonNegativeModel::PredictWithUncertainty(const Vector& x, double* mean,
+                                              double* stddev) const {
+  base_->PredictWithUncertainty(x, mean, stddev);
+  *mean = std::max(0.0, *mean);
+}
+
+Vector NonNegativeModel::InputGradient(const Vector& x) const {
+  return base_->InputGradient(x);
+}
+
+double UncertaintyAdjustedModel::Predict(const Vector& x) const {
+  double mean = 0.0;
+  double stddev = 0.0;
+  base_->PredictWithUncertainty(x, &mean, &stddev);
+  return mean + alpha_ * stddev;
+}
+
+void UncertaintyAdjustedModel::PredictWithUncertainty(const Vector& x,
+                                                      double* mean,
+                                                      double* stddev) const {
+  base_->PredictWithUncertainty(x, mean, stddev);
+  *mean += alpha_ * *stddev;
+}
+
+Vector UncertaintyAdjustedModel::InputGradient(const Vector& x) const {
+  Vector grad = base_->InputGradient(x);
+  if (alpha_ == 0.0) return grad;
+  // Gradient of the stddev term by central differences; GP/MC-dropout stddev
+  // fields are smooth enough for this to guide descent.
+  const double h = 1e-4;
+  Vector probe = x;
+  for (size_t d = 0; d < x.size(); ++d) {
+    double mean = 0.0;
+    double sp = 0.0;
+    double sm = 0.0;
+    const double orig = probe[d];
+    probe[d] = orig + h;
+    base_->PredictWithUncertainty(probe, &mean, &sp);
+    probe[d] = orig - h;
+    base_->PredictWithUncertainty(probe, &mean, &sm);
+    probe[d] = orig;
+    grad[d] += alpha_ * (sp - sm) / (2.0 * h);
+  }
+  return grad;
+}
+
+}  // namespace udao

@@ -1,0 +1,125 @@
+#ifndef UDAO_MODEL_OBJECTIVE_MODEL_H_
+#define UDAO_MODEL_OBJECTIVE_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/matrix.h"
+
+namespace udao {
+
+/// A predictive model Psi_i(x) of one task objective as a function of the
+/// *encoded* configuration x in [0,1]^D (ParamSpace::Encode output).
+///
+/// This is the contract between the model server and the MOO layer
+/// (Section II-B): MOO works with any model exposing a (sub)gradient and an
+/// uncertainty estimate -- hand-crafted regression functions, Gaussian
+/// Processes, or DNNs.
+class ObjectiveModel {
+ public:
+  virtual ~ObjectiveModel() = default;
+
+  /// Predicted objective value at encoded configuration x.
+  virtual double Predict(const Vector& x) const = 0;
+
+  /// Predictive mean and standard deviation. Models without a native
+  /// uncertainty notion report stddev 0.
+  virtual void PredictWithUncertainty(const Vector& x, double* mean,
+                                      double* stddev) const {
+    *mean = Predict(x);
+    *stddev = 0.0;
+  }
+
+  /// Subgradient of Predict with respect to x. Every model used by MOGD must
+  /// be subdifferentiable (Section IV-B).
+  virtual Vector InputGradient(const Vector& x) const = 0;
+
+  /// Input dimensionality (encoded).
+  virtual int input_dim() const = 0;
+
+  /// Short description for logs ("gp", "dnn", "analytic-latency", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// A model defined by arbitrary callables; the adapter used in tests and for
+/// the hand-crafted regression models' lambdas.
+class CallableModel : public ObjectiveModel {
+ public:
+  using Fn = std::function<double(const Vector&)>;
+  using GradFn = std::function<Vector(const Vector&)>;
+
+  /// Builds from a value function and an explicit gradient.
+  CallableModel(std::string name, int dim, Fn fn, GradFn grad)
+      : name_(std::move(name)), dim_(dim), fn_(std::move(fn)),
+        grad_(std::move(grad)) {}
+
+  /// Builds from a value function only; the gradient falls back to central
+  /// finite differences (adequate for baselines that do not descend).
+  CallableModel(std::string name, int dim, Fn fn);
+
+  double Predict(const Vector& x) const override { return fn_(x); }
+  Vector InputGradient(const Vector& x) const override { return grad_(x); }
+  int input_dim() const override { return dim_; }
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int dim_;
+  Fn fn_;
+  GradFn grad_;
+};
+
+/// Wraps a base model with the paper's uncertainty adjustment:
+///   F~(x) = E[F(x)] + alpha * std[F(x)]
+/// which MOGD minimizes instead of the raw mean when models are inaccurate
+/// (Section IV-B.3). The gradient of the std term is approximated by finite
+/// differences of the stddev field, which is smooth for GPs.
+class UncertaintyAdjustedModel : public ObjectiveModel {
+ public:
+  UncertaintyAdjustedModel(std::shared_ptr<const ObjectiveModel> base,
+                           double alpha)
+      : base_(std::move(base)), alpha_(alpha) {}
+
+  double Predict(const Vector& x) const override;
+  void PredictWithUncertainty(const Vector& x, double* mean,
+                              double* stddev) const override;
+  Vector InputGradient(const Vector& x) const override;
+  int input_dim() const override { return base_->input_dim(); }
+  std::string Name() const override { return base_->Name() + "+ucb"; }
+
+ private:
+  std::shared_ptr<const ObjectiveModel> base_;
+  double alpha_;
+};
+
+/// Wraps a learned model of a physically non-negative quantity (latency,
+/// throughput, monetary cost): predictions are floored at zero so the
+/// optimizer cannot chase fictitious negative extrapolations, and spurious
+/// orderings among such garbage predictions collapse (all floored points tie
+/// and get resolved by the other objectives). The gradient passes through
+/// unfloored as a pseudo-gradient, which keeps constraint terms able to push
+/// the solution back into the trained region.
+class NonNegativeModel : public ObjectiveModel {
+ public:
+  explicit NonNegativeModel(std::shared_ptr<const ObjectiveModel> base)
+      : base_(std::move(base)) {}
+
+  double Predict(const Vector& x) const override;
+  void PredictWithUncertainty(const Vector& x, double* mean,
+                              double* stddev) const override;
+  Vector InputGradient(const Vector& x) const override;
+  int input_dim() const override { return base_->input_dim(); }
+  std::string Name() const override { return base_->Name() + "+floor"; }
+
+ private:
+  std::shared_ptr<const ObjectiveModel> base_;
+};
+
+/// Central finite-difference gradient of an arbitrary model; shared helper.
+Vector FiniteDifferenceGradient(const ObjectiveModel& model, const Vector& x,
+                                double h = 1e-5);
+
+}  // namespace udao
+
+#endif  // UDAO_MODEL_OBJECTIVE_MODEL_H_

@@ -1,0 +1,49 @@
+#ifndef UDAO_MOO_EVO_H_
+#define UDAO_MOO_EVO_H_
+
+#include "moo/problem.h"
+#include "moo/run_result.h"
+
+namespace udao {
+
+/// NSGA-II settings.
+struct EvoConfig {
+  int population = 100;
+  /// NSGA-II needs generations to converge before its non-dominated set is a
+  /// deliverable Pareto frontier; snapshots before this floor report 100%
+  /// uncertain space (nothing usable has been delivered yet).
+  int min_generations = 60;
+  double crossover_prob = 0.9;
+  /// Per-gene mutation probability; <= 0 means 1/D.
+  double mutation_prob = -1.0;
+  /// SBX and polynomial-mutation distribution indices (standard values).
+  double eta_crossover = 15.0;
+  double eta_mutation = 20.0;
+  uint64_t seed = 23;
+  MetricBox metric_box;
+};
+
+/// NSGA-II [Deb et al. 2002], the paper's representative Evolutionary MOO
+/// baseline: fast non-dominated sorting, crowding-distance selection,
+/// simulated binary crossover and polynomial mutation over the encoded
+/// configuration space.
+///
+/// `num_points` plays the role of the probe budget: the run executes
+/// generations until the non-dominated set reaches that size (or a generation
+/// cap). Every call is an independent randomized run (seeded by
+/// config.seed + num_points) -- which is precisely why frontiers produced
+/// with 30/40/50 probes can contradict each other, the *inconsistency* the
+/// paper demonstrates in Fig. 4(e).
+MooRunResult RunNsga2(const MooProblem& problem, int num_points,
+                      const EvoConfig& config = EvoConfig());
+
+/// Exposed for testing: fast non-dominated sort; returns the front index of
+/// each point (0 = non-dominated).
+std::vector<int> FastNonDominatedSort(const std::vector<Vector>& objectives);
+
+/// Exposed for testing: crowding distance of each member of one front.
+Vector CrowdingDistance(const std::vector<Vector>& front_objectives);
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_EVO_H_

@@ -1,0 +1,71 @@
+#include "moo/exhaustive.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace udao {
+
+std::vector<Vector> ExhaustiveSolver::EnumerateEncoded(
+    const MooProblem& problem) const {
+  // Enumerate in raw-parameter space via a Halton sweep, then encode: the
+  // sweep thereby respects integrality/categoricality of every knob.
+  const ParamSpace& space = problem.space();
+  std::vector<Vector> encoded;
+  encoded.reserve(budget_);
+  for (const Vector& unit : HaltonSequence(budget_, space.NumParams())) {
+    encoded.push_back(space.Encode(space.FromUnit(unit)));
+  }
+  return encoded;
+}
+
+std::vector<MooPoint> ExhaustiveSolver::Frontier(
+    const MooProblem& problem) const {
+  std::vector<MooPoint> points;
+  points.reserve(budget_);
+  for (const Vector& x : EnumerateEncoded(problem)) {
+    points.push_back(MooPoint{problem.Evaluate(x), x});
+  }
+  return ParetoFilter(std::move(points));
+}
+
+std::optional<CoResult> ExhaustiveSolver::SolveCo(const MooProblem& problem,
+                                                  const CoProblem& co) const {
+  const int k = problem.NumObjectives();
+  UDAO_CHECK_EQ(static_cast<int>(co.lower.size()), k);
+  UDAO_CHECK_EQ(static_cast<int>(co.upper.size()), k);
+  std::optional<CoResult> best;
+  for (const Vector& x : EnumerateEncoded(problem)) {
+    const Vector f = problem.Evaluate(x);
+    bool feasible = true;
+    for (int j = 0; j < k && feasible; ++j) {
+      feasible = f[j] >= co.lower[j] && f[j] <= co.upper[j];
+    }
+    for (const CoProblem::LinearConstraint& lc : co.linear) {
+      if (!feasible) break;
+      feasible = Dot(lc.normal, f) <= lc.offset;
+    }
+    if (!feasible) continue;
+    if (!best.has_value() || f[co.target] < best->target_value) {
+      best = CoResult{x, problem.space().Decode(x), f, f[co.target]};
+    }
+  }
+  return best;
+}
+
+CoResult ExhaustiveSolver::Minimize(const MooProblem& problem,
+                                    int target) const {
+  CoResult best;
+  best.target_value = std::numeric_limits<double>::infinity();
+  for (const Vector& x : EnumerateEncoded(problem)) {
+    const Vector f = problem.Evaluate(x);
+    if (f[target] < best.target_value) {
+      best = CoResult{x, problem.space().Decode(x), f, f[target]};
+    }
+  }
+  UDAO_CHECK(std::isfinite(best.target_value));
+  return best;
+}
+
+}  // namespace udao

@@ -1,0 +1,46 @@
+#ifndef UDAO_MOO_EXHAUSTIVE_H_
+#define UDAO_MOO_EXHAUSTIVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "moo/mogd.h"
+#include "moo/pareto.h"
+#include "moo/problem.h"
+
+namespace udao {
+
+/// Dense-enumeration reference solver, the repository's stand-in for a
+/// general MINLP solver (the paper benchmarks Knitro, which takes 17-42
+/// minutes per CO problem). It evaluates the objectives over a deterministic
+/// low-discrepancy sweep of the (raw) parameter space -- thorough and
+/// derivative-free, hence slow, but usable as ground truth in tests and as
+/// the baseline of the MOGD-vs-MINLP benchmark.
+class ExhaustiveSolver {
+ public:
+  /// `budget` = number of candidate configurations enumerated per solve.
+  explicit ExhaustiveSolver(int budget = 20000) : budget_(budget) {}
+
+  /// Approximate true Pareto frontier of the problem by enumerating `budget`
+  /// configurations and Pareto-filtering them.
+  std::vector<MooPoint> Frontier(const MooProblem& problem) const;
+
+  /// Constrained single-objective solve over the same enumeration; nullopt
+  /// when no enumerated point is feasible.
+  std::optional<CoResult> SolveCo(const MooProblem& problem,
+                                  const CoProblem& co) const;
+
+  /// Unconstrained single-objective minimum over the enumeration.
+  CoResult Minimize(const MooProblem& problem, int target) const;
+
+  int budget() const { return budget_; }
+
+ private:
+  std::vector<Vector> EnumerateEncoded(const MooProblem& problem) const;
+
+  int budget_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_EXHAUSTIVE_H_

@@ -1,0 +1,140 @@
+#include "moo/mobo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace udao {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+MooRunResult RunMobo(const MooProblem& problem, int num_points,
+                     const MoboConfig& config) {
+  UDAO_CHECK_GT(num_points, 0);
+  const auto t0 = Clock::now();
+  const int k = problem.NumObjectives();
+  const int dim = problem.EncodedDim();
+  Rng rng(config.seed);
+  MooRunResult result;
+
+  // PESM pays for a much heavier acquisition (entropy approximation): larger
+  // candidate pool, more MC draws, deeper hyperparameter refits.
+  const bool pesm = config.kind == MoboConfig::Kind::kPesm;
+  const int pool = pesm ? config.candidate_pool * 4 : config.candidate_pool;
+  const int mc = pesm ? config.mc_samples * 8 : config.mc_samples;
+  GpConfig gp_config = config.gp;
+  gp_config.hyper_opt_steps = pesm ? 240 : 80;
+
+  // Initial space-filling design.
+  std::vector<Vector> xs;
+  std::vector<Vector> fs;
+  for (const Vector& unit : LatinHypercube(config.init_samples, dim, &rng)) {
+    xs.push_back(unit);
+    fs.push_back(problem.Evaluate(unit));
+  }
+
+  auto frontier_of = [&]() {
+    std::vector<MooPoint> points;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      points.push_back(MooPoint{fs[i], xs[i]});
+    }
+    return ParetoFilter(std::move(points));
+  };
+
+  // Hypervolume reference: the worst observed value per objective, padded.
+  auto reference = [&]() {
+    Vector ref(k, -1e300);
+    for (const Vector& f : fs) {
+      for (int j = 0; j < k; ++j) ref[j] = std::max(ref[j], f[j]);
+    }
+    for (int j = 0; j < k; ++j) ref[j] += 0.1 * (std::abs(ref[j]) + 1.0);
+    return ref;
+  };
+
+  for (int step = 0; step < num_points; ++step) {
+    // Refit one surrogate per objective on everything observed so far.
+    std::vector<std::shared_ptr<GpModel>> gps;
+    Matrix x_train = Matrix::FromRows(xs);
+    bool fit_ok = true;
+    for (int j = 0; j < k; ++j) {
+      Vector y(fs.size());
+      for (size_t i = 0; i < fs.size(); ++i) y[i] = fs[i][j];
+      auto gp = GpModel::Fit(x_train, y, gp_config);
+      if (!gp.ok()) {
+        fit_ok = false;
+        break;
+      }
+      gps.push_back(*gp);
+    }
+
+    Vector next(dim);
+    if (!fit_ok) {
+      for (double& v : next) v = rng.Uniform();
+    } else {
+      const Vector ref = reference();
+      std::vector<MooPoint> front = frontier_of();
+      std::vector<Vector> front_objs;
+      for (const MooPoint& p : front) front_objs.push_back(p.objectives);
+      const double base_hv = DominatedHypervolume(front_objs, ref);
+
+      double best_acq = -1.0;
+      for (int c = 0; c < pool; ++c) {
+        Vector cand(dim);
+        for (double& v : cand) v = rng.Uniform();
+        // Monte-Carlo EHVI: sample GP posteriors, average HV improvement.
+        double acq = 0.0;
+        Vector mean(k);
+        Vector stddev(k);
+        for (int j = 0; j < k; ++j) {
+          gps[j]->PredictWithUncertainty(cand, &mean[j], &stddev[j]);
+        }
+        for (int s = 0; s < mc; ++s) {
+          Vector draw(k);
+          for (int j = 0; j < k; ++j) {
+            draw[j] = mean[j] + stddev[j] * rng.Gaussian();
+          }
+          std::vector<Vector> with = front_objs;
+          with.push_back(draw);
+          acq += std::max(0.0, DominatedHypervolume(with, ref) - base_hv);
+        }
+        acq /= mc;
+        if (acq > best_acq) {
+          best_acq = acq;
+          next = cand;
+        }
+      }
+    }
+
+    xs.push_back(next);
+    fs.push_back(problem.Evaluate(next));
+
+    std::vector<MooPoint> frontier = frontier_of();
+    MooSnapshot snap;
+    snap.seconds = SecondsSince(t0);
+    snap.num_points = static_cast<int>(frontier.size());
+    const bool deliverable = step + 1 >= config.delivery_min_probes;
+    snap.uncertain_percent =
+        (deliverable && config.metric_box.valid())
+            ? UncertainSpacePercent(frontier, config.metric_box.utopia,
+                                    config.metric_box.nadir)
+            : 100.0;
+    result.history.push_back(snap);
+  }
+
+  result.frontier = frontier_of();
+  result.seconds_total = SecondsSince(t0);
+  return result;
+}
+
+}  // namespace udao

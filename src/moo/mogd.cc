@@ -1,0 +1,192 @@
+#include "moo/mogd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/random.h"
+#include "nn/adam.h"
+
+namespace udao {
+
+namespace {
+
+constexpr double kFeasibilityTol = 1e-6;
+
+void ClipToUnitBox(Vector* x) {
+  for (double& v : *x) v = std::min(1.0, std::max(0.0, v));
+}
+
+}  // namespace
+
+MogdSolver::MogdSolver(MogdConfig config) : config_(config) {
+  UDAO_CHECK_GT(config_.multistart, 0);
+  UDAO_CHECK_GT(config_.max_iters, 0);
+}
+
+std::optional<CoResult> MogdSolver::SolveCo(const MooProblem& problem,
+                                            const CoProblem& co) const {
+  return SolveCoSeeded(problem, co, config_.seed);
+}
+
+std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
+                                                  const CoProblem& co,
+                                                  uint64_t seed) const {
+  const int k = problem.NumObjectives();
+  const int dim = problem.EncodedDim();
+  UDAO_CHECK(co.target >= 0 && co.target < k);
+  UDAO_CHECK_EQ(static_cast<int>(co.lower.size()), k);
+  UDAO_CHECK_EQ(static_cast<int>(co.upper.size()), k);
+
+  Vector spans(k);
+  for (int j = 0; j < k; ++j) {
+    UDAO_CHECK(co.lower[j] <= co.upper[j]);
+    spans[j] = std::max(1e-9, co.upper[j] - co.lower[j]);
+  }
+
+  // Evaluates objectives (uncertainty-adjusted when alpha > 0) and their
+  // gradients at x.
+  auto evaluate = [&](const Vector& x, Vector* f,
+                      std::vector<Vector>* grads) {
+    f->resize(k);
+    grads->resize(k);
+    for (int j = 0; j < k; ++j) {
+      if (config_.alpha > 0.0) {
+        double mean = 0.0;
+        double stddev = 0.0;
+        problem.EvaluateWithUncertainty(j, x, &mean, &stddev);
+        (*f)[j] = mean + config_.alpha * stddev;
+      } else {
+        (*f)[j] = problem.EvaluateOne(j, x);
+      }
+      // The descent direction follows the mean's gradient; the uncertainty
+      // term shifts values (conservatism) without steering the search.
+      (*grads)[j] = problem.Gradient(j, x);
+    }
+  };
+
+  Rng rng(seed);
+  std::optional<CoResult> best;
+
+  // Tracks the best feasible point seen anywhere along any trajectory.
+  auto consider = [&](const Vector& x, const Vector& f) {
+    for (int j = 0; j < k; ++j) {
+      const double fn = (f[j] - co.lower[j]) / spans[j];
+      if (fn < -kFeasibilityTol || fn > 1.0 + kFeasibilityTol) return;
+    }
+    for (const CoProblem::LinearConstraint& lc : co.linear) {
+      if (Dot(lc.normal, f) - lc.offset > kFeasibilityTol) return;
+    }
+    if (!best.has_value() || f[co.target] < best->target_value) {
+      CoResult result;
+      result.x = x;
+      result.raw = problem.space().Decode(x);
+      result.objectives = f;
+      result.target_value = f[co.target];
+      best = std::move(result);
+    }
+  };
+
+  for (int start = 0; start < config_.multistart; ++start) {
+    Vector x(dim);
+    if (start == 0) {
+      std::fill(x.begin(), x.end(), 0.5);
+    } else {
+      for (double& v : x) v = rng.Uniform();
+    }
+    Adam adam(dim, AdamConfig{.learning_rate = config_.learning_rate});
+    Vector f;
+    std::vector<Vector> grads;
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+      evaluate(x, &f, &grads);
+      consider(x, f);
+      // Loss gradient per Eq. 3.
+      Vector loss_grad(dim, 0.0);
+      for (int j = 0; j < k; ++j) {
+        const double fn = (f[j] - co.lower[j]) / spans[j];
+        double coeff = 0.0;
+        if (fn < 0.0 || fn > 1.0) {
+          coeff = 2.0 * (fn - 0.5) / spans[j];
+        } else if (j == co.target) {
+          coeff = 2.0 * fn / spans[j];
+        }
+        if (coeff != 0.0) {
+          for (int d = 0; d < dim; ++d) loss_grad[d] += coeff * grads[j][d];
+        }
+      }
+      for (const CoProblem::LinearConstraint& lc : co.linear) {
+        const double g = Dot(lc.normal, f) - lc.offset;
+        if (g > 0.0) {
+          for (int j = 0; j < k; ++j) {
+            if (lc.normal[j] == 0.0) continue;
+            for (int d = 0; d < dim; ++d) {
+              loss_grad[d] += 2.0 * g * lc.normal[j] * grads[j][d];
+            }
+          }
+        }
+      }
+      adam.Step(&x, loss_grad);
+      ClipToUnitBox(&x);
+    }
+    evaluate(x, &f, &grads);
+    consider(x, f);
+  }
+  return best;
+}
+
+std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
+    const MooProblem& problem, const std::vector<CoProblem>& problems) const {
+  std::vector<std::optional<CoResult>> results(problems.size());
+  if (problems.empty()) return results;
+  if (config_.threads <= 1 || problems.size() == 1) {
+    for (size_t i = 0; i < problems.size(); ++i) {
+      results[i] =
+          SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i);
+    }
+    return results;
+  }
+  ThreadPool pool(config_.threads);
+  pool.ParallelFor(static_cast<int>(problems.size()), [&](int i) {
+    results[i] = SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i);
+  });
+  return results;
+}
+
+CoResult MogdSolver::Minimize(const MooProblem& problem, int target) const {
+  const int dim = problem.EncodedDim();
+  Rng rng(config_.seed + 7 * target);
+  CoResult best;
+  best.target_value = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const Vector& x) {
+    const double v = problem.EvaluateOne(target, x);
+    if (v < best.target_value) {
+      best.x = x;
+      best.raw = problem.space().Decode(x);
+      best.objectives = problem.Evaluate(x);
+      best.target_value = v;
+    }
+  };
+
+  for (int start = 0; start < config_.multistart; ++start) {
+    Vector x(dim);
+    if (start == 0) {
+      std::fill(x.begin(), x.end(), 0.5);
+    } else {
+      for (double& v : x) v = rng.Uniform();
+    }
+    Adam adam(dim, AdamConfig{.learning_rate = config_.learning_rate});
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+      Vector grad = problem.Gradient(target, x);
+      adam.Step(&x, grad);
+      ClipToUnitBox(&x);
+      consider(x);
+    }
+  }
+  UDAO_CHECK(std::isfinite(best.target_value));
+  return best;
+}
+
+}  // namespace udao

@@ -1,0 +1,96 @@
+#ifndef UDAO_MOO_MOGD_H_
+#define UDAO_MOO_MOGD_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "moo/problem.h"
+
+namespace udao {
+
+/// Settings for the Multi-Objective Gradient Descent solver (Section IV-B).
+struct MogdConfig {
+  /// Gradient-descent restarts from different initial points ("multi-start
+  /// method to try gradient descent from multiple initial points").
+  int multistart = 8;
+  /// Adam iterations per start.
+  int max_iters = 120;
+  double learning_rate = 0.1;
+  /// Uncertainty coefficient: objectives are replaced by
+  /// E[F] + alpha * std[F] when alpha > 0 (Section IV-B.3).
+  double alpha = 0.0;
+  /// Worker threads for batch solves (PF-AP sends l^k CO problems at once).
+  int threads = 4;
+  uint64_t seed = 17;
+};
+
+/// A constrained-optimization task: minimize objective `target` subject to
+/// F_j(x) in [lower_j, upper_j] for every objective j (Eq. 2's middle-point
+/// probe instantiates these bounds), plus optional linear objective-space
+/// constraints a . F(x) <= b (used by the Normal Constraints baseline).
+struct CoProblem {
+  int target = 0;
+  Vector lower;  ///< Per-objective lower bounds (minimization orientation).
+  Vector upper;  ///< Per-objective upper bounds.
+  struct LinearConstraint {
+    Vector normal;  ///< a (one weight per objective)
+    double offset;  ///< b
+  };
+  std::vector<LinearConstraint> linear;
+};
+
+/// Solution of one CO problem.
+struct CoResult {
+  Vector x;           ///< Encoded configuration (relaxed, in [0,1]^D).
+  Vector raw;         ///< Decoded raw knob values (rounded / argmaxed).
+  Vector objectives;  ///< Objective values at x (minimization orientation).
+  double target_value = 0.0;
+};
+
+/// Multi-Objective Gradient Descent solver. Uses the carefully-crafted loss
+/// of Eq. 3 to drive Adam toward the constrained minimum of one objective:
+///
+///   L(x) = 1{0 <= F~t <= 1} F~t^2
+///        + sum_j 1{F~j < 0 or F~j > 1} [ (F~j - 0.5)^2 + P ]
+///
+/// with F~j the objective normalized by its constraint bounds. Variables live
+/// in [0,1]^D (one-hot + normalized + relaxed); each step clips back into the
+/// box. Works with any subdifferentiable ObjectiveModel (DNN, GP, analytic).
+///
+/// Note on the constant P: in Eq. 3 it only orders losses so that every
+/// infeasible candidate scores worse than any feasible one. This solver
+/// enforces that ordering directly -- candidates are tracked feasibility-
+/// first and ranked by the target value -- so P never needs a numeric value
+/// (it also has zero gradient and thus no effect on the descent itself).
+class MogdSolver {
+ public:
+  explicit MogdSolver(MogdConfig config = MogdConfig());
+
+  /// Solves one CO problem; nullopt when no feasible point was found, which
+  /// the Progressive Frontier treats as "this hyperrectangle is empty".
+  std::optional<CoResult> SolveCo(const MooProblem& problem,
+                                  const CoProblem& co) const;
+
+  /// Solves a batch of CO problems in parallel on an internal thread pool
+  /// (the PF-AP fan-out). Result i corresponds to problems[i].
+  std::vector<std::optional<CoResult>> SolveBatch(
+      const MooProblem& problem, const std::vector<CoProblem>& problems) const;
+
+  /// Unconstrained single-objective minimization (line 2 of Algorithm 1, used
+  /// to find the reference points). Only the box [0,1]^D constrains x.
+  CoResult Minimize(const MooProblem& problem, int target) const;
+
+  const MogdConfig& config() const { return config_; }
+
+ private:
+  std::optional<CoResult> SolveCoSeeded(const MooProblem& problem,
+                                        const CoProblem& co,
+                                        uint64_t seed) const;
+
+  MogdConfig config_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_MOGD_H_

@@ -1,0 +1,139 @@
+#include "moo/normal_constraints.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace udao {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+MooRunResult RunNormalConstraints(const MooProblem& problem, int num_points,
+                                  const NcConfig& config) {
+  UDAO_CHECK_GT(num_points, 0);
+  const auto t0 = Clock::now();
+  const int k = problem.NumObjectives();
+  MooRunResult result;
+  MogdSolver solver(config.mogd);
+
+  // Anchor points: per-objective minima.
+  std::vector<CoResult> anchors;
+  anchors.reserve(k);
+  for (int j = 0; j < k; ++j) anchors.push_back(solver.Minimize(problem, j));
+
+  // Normalization bounds from the anchors.
+  Vector lo(k);
+  Vector hi(k);
+  for (int j = 0; j < k; ++j) {
+    lo[j] = anchors[0].objectives[j];
+    hi[j] = anchors[0].objectives[j];
+    for (int a = 1; a < k; ++a) {
+      lo[j] = std::min(lo[j], anchors[a].objectives[j]);
+      hi[j] = std::max(hi[j], anchors[a].objectives[j]);
+    }
+    hi[j] = std::max(hi[j], lo[j] + 1e-9);
+  }
+  auto normalize = [&](const Vector& f) {
+    Vector n(k);
+    for (int j = 0; j < k; ++j) n[j] = (f[j] - lo[j]) / (hi[j] - lo[j]);
+    return n;
+  };
+
+  // Normalized anchor positions (anchor j is ~e_j flipped: 0 in its own
+  // objective, ~1 elsewhere).
+  std::vector<Vector> anchors_n;
+  anchors_n.reserve(k);
+  for (const CoResult& a : anchors) anchors_n.push_back(normalize(a.objectives));
+
+  std::vector<MooPoint> found;
+  for (const CoResult& a : anchors) {
+    found.push_back(MooPoint{a.objectives, a.x});
+  }
+
+  // Evenly spread points on the utopia hyperplane between anchors via convex
+  // combinations, then solve the NNC subproblem for each.
+  std::vector<Vector> barys;
+  if (k == 2) {
+    for (int i = 0; i < num_points; ++i) {
+      const double t = num_points == 1 ? 0.5
+                                       : static_cast<double>(i) /
+                                             (num_points - 1);
+      barys.push_back({1.0 - t, t});
+    }
+  } else {
+    // Low-discrepancy spread over the simplex by normalizing Halton draws.
+    for (const Vector& h : HaltonSequence(num_points, k)) {
+      double sum = 0;
+      Vector b(k);
+      for (int j = 0; j < k; ++j) {
+        b[j] = -std::log(std::max(1e-9, h[j]));
+        sum += b[j];
+      }
+      for (double& v : b) v /= sum;
+      barys.push_back(std::move(b));
+    }
+  }
+
+  for (const Vector& bary : barys) {
+    // Plane point Xp in normalized space.
+    Vector xp(k, 0.0);
+    for (int a = 0; a < k; ++a) {
+      for (int j = 0; j < k; ++j) xp[j] += bary[a] * anchors_n[a][j];
+    }
+    // NNC constraints: (F~ - Xp) . (anchor_k~ - anchor_a~) <= 0 for a < k,
+    // expressed over the raw (minimization-orientation) objectives.
+    CoProblem co;
+    co.target = k - 1;
+    co.lower.assign(k, -1e12);
+    co.upper.assign(k, 1e12);
+    for (int j = 0; j < k; ++j) {
+      co.lower[j] = lo[j] - 0.5 * (hi[j] - lo[j]);
+      co.upper[j] = hi[j] + 0.5 * (hi[j] - lo[j]);
+    }
+    for (int a = 0; a < k - 1; ++a) {
+      CoProblem::LinearConstraint lc;
+      lc.normal.assign(k, 0.0);
+      double offset = 0.0;
+      for (int j = 0; j < k; ++j) {
+        const double dir = anchors_n[k - 1][j] - anchors_n[a][j];
+        const double scale = dir / (hi[j] - lo[j]);
+        lc.normal[j] = scale;
+        offset += scale * (lo[j] + xp[j] * (hi[j] - lo[j]));
+      }
+      lc.offset = offset;
+      co.linear.push_back(std::move(lc));
+    }
+    std::optional<CoResult> solved = solver.SolveCo(problem, co);
+    if (solved.has_value()) {
+      found.push_back(MooPoint{solved->objectives, solved->x});
+    }
+    // NC delivers its set only at completion.
+    result.history.push_back(MooSnapshot{SecondsSince(t0), 0, 100.0});
+  }
+
+  result.frontier = ParetoFilter(std::move(found));
+  result.seconds_total = SecondsSince(t0);
+  MooSnapshot final_snap;
+  final_snap.seconds = result.seconds_total;
+  final_snap.num_points = static_cast<int>(result.frontier.size());
+  final_snap.uncertain_percent =
+      config.metric_box.valid()
+          ? UncertainSpacePercent(result.frontier, config.metric_box.utopia,
+                                  config.metric_box.nadir)
+          : 100.0;
+  result.history.push_back(final_snap);
+  return result;
+}
+
+}  // namespace udao

@@ -1,0 +1,30 @@
+#ifndef UDAO_MOO_NORMAL_CONSTRAINTS_H_
+#define UDAO_MOO_NORMAL_CONSTRAINTS_H_
+
+#include "moo/mogd.h"
+#include "moo/problem.h"
+#include "moo/run_result.h"
+
+namespace udao {
+
+/// Settings for the Normalized Normal Constraints baseline.
+struct NcConfig {
+  MogdConfig mogd = MogdConfig{.multistart = 16, .max_iters = 200};
+  MetricBox metric_box;
+};
+
+/// Normalized Normal Constraints [Messac et al. 2003]: anchors the frontier
+/// at the k single-objective optima, spreads `num_points` points over the
+/// utopia hyperplane between them, and for each solves a constrained problem
+/// that pushes the solution onto the frontier along the plane normal.
+///
+/// Weaknesses the paper calls out and this implementation reproduces: some
+/// plane points yield infeasible/duplicate solutions so fewer than
+/// `num_points` come back, and asking for more points later means restarting
+/// from scratch.
+MooRunResult RunNormalConstraints(const MooProblem& problem, int num_points,
+                                  const NcConfig& config = NcConfig());
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_NORMAL_CONSTRAINTS_H_

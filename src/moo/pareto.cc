@@ -1,0 +1,214 @@
+#include "moo/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+bool Dominates(const Vector& a, const Vector& b) {
+  UDAO_CHECK_EQ(a.size(), b.size());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<MooPoint> ParetoFilter(std::vector<MooPoint> points) {
+  std::vector<bool> keep(points.size(), true);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size() && keep[i]; ++j) {
+      if (i == j) continue;
+      if (Dominates(points[j].objectives, points[i].objectives)) {
+        keep[i] = false;
+      }
+      // Deduplicate equal objective vectors: keep the first occurrence.
+      if (j < i && points[j].objectives == points[i].objectives) {
+        keep[i] = false;
+      }
+    }
+  }
+  std::vector<MooPoint> out;
+  out.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(points[i]));
+  }
+  return out;
+}
+
+bool MutuallyNonDominated(const std::vector<MooPoint>& points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i != j && Dominates(points[i].objectives, points[j].objectives)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double HyperrectVolume(const Vector& lo, const Vector& hi) {
+  UDAO_CHECK_EQ(lo.size(), hi.size());
+  double volume = 1.0;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (hi[i] <= lo[i]) return 0.0;
+    volume *= hi[i] - lo[i];
+  }
+  return volume;
+}
+
+namespace {
+
+// Keeps only points that strictly improve on `ref` in every coordinate after
+// clamping; points at or beyond the reference contribute nothing.
+std::vector<Vector> ClampAgainstRef(const std::vector<Vector>& points,
+                                    const Vector& ref) {
+  std::vector<Vector> out;
+  out.reserve(points.size());
+  for (const Vector& p : points) {
+    UDAO_CHECK_EQ(p.size(), ref.size());
+    bool contributes = true;
+    for (size_t d = 0; d < p.size(); ++d) {
+      if (p[d] >= ref[d]) {
+        contributes = false;
+        break;
+      }
+    }
+    if (contributes) out.push_back(p);
+  }
+  return out;
+}
+
+double Hypervolume2D(std::vector<Vector> points, const Vector& ref) {
+  if (points.empty()) return 0.0;
+  std::sort(points.begin(), points.end());
+  double hv = 0.0;
+  double y_bound = ref[1];
+  for (const Vector& p : points) {
+    if (p[1] < y_bound) {
+      hv += (ref[0] - p[0]) * (y_bound - p[1]);
+      y_bound = p[1];
+    }
+  }
+  return hv;
+}
+
+double Hypervolume3D(std::vector<Vector> points, const Vector& ref) {
+  if (points.empty()) return 0.0;
+  // Sweep slabs along the third axis: within [z_i, z_next) the dominated
+  // (x, y) region is the 2D hypervolume of all points with z <= z_i.
+  std::vector<double> levels;
+  levels.reserve(points.size());
+  for (const Vector& p : points) levels.push_back(p[2]);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  double hv = 0.0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const double z_lo = levels[i];
+    const double z_hi = (i + 1 < levels.size()) ? levels[i + 1] : ref[2];
+    std::vector<Vector> slab;
+    for (const Vector& p : points) {
+      if (p[2] <= z_lo) slab.push_back({p[0], p[1]});
+    }
+    hv += Hypervolume2D(std::move(slab), {ref[0], ref[1]}) * (z_hi - z_lo);
+  }
+  return hv;
+}
+
+double HypervolumeQmc(const std::vector<Vector>& points, const Vector& ref) {
+  // Deterministic quasi-Monte-Carlo over the bounding box [lo, ref].
+  const size_t k = ref.size();
+  Vector lo = ref;
+  for (const Vector& p : points) {
+    for (size_t d = 0; d < k; ++d) lo[d] = std::min(lo[d], p[d]);
+  }
+  const double box = HyperrectVolume(lo, ref);
+  if (box <= 0.0) return 0.0;
+  constexpr int kSamples = 8192;
+  const auto samples = HaltonSequence(kSamples, static_cast<int>(k));
+  int dominated = 0;
+  Vector q(k);
+  for (const auto& s : samples) {
+    for (size_t d = 0; d < k; ++d) q[d] = lo[d] + s[d] * (ref[d] - lo[d]);
+    for (const Vector& p : points) {
+      bool dom = true;
+      for (size_t d = 0; d < k; ++d) {
+        if (p[d] > q[d]) {
+          dom = false;
+          break;
+        }
+      }
+      if (dom) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  return box * dominated / kSamples;
+}
+
+}  // namespace
+
+double DominatedHypervolume(const std::vector<Vector>& points,
+                            const Vector& ref) {
+  std::vector<Vector> clamped = ClampAgainstRef(points, ref);
+  if (clamped.empty()) return 0.0;
+  switch (ref.size()) {
+    case 1: {
+      double best = ref[0];
+      for (const Vector& p : clamped) best = std::min(best, p[0]);
+      return ref[0] - best;
+    }
+    case 2:
+      return Hypervolume2D(std::move(clamped), ref);
+    case 3:
+      return Hypervolume3D(std::move(clamped), ref);
+    default:
+      return HypervolumeQmc(clamped, ref);
+  }
+}
+
+double UncertainSpacePercent(const std::vector<MooPoint>& frontier,
+                             const Vector& utopia, const Vector& nadir) {
+  const double total = HyperrectVolume(utopia, nadir);
+  if (total <= 0.0) return 0.0;
+  if (frontier.empty()) return 100.0;
+  const size_t k = utopia.size();
+
+  // Clamp frontier points into the box.
+  std::vector<Vector> clamped;
+  clamped.reserve(frontier.size());
+  for (const MooPoint& p : frontier) {
+    UDAO_CHECK_EQ(p.objectives.size(), k);
+    Vector c(k);
+    for (size_t d = 0; d < k; ++d) {
+      c[d] = std::min(nadir[d], std::max(utopia[d], p.objectives[d]));
+    }
+    clamped.push_back(std::move(c));
+  }
+
+  // Volume dominated by the frontier (no Pareto point can be there).
+  const double dominated = DominatedHypervolume(clamped, nadir);
+
+  // Volume dominating the frontier (would contradict Pareto optimality of
+  // the found points, hence proven empty): the union of boxes [utopia, p],
+  // computed as a hypervolume in the sign-flipped space.
+  std::vector<Vector> flipped;
+  flipped.reserve(clamped.size());
+  for (const Vector& p : clamped) {
+    Vector f(k);
+    for (size_t d = 0; d < k; ++d) f[d] = -p[d];
+    flipped.push_back(std::move(f));
+  }
+  Vector flipped_ref(k);
+  for (size_t d = 0; d < k; ++d) flipped_ref[d] = -utopia[d];
+  const double impossible = DominatedHypervolume(flipped, flipped_ref);
+
+  const double uncertain = total - dominated - impossible;
+  return 100.0 * std::min(1.0, std::max(0.0, uncertain / total));
+}
+
+}  // namespace udao

@@ -1,0 +1,54 @@
+#ifndef UDAO_MOO_PARETO_H_
+#define UDAO_MOO_PARETO_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+
+namespace udao {
+
+/// One solution in objective space together with the (encoded) configuration
+/// that achieves it. All objectives are in minimization orientation.
+struct MooPoint {
+  Vector objectives;       ///< k objective values (minimize).
+  Vector conf_encoded;     ///< Encoded configuration in [0,1]^D.
+
+  bool operator==(const MooPoint& other) const {
+    return objectives == other.objectives;
+  }
+};
+
+/// True iff `a` Pareto-dominates `b` under minimization: a <= b in every
+/// objective and a < b in at least one (Definition III.1).
+bool Dominates(const Vector& a, const Vector& b);
+
+/// Removes every point dominated by another point in the set (and duplicate
+/// objective vectors, keeping the first). Order of survivors follows the
+/// input order.
+std::vector<MooPoint> ParetoFilter(std::vector<MooPoint> points);
+
+/// True iff no point in the set dominates another (a valid Pareto frontier).
+bool MutuallyNonDominated(const std::vector<MooPoint>& points);
+
+/// Volume of the axis-aligned hyperrectangle [lo, hi]; 0 if degenerate.
+double HyperrectVolume(const Vector& lo, const Vector& hi);
+
+/// Hypervolume dominated by `points` with respect to reference point `ref`
+/// (which every point must weakly dominate): the Lebesgue measure of
+/// union_i [p_i, ref]. Exact sweep in 2D, recursive slicing in 3D, and
+/// deterministic quasi-Monte-Carlo for k >= 4.
+double DominatedHypervolume(const std::vector<Vector>& points,
+                            const Vector& ref);
+
+/// The paper's uncertain-space measure as a percentage of the Utopia-Nadir
+/// box: the volume not yet proven to be dominated by the frontier nor
+/// impossible (i.e. dominating the frontier). 100 for an empty frontier, and
+/// it shrinks toward 0 as the frontier fills in. Points outside the box are
+/// clamped onto it.
+double UncertainSpacePercent(const std::vector<MooPoint>& frontier,
+                             const Vector& utopia, const Vector& nadir);
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_PARETO_H_

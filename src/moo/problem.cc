@@ -1,0 +1,61 @@
+#include "moo/problem.h"
+
+#include "common/check.h"
+
+namespace udao {
+
+MooProblem::MooProblem(const ParamSpace* space,
+                       std::vector<MooObjective> objectives)
+    : space_(space), objectives_(std::move(objectives)) {
+  UDAO_CHECK(space_ != nullptr);
+  UDAO_CHECK(!objectives_.empty());
+  for (const MooObjective& obj : objectives_) {
+    UDAO_CHECK(obj.model != nullptr);
+    UDAO_CHECK_EQ(obj.model->input_dim(), space_->EncodedDim());
+    UDAO_CHECK(obj.user_lower <= obj.user_upper);
+  }
+}
+
+Vector MooProblem::Evaluate(const Vector& x) const {
+  Vector f(objectives_.size());
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    f[i] = EvaluateOne(static_cast<int>(i), x);
+  }
+  return f;
+}
+
+double MooProblem::EvaluateOne(int i, const Vector& x) const {
+  const MooObjective& obj = objectives_[i];
+  const double v = obj.model->Predict(x);
+  return obj.minimize ? v : -v;
+}
+
+Vector MooProblem::Gradient(int i, const Vector& x) const {
+  const MooObjective& obj = objectives_[i];
+  Vector g = obj.model->InputGradient(x);
+  if (!obj.minimize) {
+    for (double& v : g) v = -v;
+  }
+  return g;
+}
+
+void MooProblem::EvaluateWithUncertainty(int i, const Vector& x, double* mean,
+                                         double* stddev) const {
+  const MooObjective& obj = objectives_[i];
+  obj.model->PredictWithUncertainty(x, mean, stddev);
+  if (!obj.minimize) *mean = -*mean;
+}
+
+double MooProblem::UserLower(int i) const {
+  const MooObjective& obj = objectives_[i];
+  // In minimization orientation, a maximize objective's [L, U] becomes
+  // [-U, -L].
+  return obj.minimize ? obj.user_lower : -obj.user_upper;
+}
+
+double MooProblem::UserUpper(int i) const {
+  const MooObjective& obj = objectives_[i];
+  return obj.minimize ? obj.user_upper : -obj.user_lower;
+}
+
+}  // namespace udao

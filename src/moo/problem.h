@@ -1,0 +1,75 @@
+#ifndef UDAO_MOO_PROBLEM_H_
+#define UDAO_MOO_PROBLEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/objective_model.h"
+#include "spark/conf.h"
+
+namespace udao {
+
+/// One objective of a MOO problem: a predictive model plus its direction.
+/// Maximization objectives (e.g. throughput) are negated internally so the
+/// whole problem is a minimization (Problem III.1).
+struct MooObjective {
+  std::string name;
+  std::shared_ptr<const ObjectiveModel> model;
+  bool minimize = true;
+  /// Optional user value constraint F_i in [lower, upper] (in the original,
+  /// un-negated orientation). NaN means unbounded.
+  double user_lower = -kInf;
+  double user_upper = kInf;
+
+  static constexpr double kInf = 1e300;
+};
+
+/// The multi-objective optimization problem (Problem III.1): k objective
+/// models over one parameter space. All evaluation happens in the encoded
+/// [0,1]^D space; callers convert to raw knob values via space().Decode().
+class MooProblem {
+ public:
+  MooProblem(const ParamSpace* space, std::vector<MooObjective> objectives);
+
+  int NumObjectives() const { return static_cast<int>(objectives_.size()); }
+  int EncodedDim() const { return space_->EncodedDim(); }
+  const ParamSpace& space() const { return *space_; }
+  const MooObjective& objective(int i) const { return objectives_[i]; }
+
+  /// Evaluates all objectives at encoded point x, in minimization
+  /// orientation (maximization objectives come back negated).
+  Vector Evaluate(const Vector& x) const;
+
+  /// Evaluates one objective (minimization orientation).
+  double EvaluateOne(int i, const Vector& x) const;
+
+  /// Gradient of objective i (minimization orientation).
+  Vector Gradient(int i, const Vector& x) const;
+
+  /// Mean/stddev of objective i (minimization orientation: mean negated for
+  /// maximization objectives, stddev unchanged).
+  void EvaluateWithUncertainty(int i, const Vector& x, double* mean,
+                               double* stddev) const;
+
+  /// User value constraints in minimization orientation: objective i must lie
+  /// in [lower(i), upper(i)] (±MooObjective::kInf when unbounded).
+  double UserLower(int i) const;
+  double UserUpper(int i) const;
+
+  /// Converts a value of objective i from minimization orientation back to
+  /// its natural sign (identity for minimized objectives).
+  double ToNatural(int i, double v) const {
+    return objectives_[i].minimize ? v : -v;
+  }
+
+ private:
+  const ParamSpace* space_;
+  std::vector<MooObjective> objectives_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_PROBLEM_H_

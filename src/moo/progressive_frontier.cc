@@ -1,0 +1,257 @@
+#include "moo/progressive_frontier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ProgressiveFrontier::ProgressiveFrontier(const MooProblem* problem,
+                                         PfConfig config)
+    : problem_(problem), config_(config), mogd_(config.mogd),
+      exhaustive_(config.exhaustive_budget) {
+  UDAO_CHECK(problem_ != nullptr);
+  UDAO_CHECK_GE(config_.grid_per_dim, 2);
+}
+
+std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co) const {
+  if (config_.use_exhaustive) return exhaustive_.SolveCo(*problem_, co);
+  return mogd_.SolveCo(*problem_, co);
+}
+
+CoResult ProgressiveFrontier::SolveMin(int target) const {
+  if (config_.use_exhaustive) return exhaustive_.Minimize(*problem_, target);
+  return mogd_.Minimize(*problem_, target);
+}
+
+double ProgressiveFrontier::QueueVolume() const {
+  // priority_queue lacks iteration; track via a copy. The queue is small
+  // (tens of rectangles), so this stays cheap relative to CO solves.
+  std::priority_queue<Rect> copy = queue_;
+  double volume = 0;
+  while (!copy.empty()) {
+    volume += copy.top().volume;
+    copy.pop();
+  }
+  return volume;
+}
+
+void ProgressiveFrontier::Snapshot() {
+  PfSnapshot snap;
+  snap.seconds = elapsed_s_;
+  snap.num_points = static_cast<int>(result_.frontier.size());
+  snap.uncertain_percent =
+      initial_volume_ > 0
+          ? 100.0 * std::min(1.0, QueueVolume() / initial_volume_)
+          : 0.0;
+  result_.uncertain_percent = snap.uncertain_percent;
+  result_.history.push_back(snap);
+}
+
+void ProgressiveFrontier::AddPoint(const CoResult& co) {
+  // Drop near-duplicates (relative tolerance): distinct probes can converge
+  // onto the same frontier point up to solver precision.
+  for (const MooPoint& p : result_.frontier) {
+    bool same = true;
+    for (size_t j = 0; j < p.objectives.size(); ++j) {
+      const double scale = std::max({1.0, std::abs(p.objectives[j]),
+                                     std::abs(co.objectives[j])});
+      if (std::abs(p.objectives[j] - co.objectives[j]) > 1e-6 * scale) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return;
+  }
+  MooPoint point{co.objectives, co.x};
+  result_.frontier.push_back(std::move(point));
+  result_.frontier = ParetoFilter(std::move(result_.frontier));
+}
+
+void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
+                                    const Vector& m, bool drop_all_lower,
+                                    bool drop_all_upper) {
+  const int k = problem_->NumObjectives();
+  const int cells = 1 << k;
+  for (int mask = 0; mask < cells; ++mask) {
+    if (drop_all_lower && mask == 0) continue;
+    if (drop_all_upper && mask == cells - 1) continue;
+    Rect rect;
+    rect.utopia.resize(k);
+    rect.nadir.resize(k);
+    for (int d = 0; d < k; ++d) {
+      if (mask & (1 << d)) {
+        rect.utopia[d] = m[d];
+        rect.nadir[d] = n[d];
+      } else {
+        rect.utopia[d] = u[d];
+        rect.nadir[d] = m[d];
+      }
+    }
+    rect.volume = HyperrectVolume(rect.utopia, rect.nadir);
+    rect.priority =
+        config_.fifo_queue ? -(next_seq_++) : rect.volume;
+    if (rect.volume > 1e-12 * std::max(1.0, initial_volume_)) {
+      queue_.push(std::move(rect));
+    }
+  }
+}
+
+void ProgressiveFrontier::Initialize() {
+  initialized_ = true;
+  const int k = problem_->NumObjectives();
+  const auto start = Clock::now();
+
+  // Reference points: one single-objective minimization per objective
+  // (line 2 of Algorithm 1).
+  std::vector<CoResult> plans;
+  plans.reserve(k);
+  for (int i = 0; i < k; ++i) plans.push_back(SolveMin(i));
+
+  Vector utopia(k);
+  Vector nadir(k);
+  for (int j = 0; j < k; ++j) {
+    utopia[j] = plans[0].objectives[j];
+    nadir[j] = plans[0].objectives[j];
+    for (int i = 1; i < k; ++i) {
+      utopia[j] = std::min(utopia[j], plans[i].objectives[j]);
+      nadir[j] = std::max(nadir[j], plans[i].objectives[j]);
+    }
+    // User value constraints shrink the search box (Problem III.1).
+    utopia[j] = std::max(utopia[j], problem_->UserLower(j));
+    nadir[j] = std::min(nadir[j], problem_->UserUpper(j));
+    if (nadir[j] - utopia[j] < 1e-12) {
+      // Degenerate axis (constant objective): widen so volumes stay positive.
+      nadir[j] = utopia[j] + std::max(1e-9, 1e-9 * std::abs(utopia[j]));
+    }
+  }
+  result_.utopia = utopia;
+  result_.nadir = nadir;
+  if (HyperrectVolume(utopia, nadir) <= 0.0) {
+    box_empty_ = true;
+    elapsed_s_ += SecondsSince(start);
+    result_.uncertain_percent = 0.0;
+    return;
+  }
+
+  initial_volume_ = HyperrectVolume(utopia, nadir);
+  queue_.push(Rect{utopia, nadir, initial_volume_,
+                   config_.fifo_queue ? -(next_seq_++) : initial_volume_});
+
+  // Reference points that satisfy the user constraints seed the frontier.
+  for (const CoResult& plan : plans) {
+    bool ok = true;
+    for (int j = 0; j < k && ok; ++j) {
+      ok = plan.objectives[j] >= problem_->UserLower(j) - 1e-9 &&
+           plan.objectives[j] <= problem_->UserUpper(j) + 1e-9;
+    }
+    if (ok) AddPoint(plan);
+  }
+  elapsed_s_ += SecondsSince(start);
+  Snapshot();
+}
+
+const PfResult& ProgressiveFrontier::Run(int total_points) {
+  if (!initialized_) Initialize();
+  if (box_empty_) return result_;
+  const int k = problem_->NumObjectives();
+  int probes_this_call = 0;
+
+  while (static_cast<int>(result_.frontier.size()) < total_points &&
+         !queue_.empty() && probes_this_call < config_.max_probes) {
+    const auto start = Clock::now();
+    Rect rect = queue_.top();
+    queue_.pop();
+
+    if (!config_.parallel) {
+      // Middle-point probe (Definition III.3): search the lower half-box.
+      Vector middle(k);
+      for (int d = 0; d < k; ++d) {
+        middle[d] = 0.5 * (rect.utopia[d] + rect.nadir[d]);
+      }
+      CoProblem co;
+      co.target = 0;
+      co.lower = rect.utopia;
+      co.upper = middle;
+      std::optional<CoResult> found = Solve(co);
+      ++result_.probes;
+      ++probes_this_call;
+      if (found.has_value()) {
+        AddPoint(*found);
+        // Split the whole rectangle at fM; [U, fM] is empty (else fM not
+        // optimal) and [fM, N] is dominated (Fig. 2(a)).
+        PushSplit(rect.utopia, rect.nadir, found->objectives,
+                  /*drop_all_lower=*/true, /*drop_all_upper=*/true);
+      } else {
+        // The probed half-box is infeasible: drop it, keep the rest.
+        PushSplit(rect.utopia, rect.nadir, middle, /*drop_all_lower=*/true,
+                  /*drop_all_upper=*/false);
+      }
+    } else {
+      // PF-AP: partition into an l^k grid and solve all cell CO problems
+      // simultaneously (Section IV-C).
+      const int l = config_.grid_per_dim;
+      int cells = 1;
+      for (int d = 0; d < k; ++d) cells *= l;
+      std::vector<CoProblem> cos;
+      std::vector<std::pair<Vector, Vector>> bounds;
+      cos.reserve(cells);
+      for (int cell = 0; cell < cells; ++cell) {
+        Vector lo(k);
+        Vector hi(k);
+        int rem = cell;
+        for (int d = 0; d < k; ++d) {
+          const int idx = rem % l;
+          rem /= l;
+          const double step = (rect.nadir[d] - rect.utopia[d]) / l;
+          lo[d] = rect.utopia[d] + idx * step;
+          hi[d] = lo[d] + step;
+        }
+        CoProblem co;
+        co.target = 0;
+        co.lower = lo;
+        co.upper = hi;
+        cos.push_back(std::move(co));
+        bounds.emplace_back(std::move(lo), std::move(hi));
+      }
+      std::vector<std::optional<CoResult>> solved =
+          config_.use_exhaustive
+              ? [&] {
+                  std::vector<std::optional<CoResult>> r(cos.size());
+                  for (size_t i = 0; i < cos.size(); ++i) {
+                    r[i] = exhaustive_.SolveCo(*problem_, cos[i]);
+                  }
+                  return r;
+                }()
+              : mogd_.SolveBatch(*problem_, cos);
+      result_.probes += cells;
+      ++probes_this_call;
+      for (size_t i = 0; i < solved.size(); ++i) {
+        if (!solved[i].has_value()) continue;  // cell proven empty
+        AddPoint(*solved[i]);
+        // The found point minimizes the target within the cell: the
+        // all-lower corner holds no additional frontier mass and the
+        // all-upper corner is dominated.
+        PushSplit(bounds[i].first, bounds[i].second, solved[i]->objectives,
+                  /*drop_all_lower=*/true, /*drop_all_upper=*/true);
+      }
+    }
+    elapsed_s_ += SecondsSince(start);
+    Snapshot();
+  }
+  return result_;
+}
+
+}  // namespace udao

@@ -1,0 +1,114 @@
+#ifndef UDAO_MOO_PROGRESSIVE_FRONTIER_H_
+#define UDAO_MOO_PROGRESSIVE_FRONTIER_H_
+
+#include <queue>
+#include <vector>
+
+#include "moo/exhaustive.h"
+#include "moo/mogd.h"
+#include "moo/pareto.h"
+#include "moo/problem.h"
+
+namespace udao {
+
+/// Variant selection and tuning for the Progressive Frontier algorithms.
+struct PfConfig {
+  /// PF-AP when true: each popped hyperrectangle is partitioned into an
+  /// l^k grid whose CO problems are solved in parallel. PF-AS when false:
+  /// one middle-point probe at a time (Algorithm 1).
+  bool parallel = false;
+  /// The grid degree l of PF-AP.
+  int grid_per_dim = 2;
+  /// CO subroutine settings (MOGD, Section IV-B).
+  MogdConfig mogd;
+  /// PF-S: replace MOGD with the dense reference solver, giving the
+  /// deterministic-but-slow sequential algorithm of Section IV-A.
+  bool use_exhaustive = false;
+  int exhaustive_budget = 4096;
+  /// Safety cap on probes per Run() call (middle-point probes can come back
+  /// empty without adding points).
+  int max_probes = 2000;
+  /// Ablation switch: explore hyperrectangles in FIFO order instead of
+  /// largest-volume-first, disabling the paper's uncertainty-aware property.
+  bool fifo_queue = false;
+};
+
+/// One timed measurement of frontier progress, used to draw the paper's
+/// uncertain-space-vs-time curves (Fig. 4(a)/4(d)/5(d)).
+struct PfSnapshot {
+  double seconds = 0;            ///< Elapsed optimization time so far.
+  int num_points = 0;            ///< Pareto points found so far.
+  double uncertain_percent = 0;  ///< Remaining uncertain space, % of box.
+};
+
+/// Output of a Progressive Frontier run.
+struct PfResult {
+  std::vector<MooPoint> frontier;    ///< Non-dominated solutions found.
+  Vector utopia;                     ///< Initial Utopia point (Def. III.2).
+  Vector nadir;                      ///< Initial Nadir point.
+  double uncertain_percent = 100.0;  ///< Final uncertain space.
+  std::vector<PfSnapshot> history;   ///< Per-probe progress.
+  int probes = 0;                    ///< CO problems solved.
+};
+
+/// The paper's core contribution: incrementally transforms the MOO problem
+/// into a series of constrained single-objective problems via iterative
+/// middle-point probes over a shrinking set of hyperrectangles
+/// (Sections III-IV).
+///
+/// The algorithm is *incremental* -- Run(m) followed by Run(m') with m' > m
+/// extends the same frontier, never contradicting earlier answers (the
+/// consistency property evolutionary methods lack) -- and *uncertainty-
+/// aware* -- the hyperrectangle with the largest volume is probed first, so
+/// computation goes where the frontier is least known.
+class ProgressiveFrontier {
+ public:
+  ProgressiveFrontier(const MooProblem* problem, PfConfig config = PfConfig());
+
+  /// Expands the frontier until it holds at least `total_points` points, the
+  /// uncertain space is exhausted, or the probe cap is hit. Returns the
+  /// up-to-date result; callable repeatedly with growing targets.
+  const PfResult& Run(int total_points);
+
+  const PfResult& result() const { return result_; }
+
+ private:
+  struct Rect {
+    Vector utopia;
+    Vector nadir;
+    double volume;
+    /// Heap key: the volume for uncertainty-aware order, or a decreasing
+    /// sequence number for FIFO order (ablation).
+    double priority;
+    bool operator<(const Rect& other) const {  // max-heap by priority
+      return priority < other.priority;
+    }
+  };
+
+  void Initialize();
+  // Splits [u, n] at interior point m into its 2^k corner cells and pushes
+  // every cell except the masked-out corners (all-lower and/or all-upper).
+  void PushSplit(const Vector& u, const Vector& n, const Vector& m,
+                 bool drop_all_lower, bool drop_all_upper);
+  void AddPoint(const CoResult& co);
+  void Snapshot();
+  double QueueVolume() const;
+  std::optional<CoResult> Solve(const CoProblem& co) const;
+  CoResult SolveMin(int target) const;
+
+  const MooProblem* problem_;
+  PfConfig config_;
+  MogdSolver mogd_;
+  ExhaustiveSolver exhaustive_;
+  bool initialized_ = false;
+  bool box_empty_ = false;
+  std::priority_queue<Rect> queue_;
+  double initial_volume_ = 0;
+  double next_seq_ = 0;  // FIFO ordering counter (ablation)
+  double elapsed_s_ = 0;
+  PfResult result_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_PROGRESSIVE_FRONTIER_H_

@@ -1,0 +1,142 @@
+#include "moo/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace udao {
+
+namespace {
+
+Vector Normalize(const Vector& f, const Vector& utopia, const Vector& nadir) {
+  Vector n(f.size());
+  for (size_t j = 0; j < f.size(); ++j) {
+    const double span = std::max(1e-12, nadir[j] - utopia[j]);
+    n[j] = (f[j] - utopia[j]) / span;
+  }
+  return n;
+}
+
+// Frontier anchors in 2D: left = min first objective, right = min second.
+std::pair<const MooPoint*, const MooPoint*> Anchors2D(
+    const std::vector<MooPoint>& frontier) {
+  const MooPoint* left = &frontier[0];
+  const MooPoint* right = &frontier[0];
+  for (const MooPoint& p : frontier) {
+    if (p.objectives[0] < left->objectives[0]) left = &p;
+    if (p.objectives[1] < right->objectives[1]) right = &p;
+  }
+  return {left, right};
+}
+
+double SlopeBetween(const Vector& a, const Vector& b) {
+  const double dx = b[0] - a[0];
+  if (std::abs(dx) < 1e-12) return std::numeric_limits<double>::infinity();
+  return std::abs((b[1] - a[1]) / dx);
+}
+
+}  // namespace
+
+std::optional<MooPoint> UtopiaNearest(const std::vector<MooPoint>& frontier,
+                                      const Vector& utopia,
+                                      const Vector& nadir) {
+  Vector weights(utopia.size(), 1.0 / utopia.size());
+  return WeightedUtopiaNearest(frontier, utopia, nadir, weights);
+}
+
+std::optional<MooPoint> WeightedUtopiaNearest(
+    const std::vector<MooPoint>& frontier, const Vector& utopia,
+    const Vector& nadir, const Vector& weights) {
+  if (frontier.empty()) return std::nullopt;
+  UDAO_CHECK_EQ(weights.size(), utopia.size());
+  const MooPoint* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const MooPoint& p : frontier) {
+    UDAO_CHECK_EQ(p.objectives.size(), utopia.size());
+    const Vector n = Normalize(p.objectives, utopia, nadir);
+    double dist = 0.0;
+    for (size_t j = 0; j < n.size(); ++j) {
+      const double term = weights[j] * n[j];
+      dist += term * term;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+Vector CombineWeights(const Vector& internal, const Vector& external) {
+  UDAO_CHECK_EQ(internal.size(), external.size());
+  Vector w(internal.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < w.size(); ++j) {
+    w[j] = internal[j] * external[j];
+    sum += w[j];
+  }
+  if (sum <= 0.0) {
+    std::fill(w.begin(), w.end(), 1.0 / w.size());
+    return w;
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+Vector WorkloadAwareInternalWeights(double default_latency_s) {
+  // Three workload classes by observed default-config latency: short jobs
+  // favor cost (limit cores), long jobs favor latency (allocate cores).
+  if (default_latency_s < 15.0) return {0.35, 0.65};
+  if (default_latency_s < 60.0) return {0.5, 0.5};
+  return {0.7, 0.3};
+}
+
+std::optional<MooPoint> SlopeMaximization(
+    const std::vector<MooPoint>& frontier, SlopeSide side) {
+  if (frontier.empty()) return std::nullopt;
+  UDAO_CHECK_EQ(frontier[0].objectives.size(), 2u);
+  auto [left, right] = Anchors2D(frontier);
+  const MooPoint* ref = (side == SlopeSide::kLeft) ? left : right;
+  const MooPoint* best = nullptr;
+  double best_slope = -1.0;
+  for (const MooPoint& p : frontier) {
+    if (&p == ref) continue;
+    const double s = SlopeBetween(ref->objectives, p.objectives);
+    if (std::isfinite(s) && s > best_slope) {
+      best_slope = s;
+      best = &p;
+    }
+  }
+  if (best == nullptr) return *ref;  // single-point frontier
+  return *best;
+}
+
+std::optional<MooPoint> KneePoint(const std::vector<MooPoint>& frontier,
+                                  SlopeSide side) {
+  if (frontier.empty()) return std::nullopt;
+  UDAO_CHECK_EQ(frontier[0].objectives.size(), 2u);
+  auto [left, right] = Anchors2D(frontier);
+  if (left == right) return *left;
+  const MooPoint* best = nullptr;
+  double best_ratio = -1.0;
+  for (const MooPoint& p : frontier) {
+    if (&p == left || &p == right) continue;
+    const double s_left = SlopeBetween(left->objectives, p.objectives);
+    const double s_right = SlopeBetween(right->objectives, p.objectives);
+    if (!std::isfinite(s_left) || !std::isfinite(s_right) || s_right <= 0) {
+      continue;
+    }
+    const double ratio =
+        (side == SlopeSide::kLeft) ? s_left / s_right : s_right / s_left;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = &p;
+    }
+  }
+  if (best == nullptr) return (side == SlopeSide::kLeft) ? *left : *right;
+  return *best;
+}
+
+}  // namespace udao

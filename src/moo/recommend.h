@@ -1,0 +1,53 @@
+#ifndef UDAO_MOO_RECOMMEND_H_
+#define UDAO_MOO_RECOMMEND_H_
+
+#include <optional>
+
+#include "moo/pareto.h"
+
+namespace udao {
+
+/// Which reference anchor the slope-based strategies use: the left anchor is
+/// the frontier point minimizing the first objective, the right anchor the
+/// one minimizing the second (2D only).
+enum class SlopeSide { kLeft, kRight };
+
+/// Utopia Nearest (UN): the Pareto point with the smallest Euclidean distance
+/// to the Utopia point, measured on objectives normalized by [utopia, nadir].
+/// Returns nullopt on an empty frontier.
+std::optional<MooPoint> UtopiaNearest(const std::vector<MooPoint>& frontier,
+                                      const Vector& utopia,
+                                      const Vector& nadir);
+
+/// Weighted Utopia Nearest (WUN): UN with per-objective importance weights
+/// (the application preference vector); higher weight pulls the
+/// recommendation toward optimality in that objective.
+std::optional<MooPoint> WeightedUtopiaNearest(
+    const std::vector<MooPoint>& frontier, const Vector& utopia,
+    const Vector& nadir, const Vector& weights);
+
+/// Element-wise product of internal (expert-knowledge) and external
+/// (application-preference) weights, renormalized to sum 1 -- the
+/// workload-aware WUN combination w = (w_1^I w_1^E, ..., w_k^I w_k^E).
+Vector CombineWeights(const Vector& internal, const Vector& external);
+
+/// Workload-aware internal weights for a (latency, cost) problem: long
+/// jobs weight latency more (encouraging more cores), short jobs weight cost
+/// more, based on the latency observed under the default configuration
+/// (Section V "Recommendation").
+Vector WorkloadAwareInternalWeights(double default_latency_s);
+
+/// Slope Maximization (Appendix B): from the chosen reference anchor, picks
+/// the frontier point with the steepest tradeoff slope. 2D only.
+std::optional<MooPoint> SlopeMaximization(const std::vector<MooPoint>& frontier,
+                                          SlopeSide side);
+
+/// Knee Point (Appendix B): maximizes the ratio between the slopes to the two
+/// reference anchors -- best gain in one objective per unit sacrificed in the
+/// other. 2D only.
+std::optional<MooPoint> KneePoint(const std::vector<MooPoint>& frontier,
+                                  SlopeSide side);
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_RECOMMEND_H_

@@ -1,0 +1,40 @@
+#ifndef UDAO_MOO_RUN_RESULT_H_
+#define UDAO_MOO_RUN_RESULT_H_
+
+#include <vector>
+
+#include "moo/pareto.h"
+
+namespace udao {
+
+/// One timed progress measurement from a MOO method run. For methods that
+/// only deliver their frontier at completion (WS, NC), intermediate snapshots
+/// report 100% uncertain space, matching how the paper plots them.
+struct MooSnapshot {
+  double seconds = 0;
+  int num_points = 0;
+  double uncertain_percent = 100.0;
+};
+
+/// Frontier + progress history produced by a baseline MOO method. The
+/// uncertain-space percentages are measured against the caller-provided
+/// Utopia-Nadir box so that all methods are compared in the same coordinates
+/// (Fig. 4/5).
+struct MooRunResult {
+  std::vector<MooPoint> frontier;
+  std::vector<MooSnapshot> history;
+  double seconds_total = 0;
+};
+
+/// Reference box shared by all methods when computing uncertain space.
+/// When empty (size 0), snapshots report uncertain space as 100.
+struct MetricBox {
+  Vector utopia;
+  Vector nadir;
+
+  bool valid() const { return !utopia.empty() && utopia.size() == nadir.size(); }
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_RUN_RESULT_H_

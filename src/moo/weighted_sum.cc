@@ -1,0 +1,148 @@
+#include "moo/weighted_sum.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "nn/adam.h"
+
+namespace udao {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::vector<Vector> SimplexWeights(int n, int k) {
+  UDAO_CHECK_GT(n, 0);
+  UDAO_CHECK_GE(k, 2);
+  std::vector<Vector> weights;
+  if (k == 2) {
+    for (int i = 0; i < n; ++i) {
+      const double w = n == 1 ? 0.5 : static_cast<double>(i) / (n - 1);
+      weights.push_back({w, 1.0 - w});
+    }
+    return weights;
+  }
+  // k >= 3: lattice weights w = (a, b, ...) / m with sum m, densified until
+  // at least n vectors exist, then evenly subsampled down to n.
+  int m = 1;
+  std::vector<Vector> lattice;
+  while (static_cast<int>(lattice.size()) < n) {
+    lattice.clear();
+    std::function<void(Vector&, int, int)> build = [&](Vector& acc, int dim,
+                                                       int remaining) {
+      if (dim == k - 1) {
+        acc.push_back(static_cast<double>(remaining) / m);
+        lattice.push_back(acc);
+        acc.pop_back();
+        return;
+      }
+      for (int a = 0; a <= remaining; ++a) {
+        acc.push_back(static_cast<double>(a) / m);
+        build(acc, dim + 1, remaining - a);
+        acc.pop_back();
+      }
+    };
+    Vector acc;
+    build(acc, 0, m);
+    ++m;
+  }
+  const double stride = static_cast<double>(lattice.size()) / n;
+  for (int i = 0; i < n; ++i) {
+    weights.push_back(lattice[static_cast<size_t>(i * stride)]);
+  }
+  return weights;
+}
+
+MooRunResult RunWeightedSum(const MooProblem& problem, int num_points,
+                            const WsConfig& config) {
+  UDAO_CHECK_GT(num_points, 0);
+  const auto t0 = Clock::now();
+  const int k = problem.NumObjectives();
+  const int dim = problem.EncodedDim();
+  MooRunResult result;
+  MogdSolver solver(config.mogd);
+
+  // Per-objective ranges for normalizing the scalarization, from the k
+  // single-objective optima.
+  std::vector<CoResult> plans;
+  plans.reserve(k);
+  for (int j = 0; j < k; ++j) plans.push_back(solver.Minimize(problem, j));
+  Vector lo(k);
+  Vector hi(k);
+  for (int j = 0; j < k; ++j) {
+    lo[j] = plans[0].objectives[j];
+    hi[j] = plans[0].objectives[j];
+    for (int a = 1; a < k; ++a) {
+      lo[j] = std::min(lo[j], plans[a].objectives[j]);
+      hi[j] = std::max(hi[j], plans[a].objectives[j]);
+    }
+    hi[j] = std::max(hi[j], lo[j] + 1e-9);
+  }
+
+  std::vector<MooPoint> found;
+  Rng rng(config.mogd.seed + 99);
+  for (const Vector& w : SimplexWeights(num_points, k)) {
+    // Multi-start Adam on the scalarized loss sum_j w_j F~_j.
+    Vector best_x;
+    double best_val = std::numeric_limits<double>::infinity();
+    for (int start = 0; start < config.mogd.multistart; ++start) {
+      Vector x(dim);
+      if (start == 0) {
+        std::fill(x.begin(), x.end(), 0.5);
+      } else {
+        for (double& v : x) v = rng.Uniform();
+      }
+      Adam adam(dim, AdamConfig{.learning_rate = config.mogd.learning_rate});
+      for (int iter = 0; iter < config.mogd.max_iters; ++iter) {
+        Vector grad(dim, 0.0);
+        for (int j = 0; j < k; ++j) {
+          if (w[j] == 0.0) continue;
+          Vector gj = problem.Gradient(j, x);
+          const double scale = w[j] / (hi[j] - lo[j]);
+          for (int d = 0; d < dim; ++d) grad[d] += scale * gj[d];
+        }
+        adam.Step(&x, grad);
+        for (double& v : x) v = std::min(1.0, std::max(0.0, v));
+        double val = 0.0;
+        const Vector f = problem.Evaluate(x);
+        for (int j = 0; j < k; ++j) {
+          val += w[j] * (f[j] - lo[j]) / (hi[j] - lo[j]);
+        }
+        if (val < best_val) {
+          best_val = val;
+          best_x = x;
+        }
+      }
+    }
+    found.push_back(MooPoint{problem.Evaluate(best_x), best_x});
+    // WS has no partial frontier: intermediate snapshots stay at 100%.
+    result.history.push_back(
+        MooSnapshot{SecondsSince(t0), 0, 100.0});
+  }
+
+  result.frontier = ParetoFilter(std::move(found));
+  result.seconds_total = SecondsSince(t0);
+  MooSnapshot final_snap;
+  final_snap.seconds = result.seconds_total;
+  final_snap.num_points = static_cast<int>(result.frontier.size());
+  final_snap.uncertain_percent =
+      config.metric_box.valid()
+          ? UncertainSpacePercent(result.frontier, config.metric_box.utopia,
+                                  config.metric_box.nadir)
+          : 100.0;
+  result.history.push_back(final_snap);
+  return result;
+}
+
+}  // namespace udao

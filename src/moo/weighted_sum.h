@@ -1,0 +1,34 @@
+#ifndef UDAO_MOO_WEIGHTED_SUM_H_
+#define UDAO_MOO_WEIGHTED_SUM_H_
+
+#include "moo/mogd.h"
+#include "moo/problem.h"
+#include "moo/run_result.h"
+
+namespace udao {
+
+/// Settings for the Weighted Sum baseline.
+struct WsConfig {
+  /// Gradient-descent settings used for each scalarized solve. WS has no
+  /// warm-started subregions, so each weight requires a global multi-start
+  /// solve; defaults are heavier than PF's per-probe settings.
+  MogdConfig mogd = MogdConfig{.multistart = 16, .max_iters = 200};
+  /// Box used for uncertain-space reporting.
+  MetricBox metric_box;
+};
+
+/// Weighted Sum baseline [Marler & Arora]: scalarizes the k objectives into
+/// sum_j w_j F~_j for `num_points` weight vectors spread over the simplex and
+/// solves each to (local) optimality. Known weaknesses reproduced here: it
+/// only reaches convex-hull points, many weights collapse onto the same
+/// extreme solutions (poor coverage, Fig. 4(b)), and the frontier is only
+/// available once every weight has been solved.
+MooRunResult RunWeightedSum(const MooProblem& problem, int num_points,
+                            const WsConfig& config = WsConfig());
+
+/// Evenly spreads `n` weight vectors over the k-simplex (endpoints included).
+std::vector<Vector> SimplexWeights(int n, int k);
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_WEIGHTED_SUM_H_

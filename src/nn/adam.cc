@@ -1,0 +1,36 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+Adam::Adam(int dim, AdamConfig config)
+    : config_(config), m_(dim, 0.0), v_(dim, 0.0) {
+  UDAO_CHECK_GT(dim, 0);
+}
+
+void Adam::Step(Vector* params, const Vector& grad) {
+  UDAO_CHECK_EQ(params->size(), m_.size());
+  UDAO_CHECK_EQ(grad.size(), m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * grad[i];
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    (*params)[i] -=
+        config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+  }
+}
+
+void Adam::Reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace udao

@@ -1,0 +1,46 @@
+#ifndef UDAO_NN_ADAM_H_
+#define UDAO_NN_ADAM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace udao {
+
+/// Hyperparameters for the Adam optimizer (Kingma & Ba defaults; the paper
+/// uses Adam both for model training and inside the MOGD solver).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Adaptive-moment-estimation optimizer over a flat parameter vector.
+/// Maintains first/second moment estimates and bias correction; each Step
+/// applies one update in place.
+class Adam {
+ public:
+  Adam(int dim, AdamConfig config = AdamConfig());
+
+  /// Applies one Adam update: params -= lr * mhat / (sqrt(vhat) + eps).
+  /// `params` and `grad` must both have the configured dimension.
+  void Step(Vector* params, const Vector& grad);
+
+  /// Resets moments and the step counter (e.g. for a new multi-start trial).
+  void Reset();
+
+  int step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+ private:
+  AdamConfig config_;
+  Vector m_;
+  Vector v_;
+  int t_ = 0;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_NN_ADAM_H_

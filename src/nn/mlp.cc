@@ -1,0 +1,229 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+Mlp::Mlp(MlpConfig config, Rng* rng) : config_(std::move(config)) {
+  UDAO_CHECK_GE(config_.layer_sizes.size(), 2u);
+  const int num_layers = static_cast<int>(config_.layer_sizes.size()) - 1;
+  layers_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    const int fan_in = config_.layer_sizes[l];
+    const int fan_out = config_.layer_sizes[l + 1];
+    UDAO_CHECK_GT(fan_in, 0);
+    UDAO_CHECK_GT(fan_out, 0);
+    Layer layer{Matrix(fan_out, fan_in), Vector(fan_out, 0.0)};
+    // He initialization suits ReLU; it also works acceptably for tanh.
+    const double scale = std::sqrt(2.0 / fan_in);
+    for (int r = 0; r < fan_out; ++r) {
+      for (int c = 0; c < fan_in; ++c) layer.w(r, c) = rng->Gaussian(0, scale);
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double Mlp::Act(double v) const {
+  switch (config_.activation) {
+    case Activation::kRelu:
+      return v > 0.0 ? v : 0.0;
+    case Activation::kTanh:
+      return std::tanh(v);
+  }
+  return v;
+}
+
+double Mlp::ActGrad(double pre, double post) const {
+  switch (config_.activation) {
+    case Activation::kRelu:
+      // Subgradient 0 at the kink (pre == 0), per the paper's
+      // subdifferentiability discussion.
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - post * post;
+  }
+  return 1.0;
+}
+
+Vector Mlp::ForwardCached(const Vector& x, std::vector<Vector>* pre,
+                          std::vector<Vector>* post,
+                          const std::vector<Vector>* dropout_masks) const {
+  UDAO_CHECK_EQ(static_cast<int>(x.size()), input_dim());
+  Vector cur = x;
+  const int num_layers = static_cast<int>(layers_.size());
+  for (int l = 0; l < num_layers; ++l) {
+    Vector z = layers_[l].w.Apply(cur);
+    for (size_t i = 0; i < z.size(); ++i) z[i] += layers_[l].b[i];
+    if (pre != nullptr) pre->push_back(z);
+    const bool is_output = (l == num_layers - 1);
+    Vector a(z.size());
+    for (size_t i = 0; i < z.size(); ++i) a[i] = is_output ? z[i] : Act(z[i]);
+    if (!is_output && dropout_masks != nullptr) {
+      const Vector& mask = (*dropout_masks)[l];
+      for (size_t i = 0; i < a.size(); ++i) a[i] *= mask[i];
+    }
+    if (post != nullptr) post->push_back(a);
+    cur = std::move(a);
+  }
+  return cur;
+}
+
+Vector Mlp::Forward(const Vector& x) const {
+  return ForwardCached(x, nullptr, nullptr, nullptr);
+}
+
+double Mlp::Predict(const Vector& x) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  return Forward(x)[0];
+}
+
+Vector Mlp::InputGradient(const Vector& x) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  std::vector<Vector> pre;
+  std::vector<Vector> post;
+  ForwardCached(x, &pre, &post, nullptr);
+  const int num_layers = static_cast<int>(layers_.size());
+  // Seed with d(out)/d(out) = 1 and back-propagate to the input.
+  Vector delta(1, 1.0);
+  for (int l = num_layers - 1; l >= 0; --l) {
+    // delta currently holds d(out)/d(post-activation of layer l).
+    if (l != num_layers - 1) {
+      for (size_t i = 0; i < delta.size(); ++i) {
+        delta[i] *= ActGrad(pre[l][i], post[l][i]);
+      }
+    }
+    delta = layers_[l].w.ApplyTranspose(delta);
+  }
+  return delta;
+}
+
+void Mlp::PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
+                                 double* mean, double* stddev) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  UDAO_CHECK_GT(samples, 0);
+  const int num_hidden = static_cast<int>(layers_.size()) - 1;
+  const double keep = 1.0 - config_.dropout;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<Vector> masks(layers_.size());
+    for (int l = 0; l < num_hidden; ++l) {
+      masks[l].assign(layers_[l].b.size(), 0.0);
+      for (size_t i = 0; i < masks[l].size(); ++i) {
+        // Inverted dropout keeps the expected activation unchanged.
+        masks[l][i] = rng->Bernoulli(keep) ? 1.0 / keep : 0.0;
+      }
+    }
+    const double y = ForwardCached(x, nullptr, nullptr, &masks)[0];
+    sum += y;
+    sum_sq += y * y;
+  }
+  *mean = sum / samples;
+  const double var =
+      samples > 1 ? std::max(0.0, (sum_sq - sum * sum / samples) / (samples - 1))
+                  : 0.0;
+  *stddev = std::sqrt(var);
+}
+
+std::vector<Mlp::LayerGrad> Mlp::ZeroGrads() const {
+  std::vector<LayerGrad> grads;
+  grads.reserve(layers_.size());
+  for (const Layer& layer : layers_) {
+    grads.push_back(LayerGrad{Matrix(layer.w.rows(), layer.w.cols()),
+                              Vector(layer.b.size(), 0.0)});
+  }
+  return grads;
+}
+
+double Mlp::ForwardBackward(const Matrix& x, const Vector& y,
+                            std::vector<Mlp::LayerGrad>* grads) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  Matrix ym(static_cast<int>(y.size()), 1);
+  for (size_t i = 0; i < y.size(); ++i) ym(static_cast<int>(i), 0) = y[i];
+  return ForwardBackwardMulti(x, ym, grads);
+}
+
+Vector Mlp::LayerActivations(const Vector& x, int layer) const {
+  UDAO_CHECK(layer >= 0 && layer < static_cast<int>(layers_.size()));
+  std::vector<Vector> pre;
+  std::vector<Vector> post;
+  ForwardCached(x, &pre, &post, nullptr);
+  return post[layer];
+}
+
+double Mlp::ForwardBackwardMulti(const Matrix& x, const Matrix& y,
+                                 std::vector<Mlp::LayerGrad>* grads) const {
+  UDAO_CHECK_EQ(y.cols(), output_dim());
+  UDAO_CHECK_EQ(x.rows(), y.rows());
+  UDAO_CHECK_EQ(x.cols(), input_dim());
+  UDAO_CHECK_EQ(grads->size(), layers_.size());
+  const int batch = x.rows();
+  UDAO_CHECK_GT(batch, 0);
+  const int num_layers = static_cast<int>(layers_.size());
+  double loss = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    std::vector<Vector> pre;
+    std::vector<Vector> post;
+    const Vector input = x.Row(n);
+    const Vector out = ForwardCached(input, &pre, &post, nullptr);
+    Vector delta(out.size());
+    for (size_t o = 0; o < out.size(); ++o) {
+      const double err = out[o] - y(n, static_cast<int>(o));
+      loss += err * err / static_cast<double>(out.size());
+      // d(per-sample MSE)/d(out); the 2/batch factor folds the batch mean.
+      delta[o] = 2.0 * err / (batch * static_cast<double>(out.size()));
+    }
+    for (int l = num_layers - 1; l >= 0; --l) {
+      if (l != num_layers - 1) {
+        for (size_t i = 0; i < delta.size(); ++i) {
+          delta[i] *= ActGrad(pre[l][i], post[l][i]);
+        }
+      }
+      const Vector& in = (l == 0) ? input : post[l - 1];
+      LayerGrad& g = (*grads)[l];
+      for (int r = 0; r < g.dw.rows(); ++r) {
+        const double d = delta[r];
+        if (d == 0.0) continue;
+        double* row = g.dw.RowPtr(r);
+        for (int c = 0; c < g.dw.cols(); ++c) row[c] += d * in[c];
+        g.db[r] += d;
+      }
+      delta = layers_[l].w.ApplyTranspose(delta);
+    }
+  }
+  loss /= batch;
+  // L2 regularization on weights (not biases).
+  if (config_.l2 > 0.0) {
+    for (int l = 0; l < num_layers; ++l) {
+      const Matrix& w = layers_[l].w;
+      Matrix& dw = (*grads)[l].dw;
+      for (size_t i = 0; i < w.data().size(); ++i) {
+        loss += config_.l2 * w.data()[i] * w.data()[i];
+        dw.data()[i] += 2.0 * config_.l2 * w.data()[i];
+      }
+    }
+  }
+  return loss;
+}
+
+Vector Mlp::Snapshot() const {
+  Vector snap;
+  for (const Layer& layer : layers_) {
+    snap.insert(snap.end(), layer.w.data().begin(), layer.w.data().end());
+    snap.insert(snap.end(), layer.b.begin(), layer.b.end());
+  }
+  return snap;
+}
+
+void Mlp::Restore(const Vector& snapshot) {
+  size_t pos = 0;
+  for (Layer& layer : layers_) {
+    for (double& v : layer.w.data()) v = snapshot[pos++];
+    for (double& v : layer.b) v = snapshot[pos++];
+  }
+  UDAO_CHECK_EQ(pos, snapshot.size());
+}
+
+}  // namespace udao

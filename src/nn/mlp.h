@@ -1,0 +1,113 @@
+#ifndef UDAO_NN_MLP_H_
+#define UDAO_NN_MLP_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+
+namespace udao {
+
+/// Activation function for hidden layers. The paper's largest model uses ReLU
+/// (4 hidden layers of 128 units); Tanh is provided for smoother surfaces in
+/// small tests.
+enum class Activation { kRelu, kTanh };
+
+/// Architecture and regularization settings for an Mlp.
+struct MlpConfig {
+  /// Layer widths including input and output, e.g. {12, 128, 128, 128, 128, 1}
+  /// for the paper's largest latency model.
+  std::vector<int> layer_sizes;
+  Activation activation = Activation::kRelu;
+  /// L2 weight-decay coefficient applied during training (the paper notes the
+  /// DNN "is regularized by the L2 loss").
+  double l2 = 1e-4;
+  /// Dropout probability used for MC-dropout uncertainty estimates
+  /// (Gal & Ghahramani-style Bayesian approximation, paper ref [9]).
+  double dropout = 0.1;
+};
+
+/// A feed-forward multi-layer perceptron with manual forward/backward passes.
+///
+/// The backward pass produces gradients with respect to the *weights* (used by
+/// the trainer in train.h) and with respect to the *input* (used by the MOGD
+/// solver, which descends on the configuration x while weights stay frozen).
+/// Uncertainty estimates come from Monte-Carlo dropout.
+class Mlp {
+ public:
+  /// One dense layer: out = act(w * in + b); w has shape [fan_out, fan_in].
+  struct Layer {
+    Matrix w;
+    Vector b;
+  };
+
+  /// Gradient of the training loss with respect to one layer's parameters.
+  struct LayerGrad {
+    Matrix dw;
+    Vector db;
+  };
+
+  Mlp(MlpConfig config, Rng* rng);
+
+  /// Deterministic forward pass (no dropout). `x` must match the input width;
+  /// returns the output vector (usually 1-dimensional for regression).
+  Vector Forward(const Vector& x) const;
+
+  /// Scalar convenience wrapper for 1-output networks.
+  double Predict(const Vector& x) const;
+
+  /// Gradient of the scalar output with respect to the input, evaluated at x.
+  /// ReLU is subdifferentiable; we use the subgradient 0 at the kink, which is
+  /// exactly what the paper's MOGD solver requires.
+  Vector InputGradient(const Vector& x) const;
+
+  /// MC-dropout estimate: runs `samples` stochastic forward passes and
+  /// reports mean and standard deviation of the scalar output.
+  void PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
+                              double* mean, double* stddev) const;
+
+  /// Mini-batch forward+backward: accumulates into `grads` (pre-sized via
+  /// ZeroGrads) the gradient of the mean-squared-error over the batch (plus L2
+  /// on the weights), and returns that loss. Rows of `x` are inputs, `y` holds
+  /// scalar targets.
+  double ForwardBackward(const Matrix& x, const Vector& y,
+                         std::vector<LayerGrad>* grads) const;
+
+  /// Multi-output variant: rows of `y` are target vectors matching the
+  /// network's output width (used to train autoencoders).
+  double ForwardBackwardMulti(const Matrix& x, const Matrix& y,
+                              std::vector<LayerGrad>* grads) const;
+
+  /// Post-activation output of hidden layer `layer` (0-based); used to read
+  /// an autoencoder's bottleneck encoding.
+  Vector LayerActivations(const Vector& x, int layer) const;
+
+  /// Allocates a zeroed gradient structure matching this network's layers.
+  std::vector<LayerGrad> ZeroGrads() const;
+
+  /// Flattens all parameters into a single vector (checkpointing).
+  Vector Snapshot() const;
+  /// Restores parameters from a Snapshot of the same architecture.
+  void Restore(const Vector& snapshot);
+
+  std::vector<Layer>& layers() { return layers_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  const MlpConfig& config() const { return config_; }
+  int input_dim() const { return config_.layer_sizes.front(); }
+  int output_dim() const { return config_.layer_sizes.back(); }
+
+ private:
+  double Act(double v) const;
+  double ActGrad(double pre, double post) const;
+  // Forward pass caching pre-activations; optionally applies dropout masks.
+  Vector ForwardCached(const Vector& x, std::vector<Vector>* pre,
+                       std::vector<Vector>* post,
+                       const std::vector<Vector>* dropout_masks) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_NN_MLP_H_

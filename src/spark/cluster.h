@@ -1,0 +1,25 @@
+#ifndef UDAO_SPARK_CLUSTER_H_
+#define UDAO_SPARK_CLUSTER_H_
+
+namespace udao {
+
+/// Hardware description of the simulated cluster. Defaults mirror the paper's
+/// testbed: 20 CentOS nodes, 2x Intel Xeon Gold 6130 (16 cores each) and
+/// 768 GB of memory per node, with RAID disks.
+struct ClusterSpec {
+  int num_nodes = 20;
+  int cores_per_node = 32;
+  double memory_per_node_gb = 768.0;
+  /// Aggregate sequential disk bandwidth per node (MB/s).
+  double disk_bw_mb_per_s = 800.0;
+  /// Network bandwidth per node (MB/s); 10 GbE.
+  double network_bw_mb_per_s = 1100.0;
+  /// Relative CPU speed multiplier (1.0 = calibration baseline).
+  double core_speed = 1.0;
+
+  int TotalCores() const { return num_nodes * cores_per_node; }
+};
+
+}  // namespace udao
+
+#endif  // UDAO_SPARK_CLUSTER_H_

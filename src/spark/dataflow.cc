@@ -1,0 +1,70 @@
+#include "spark/dataflow.h"
+
+#include "common/check.h"
+
+namespace udao {
+
+int Dataflow::AddScan(double rows, double row_bytes) {
+  Operator op;
+  op.type = OpType::kScan;
+  op.scan_rows = rows;
+  op.scan_row_bytes = row_bytes;
+  ops_.push_back(op);
+  return root();
+}
+
+int Dataflow::AddOp(Operator op) {
+  UDAO_CHECK(op.type != OpType::kScan);
+  UDAO_CHECK(!op.inputs.empty());
+  for (int input : op.inputs) {
+    UDAO_CHECK(input >= 0 && input < static_cast<int>(ops_.size()));
+  }
+  ops_.push_back(std::move(op));
+  return root();
+}
+
+double Dataflow::TotalInputBytes() const {
+  double total = 0;
+  for (const Operator& op : ops_) {
+    if (op.type == OpType::kScan) total += op.scan_rows * op.scan_row_bytes;
+  }
+  return total;
+}
+
+int Dataflow::CountOps(OpType type) const {
+  int count = 0;
+  for (const Operator& op : ops_) {
+    if (op.type == type) ++count;
+  }
+  return count;
+}
+
+Status Dataflow::Validate() const {
+  if (ops_.empty()) return Status::InvalidArgument("empty dataflow");
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Operator& op = ops_[i];
+    if (op.type == OpType::kScan) {
+      if (!op.inputs.empty()) {
+        return Status::InvalidArgument("scan must have no inputs");
+      }
+      if (op.scan_rows <= 0 || op.scan_row_bytes <= 0) {
+        return Status::InvalidArgument("scan must have positive size");
+      }
+      continue;
+    }
+    if (op.inputs.empty()) {
+      return Status::InvalidArgument("non-scan operator has no inputs");
+    }
+    if (op.type == OpType::kJoin && op.inputs.size() != 2) {
+      return Status::InvalidArgument("join must be binary");
+    }
+    for (int input : op.inputs) {
+      if (input < 0 || input >= static_cast<int>(i)) {
+        return Status::InvalidArgument("inputs must be topologically ordered");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace udao

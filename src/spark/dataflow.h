@@ -1,0 +1,96 @@
+#ifndef UDAO_SPARK_DATAFLOW_H_
+#define UDAO_SPARK_DATAFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace udao {
+
+/// Physical operator kinds supported by the dataflow programming model.
+/// These mirror the operators appearing in TPCx-BB plans (Fig. 1(b) of the
+/// paper shows HiveTableScan, Filter, Project, Exchange, Sort,
+/// ScriptTransformation, HashAggregate, ...).
+enum class OpType {
+  kScan,             ///< Table scan from HDFS.
+  kFilter,           ///< Row filter with a selectivity.
+  kProject,          ///< Column projection (shrinks row width).
+  kExchange,         ///< Shuffle boundary (repartition).
+  kSort,             ///< Full sort (memory intensive).
+  kHashAggregate,    ///< Group-by aggregation (memory intensive).
+  kJoin,             ///< Equi-join; the engine picks broadcast vs shuffle.
+  kScriptTransform,  ///< UDF via external script (CPU intensive).
+  kMlIteration,      ///< Iterative ML training (CPU + cache intensive).
+  kLimit,            ///< Local/collect limit (negligible cost).
+};
+
+/// One operator in a dataflow DAG. Interpretation of the numeric fields
+/// depends on `type`; unused fields are ignored.
+struct Operator {
+  OpType type = OpType::kScan;
+  /// Upstream operator ids (indices into Dataflow::ops()). Scans have none;
+  /// joins have exactly two (build side listed first by convention of
+  /// whichever is smaller at runtime).
+  std::vector<int> inputs;
+
+  /// kScan: number of rows in the scanned table.
+  double scan_rows = 0;
+  /// kScan: bytes per row of the scanned table.
+  double scan_row_bytes = 100;
+  /// kFilter/kHashAggregate/kJoin: output-to-input row ratio.
+  double selectivity = 1.0;
+  /// kProject: output-to-input byte ratio (column pruning).
+  double width_ratio = 1.0;
+  /// Relative CPU work per input row (1.0 = a cheap relational op;
+  /// ScriptTransform UDFs are typically 10-100x).
+  double cpu_per_row = 1.0;
+  /// kMlIteration: number of passes over the data.
+  int iterations = 1;
+};
+
+/// Category labels used for stage sizing: SQL stages take their task count
+/// from spark.sql.shuffle.partitions, while RDD-style (UDF/ML) stages use
+/// spark.default.parallelism, matching Spark semantics.
+enum class WorkloadClass { kSql, kSqlUdf, kMl };
+
+/// A dataflow program: a DAG of operators, used as the unified representation
+/// for SQL, ETL/UDF, and ML analytic tasks (Section II-A). Operators must be
+/// appended in topological order (inputs before consumers); the last appended
+/// operator is the root (result).
+class Dataflow {
+ public:
+  Dataflow(std::string name, WorkloadClass wclass)
+      : name_(std::move(name)), wclass_(wclass) {}
+
+  /// Appends a scan leaf and returns its operator id.
+  int AddScan(double rows, double row_bytes);
+
+  /// Appends a unary or binary operator; `op.inputs` must reference existing
+  /// ids. Returns the new operator id.
+  int AddOp(Operator op);
+
+  const std::string& name() const { return name_; }
+  WorkloadClass workload_class() const { return wclass_; }
+  const std::vector<Operator>& ops() const { return ops_; }
+  int root() const { return static_cast<int>(ops_.size()) - 1; }
+
+  /// Total bytes scanned from storage by all scan leaves.
+  double TotalInputBytes() const;
+
+  /// Number of operators of the given type.
+  int CountOps(OpType type) const;
+
+  /// Structural sanity: non-empty, inputs in topological order, joins binary,
+  /// non-scans have at least one input.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  WorkloadClass wclass_;
+  std::vector<Operator> ops_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_SPARK_DATAFLOW_H_

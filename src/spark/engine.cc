@@ -1,0 +1,360 @@
+#include "spark/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace udao {
+
+namespace {
+
+// Per-stage accumulation produced by the plan walk.
+struct StageWork {
+  double cpu_ops = 0;             // row-op equivalents
+  double input_read_mb = 0;       // storage reads
+  double shuffle_read_mb = 0;     // raw (pre-compression) shuffle input
+  double shuffle_write_mb = 0;    // raw shuffle output
+  double working_set_mb = 0;      // bytes held by memory-intensive ops
+  double network_extra_mb = 0;    // broadcasts etc.
+  bool memory_intensive = false;
+  // >0 when the stage's task count is fixed by input splits (scan stages).
+  int split_tasks = 0;
+};
+
+// Data-size annotation of one operator's output.
+struct OpOutput {
+  double rows = 0;
+  double mb = 0;
+  int stage = -1;
+};
+
+double MbOf(double rows, double row_bytes) { return rows * row_bytes / 1e6; }
+
+// Deterministic 64-bit hash over workload name + configuration, used to seed
+// the per-run noise so that identical runs reproduce identical traces.
+uint64_t NoiseSeed(const std::string& name, const Vector& conf) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (char c : name) mix(static_cast<uint64_t>(c));
+  for (double v : conf) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+SparkEngine::SparkEngine(EngineOptions options) : options_(options) {}
+
+RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
+                                const Vector& conf_raw) const {
+  UDAO_CHECK(flow.Validate().ok());
+  UDAO_CHECK(BatchParamSpace().Validate(conf_raw).ok());
+  const SparkConf conf = SparkConf::FromRaw(conf_raw);
+  const ClusterSpec& cluster = options_.cluster;
+
+  // ---- Resource derivation: executors packed onto nodes.
+  const int cores_per_exec = static_cast<int>(conf.executor_cores);
+  const double mem_per_exec_gb = conf.executor_memory_gb;
+  const int max_exec_per_node = std::max(
+      1, std::min(cluster.cores_per_node / std::max(1, cores_per_exec),
+                  static_cast<int>(cluster.memory_per_node_gb /
+                                   std::max(1.0, mem_per_exec_gb))));
+  const int executors =
+      std::min(static_cast<int>(conf.executor_instances),
+               cluster.num_nodes * max_exec_per_node);
+  const int total_cores = std::max(1, executors * cores_per_exec);
+  const int nodes_used =
+      std::max(1, std::min(cluster.num_nodes, executors));
+
+  // ---- Plan walk: assign operators to stages and accumulate stage work.
+  std::vector<StageWork> stages;
+  std::vector<OpOutput> outs(flow.ops().size());
+  auto new_stage = [&stages]() {
+    stages.emplace_back();
+    return static_cast<int>(stages.size()) - 1;
+  };
+
+  for (size_t i = 0; i < flow.ops().size(); ++i) {
+    const Operator& op = flow.ops()[i];
+    OpOutput& out = outs[i];
+    switch (op.type) {
+      case OpType::kScan: {
+        out.stage = new_stage();
+        out.rows = op.scan_rows;
+        out.mb = MbOf(op.scan_rows, op.scan_row_bytes);
+        StageWork& sw = stages[out.stage];
+        sw.input_read_mb += out.mb;
+        // Scan decode cost scales mildly with the columnar batch size's
+        // distance from its sweet spot (vectorization vs footprint).
+        const double batch_penalty =
+            1.0 + 0.06 * std::abs(std::log2(conf.columnar_batch_size / 1e4));
+        sw.cpu_ops += op.scan_rows * 0.3 * batch_penalty;
+        sw.split_tasks = std::max(
+            sw.split_tasks,
+            static_cast<int>(
+                std::ceil(out.mb / std::max(1.0, conf.max_partition_bytes_mb))));
+        break;
+      }
+      case OpType::kFilter: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = in.rows * op.selectivity;
+        out.mb = in.mb * op.selectivity;
+        stages[out.stage].cpu_ops += in.rows * op.cpu_per_row * 0.2;
+        break;
+      }
+      case OpType::kProject: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = in.rows;
+        out.mb = in.mb * op.width_ratio;
+        stages[out.stage].cpu_ops += in.rows * op.cpu_per_row * 0.1;
+        break;
+      }
+      case OpType::kExchange: {
+        const OpOutput& in = outs[op.inputs[0]];
+        stages[in.stage].shuffle_write_mb += in.mb;
+        out.stage = new_stage();
+        out.rows = in.rows;
+        out.mb = in.mb;
+        stages[out.stage].shuffle_read_mb += in.mb;
+        break;
+      }
+      case OpType::kSort: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = in.rows;
+        out.mb = in.mb;
+        const double log_n = std::log2(std::max(2.0, in.rows));
+        StageWork& sw = stages[out.stage];
+        sw.cpu_ops += in.rows * 0.25 * log_n * op.cpu_per_row;
+        sw.memory_intensive = true;
+        sw.working_set_mb = std::max(sw.working_set_mb, in.mb);
+        break;
+      }
+      case OpType::kHashAggregate: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = in.rows * op.selectivity;
+        out.mb = in.mb * op.selectivity;
+        StageWork& sw = stages[out.stage];
+        sw.cpu_ops += in.rows * op.cpu_per_row;
+        sw.memory_intensive = true;
+        sw.working_set_mb = std::max(sw.working_set_mb, out.mb * 1.5);
+        break;
+      }
+      case OpType::kJoin: {
+        const OpOutput& a = outs[op.inputs[0]];
+        const OpOutput& b = outs[op.inputs[1]];
+        const OpOutput& build = (a.mb <= b.mb) ? a : b;
+        const OpOutput& probe = (a.mb <= b.mb) ? b : a;
+        out.rows = std::max(a.rows, b.rows) * op.selectivity;
+        out.mb = std::max(a.mb, b.mb) * op.selectivity;
+        if (build.mb <= conf.broadcast_threshold_mb) {
+          // Broadcast hash join: build side shipped to every executor, probe
+          // side streams in place. No stage boundary.
+          out.stage = probe.stage;
+          StageWork& sw = stages[out.stage];
+          sw.cpu_ops += (probe.rows + build.rows * 2.0) * op.cpu_per_row;
+          sw.network_extra_mb += build.mb * executors;
+          sw.working_set_mb = std::max(sw.working_set_mb, build.mb * 2.0);
+          sw.memory_intensive = true;
+        } else {
+          // Shuffle hash join: both sides repartition into a new stage.
+          stages[a.stage].shuffle_write_mb += a.mb;
+          stages[b.stage].shuffle_write_mb += b.mb;
+          out.stage = new_stage();
+          StageWork& sw = stages[out.stage];
+          sw.shuffle_read_mb += a.mb + b.mb;
+          sw.cpu_ops += (a.rows + b.rows) * op.cpu_per_row;
+          sw.memory_intensive = true;
+          sw.working_set_mb = std::max(sw.working_set_mb, build.mb * 2.0);
+        }
+        break;
+      }
+      case OpType::kScriptTransform: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = in.rows * op.selectivity;
+        out.mb = in.mb * op.selectivity;
+        // UDFs pay pipe + interpreter overhead per row; dominated by CPU.
+        stages[out.stage].cpu_ops += in.rows * op.cpu_per_row;
+        break;
+      }
+      case OpType::kMlIteration: {
+        const OpOutput& in = outs[op.inputs[0]];
+        // Training caches the input and makes `iterations` passes, each
+        // ending in a small model-aggregation shuffle.
+        stages[in.stage].shuffle_write_mb += in.mb;
+        out.stage = new_stage();
+        out.rows = in.rows;
+        out.mb = in.mb;
+        StageWork& sw = stages[out.stage];
+        sw.shuffle_read_mb += in.mb;
+        sw.cpu_ops += in.rows * op.cpu_per_row * op.iterations;
+        sw.shuffle_write_mb += 8.0 * op.iterations;
+        sw.memory_intensive = true;
+        sw.working_set_mb = std::max(sw.working_set_mb, in.mb * 1.2);
+        break;
+      }
+      case OpType::kLimit: {
+        const OpOutput& in = outs[op.inputs[0]];
+        out.stage = in.stage;
+        out.rows = std::min(in.rows, 1000.0);
+        out.mb = in.mb * (out.rows / std::max(1.0, in.rows));
+        break;
+      }
+    }
+  }
+
+  // ---- Stage costing.
+  const bool sql_sizing = flow.workload_class() != WorkloadClass::kMl;
+  const double compress =
+      conf.shuffle_compress >= 0.5 ? options_.compress_ratio : 1.0;
+  const double mem_per_task_mb = conf.executor_memory_gb * 1024.0 *
+                                 conf.memory_fraction /
+                                 std::max(1, cores_per_exec);
+
+  RuntimeMetrics m;
+  m.num_stages = static_cast<double>(stages.size());
+  double latency = options_.job_overhead_s;
+  double busy_core_seconds = 0;
+
+  for (const StageWork& sw : stages) {
+    int tasks;
+    if (sw.split_tasks > 0) {
+      tasks = sw.split_tasks;
+    } else if (sql_sizing) {
+      tasks = static_cast<int>(conf.shuffle_partitions);
+    } else {
+      tasks = static_cast<int>(conf.parallelism);
+    }
+    tasks = std::max(1, tasks);
+    const int waves = (tasks + total_cores - 1) / total_cores;
+    const int concurrent = std::min(tasks, total_cores);
+    // Disk and network are shared per node: a stage cannot move bytes faster
+    // than the aggregate bandwidth of the nodes it runs on, no matter how
+    // many cores it holds. These terms are therefore costed at stage
+    // granularity rather than wave-quantized.
+    const double agg_disk_bw = nodes_used * cluster.disk_bw_mb_per_s;
+    const double agg_net_bw = nodes_used * cluster.network_bw_mb_per_s;
+
+    // CPU: base ops plus compression work on shuffled bytes.
+    double cpu_ops = sw.cpu_ops;
+    if (compress < 1.0) {
+      cpu_ops += (sw.shuffle_write_mb + sw.shuffle_read_mb) *
+                 options_.compress_ops_per_mb;
+    }
+    double cpu_s = cpu_ops / tasks /
+                   (options_.ops_per_core_per_s * cluster.core_speed);
+
+    // Memory pressure: spill when the per-task working set exceeds the
+    // execution-memory share; GC pressure when heap occupancy runs high.
+    const double working_mb =
+        (sw.memory_intensive
+             ? std::max(sw.working_set_mb,
+                        (sw.input_read_mb + sw.shuffle_read_mb))
+             : (sw.input_read_mb + sw.shuffle_read_mb)) /
+        tasks * options_.memory_expansion;
+    double spill_mb = 0;
+    if (sw.memory_intensive && working_mb > mem_per_task_mb) {
+      spill_mb = (working_mb - mem_per_task_mb) * 2.0;  // write + re-read
+    }
+    const double heap_mb = conf.executor_memory_gb * 1024.0;
+    const double occupancy =
+        working_mb * cores_per_exec / std::max(1.0, heap_mb);
+    const double gc_frac = 0.02 + 0.4 * std::max(0.0, occupancy - 0.75);
+    const double gc_s = cpu_s * gc_frac;
+
+    // Disk IO: input reads, shuffle writes (with bypass-merge discount when
+    // the partition count is small enough to skip the merge sort), spill.
+    const double write_mb_eff = sw.shuffle_write_mb * compress;
+    const double read_mb_eff = sw.shuffle_read_mb * compress;
+    const double bypass =
+        conf.shuffle_partitions <= conf.bypass_merge_threshold ? 0.7 : 1.0;
+    const double total_io_mb =
+        sw.input_read_mb + write_mb_eff * bypass + spill_mb * tasks;
+    const double stage_io_s = total_io_mb / agg_disk_bw;
+
+    // Network: shuffle fetches plus broadcasts; fetch-wait from the number of
+    // in-flight windows needed to pull one task's shuffle input.
+    const double total_net_mb = read_mb_eff + sw.network_extra_mb;
+    const double stage_net_s = total_net_mb / agg_net_bw;
+    const double rounds =
+        (read_mb_eff / tasks) / std::max(1.0, conf.max_size_in_flight_mb);
+    const double fetch_wait_s = std::max(0.0, rounds - 1.0) * 0.01;
+
+    const double per_task_s =
+        cpu_s + gc_s + fetch_wait_s + options_.task_overhead_s;
+    const double sched_s = tasks / options_.scheduler_tasks_per_s;
+    const double stage_s =
+        waves * per_task_s + stage_io_s + stage_net_s + sched_s;
+    const double io_s = stage_io_s * static_cast<double>(concurrent) / tasks;
+
+    latency += stage_s;
+    busy_core_seconds += per_task_s * tasks + (stage_io_s + stage_net_s) *
+                                                  std::min(tasks, concurrent);
+    m.cpu_time_s += (cpu_s + gc_s) * tasks;
+    m.bytes_read_mb += sw.input_read_mb;
+    m.bytes_written_mb += write_mb_eff + spill_mb * tasks / 2.0;
+    m.shuffle_write_mb += write_mb_eff;
+    m.shuffle_read_mb += read_mb_eff;
+    m.fetch_wait_s += fetch_wait_s * tasks;
+    m.gc_time_s += gc_s * tasks;
+    m.spill_mb += spill_mb * tasks;
+    m.peak_task_memory_mb = std::max(m.peak_task_memory_mb, working_mb);
+    m.num_tasks += tasks;
+    m.scheduling_delay_s += sched_s;
+    m.io_wait_s += io_s * tasks;
+    m.network_mb += total_net_mb;
+  }
+
+  // Deterministic multiplicative noise models run-to-run variance.
+  if (options_.noise_stddev > 0) {
+    Rng noise(NoiseSeed(flow.name(), conf_raw));
+    latency *= std::exp(noise.Gaussian(0.0, options_.noise_stddev));
+  }
+
+  m.latency_s = latency;
+  m.cpu_utilization =
+      std::min(1.0, busy_core_seconds / std::max(1e-9, latency * total_cores));
+  return m;
+}
+
+double SparkEngine::Latency(const Dataflow& flow,
+                            const Vector& conf_raw) const {
+  return Run(flow, conf_raw).latency_s;
+}
+
+double CostInCores(const Vector& batch_conf_raw) {
+  const SparkConf conf = SparkConf::FromRaw(batch_conf_raw);
+  return conf.TotalCores();
+}
+
+double CostInCpuHours(double latency_s, const Vector& batch_conf_raw) {
+  return latency_s * CostInCores(batch_conf_raw) / 3600.0;
+}
+
+double Cost2(double latency_s, const RuntimeMetrics& metrics,
+             const Vector& batch_conf_raw) {
+  // c1 = 48 millidollar / CPU-hour, c2 = 0.4 millidollar / 1000 IO requests,
+  // one IO request per 4 MB moved (storage + shuffle), in the spirit of
+  // serverless-DB pricing.
+  const double cpu_hours = CostInCpuHours(latency_s, batch_conf_raw);
+  const double io_requests =
+      (metrics.bytes_read_mb + metrics.bytes_written_mb) / 4.0;
+  return 48.0 * cpu_hours + 0.4 * io_requests / 1000.0;
+}
+
+}  // namespace udao

@@ -1,0 +1,87 @@
+#ifndef UDAO_SPARK_ENGINE_H_
+#define UDAO_SPARK_ENGINE_H_
+
+#include <string>
+
+#include "spark/cluster.h"
+#include "spark/conf.h"
+#include "spark/dataflow.h"
+#include "spark/metrics.h"
+
+namespace udao {
+
+/// Tuning constants of the execution simulator. The defaults are calibrated
+/// so that TPCx-BB-scale workloads span roughly 5-300 seconds, matching the
+/// two-orders-of-magnitude latency spread the paper reports.
+struct EngineOptions {
+  ClusterSpec cluster;
+  /// Row operations per second per core at the calibration baseline.
+  double ops_per_core_per_s = 5e7;
+  /// Fixed job setup/teardown (driver, DAG scheduling, result collection).
+  double job_overhead_s = 1.2;
+  /// Per-task launch overhead (serialization, dispatch), seconds.
+  double task_overhead_s = 0.02;
+  /// Driver scheduling throughput (tasks dispatched per second).
+  double scheduler_tasks_per_s = 400.0;
+  /// Shuffle compression ratio (compressed size / raw size).
+  double compress_ratio = 0.35;
+  /// CPU cost of compression, row-op-equivalents per MB (each side).
+  double compress_ops_per_mb = 4e5;
+  /// Working-set expansion of in-memory structures over raw bytes.
+  double memory_expansion = 2.5;
+  /// Multiplicative lognormal execution noise (stddev of log-latency); the
+  /// source of irreducible model error. Set 0 for deterministic runs.
+  double noise_stddev = 0.05;
+};
+
+/// Analytical Spark batch execution simulator.
+///
+/// Given a dataflow DAG and a configuration, Run() decomposes the plan into
+/// stages at shuffle boundaries (Exchange operators and shuffle joins; joins
+/// whose build side fits under spark.sql.autoBroadcastJoinThreshold become
+/// broadcast joins with no boundary), then costs each stage with a wave-based
+/// task model capturing the phenomena the paper's tuning problem hinges on:
+///
+///  * diminishing returns and scheduling overhead as cores/parallelism grow;
+///  * memory-pressure spills when executor memory x memory fraction is too
+///    small for a stage's working set, and GC pressure when it is too large a
+///    share of the heap;
+///  * shuffle compression trading CPU for network bytes, fetch-wait dependent
+///    on spark.reducer.maxSizeInFlight, and the bypass-merge threshold;
+///  * input-split sizing from spark.sql.files.maxPartitionBytes.
+///
+/// The simulator is the ground truth against which models are trained and
+/// recommendations "measured" (the paper's cluster runs).
+class SparkEngine {
+ public:
+  explicit SparkEngine(EngineOptions options = EngineOptions());
+
+  /// Simulates one job run. `conf_raw` must be a valid BatchParamSpace()
+  /// configuration. The noise seed is derived from workload name + conf, so
+  /// repeated identical runs return identical traces.
+  RuntimeMetrics Run(const Dataflow& flow, const Vector& conf_raw) const;
+
+  /// Latency-only convenience wrapper.
+  double Latency(const Dataflow& flow, const Vector& conf_raw) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+};
+
+/// Resource cost in allocated CPU cores (the paper's objective 6).
+double CostInCores(const Vector& batch_conf_raw);
+
+/// Resource cost in CPU-hours: latency x allocated cores / 3600 (objective 7).
+double CostInCpuHours(double latency_s, const Vector& batch_conf_raw);
+
+/// Weighted CPU-hour + IO cost, the serverless-DB-inspired "cost2" measure of
+/// Expt 4 / Fig. 9, in millidollars: c1 * CPU-hour + c2 * IO requests (one
+/// request per 4 MB moved).
+double Cost2(double latency_s, const RuntimeMetrics& metrics,
+             const Vector& batch_conf_raw);
+
+}  // namespace udao
+
+#endif  // UDAO_SPARK_ENGINE_H_

@@ -1,0 +1,25 @@
+#include "spark/metrics.h"
+
+namespace udao {
+
+Vector RuntimeMetrics::ToVector() const {
+  return {latency_s,      cpu_time_s,        bytes_read_mb,
+          bytes_written_mb, shuffle_write_mb, shuffle_read_mb,
+          fetch_wait_s,   gc_time_s,         spill_mb,
+          peak_task_memory_mb, num_tasks,    num_stages,
+          scheduling_delay_s, cpu_utilization, io_wait_s,
+          network_mb};
+}
+
+const std::vector<std::string>& RuntimeMetrics::Names() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "latency_s",      "cpu_time_s",        "bytes_read_mb",
+      "bytes_written_mb", "shuffle_write_mb", "shuffle_read_mb",
+      "fetch_wait_s",   "gc_time_s",         "spill_mb",
+      "peak_task_memory_mb", "num_tasks",    "num_stages",
+      "scheduling_delay_s", "cpu_utilization", "io_wait_s",
+      "network_mb"};
+  return names;
+}
+
+}  // namespace udao

@@ -1,0 +1,49 @@
+#ifndef UDAO_SPARK_METRICS_H_
+#define UDAO_SPARK_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace udao {
+
+/// System-level runtime metrics collected from a (simulated) job execution.
+/// The paper's model server collects 360 metrics per trace; this is the
+/// representative subset that drives workload mapping (OtterTune-style) and
+/// workload encodings. Time unit: seconds; size unit: MB.
+struct RuntimeMetrics {
+  double latency_s = 0;            ///< End-to-end job latency.
+  double cpu_time_s = 0;           ///< Total CPU seconds across tasks.
+  double bytes_read_mb = 0;        ///< Input bytes read from storage.
+  double bytes_written_mb = 0;     ///< Output + spill bytes written.
+  double shuffle_write_mb = 0;     ///< Shuffle bytes written (post-compress).
+  double shuffle_read_mb = 0;      ///< Shuffle bytes fetched.
+  double fetch_wait_s = 0;         ///< Shuffle fetch wait time.
+  double gc_time_s = 0;            ///< JVM garbage-collection time.
+  double spill_mb = 0;             ///< Bytes spilled to disk.
+  double peak_task_memory_mb = 0;  ///< Max per-task working set.
+  double num_tasks = 0;            ///< Tasks launched.
+  double num_stages = 0;           ///< Stages executed.
+  double scheduling_delay_s = 0;   ///< Driver scheduling overhead.
+  double cpu_utilization = 0;      ///< Mean fraction of allocated cores busy.
+  double io_wait_s = 0;            ///< Time tasks spent blocked on disk IO.
+  double network_mb = 0;           ///< Bytes moved over the network.
+
+  /// Flattens the metrics into a fixed-order vector (same order as Names()).
+  Vector ToVector() const;
+  /// Metric names aligned with ToVector().
+  static const std::vector<std::string>& Names();
+};
+
+/// One observation used for model training: a configuration, the metrics it
+/// produced, and the observed objective values.
+struct TraceRecord {
+  std::string workload_id;
+  Vector conf_raw;          ///< Raw knob values (ParamSpace order).
+  RuntimeMetrics metrics;   ///< Observed system metrics.
+};
+
+}  // namespace udao
+
+#endif  // UDAO_SPARK_METRICS_H_

@@ -1,0 +1,162 @@
+#include "spark/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace udao {
+
+namespace {
+
+uint64_t NoiseSeed(const std::string& name, const Vector& conf) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (char c : name) mix(static_cast<uint64_t>(c));
+  for (double v : conf) {
+    uint64_t bits = 0;
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(StreamEngineOptions options) : options_(options) {}
+
+StreamResult StreamEngine::Run(const StreamWorkloadProfile& profile,
+                               const Vector& conf_raw) const {
+  UDAO_CHECK(StreamParamSpace().Validate(conf_raw).ok());
+  const StreamConf conf = StreamConf::FromRaw(conf_raw);
+  const ClusterSpec& cluster = options_.cluster;
+
+  const int cores_per_exec = static_cast<int>(conf.executor_cores);
+  const int max_exec_per_node = std::max(
+      1, std::min(cluster.cores_per_node / std::max(1, cores_per_exec),
+                  static_cast<int>(cluster.memory_per_node_gb /
+                                   std::max(1.0, conf.executor_memory_gb))));
+  const int executors =
+      std::min(static_cast<int>(conf.executor_instances),
+               cluster.num_nodes * max_exec_per_node);
+  const int total_cores = std::max(1, executors * cores_per_exec);
+  const int nodes_used = std::max(1, std::min(cluster.num_nodes, executors));
+
+  const double interval_s = conf.batch_interval_ms / 1000.0;
+  const double records_per_batch =
+      conf.input_rate_krps * 1000.0 * interval_s;
+  const double batch_mb = records_per_batch * profile.bytes_per_record / 1e6;
+
+  // ---- Map stage: one task per ingest block.
+  const int blocks = std::max(
+      1, static_cast<int>(conf.batch_interval_ms / conf.block_interval_ms));
+  const int map_waves = (blocks + total_cores - 1) / total_cores;
+  const double core_ops = options_.ops_per_core_per_s * cluster.core_speed;
+  double map_cpu_s =
+      records_per_batch * profile.map_ops_per_record / blocks / core_ops;
+
+  const double compress =
+      conf.shuffle_compress >= 0.5 ? options_.compress_ratio : 1.0;
+  const double shuffle_mb = batch_mb * profile.shuffle_fraction;
+  if (compress < 1.0) {
+    map_cpu_s += shuffle_mb * options_.compress_ops_per_mb / blocks / core_ops;
+  }
+  const double map_task_s = map_cpu_s + options_.task_overhead_s;
+  const double map_stage_s = map_waves * map_task_s;
+
+  // ---- Reduce stage: sized by spark.default.parallelism.
+  const int reduce_tasks = std::max(1, static_cast<int>(conf.parallelism));
+  const int reduce_waves = (reduce_tasks + total_cores - 1) / total_cores;
+  const int concurrent = std::min(reduce_tasks, total_cores);
+  const double conc_per_node =
+      std::max(1.0, static_cast<double>(concurrent) / nodes_used);
+  const double net_bw_per_task = cluster.network_bw_mb_per_s / conc_per_node;
+  const double disk_bw_per_task = cluster.disk_bw_mb_per_s / conc_per_node;
+
+  const double shuffle_records = records_per_batch * profile.shuffle_fraction;
+  double reduce_cpu_s =
+      shuffle_records * profile.reduce_ops_per_record / reduce_tasks / core_ops;
+  if (compress < 1.0) {
+    reduce_cpu_s +=
+        shuffle_mb * options_.compress_ops_per_mb / reduce_tasks / core_ops;
+  }
+  const double read_mb_eff = shuffle_mb * compress;
+  const double net_s = (read_mb_eff / reduce_tasks) / net_bw_per_task;
+  const double rounds = (read_mb_eff / reduce_tasks) /
+                        std::max(1.0, conf.max_size_in_flight_mb);
+  const double fetch_wait_s = std::max(0.0, rounds - 1.0) * 0.01;
+
+  // Streaming state (windows/model) memory pressure in the reduce phase.
+  const double mem_per_task_mb = conf.executor_memory_gb * 1024.0 *
+                                 conf.memory_fraction /
+                                 std::max(1, cores_per_exec);
+  const double working_mb = profile.memory_intensive
+                                ? batch_mb / reduce_tasks *
+                                      options_.memory_expansion * 1.5
+                                : shuffle_mb / reduce_tasks;
+  double spill_mb = 0;
+  if (profile.memory_intensive && working_mb > mem_per_task_mb) {
+    spill_mb = (working_mb - mem_per_task_mb) * 2.0;
+  }
+  const double spill_s = spill_mb / disk_bw_per_task;
+  const double heap_mb = conf.executor_memory_gb * 1024.0;
+  const double occupancy =
+      working_mb * cores_per_exec / std::max(1.0, heap_mb);
+  const double gc_s =
+      reduce_cpu_s * (0.02 + 0.4 * std::max(0.0, occupancy - 0.75));
+
+  const double bypass =
+      reduce_tasks <= conf.bypass_merge_threshold ? 0.7 : 1.0;
+  const double write_s =
+      (shuffle_mb * compress / std::max(1, blocks)) * bypass /
+      disk_bw_per_task;
+
+  const double reduce_task_s = reduce_cpu_s + gc_s + net_s + fetch_wait_s +
+                               spill_s + options_.task_overhead_s;
+  const double reduce_stage_s = reduce_waves * reduce_task_s;
+
+  double proc_s = map_stage_s + write_s + reduce_stage_s + 0.05;
+  if (options_.noise_stddev > 0) {
+    Rng noise(NoiseSeed(profile.name, conf_raw));
+    proc_s *= std::exp(noise.Gaussian(0.0, options_.noise_stddev));
+  }
+
+  StreamResult result;
+  result.batch_processing_s = proc_s;
+  result.stable = proc_s <= interval_s;
+  if (result.stable) {
+    // Average record waits half a batch to be batched, then the batch runs.
+    result.record_latency_s = interval_s / 2.0 + proc_s;
+    result.throughput_krps = conf.input_rate_krps;
+  } else {
+    // The job falls behind: capacity-bound throughput and backlog-inflated
+    // latency (bounded proxy for the unbounded steady-state queue).
+    const double overload = proc_s / interval_s;
+    result.throughput_krps = conf.input_rate_krps / overload;
+    result.record_latency_s =
+        interval_s / 2.0 + proc_s * (1.0 + 4.0 * (overload - 1.0));
+  }
+
+  RuntimeMetrics& m = result.metrics;
+  m.latency_s = result.record_latency_s;
+  m.cpu_time_s = map_cpu_s * blocks + (reduce_cpu_s + gc_s) * reduce_tasks;
+  m.shuffle_write_mb = shuffle_mb * compress;
+  m.shuffle_read_mb = read_mb_eff;
+  m.fetch_wait_s = fetch_wait_s * reduce_tasks;
+  m.gc_time_s = gc_s * reduce_tasks;
+  m.spill_mb = spill_mb * reduce_tasks;
+  m.peak_task_memory_mb = working_mb;
+  m.num_tasks = blocks + reduce_tasks;
+  m.num_stages = 2;
+  m.network_mb = read_mb_eff;
+  m.bytes_read_mb = batch_mb;
+  m.cpu_utilization = std::min(
+      1.0, m.cpu_time_s / std::max(1e-9, proc_s * total_cores));
+  return result;
+}
+
+}  // namespace udao

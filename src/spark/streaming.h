@@ -1,0 +1,78 @@
+#ifndef UDAO_SPARK_STREAMING_H_
+#define UDAO_SPARK_STREAMING_H_
+
+#include <string>
+
+#include "spark/cluster.h"
+#include "spark/conf.h"
+#include "spark/metrics.h"
+
+namespace udao {
+
+/// Per-record cost profile of a streaming analytic template (the click-stream
+/// benchmark's SQL+UDF / ML templates are instances of this).
+struct StreamWorkloadProfile {
+  std::string name;
+  /// Row-op equivalents of CPU work per ingested record in the map phase.
+  double map_ops_per_record = 3.0;
+  /// Row-op equivalents per shuffled record in the reduce phase.
+  double reduce_ops_per_record = 2.0;
+  /// Bytes per ingested record.
+  double bytes_per_record = 200.0;
+  /// Fraction of ingested bytes that cross the shuffle.
+  double shuffle_fraction = 0.3;
+  /// Whether the reduce phase builds large in-memory state (windows, models).
+  bool memory_intensive = true;
+};
+
+/// Outcome of simulating the steady state of a streaming job.
+struct StreamResult {
+  /// Average end-to-end record latency (batching delay + processing),
+  /// seconds. Grows super-linearly once the job cannot keep up.
+  double record_latency_s = 0;
+  /// Sustained throughput in thousand records per second.
+  double throughput_krps = 0;
+  /// Whether batch processing time fits within the batch interval.
+  bool stable = true;
+  /// Processing time of one micro-batch, seconds.
+  double batch_processing_s = 0;
+  RuntimeMetrics metrics;
+};
+
+/// Micro-batch streaming execution simulator (Spark Streaming semantics).
+///
+/// Records arrive at `inputRate`; every `batchInterval` the accumulated
+/// records form a micro-batch whose map stage is partitioned into one task
+/// per block (`blockInterval`) and whose reduce stage is partitioned by
+/// spark.default.parallelism. A batch whose processing time exceeds the
+/// interval makes the job fall behind: throughput saturates at the processing
+/// capacity and record latency inflates with the backlog -- the
+/// latency-throughput tension of the paper's streaming experiments.
+/// (Options for StreamEngine below.)
+struct StreamEngineOptions {
+  ClusterSpec cluster;
+  double ops_per_core_per_s = 5e7;
+  double compress_ratio = 0.35;
+  double compress_ops_per_mb = 4e5;
+  double memory_expansion = 2.5;
+  double task_overhead_s = 0.004;
+  double noise_stddev = 0.04;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineOptions options = StreamEngineOptions());
+
+  /// Simulates steady state under `conf_raw` (a StreamParamSpace() point).
+  StreamResult Run(const StreamWorkloadProfile& profile,
+                   const Vector& conf_raw) const;
+
+  const StreamEngineOptions& options() const { return options_; }
+
+ private:
+  StreamEngineOptions options_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_SPARK_STREAMING_H_

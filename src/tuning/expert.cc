@@ -1,0 +1,60 @@
+#include "tuning/expert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spark/conf.h"
+
+namespace udao {
+
+Vector ExpertBatchConfig(const Dataflow& flow) {
+  const double input_gb = flow.TotalInputBytes() / 1e9;
+  SparkConf conf;
+  // Executors scale with data volume; capped at the cluster.
+  conf.executor_instances =
+      std::clamp(std::round(4.0 + input_gb / 8.0), 2.0, 28.0);
+  conf.executor_cores = 4;
+  // ~1.5 GB of executor memory per core plus headroom for wide stages.
+  conf.executor_memory_gb = std::clamp(
+      std::round(6.0 + input_gb / 16.0), 4.0, 32.0);
+  const double cores = conf.TotalCores();
+  conf.parallelism = std::clamp(std::round(2.5 * cores), 8.0, 400.0);
+  conf.shuffle_partitions = conf.parallelism;
+  conf.shuffle_compress = 1;
+  conf.memory_fraction = 0.6;
+  conf.max_size_in_flight_mb = 48;
+  conf.bypass_merge_threshold = 200;
+  // UDF/ML stages benefit from more partitions per core (straggler slack).
+  if (flow.workload_class() != WorkloadClass::kSql) {
+    conf.parallelism = std::min(400.0, conf.parallelism * 1.5);
+  }
+  Vector raw = conf.ToRaw();
+  // Snap to the knob space (rounds and clamps every knob).
+  const ParamSpace& space = BatchParamSpace();
+  return space.Decode(space.Encode(raw));
+}
+
+Vector ExpertStreamConfig(const StreamWorkloadProfile& profile,
+                          double input_rate_krps) {
+  StreamConf conf;
+  conf.input_rate_krps = std::clamp(input_rate_krps, 50.0, 1200.0);
+  // Size cores so the expected per-batch CPU fits in half the interval.
+  const double ops_per_s = conf.input_rate_krps * 1000.0 *
+                           (profile.map_ops_per_record +
+                            profile.reduce_ops_per_record);
+  const double cores_needed = ops_per_s / 5e7 * 2.0;
+  conf.executor_cores = 4;
+  conf.executor_instances =
+      std::clamp(std::ceil(cores_needed / conf.executor_cores), 2.0, 28.0);
+  conf.batch_interval_ms = 4000;
+  conf.block_interval_ms = 200;
+  conf.parallelism =
+      std::clamp(std::round(2.0 * conf.TotalCores()), 8.0, 400.0);
+  conf.executor_memory_gb = 8;
+  conf.shuffle_compress = 1;
+  Vector raw = conf.ToRaw();
+  const ParamSpace& space = StreamParamSpace();
+  return space.Decode(space.Encode(raw));
+}
+
+}  // namespace udao

@@ -1,0 +1,24 @@
+#ifndef UDAO_TUNING_EXPERT_H_
+#define UDAO_TUNING_EXPERT_H_
+
+#include "common/matrix.h"
+#include "spark/dataflow.h"
+#include "spark/streaming.h"
+
+namespace udao {
+
+/// Rule-based "expert engineer" configurations, the manual baseline of the
+/// paper's Expt 5 (performance improvement rate is measured against "a manual
+/// configuration chosen by an expert engineer"). The rules follow common
+/// Spark sizing folklore: scale executors with input size, 4-5 cores per
+/// executor, parallelism at 2-3x the core count, executor memory sized to
+/// the per-core data share, compression on.
+Vector ExpertBatchConfig(const Dataflow& flow);
+
+/// Streaming counterpart: sized for the expected input rate.
+Vector ExpertStreamConfig(const StreamWorkloadProfile& profile,
+                          double input_rate_krps);
+
+}  // namespace udao
+
+#endif  // UDAO_TUNING_EXPERT_H_

@@ -1,0 +1,188 @@
+#include "tuning/ottertune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "model/analytic_models.h"
+#include "workload/trace_gen.h"
+
+namespace udao {
+
+OtterTune::OtterTune(const ModelServer* server, OtterTuneConfig config)
+    : server_(server), config_(config) {
+  UDAO_CHECK(server_ != nullptr);
+}
+
+StatusOr<std::string> OtterTune::MapWorkload(
+    const std::string& workload_id) const {
+  StatusOr<Vector> own = server_->MeanMetrics(workload_id);
+  if (!own.ok()) return own.status();
+  const std::vector<std::string> all = server_->WorkloadsWithMetrics();
+
+  // Standardize each metric dimension over the fleet so that large-magnitude
+  // metrics do not drown the rest (OtterTune bins/deciles; z-scores serve the
+  // same purpose here).
+  std::vector<Vector> fleet;
+  std::vector<std::string> ids;
+  for (const std::string& id : all) {
+    StatusOr<Vector> m = server_->MeanMetrics(id);
+    if (m.ok()) {
+      fleet.push_back(*m);
+      ids.push_back(id);
+    }
+  }
+  if (fleet.size() < 2) {
+    return Status::NotFound("no other workloads with metrics to map against");
+  }
+  const size_t dims = fleet.front().size();
+  Vector mean(dims, 0.0);
+  Vector stddev(dims, 0.0);
+  for (size_t d = 0; d < dims; ++d) {
+    Vector col(fleet.size());
+    for (size_t i = 0; i < fleet.size(); ++i) col[i] = fleet[i][d];
+    mean[d] = Mean(col);
+    stddev[d] = std::max(1e-9, StdDev(col));
+  }
+  auto standardize = [&](const Vector& v) {
+    Vector z(dims);
+    for (size_t d = 0; d < dims; ++d) z[d] = (v[d] - mean[d]) / stddev[d];
+    return z;
+  };
+  const Vector own_z = standardize(*own);
+
+  std::string best_id;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    if (ids[i] == workload_id) continue;
+    const double dist = SquaredDistance(own_z, standardize(fleet[i]));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_id = ids[i];
+    }
+  }
+  if (best_id.empty()) {
+    return Status::NotFound("no other workloads with metrics to map against");
+  }
+  return best_id;
+}
+
+StatusOr<std::vector<OtterTune::Surrogate>> OtterTune::BuildSurrogates(
+    const ParamSpace& space, const std::string& workload_id,
+    const std::vector<std::string>& objective_names) const {
+  // Workload mapping (best effort: without a match, use own traces only).
+  StatusOr<std::string> mapped = MapWorkload(workload_id);
+
+  std::vector<Surrogate> surrogates;
+  for (size_t o = 0; o < objective_names.size(); ++o) {
+    if (objective_names[o] == objectives::kCostCores) {
+      // Certain function of the knobs: no learning needed.
+      Surrogate s;
+      s.model = (&space == &StreamParamSpace()) ? MakeStreamCostCoresModel()
+                                                : MakeCostCoresModel();
+      s.lo = 0.0;
+      s.hi = 224.0;
+      surrogates.push_back(std::move(s));
+      continue;
+    }
+    StatusOr<const ModelServer::DataSet*> own_data =
+        server_->GetData(workload_id, objective_names[o]);
+    if (!own_data.ok()) return own_data.status();
+    std::vector<Vector> xs = (*own_data)->x;
+    Vector ys = (*own_data)->y;
+    if (mapped.ok()) {
+      StatusOr<const ModelServer::DataSet*> other =
+          server_->GetData(*mapped, objective_names[o]);
+      if (other.ok()) {
+        xs.insert(xs.end(), (*other)->x.begin(), (*other)->x.end());
+        ys.insert(ys.end(), (*other)->y.begin(), (*other)->y.end());
+      }
+    }
+    StatusOr<std::shared_ptr<GpModel>> gp =
+        GpModel::Fit(Matrix::FromRows(xs), ys, config_.gp);
+    if (!gp.ok()) return gp.status();
+    Surrogate s;
+    s.model = std::make_shared<NonNegativeModel>(*gp);
+    s.lo = *std::min_element(ys.begin(), ys.end());
+    s.hi = std::max(s.lo + 1e-9, *std::max_element(ys.begin(), ys.end()));
+    surrogates.push_back(std::move(s));
+  }
+  return surrogates;
+}
+
+StatusOr<Vector> OtterTune::Recommend(
+    const ParamSpace& space, const std::string& workload_id,
+    const std::vector<std::string>& objective_names,
+    const Vector& weights) const {
+  if (objective_names.empty() || objective_names.size() != weights.size()) {
+    return Status::InvalidArgument("objectives/weights mismatch");
+  }
+  StatusOr<std::vector<Surrogate>> built =
+      BuildSurrogates(space, workload_id, objective_names);
+  if (!built.ok()) return built.status();
+  const std::vector<Surrogate>& surrogates = *built;
+
+  StatusOr<const ModelServer::DataSet*> own_data =
+      server_->GetData(workload_id, objective_names[0]);
+  if (!own_data.ok()) return own_data.status();
+  const std::vector<Vector>& observed_x = (*own_data)->x;
+  UDAO_CHECK(!observed_x.empty());
+
+  // Best observed own configuration under the weighted objective seeds the
+  // local part of the search.
+  Vector best_seen = observed_x[0];
+  {
+    double best_val = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < observed_x.size(); ++i) {
+      double val = 0.0;
+      for (size_t o = 0; o < surrogates.size(); ++o) {
+        const double pred = surrogates[o].model->Predict(observed_x[i]);
+        val += weights[o] * (pred - surrogates[o].lo) /
+               (surrogates[o].hi - surrogates[o].lo);
+      }
+      if (val < best_val) {
+        best_val = val;
+        best_seen = observed_x[i];
+      }
+    }
+  }
+
+  // GP-guided candidate search: global space-filling candidates plus local
+  // perturbations of the best observed point, scored by weighted LCB.
+  Rng rng(config_.seed);
+  Vector best_x;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < config_.search_candidates; ++c) {
+    Vector x(space.EncodedDim());
+    if (rng.Uniform() < config_.local_fraction) {
+      for (size_t d = 0; d < x.size(); ++d) {
+        x[d] = std::clamp(best_seen[d] + rng.Gaussian(0, 0.08), 0.0, 1.0);
+      }
+    } else {
+      for (double& v : x) v = rng.Uniform();
+    }
+    // Snap to a valid configuration before scoring.
+    x = space.Encode(space.Decode(x));
+    double score = 0.0;
+    for (size_t o = 0; o < surrogates.size(); ++o) {
+      double mean = 0.0;
+      double stddev = 0.0;
+      surrogates[o].model->PredictWithUncertainty(x, &mean, &stddev);
+      // Optimistic bound in the direction of this weight's optimization.
+      const double bound = weights[o] >= 0
+                               ? mean - config_.exploration * stddev
+                               : mean + config_.exploration * stddev;
+      score += weights[o] * (bound - surrogates[o].lo) /
+               (surrogates[o].hi - surrogates[o].lo);
+    }
+    if (score < best_score) {
+      best_score = score;
+      best_x = x;
+    }
+  }
+  return space.Decode(best_x);
+}
+
+}  // namespace udao

@@ -1,0 +1,82 @@
+#ifndef UDAO_TUNING_OTTERTUNE_H_
+#define UDAO_TUNING_OTTERTUNE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "model/gp_model.h"
+#include "model/model_server.h"
+#include "spark/conf.h"
+
+namespace udao {
+
+/// OtterTune baseline settings.
+struct OtterTuneConfig {
+  GpConfig gp;
+  /// Candidate configurations scored during GP search.
+  int search_candidates = 400;
+  /// Fraction of candidates drawn as perturbations around the best observed
+  /// configuration (the rest are space-filling).
+  double local_fraction = 0.5;
+  /// GP-UCB style exploration coefficient during search.
+  double exploration = 0.5;
+  uint64_t seed = 41;
+};
+
+/// Reimplementation of OtterTune's recommendation pipeline [Van Aken et al.
+/// 2017], the paper's end-to-end comparison target (Section VI-B):
+///
+///  1. *Workload mapping*: the target workload is matched to the most similar
+///     past workload by Euclidean distance over standardized runtime metrics,
+///     and the matched workload's traces augment the target's own.
+///  2. *GP model*: one GP per objective on the merged traces.
+///  3. *Single-objective search*: OtterTune cannot do MOO, so k objectives
+///     are folded into sum_i w_i Psi~_i(x) (the weighted method the paper
+///     applies to it) and a GP-guided candidate search returns the best
+///     configuration.
+class OtterTune {
+ public:
+  /// `server` supplies traces and metrics; it is not modified.
+  OtterTune(const ModelServer* server, OtterTuneConfig config);
+
+  /// Recommends a configuration for `workload_id` minimizing the weighted
+  /// combination of the named objectives. A negative weight flips that
+  /// objective to maximization (e.g. throughput), mirroring how the paper
+  /// folds multiple objectives into OtterTune's single-objective search.
+  /// Fails when the workload has no traces for some objective.
+  StatusOr<Vector> Recommend(const ParamSpace& space,
+                             const std::string& workload_id,
+                             const std::vector<std::string>& objective_names,
+                             const Vector& weights) const;
+
+  /// One fitted surrogate with its observed value range (for normalization).
+  struct Surrogate {
+    std::shared_ptr<const ObjectiveModel> model;
+    double lo = 0.0;
+    double hi = 1.0;
+  };
+
+  /// Builds the per-objective surrogates exactly as Recommend() uses them:
+  /// GPs over the workload's own traces merged with the mapped workload's
+  /// traces; cost-in-cores is served analytically (it is a certain function
+  /// of the knobs). Exposed so the end-to-end benchmarks can run UDAO's MOO
+  /// on "the GP models from Ottertune" (Expt 3).
+  StatusOr<std::vector<Surrogate>> BuildSurrogates(
+      const ParamSpace& space, const std::string& workload_id,
+      const std::vector<std::string>& objective_names) const;
+
+  /// The workload mapping step, exposed for tests: the id of the most
+  /// similar *other* workload by metric distance, or NotFound when no other
+  /// workload has metrics.
+  StatusOr<std::string> MapWorkload(const std::string& workload_id) const;
+
+ private:
+  const ModelServer* server_;
+  OtterTuneConfig config_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_TUNING_OTTERTUNE_H_

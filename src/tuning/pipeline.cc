@@ -1,0 +1,150 @@
+#include "tuning/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "moo/recommend.h"
+
+namespace udao {
+
+PipelineOptimizer::PipelineOptimizer(PipelineOptions options)
+    : options_(options) {
+  UDAO_CHECK_GT(options_.points_per_stage, 0);
+  UDAO_CHECK_GT(options_.max_points, 1);
+}
+
+std::vector<PipelinePoint> PipelineOptimizer::Compose(
+    const std::vector<PipelinePoint>& a, const std::vector<PipelinePoint>& b,
+    int max_points) {
+  // Pareto filter of pairwise sums, tracking the decomposition.
+  std::vector<MooPoint> sums;
+  sums.reserve(a.size() * b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      UDAO_CHECK_EQ(a[i].objectives.size(), b[j].objectives.size());
+      Vector sum(a[i].objectives.size());
+      for (size_t d = 0; d < sum.size(); ++d) {
+        sum[d] = a[i].objectives[d] + b[j].objectives[d];
+      }
+      // Stash the origin index pair in conf_encoded to survive filtering.
+      sums.push_back(MooPoint{std::move(sum),
+                              {static_cast<double>(i),
+                               static_cast<double>(j)}});
+    }
+  }
+  std::vector<MooPoint> filtered = ParetoFilter(std::move(sums));
+
+  // Thin by even spacing along the first objective when oversized; the
+  // extremes are always kept.
+  if (static_cast<int>(filtered.size()) > max_points) {
+    std::sort(filtered.begin(), filtered.end(),
+              [](const MooPoint& x, const MooPoint& y) {
+                return x.objectives[0] < y.objectives[0];
+              });
+    std::vector<MooPoint> thinned;
+    const double stride =
+        static_cast<double>(filtered.size() - 1) / (max_points - 1);
+    for (int t = 0; t < max_points; ++t) {
+      thinned.push_back(filtered[static_cast<size_t>(t * stride)]);
+    }
+    filtered = std::move(thinned);
+  }
+
+  std::vector<PipelinePoint> out;
+  out.reserve(filtered.size());
+  for (const MooPoint& p : filtered) {
+    const size_t i = static_cast<size_t>(p.conf_encoded[0]);
+    const size_t j = static_cast<size_t>(p.conf_encoded[1]);
+    PipelinePoint point;
+    point.objectives = p.objectives;
+    point.stage_confs_encoded = a[i].stage_confs_encoded;
+    point.stage_confs_encoded.insert(point.stage_confs_encoded.end(),
+                                     b[j].stage_confs_encoded.begin(),
+                                     b[j].stage_confs_encoded.end());
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+StatusOr<PipelineResult> PipelineOptimizer::Optimize(
+    const std::vector<PipelineStage>& stages) const {
+  if (stages.empty()) {
+    return Status::InvalidArgument("pipeline has no stages");
+  }
+  const int k = stages.front().problem->NumObjectives();
+  for (const PipelineStage& stage : stages) {
+    if (stage.problem == nullptr) {
+      return Status::InvalidArgument("stage " + stage.name + " has no problem");
+    }
+    if (stage.problem->NumObjectives() != k) {
+      return Status::InvalidArgument(
+          "all stages must share the same objective list");
+    }
+  }
+
+  PipelineResult result;
+  std::vector<PipelinePoint> composed;
+  for (const PipelineStage& stage : stages) {
+    ProgressiveFrontier pf(stage.problem, options_.pf);
+    const PfResult& stage_result = pf.Run(options_.points_per_stage);
+    if (stage_result.frontier.empty()) {
+      return Status::FailedPrecondition("stage " + stage.name +
+                                        " produced an empty frontier");
+    }
+    result.stage_frontier_sizes.push_back(
+        static_cast<int>(stage_result.frontier.size()));
+    std::vector<PipelinePoint> stage_points;
+    stage_points.reserve(stage_result.frontier.size());
+    for (const MooPoint& p : stage_result.frontier) {
+      Vector objectives = p.objectives;
+      if (options_.uncertainty_alpha > 0.0) {
+        for (int d = 0; d < k; ++d) {
+          double mean = 0.0;
+          double stddev = 0.0;
+          stage.problem->EvaluateWithUncertainty(d, p.conf_encoded, &mean,
+                                                 &stddev);
+          objectives[d] = mean + options_.uncertainty_alpha * stddev;
+        }
+      }
+      stage_points.push_back(
+          PipelinePoint{std::move(objectives), {p.conf_encoded}});
+    }
+    composed = composed.empty()
+                   ? std::move(stage_points)
+                   : Compose(composed, stage_points, options_.max_points);
+  }
+
+  result.utopia.assign(k, std::numeric_limits<double>::infinity());
+  result.nadir.assign(k, -std::numeric_limits<double>::infinity());
+  for (const PipelinePoint& p : composed) {
+    for (int d = 0; d < k; ++d) {
+      result.utopia[d] = std::min(result.utopia[d], p.objectives[d]);
+      result.nadir[d] = std::max(result.nadir[d], p.objectives[d]);
+    }
+  }
+  for (int d = 0; d < k; ++d) {
+    if (result.nadir[d] - result.utopia[d] < 1e-12) {
+      result.nadir[d] = result.utopia[d] + 1e-12;
+    }
+  }
+  result.frontier = std::move(composed);
+  return result;
+}
+
+std::optional<PipelinePoint> PipelineOptimizer::Recommend(
+    const PipelineResult& result, const Vector& weights) {
+  if (result.frontier.empty()) return std::nullopt;
+  std::vector<MooPoint> points;
+  points.reserve(result.frontier.size());
+  for (size_t i = 0; i < result.frontier.size(); ++i) {
+    points.push_back(MooPoint{result.frontier[i].objectives,
+                              {static_cast<double>(i)}});
+  }
+  std::optional<MooPoint> best =
+      WeightedUtopiaNearest(points, result.utopia, result.nadir, weights);
+  if (!best.has_value()) return std::nullopt;
+  return result.frontier[static_cast<size_t>(best->conf_encoded[0])];
+}
+
+}  // namespace udao

@@ -1,0 +1,125 @@
+#include "tuning/udao.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "model/analytic_models.h"
+#include "workload/trace_gen.h"
+
+namespace udao {
+
+Udao::Udao(ModelServer* server, UdaoOptions options)
+    : server_(server), options_(options) {
+  UDAO_CHECK(server_ != nullptr);
+}
+
+StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
+  if (request.space == nullptr) {
+    return Status::InvalidArgument("request needs a parameter space");
+  }
+  if (request.objectives.empty()) {
+    return Status::InvalidArgument("request needs at least one objective");
+  }
+  if (!request.preference_weights.empty() &&
+      request.preference_weights.size() != request.objectives.size()) {
+    return Status::InvalidArgument("one preference weight per objective");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Retrieve the latest task-specific models (Fig. 1(a), step 1).
+  std::vector<MooObjective> objectives;
+  for (const UdaoRequest::Objective& spec : request.objectives) {
+    MooObjective obj;
+    obj.name = spec.name;
+    obj.minimize = spec.minimize;
+    obj.user_lower = spec.lower;
+    obj.user_upper = spec.upper;
+    if (spec.model != nullptr) {
+      obj.model = spec.model;
+    } else if (spec.name == objectives::kCostCores &&
+               request.space == &BatchParamSpace()) {
+      obj.model = MakeCostCoresModel();
+    } else if (spec.name == objectives::kCostCores &&
+               request.space == &StreamParamSpace()) {
+      obj.model = MakeStreamCostCoresModel();
+    } else {
+      StatusOr<std::shared_ptr<const ObjectiveModel>> model =
+          server_->GetModel(request.workload_id, spec.name);
+      if (!model.ok()) return model.status();
+      // Learned models of physical quantities get a non-negativity floor so
+      // the optimizer cannot chase extrapolated negative predictions.
+      obj.model = std::make_shared<NonNegativeModel>(*model);
+    }
+    objectives.push_back(std::move(obj));
+  }
+  MooProblem problem(request.space, std::move(objectives));
+
+  // Compute the Pareto frontier (step 2).
+  ProgressiveFrontier pf(&problem, options_.pf);
+  const PfResult& frontier = pf.Run(options_.frontier_points);
+  if (frontier.frontier.empty()) {
+    return Status::FailedPrecondition(
+        "no Pareto point satisfies the requested constraints");
+  }
+
+  // Recommend via (workload-aware) Weighted Utopia Nearest (step 3).
+  const int k = problem.NumObjectives();
+  Vector external = request.preference_weights;
+  if (external.empty()) external.assign(k, 1.0 / k);
+  Vector weights = external;
+  if (options_.workload_aware && k == 2 &&
+      request.objectives[0].name == objectives::kLatency) {
+    // Expert internal weights keyed to the default-configuration latency.
+    const Vector default_encoded =
+        request.space->Encode(request.space->Defaults());
+    const double default_latency = problem.ToNatural(
+        0, problem.EvaluateOne(0, default_encoded));
+    weights =
+        CombineWeights(WorkloadAwareInternalWeights(default_latency), external);
+  } else {
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    if (sum > 0) {
+      for (double& w : weights) w /= sum;
+    }
+  }
+
+  // Conservative re-ranking under model uncertainty: evaluate each frontier
+  // point at F~ = E[F] + alpha * std[F] (minimization orientation) before
+  // choosing, which demotes points whose predicted appeal sits on sparse
+  // training coverage.
+  std::vector<MooPoint> ranked = frontier.frontier;
+  if (options_.uncertainty_alpha > 0.0) {
+    for (MooPoint& p : ranked) {
+      for (int j = 0; j < k; ++j) {
+        double mean = 0.0;
+        double stddev = 0.0;
+        problem.EvaluateWithUncertainty(j, p.conf_encoded, &mean, &stddev);
+        p.objectives[j] = mean + options_.uncertainty_alpha * stddev;
+      }
+    }
+  }
+  std::optional<MooPoint> choice = WeightedUtopiaNearest(
+      ranked, frontier.utopia, frontier.nadir, weights);
+  UDAO_CHECK(choice.has_value());
+  // Report the conservative estimates the system acted on ("F~ offers a more
+  // conservative estimate of F ... given the model uncertainty", IV-B.3);
+  // with alpha = 0 these are the plain model predictions.
+  const Vector& chosen_objectives = choice->objectives;
+
+  UdaoRecommendation rec;
+  rec.conf_encoded = choice->conf_encoded;
+  rec.conf_raw = request.space->Decode(choice->conf_encoded);
+  rec.predicted_objectives.resize(k);
+  for (int j = 0; j < k; ++j) {
+    rec.predicted_objectives[j] = problem.ToNatural(j, chosen_objectives[j]);
+  }
+  rec.frontier = frontier;
+  rec.weights_used = weights;
+  rec.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rec;
+}
+
+}  // namespace udao

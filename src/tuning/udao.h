@@ -1,0 +1,103 @@
+#ifndef UDAO_TUNING_UDAO_H_
+#define UDAO_TUNING_UDAO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/model_server.h"
+#include "moo/progressive_frontier.h"
+#include "moo/recommend.h"
+#include "spark/conf.h"
+
+namespace udao {
+
+/// One optimization request (Fig. 1(a)): a workload (standing in for its
+/// dataflow program, whose models live in the model server), the chosen
+/// objectives, optional value constraints, and optional preference weights.
+struct UdaoRequest {
+  std::string workload_id;
+  const ParamSpace* space = nullptr;
+
+  struct Objective {
+    /// Model-server objective name (see workload/trace_gen.h constants).
+    std::string name;
+    bool minimize = true;
+    /// Optional value constraints F_i in [lower, upper], natural orientation.
+    double lower = -MooObjective::kInf;
+    double upper = MooObjective::kInf;
+    /// Optional explicit model (e.g. a hand-crafted regression function);
+    /// when null the optimizer resolves the model itself: cost-in-cores is
+    /// served analytically (it is a certain function of the knobs), other
+    /// objectives come from the model server with a non-negativity floor.
+    std::shared_ptr<const ObjectiveModel> model;
+  };
+  std::vector<Objective> objectives;
+
+  /// External (application) preference weights, one per objective; empty
+  /// means uniform. They need not be normalized.
+  Vector preference_weights;
+};
+
+/// The optimizer's answer: a configuration plus the frontier that justified
+/// it.
+struct UdaoRecommendation {
+  Vector conf_raw;               ///< Recommended raw knob values.
+  Vector conf_encoded;           ///< Same point, encoded.
+  Vector predicted_objectives;   ///< Model predictions, natural orientation.
+  PfResult frontier;             ///< The Pareto frontier used.
+  Vector weights_used;           ///< Final (combined) WUN weights.
+  double seconds = 0;            ///< End-to-end optimization time.
+};
+
+/// Optimizer policy.
+struct UdaoOptions {
+  PfConfig pf = [] {
+    PfConfig cfg;
+    cfg.parallel = true;  // PF-AP is the production default (Section IV-C)
+    return cfg;
+  }();
+  /// Pareto points requested from PF before recommending.
+  int frontier_points = 20;
+  /// Workload-aware WUN: fold expert internal weights (based on the
+  /// workload's default-configuration latency) into the preference weights
+  /// for 2D latency-vs-cost problems (Section V "Recommendation").
+  bool workload_aware = true;
+  /// Model-uncertainty guard (Section IV-B.3): frontier points are re-ranked
+  /// for recommendation using conservative estimates F~ = E[F] + alpha
+  /// std[F], so configurations whose appeal rests on confident-looking holes
+  /// in a sparsely-trained model lose to well-supported ones. Applied only
+  /// at the (cheap) recommendation stage; 0 disables it.
+  double uncertainty_alpha = 1.0;
+};
+
+/// UDAO: the Spark-based Unified Data Analytics Optimizer (Fig. 1(a)).
+///
+/// Given a request, it pulls the workload's latest objective models from the
+/// model server, computes a Pareto frontier with the Progressive Frontier
+/// algorithm, and recommends the configuration that best explores the
+/// trade-offs under the application's preferences (Weighted Utopia Nearest).
+///
+/// Model training happens elsewhere (ModelServer + workload/trace_gen.h);
+/// this hot path only reads the most recent models, which is what keeps
+/// recommendations within seconds.
+class Udao {
+ public:
+  /// `server` owns the models; the optimizer refreshes them lazily on use.
+  Udao(ModelServer* server, UdaoOptions options = UdaoOptions());
+
+  /// Handles one request end to end. NotFound when the workload has no
+  /// traces yet for some requested objective -- callers should run the
+  /// default configuration once and retry after ingestion.
+  StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
+
+  const UdaoOptions& options() const { return options_; }
+
+ private:
+  ModelServer* server_;
+  UdaoOptions options_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_TUNING_UDAO_H_

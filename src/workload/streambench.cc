@@ -1,0 +1,68 @@
+#include "workload/streambench.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+namespace {
+
+// Click-stream analysis templates: sessionization, funnel analysis, top-K
+// pages, ad-attribution UDF scoring, anomaly UDF, and streaming ML scoring.
+struct StreamTemplateSpec {
+  const char* name;
+  double map_ops;
+  double reduce_ops;
+  double bytes;
+  double shuffle_fraction;
+  bool memory_intensive;
+};
+
+const StreamTemplateSpec kStreamTemplates[kNumStreamTemplates] = {
+    {"sessionize", 3.0, 4.0, 220, 0.50, true},
+    {"funnel", 2.5, 3.0, 180, 0.35, true},
+    {"topk_pages", 2.0, 2.5, 150, 0.25, false},
+    {"ad_attribution_udf", 8.0, 3.5, 260, 0.40, true},
+    {"anomaly_udf", 10.0, 2.0, 200, 0.20, false},
+    {"ml_scoring", 14.0, 6.0, 300, 0.30, true},
+};
+
+}  // namespace
+
+StreamWorkloadProfile MakeStreamTemplate(int template_id, double intensity) {
+  UDAO_CHECK(template_id >= 1 && template_id <= kNumStreamTemplates);
+  const StreamTemplateSpec& spec = kStreamTemplates[template_id - 1];
+  StreamWorkloadProfile profile;
+  profile.name = spec.name;
+  profile.map_ops_per_record = spec.map_ops * intensity;
+  profile.reduce_ops_per_record = spec.reduce_ops * intensity;
+  profile.bytes_per_record = spec.bytes * (0.7 + 0.3 * intensity);
+  profile.shuffle_fraction = std::min(0.9, spec.shuffle_fraction * intensity);
+  profile.memory_intensive = spec.memory_intensive;
+  return profile;
+}
+
+std::vector<StreamWorkload> MakeStreamWorkloads() {
+  std::vector<StreamWorkload> workloads;
+  workloads.reserve(kNumStreamWorkloads);
+  for (int k = 1; k <= kNumStreamWorkloads; ++k) {
+    workloads.push_back(MakeStreamWorkload(k));
+  }
+  return workloads;
+}
+
+StreamWorkload MakeStreamWorkload(int job_number) {
+  UDAO_CHECK(job_number >= 1 && job_number <= kNumStreamWorkloads);
+  const int template_id = (job_number - 1) % kNumStreamTemplates + 1;
+  const int variant = (job_number - 1) / kNumStreamTemplates;
+  // Intensity spreads ~[0.6, 2.2] deterministically across variants.
+  const double intensity =
+      0.6 + 0.15 * variant + 0.05 * ((job_number * 11) % 4);
+  StreamWorkloadProfile profile = MakeStreamTemplate(template_id, intensity);
+  profile.name += "_job" + std::to_string(job_number);
+  return StreamWorkload{std::to_string(job_number), template_id, variant,
+                        std::move(profile)};
+}
+
+}  // namespace udao

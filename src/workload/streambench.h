@@ -1,0 +1,38 @@
+#ifndef UDAO_WORKLOAD_STREAMBENCH_H_
+#define UDAO_WORKLOAD_STREAMBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "spark/streaming.h"
+
+namespace udao {
+
+/// One parameterized streaming workload from the click-stream benchmark
+/// (Section VI "Streaming Workloads": 5 SQL+UDF templates and 1 ML template,
+/// parameterized into 63 workloads).
+struct StreamWorkload {
+  /// Paper-style id: "1".."63" (job 54/56 of the figures).
+  std::string id;
+  int template_id = 1;  ///< 1..6.
+  int variant = 0;
+  StreamWorkloadProfile profile;
+};
+
+/// Cost profile for streaming template `template_id` (1..6) at the given
+/// per-variant intensity factor.
+StreamWorkloadProfile MakeStreamTemplate(int template_id, double intensity);
+
+/// All 63 streaming workloads: workload k uses template ((k-1) % 6) + 1 at
+/// variant (k-1) / 6. Deterministic.
+std::vector<StreamWorkload> MakeStreamWorkloads();
+
+/// Workload by paper id; CHECK-fails on bad numbers.
+StreamWorkload MakeStreamWorkload(int job_number);
+
+constexpr int kNumStreamWorkloads = 63;
+constexpr int kNumStreamTemplates = 6;
+
+}  // namespace udao
+
+#endif  // UDAO_WORKLOAD_STREAMBENCH_H_

@@ -1,0 +1,225 @@
+#include "workload/tpcxbb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace udao {
+
+namespace {
+
+// Per-template characteristics. Rows are in millions at scale 1.0 (100 GB).
+struct TemplateSpec {
+  WorkloadClass wclass;
+  // Plan shape; see builders below.
+  enum Shape {
+    kScanAggSort,   // scan -> filter -> project -> exchange -> agg -> sort
+    kJoinAgg,       // two scans -> join -> exchange -> agg
+    kJoin3,         // three scans -> join -> join -> agg
+    kUdfPipeline,   // Fig. 1(b): scan .. exchange -> sort -> UDF -> agg
+    kUdfJoin,       // join feeding a UDF
+    kMlTrain,       // scan -> filter -> project -> iterative training
+  } shape;
+  double rows_m;       // main table rows (millions)
+  double row_bytes;    // main table row width
+  double selectivity;  // base filter selectivity
+  double udf_cost;     // cpu_per_row of UDF / ML operators
+  int iterations;      // ML passes
+};
+
+// Template table; ids 1-14 SQL, 15-25 SQL+UDF, 26-30 ML, matching the
+// TPCx-BB composition. Sizes are spread to give ~2 orders of magnitude in
+// latency across the benchmark, as the paper reports. Template 2 (the
+// paper's running example Q2) and template 30 are the long-running jobs.
+const TemplateSpec kTemplates[kNumTpcxbbTemplates] = {
+    // --- SQL (1-14)
+    {WorkloadClass::kSql, TemplateSpec::kScanAggSort, 120, 120, 0.30, 1, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 900, 160, 0.45, 55,
+     1},  // Q2: heavy UDF pipeline
+    {WorkloadClass::kSql, TemplateSpec::kJoinAgg, 350, 140, 0.25, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoin3, 260, 130, 0.20, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kScanAggSort, 45, 100, 0.50, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoinAgg, 150, 110, 0.35, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kScanAggSort, 25, 90, 0.60, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoin3, 180, 150, 0.15, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoinAgg, 80, 120, 0.40, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kScanAggSort, 200, 130, 0.20, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoin3, 90, 110, 0.30, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoinAgg, 60, 100, 0.45, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kScanAggSort, 140, 140, 0.25, 1, 1},
+    {WorkloadClass::kSql, TemplateSpec::kJoinAgg, 110, 120, 0.35, 1, 1},
+    // --- SQL + UDF (15-25)
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 70, 130, 0.40, 10, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfJoin, 130, 120, 0.30, 14, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 40, 110, 0.50, 8, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfJoin, 90, 140, 0.25, 18, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 160, 150, 0.35, 12,
+     1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfJoin, 55, 100, 0.45, 9, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 100, 120, 0.30, 16,
+     1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfJoin, 75, 130, 0.40, 11, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 30, 90, 0.55, 7, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfJoin, 120, 110, 0.20, 13, 1},
+    {WorkloadClass::kSqlUdf, TemplateSpec::kUdfPipeline, 85, 140, 0.35, 15,
+     1},
+    // --- ML (26-30)
+    {WorkloadClass::kMl, TemplateSpec::kMlTrain, 50, 200, 0.80, 6, 12},
+    {WorkloadClass::kMl, TemplateSpec::kMlTrain, 90, 180, 0.70, 8, 8},
+    {WorkloadClass::kMl, TemplateSpec::kMlTrain, 35, 160, 0.90, 5, 20},
+    {WorkloadClass::kMl, TemplateSpec::kMlTrain, 70, 220, 0.75, 7, 10},
+    {WorkloadClass::kMl, TemplateSpec::kMlTrain, 300, 240, 0.85, 14, 22},
+};
+
+double ClampSel(double s) { return std::clamp(s, 0.02, 0.95); }
+
+}  // namespace
+
+Dataflow MakeTpcxbbTemplate(int template_id, double scale, double sel_shift) {
+  UDAO_CHECK(template_id >= 1 && template_id <= kNumTpcxbbTemplates);
+  const TemplateSpec& spec = kTemplates[template_id - 1];
+  const double rows = spec.rows_m * 1e6 * scale;
+  const double sel = ClampSel(spec.selectivity * (1.0 + sel_shift));
+  Dataflow flow("tpcxbb_t" + std::to_string(template_id), spec.wclass);
+
+  switch (spec.shape) {
+    case TemplateSpec::kScanAggSort: {
+      int scan = flow.AddScan(rows, spec.row_bytes);
+      int filter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {scan}, .selectivity = sel});
+      int project = flow.AddOp(
+          {.type = OpType::kProject, .inputs = {filter}, .width_ratio = 0.6});
+      int exchange =
+          flow.AddOp({.type = OpType::kExchange, .inputs = {project}});
+      int agg = flow.AddOp({.type = OpType::kHashAggregate,
+                            .inputs = {exchange},
+                            .selectivity = 0.05});
+      int sort = flow.AddOp({.type = OpType::kSort, .inputs = {agg}});
+      flow.AddOp({.type = OpType::kLimit, .inputs = {sort}});
+      break;
+    }
+    case TemplateSpec::kJoinAgg: {
+      int fact = flow.AddScan(rows, spec.row_bytes);
+      int dim = flow.AddScan(rows * 0.02, 80);
+      int ffilter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {fact}, .selectivity = sel});
+      int join = flow.AddOp({.type = OpType::kJoin,
+                             .inputs = {dim, ffilter},
+                             .selectivity = 0.9});
+      int exchange = flow.AddOp({.type = OpType::kExchange, .inputs = {join}});
+      flow.AddOp({.type = OpType::kHashAggregate,
+                  .inputs = {exchange},
+                  .selectivity = 0.03});
+      break;
+    }
+    case TemplateSpec::kJoin3: {
+      int fact = flow.AddScan(rows, spec.row_bytes);
+      int mid = flow.AddScan(rows * 0.3, 100);
+      int dim = flow.AddScan(rows * 0.01, 70);
+      int ffilter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {fact}, .selectivity = sel});
+      int join1 = flow.AddOp({.type = OpType::kJoin,
+                              .inputs = {mid, ffilter},
+                              .selectivity = 0.7});
+      int join2 = flow.AddOp(
+          {.type = OpType::kJoin, .inputs = {dim, join1}, .selectivity = 0.8});
+      int exchange =
+          flow.AddOp({.type = OpType::kExchange, .inputs = {join2}});
+      int agg = flow.AddOp({.type = OpType::kHashAggregate,
+                            .inputs = {exchange},
+                            .selectivity = 0.02});
+      flow.AddOp({.type = OpType::kSort, .inputs = {agg}});
+      break;
+    }
+    case TemplateSpec::kUdfPipeline: {
+      // The paper's Fig. 1(b) plan for Q2: HiveTableScan -> Filter ->
+      // Project -> Exchange -> Sort -> ScriptTransformation ->
+      // HashAggregate -> ... -> CollectLimit.
+      int scan = flow.AddScan(rows, spec.row_bytes);
+      int filter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {scan}, .selectivity = sel});
+      int project = flow.AddOp(
+          {.type = OpType::kProject, .inputs = {filter}, .width_ratio = 0.7});
+      int exchange =
+          flow.AddOp({.type = OpType::kExchange, .inputs = {project}});
+      int sort = flow.AddOp({.type = OpType::kSort, .inputs = {exchange}});
+      int udf = flow.AddOp({.type = OpType::kScriptTransform,
+                            .inputs = {sort},
+                            .selectivity = 0.8,
+                            .cpu_per_row = spec.udf_cost});
+      int agg = flow.AddOp({.type = OpType::kHashAggregate,
+                            .inputs = {udf},
+                            .selectivity = 0.04});
+      flow.AddOp({.type = OpType::kLimit, .inputs = {agg}});
+      break;
+    }
+    case TemplateSpec::kUdfJoin: {
+      int fact = flow.AddScan(rows, spec.row_bytes);
+      int dim = flow.AddScan(rows * 0.05, 90);
+      int filter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {fact}, .selectivity = sel});
+      int join = flow.AddOp(
+          {.type = OpType::kJoin, .inputs = {dim, filter}, .selectivity = 0.85});
+      int udf = flow.AddOp({.type = OpType::kScriptTransform,
+                            .inputs = {join},
+                            .selectivity = 0.6,
+                            .cpu_per_row = spec.udf_cost});
+      int exchange = flow.AddOp({.type = OpType::kExchange, .inputs = {udf}});
+      flow.AddOp({.type = OpType::kHashAggregate,
+                  .inputs = {exchange},
+                  .selectivity = 0.05});
+      break;
+    }
+    case TemplateSpec::kMlTrain: {
+      int scan = flow.AddScan(rows, spec.row_bytes);
+      int filter = flow.AddOp(
+          {.type = OpType::kFilter, .inputs = {scan}, .selectivity = sel});
+      int project = flow.AddOp(
+          {.type = OpType::kProject, .inputs = {filter}, .width_ratio = 0.5});
+      flow.AddOp({.type = OpType::kMlIteration,
+                  .inputs = {project},
+                  .cpu_per_row = spec.udf_cost,
+                  .iterations = spec.iterations});
+      break;
+    }
+  }
+  UDAO_CHECK(flow.Validate().ok());
+  return flow;
+}
+
+std::vector<BatchWorkload> MakeTpcxbbWorkloads() {
+  std::vector<BatchWorkload> workloads;
+  workloads.reserve(kNumTpcxbbWorkloads);
+  for (int k = 1; k <= kNumTpcxbbWorkloads; ++k) {
+    workloads.push_back(MakeTpcxbbWorkload(k));
+  }
+  return workloads;
+}
+
+BatchWorkload MakeTpcxbbWorkload(int job_number) {
+  UDAO_CHECK(job_number >= 1 && job_number <= kNumTpcxbbWorkloads);
+  const int template_id = (job_number - 1) % kNumTpcxbbTemplates + 1;
+  const int variant = (job_number - 1) / kNumTpcxbbTemplates;
+  // Deterministic per-variant perturbation: scale in ~[0.5, 2.1],
+  // selectivity shift in [-0.3, 0.3].
+  const double scale = 0.5 * std::pow(1.2, variant) *
+                       (1.0 + 0.07 * ((job_number * 7) % 5));
+  const double sel_shift = -0.3 + 0.075 * ((job_number * 13) % 9);
+  Dataflow flow = MakeTpcxbbTemplate(template_id, scale, sel_shift);
+  // Give every workload a unique name so engine noise differs per workload.
+  Dataflow named("tpcxbb_job" + std::to_string(job_number) + "_t" +
+                     std::to_string(template_id),
+                 flow.workload_class());
+  for (const Operator& op : flow.ops()) {
+    if (op.type == OpType::kScan) {
+      named.AddScan(op.scan_rows, op.scan_row_bytes);
+    } else {
+      named.AddOp(op);
+    }
+  }
+  return BatchWorkload{std::to_string(job_number), template_id, variant,
+                       std::move(named)};
+}
+
+}  // namespace udao

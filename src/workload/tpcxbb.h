@@ -1,0 +1,47 @@
+#ifndef UDAO_WORKLOAD_TPCXBB_H_
+#define UDAO_WORKLOAD_TPCXBB_H_
+
+#include <string>
+#include <vector>
+
+#include "spark/dataflow.h"
+
+namespace udao {
+
+/// One parameterized batch workload derived from a TPCx-BB-style template.
+struct BatchWorkload {
+  /// Paper-style workload id: "1".."258" (job 9 of the figures is id "9").
+  std::string id;
+  /// Template 1..30 (14 SQL, 11 SQL+UDF, 5 ML, as in TPCx-BB).
+  int template_id = 1;
+  /// Variant 0.. within the template (data-scale / selectivity variations).
+  int variant = 0;
+  Dataflow flow;
+};
+
+/// Builds one dataflow for template `template_id` (1..30) at data scale
+/// `scale` (1.0 = the benchmark's 100 GB scale factor) with selectivity
+/// variation `sel_shift` in [-0.5, 0.5].
+///
+/// The 30 templates mirror the TPCx-BB composition: templates 1-14 are SQL
+/// (scan/join/aggregate pipelines), 15-25 mix SQL with UDFs
+/// (ScriptTransformation operators; template 2's shape follows the paper's
+/// Fig. 1(b) example), and 26-30 are ML tasks (iterative training).
+Dataflow MakeTpcxbbTemplate(int template_id, double scale, double sel_shift);
+
+/// The paper's full 258-workload batch benchmark: workload k (1-based) uses
+/// template ((k-1) % 30) + 1 at variant (k-1) / 30, giving every template 8-9
+/// parameterized instances. Deterministic.
+std::vector<BatchWorkload> MakeTpcxbbWorkloads();
+
+/// Convenience: workload by paper id ("9" -> job 9). CHECK-fails on bad ids.
+BatchWorkload MakeTpcxbbWorkload(int job_number);
+
+/// Total number of batch workloads (258).
+constexpr int kNumTpcxbbWorkloads = 258;
+/// Number of templates (30).
+constexpr int kNumTpcxbbTemplates = 30;
+
+}  // namespace udao
+
+#endif  // UDAO_WORKLOAD_TPCXBB_H_

@@ -1,0 +1,186 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "model/gp_model.h"
+
+namespace udao {
+
+namespace {
+
+// Curated "Spark best practice" presets in unit-cube coordinates, spanning
+// small, balanced, and large allocations with sane shuffle settings.
+const std::vector<Vector>& HeuristicUnitPresets(int dim) {
+  static const std::vector<Vector>& presets = *new std::vector<Vector>{
+      {0.1, 0.1, 0.2, 0.1, 0.3, 0.2, 1.0, 0.4, 0.3, 0.3, 0.2, 0.1},
+      {0.3, 0.3, 0.4, 0.3, 0.4, 0.3, 1.0, 0.4, 0.3, 0.3, 0.2, 0.3},
+      {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 1.0, 0.5, 0.5, 0.5, 0.5, 0.5},
+      {0.7, 0.8, 0.6, 0.7, 0.6, 0.5, 1.0, 0.5, 0.5, 0.5, 0.5, 0.7},
+      {0.9, 1.0, 0.8, 0.9, 0.7, 0.6, 1.0, 0.6, 0.5, 0.5, 0.5, 0.9},
+  };
+  // Presets are authored for the 12-knob batch space; pad or trim for other
+  // arities so the strategy degrades gracefully.
+  static std::vector<Vector>* adjusted = nullptr;
+  if (dim == 12) return presets;
+  if (adjusted == nullptr || (!adjusted->empty() &&
+                              static_cast<int>((*adjusted)[0].size()) != dim)) {
+    adjusted = new std::vector<Vector>();
+    for (const Vector& p : presets) {
+      Vector v(dim, 0.5);
+      for (int i = 0; i < dim && i < static_cast<int>(p.size()); ++i) {
+        v[i] = p[i];
+      }
+      adjusted->push_back(v);
+    }
+  }
+  return *adjusted;
+}
+
+// Standard normal density / cdf for expected improvement.
+double NormPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+double NormCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+std::vector<Vector> SampleConfigs(const ParamSpace& space, int n,
+                                  SamplingStrategy strategy, Rng* rng) {
+  UDAO_CHECK_GT(n, 0);
+  std::vector<Vector> configs;
+  configs.reserve(n);
+  switch (strategy) {
+    case SamplingStrategy::kLatinHypercube: {
+      for (const Vector& unit : LatinHypercube(n, space.NumParams(), rng)) {
+        configs.push_back(space.FromUnit(unit));
+      }
+      break;
+    }
+    case SamplingStrategy::kHeuristic: {
+      configs.push_back(space.Defaults());
+      for (const Vector& preset : HeuristicUnitPresets(space.NumParams())) {
+        if (static_cast<int>(configs.size()) >= n) break;
+        configs.push_back(space.FromUnit(preset));
+      }
+      // One-knob-at-a-time sweeps around the defaults.
+      const Vector defaults = space.Defaults();
+      int knob = 0;
+      while (static_cast<int>(configs.size()) < n) {
+        Vector unit(space.NumParams(), 0.0);
+        for (int i = 0; i < space.NumParams(); ++i) {
+          const ParamSpec& s = space.spec(i);
+          const double span = s.hi - s.lo;
+          unit[i] = span > 0 ? (defaults[i] - s.lo) / span : 0.0;
+        }
+        unit[knob % space.NumParams()] = rng->Uniform();
+        configs.push_back(space.FromUnit(unit));
+        ++knob;
+      }
+      break;
+    }
+  }
+  return configs;
+}
+
+std::vector<Vector> BoGuidedConfigs(
+    const ParamSpace& space, int n,
+    const std::function<double(const Vector&)>& latency_fn, Rng* rng) {
+  UDAO_CHECK_GT(n, 0);
+  const int seed_count = std::max(4, n / 4);
+  std::vector<Vector> configs =
+      SampleConfigs(space, std::min(seed_count, n),
+                    SamplingStrategy::kLatinHypercube, rng);
+  std::vector<Vector> encoded;
+  Vector latencies;
+  for (const Vector& raw : configs) {
+    encoded.push_back(space.Encode(raw));
+    latencies.push_back(latency_fn(raw));
+  }
+
+  GpConfig gp_config;
+  gp_config.hyper_opt_steps = 15;
+  while (static_cast<int>(configs.size()) < n) {
+    auto gp = GpModel::Fit(Matrix::FromRows(encoded), latencies, gp_config);
+    Vector best_raw = space.Sample(rng);
+    if (gp.ok()) {
+      // Maximize expected improvement over a random candidate pool.
+      const double y_best =
+          *std::min_element(latencies.begin(), latencies.end());
+      double best_ei = -1.0;
+      for (int c = 0; c < 64; ++c) {
+        Vector raw = space.Sample(rng);
+        double mean = 0.0;
+        double stddev = 0.0;
+        (*gp)->PredictWithUncertainty(space.Encode(raw), &mean, &stddev);
+        double ei = 0.0;
+        if (stddev > 1e-12) {
+          const double z = (y_best - mean) / stddev;
+          ei = stddev * (z * NormCdf(z) + NormPdf(z));
+        }
+        if (ei > best_ei) {
+          best_ei = ei;
+          best_raw = raw;
+        }
+      }
+    }
+    configs.push_back(best_raw);
+    encoded.push_back(space.Encode(best_raw));
+    latencies.push_back(latency_fn(best_raw));
+  }
+  return configs;
+}
+
+std::vector<TraceRecord> CollectBatchTraces(const SparkEngine& engine,
+                                            const BatchWorkload& workload,
+                                            const std::vector<Vector>& configs,
+                                            ModelServer* server) {
+  const ParamSpace& space = BatchParamSpace();
+  std::vector<TraceRecord> traces;
+  traces.reserve(configs.size());
+  for (const Vector& raw : configs) {
+    RuntimeMetrics metrics = engine.Run(workload.flow, raw);
+    TraceRecord trace{workload.id, raw, metrics};
+    traces.push_back(trace);
+    if (server != nullptr) {
+      const Vector enc = space.Encode(raw);
+      server->Ingest(workload.id, objectives::kLatency, enc,
+                     metrics.latency_s);
+      server->Ingest(workload.id, objectives::kCostCores, enc,
+                     CostInCores(raw));
+      server->Ingest(workload.id, objectives::kCostCpuHour, enc,
+                     CostInCpuHours(metrics.latency_s, raw));
+      server->Ingest(workload.id, objectives::kCost2, enc,
+                     Cost2(metrics.latency_s, metrics, raw));
+      server->IngestMetrics(workload.id, metrics);
+    }
+  }
+  return traces;
+}
+
+std::vector<TraceRecord> CollectStreamTraces(
+    const StreamEngine& engine, const StreamWorkload& workload,
+    const std::vector<Vector>& configs, ModelServer* server) {
+  const ParamSpace& space = StreamParamSpace();
+  std::vector<TraceRecord> traces;
+  traces.reserve(configs.size());
+  for (const Vector& raw : configs) {
+    StreamResult result = engine.Run(workload.profile, raw);
+    TraceRecord trace{workload.id, raw, result.metrics};
+    traces.push_back(trace);
+    if (server != nullptr) {
+      const Vector enc = space.Encode(raw);
+      server->Ingest(workload.id, objectives::kLatency, enc,
+                     result.record_latency_s);
+      server->Ingest(workload.id, objectives::kThroughput, enc,
+                     result.throughput_krps);
+      server->Ingest(workload.id, objectives::kCostCores, enc,
+                     StreamConf::FromRaw(raw).TotalCores());
+      server->IngestMetrics(workload.id, result.metrics);
+    }
+  }
+  return traces;
+}
+
+}  // namespace udao

@@ -1,0 +1,65 @@
+#ifndef UDAO_WORKLOAD_TRACE_GEN_H_
+#define UDAO_WORKLOAD_TRACE_GEN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "model/model_server.h"
+#include "spark/conf.h"
+#include "spark/engine.h"
+#include "spark/streaming.h"
+#include "workload/streambench.h"
+#include "workload/tpcxbb.h"
+
+namespace udao {
+
+/// Canonical objective names used across the model server, the MOO layer and
+/// the benchmarks.
+namespace objectives {
+inline constexpr char kLatency[] = "latency";
+inline constexpr char kThroughput[] = "throughput";
+inline constexpr char kCostCores[] = "cost_cores";
+inline constexpr char kCostCpuHour[] = "cost_cpu_hour";
+inline constexpr char kCost2[] = "cost2";
+}  // namespace objectives
+
+/// How training configurations are drawn (Section V "Training Data
+/// Collection").
+enum class SamplingStrategy {
+  /// Space-filling Latin-hypercube sample.
+  kLatinHypercube,
+  /// Spark best-practice heuristics: the default config, curated presets
+  /// (small / balanced / large allocations), and one-knob-at-a-time sweeps
+  /// around the defaults.
+  kHeuristic,
+};
+
+/// Draws `n` raw configurations from `space` with the given strategy.
+std::vector<Vector> SampleConfigs(const ParamSpace& space, int n,
+                                  SamplingStrategy strategy, Rng* rng);
+
+/// Bayesian-optimization-guided sampling (the paper's second offline
+/// strategy): seeds with an LHS batch, then repeatedly fits a GP to observed
+/// latencies and picks the candidate maximizing expected improvement, so
+/// sampling concentrates where latency is likely minimized.
+std::vector<Vector> BoGuidedConfigs(
+    const ParamSpace& space, int n,
+    const std::function<double(const Vector&)>& latency_fn, Rng* rng);
+
+/// Runs `workload` under every configuration and ingests per-objective traces
+/// (latency, cost_cores, cost_cpu_hour, cost2) plus runtime metrics into the
+/// model server. Returns the collected trace records.
+std::vector<TraceRecord> CollectBatchTraces(const SparkEngine& engine,
+                                            const BatchWorkload& workload,
+                                            const std::vector<Vector>& configs,
+                                            ModelServer* server);
+
+/// Streaming counterpart: ingests latency, throughput and cost_cores.
+std::vector<TraceRecord> CollectStreamTraces(
+    const StreamEngine& engine, const StreamWorkload& workload,
+    const std::vector<Vector>& configs, ModelServer* server);
+
+}  // namespace udao
+
+#endif  // UDAO_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/evo.h"
+#include "moo/mobo.h"
+#include "moo/normal_constraints.h"
+#include "moo/weighted_sum.h"
+#include "test_problems.h"
+
+namespace udao {
+namespace {
+
+using testing_problems::ConcaveProblem;
+using testing_problems::ConvexProblem;
+
+MetricBox UnitBox() { return MetricBox{{0.0, 0.0}, {1.2, 1.2}}; }
+
+// ------------------------------------------------------------ Weighted Sum
+
+TEST(SimplexWeightsTest, TwoObjectives) {
+  auto w = SimplexWeights(3, 2);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], (Vector{0.0, 1.0}));
+  EXPECT_EQ(w[1], (Vector{0.5, 0.5}));
+  EXPECT_EQ(w[2], (Vector{1.0, 0.0}));
+}
+
+TEST(SimplexWeightsTest, ThreeObjectivesSumToOne) {
+  auto weights = SimplexWeights(12, 3);
+  ASSERT_EQ(weights.size(), 12u);
+  for (const Vector& w : weights) {
+    double sum = 0;
+    for (double v : w) {
+      sum += v;
+      EXPECT_GE(v, 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(WeightedSumTest, FindsConvexFrontierPoints) {
+  MooProblem problem = ConvexProblem();
+  WsConfig cfg;
+  cfg.mogd.multistart = 4;
+  cfg.mogd.max_iters = 150;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunWeightedSum(problem, 8, cfg);
+  EXPECT_GE(result.frontier.size(), 3u);
+  EXPECT_TRUE(MutuallyNonDominated(result.frontier));
+  for (const MooPoint& p : result.frontier) {
+    const double expected = (1.0 - p.objectives[0]) * (1.0 - p.objectives[0]);
+    EXPECT_NEAR(p.objectives[1], expected, 0.08);
+  }
+}
+
+TEST(WeightedSumTest, PoorCoverageOnConcaveFrontier) {
+  // The known WS failure the paper leverages: on a concave frontier WS
+  // collapses to the endpoints regardless of how many weights are tried.
+  MooProblem problem = ConcaveProblem();
+  WsConfig cfg;
+  cfg.mogd.multistart = 4;
+  cfg.mogd.max_iters = 150;
+  MooRunResult result = RunWeightedSum(problem, 10, cfg);
+  int interior = 0;
+  for (const MooPoint& p : result.frontier) {
+    if (p.objectives[0] > 0.15 && p.objectives[0] < 0.85) ++interior;
+  }
+  EXPECT_LE(interior, 2);
+  EXPECT_LT(result.frontier.size(), 6u);  // far fewer than 10 requested
+}
+
+TEST(WeightedSumTest, IntermediateSnapshotsStayAt100) {
+  MooProblem problem = ConvexProblem();
+  WsConfig cfg;
+  cfg.mogd.multistart = 2;
+  cfg.mogd.max_iters = 50;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunWeightedSum(problem, 5, cfg);
+  ASSERT_GE(result.history.size(), 2u);
+  for (size_t i = 0; i + 1 < result.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.history[i].uncertain_percent, 100.0);
+  }
+  EXPECT_LT(result.history.back().uncertain_percent, 100.0);
+}
+
+// ------------------------------------------------------ Normal Constraints
+
+TEST(NormalConstraintsTest, CoversConvexFrontier) {
+  MooProblem problem = ConvexProblem();
+  NcConfig cfg;
+  cfg.mogd.multistart = 4;
+  cfg.mogd.max_iters = 150;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunNormalConstraints(problem, 8, cfg);
+  EXPECT_GE(result.frontier.size(), 4u);
+  EXPECT_TRUE(MutuallyNonDominated(result.frontier));
+}
+
+TEST(NormalConstraintsTest, ReachesConcaveInterior) {
+  // Unlike WS, NNC can land on concave sections.
+  MooProblem problem = ConcaveProblem();
+  NcConfig cfg;
+  cfg.mogd.multistart = 6;
+  cfg.mogd.max_iters = 200;
+  MooRunResult result = RunNormalConstraints(problem, 10, cfg);
+  int interior = 0;
+  for (const MooPoint& p : result.frontier) {
+    if (p.objectives[0] > 0.15 && p.objectives[0] < 0.85) ++interior;
+  }
+  EXPECT_GE(interior, 2);
+}
+
+TEST(NormalConstraintsTest, MayReturnFewerPointsThanRequested) {
+  MooProblem problem = ConvexProblem();
+  NcConfig cfg;
+  cfg.mogd.multistart = 3;
+  cfg.mogd.max_iters = 100;
+  MooRunResult result = RunNormalConstraints(problem, 20, cfg);
+  // The paper notes NC "often returns fewer points than k".
+  EXPECT_LE(result.frontier.size(), 20u);
+  EXPECT_GE(result.frontier.size(), 3u);
+}
+
+// ------------------------------------------------------------ NSGA-II
+
+TEST(Nsga2InternalsTest, FastNonDominatedSortRanks) {
+  std::vector<Vector> objs = {{1, 1}, {2, 2}, {3, 3}, {0.5, 3.5}};
+  std::vector<int> ranks = FastNonDominatedSort(objs);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 1);
+  EXPECT_EQ(ranks[2], 2);
+  EXPECT_EQ(ranks[3], 0);  // incomparable with (1,1)
+}
+
+TEST(Nsga2InternalsTest, CrowdingDistanceBoundaryIsInfinite) {
+  std::vector<Vector> front = {{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  Vector crowd = CrowdingDistance(front);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[3]));
+  EXPECT_GT(crowd[1], 0.0);
+  EXPECT_FALSE(std::isinf(crowd[1]));
+}
+
+TEST(Nsga2Test, ConvergesToConvexFrontier) {
+  MooProblem problem = ConvexProblem();
+  EvoConfig cfg;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunNsga2(problem, 20, cfg);
+  EXPECT_GE(result.frontier.size(), 10u);
+  EXPECT_TRUE(MutuallyNonDominated(result.frontier));
+  for (const MooPoint& p : result.frontier) {
+    const double expected = (1.0 - p.objectives[0]) * (1.0 - p.objectives[0]);
+    EXPECT_NEAR(p.objectives[1], expected, 0.15);
+  }
+}
+
+TEST(Nsga2Test, IndependentBudgetsProduceDifferentFrontiers) {
+  // The inconsistency phenomenon of Fig. 4(e).
+  MooProblem problem = ConvexProblem();
+  EvoConfig cfg;
+  MooRunResult r30 = RunNsga2(problem, 30, cfg);
+  MooRunResult r40 = RunNsga2(problem, 40, cfg);
+  bool identical = r30.frontier.size() == r40.frontier.size();
+  if (identical) {
+    for (size_t i = 0; i < r30.frontier.size(); ++i) {
+      if (!(r30.frontier[i].objectives == r40.frontier[i].objectives)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Nsga2Test, HistoryRecordsProgress) {
+  MooProblem problem = ConvexProblem();
+  EvoConfig cfg;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunNsga2(problem, 15, cfg);
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_LT(result.history.back().uncertain_percent, 60.0);
+}
+
+// ------------------------------------------------------------ MOBO
+
+TEST(MoboTest, QehviFindsFrontierPoints) {
+  MooProblem problem = ConvexProblem();
+  MoboConfig cfg;
+  cfg.init_samples = 6;
+  cfg.candidate_pool = 32;
+  cfg.mc_samples = 8;
+  cfg.gp.hyper_opt_steps = 5;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunMobo(problem, 10, cfg);
+  EXPECT_GE(result.frontier.size(), 4u);
+  EXPECT_TRUE(MutuallyNonDominated(result.frontier));
+  EXPECT_EQ(result.history.size(), 10u);
+}
+
+TEST(MoboTest, PesmIsSlowerPerProbeThanQehvi) {
+  MooProblem problem = ConvexProblem();
+  MoboConfig fast;
+  fast.init_samples = 6;
+  fast.candidate_pool = 16;
+  fast.mc_samples = 4;
+  fast.gp.hyper_opt_steps = 3;
+  MoboConfig slow = fast;
+  slow.kind = MoboConfig::Kind::kPesm;
+  MooRunResult rq = RunMobo(problem, 4, fast);
+  MooRunResult rp = RunMobo(problem, 4, slow);
+  EXPECT_GT(rp.seconds_total, rq.seconds_total);
+}
+
+TEST(MoboTest, UncertaintyDecreasesOverProbes) {
+  MooProblem problem = ConvexProblem();
+  MoboConfig cfg;
+  cfg.init_samples = 6;
+  cfg.candidate_pool = 24;
+  cfg.mc_samples = 8;
+  cfg.gp.hyper_opt_steps = 5;
+  cfg.metric_box = UnitBox();
+  MooRunResult result = RunMobo(problem, 12, cfg);
+  EXPECT_LE(result.history.back().uncertain_percent,
+            result.history.front().uncertain_percent);
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "spark/conf.h"
+
+namespace udao {
+namespace {
+
+ParamSpace TestSpace() {
+  return ParamSpace({
+      {"cont", ParamType::kContinuous, 0.0, 10.0, {}, 5.0},
+      {"int", ParamType::kInteger, 1, 9, {}, 3},
+      {"bool", ParamType::kBoolean, 0, 1, {}, 1},
+      {"cat", ParamType::kCategorical, 0, 2, {"a", "b", "c"}, 1},
+  });
+}
+
+TEST(ParamSpaceTest, EncodedDimCountsOneHot) {
+  ParamSpace space = TestSpace();
+  EXPECT_EQ(space.NumParams(), 4);
+  EXPECT_EQ(space.EncodedDim(), 3 + 3);  // 3 scalars + 3-way one-hot
+}
+
+TEST(ParamSpaceTest, EncodeDecodeRoundTripsValidConfigs) {
+  ParamSpace space = TestSpace();
+  Vector raw = {2.5, 7, 0, 2};
+  Vector enc = space.Encode(raw);
+  Vector back = space.Decode(enc);
+  ASSERT_EQ(back.size(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) EXPECT_DOUBLE_EQ(back[i], raw[i]);
+}
+
+TEST(ParamSpaceTest, EncodeNormalizesToUnitRange) {
+  ParamSpace space = TestSpace();
+  Vector enc = space.Encode({10.0, 9, 1, 0});
+  for (double v : enc) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(enc[0], 1.0);
+  EXPECT_DOUBLE_EQ(enc[1], 1.0);
+}
+
+TEST(ParamSpaceTest, DecodeRoundsIntegersAndBooleans) {
+  ParamSpace space = TestSpace();
+  // int in [1,9]: encoded 0.5 -> 5; bool 0.49 -> 0; 0.51 -> 1.
+  Vector raw = space.Decode({0.5, 0.5, 0.49, 0.1, 0.9, 0.2});
+  EXPECT_DOUBLE_EQ(raw[1], 5.0);
+  EXPECT_DOUBLE_EQ(raw[2], 0.0);
+  EXPECT_DOUBLE_EQ(raw[3], 1.0);  // argmax of {0.1, 0.9, 0.2}
+}
+
+TEST(ParamSpaceTest, DecodeClampsOutOfRangeEncodings) {
+  ParamSpace space = TestSpace();
+  Vector raw = space.Decode({1.7, -0.3, 2.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(raw[0], 10.0);
+  EXPECT_DOUBLE_EQ(raw[1], 1.0);
+  EXPECT_TRUE(space.Validate(raw).ok());
+}
+
+TEST(ParamSpaceTest, DefaultsAreValid) {
+  EXPECT_TRUE(TestSpace().Validate(TestSpace().Defaults()).ok());
+  EXPECT_TRUE(
+      BatchParamSpace().Validate(BatchParamSpace().Defaults()).ok());
+  EXPECT_TRUE(
+      StreamParamSpace().Validate(StreamParamSpace().Defaults()).ok());
+}
+
+TEST(ParamSpaceTest, SamplesAreAlwaysValid) {
+  ParamSpace space = TestSpace();
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    Vector raw = space.Sample(&rng);
+    EXPECT_TRUE(space.Validate(raw).ok());
+  }
+}
+
+TEST(ParamSpaceTest, FromUnitHitsRangeEndpoints) {
+  ParamSpace space = TestSpace();
+  Vector lo = space.FromUnit({0, 0, 0, 0});
+  Vector hi = space.FromUnit({1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(hi[0], 10.0);
+  EXPECT_DOUBLE_EQ(lo[1], 1.0);
+  EXPECT_DOUBLE_EQ(hi[1], 9.0);
+  EXPECT_DOUBLE_EQ(hi[3], 2.0);  // last category
+}
+
+TEST(ParamSpaceTest, ValidateRejectsBadConfigs) {
+  ParamSpace space = TestSpace();
+  EXPECT_FALSE(space.Validate({1.0, 2.0}).ok());              // arity
+  EXPECT_FALSE(space.Validate({11.0, 3, 0, 1}).ok());         // range
+  EXPECT_FALSE(space.Validate({5.0, 3.5, 0, 1}).ok());        // non-integer
+  EXPECT_FALSE(space.Validate({5.0, 3, 0, 5}).ok());          // bad category
+  EXPECT_FALSE(space.Validate({NAN, 3, 0, 1}).ok());          // non-finite
+  EXPECT_TRUE(space.Validate({5.0, 3, 0, 1}).ok());
+}
+
+TEST(ParamSpaceTest, IndexOfFindsKnobs) {
+  const ParamSpace& space = BatchParamSpace();
+  auto idx = space.IndexOf("spark.executor.cores");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(space.spec(*idx).name, "spark.executor.cores");
+  EXPECT_FALSE(space.IndexOf("nope").ok());
+}
+
+TEST(SparkConfTest, RawRoundTrip) {
+  SparkConf conf;
+  conf.parallelism = 100;
+  conf.executor_instances = 10;
+  conf.executor_cores = 4;
+  SparkConf back = SparkConf::FromRaw(conf.ToRaw());
+  EXPECT_DOUBLE_EQ(back.parallelism, 100);
+  EXPECT_DOUBLE_EQ(back.TotalCores(), 40);
+}
+
+TEST(SparkConfTest, DefaultsMatchBatchSpace) {
+  SparkConf conf;
+  Vector defaults = BatchParamSpace().Defaults();
+  Vector raw = conf.ToRaw();
+  ASSERT_EQ(raw.size(), defaults.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw[i], defaults[i]) << "knob " << i;
+  }
+}
+
+TEST(StreamConfTest, DefaultsMatchStreamSpace) {
+  StreamConf conf;
+  Vector defaults = StreamParamSpace().Defaults();
+  Vector raw = conf.ToRaw();
+  ASSERT_EQ(raw.size(), defaults.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw[i], defaults[i]) << "knob " << i;
+  }
+}
+
+// Property: encode/decode is idempotent for any decoded point.
+class EncodeDecodeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeProperty, DecodeEncodeDecodeIsStable) {
+  Rng rng(GetParam());
+  const ParamSpace& space = BatchParamSpace();
+  Vector enc(space.EncodedDim());
+  for (double& v : enc) v = rng.Uniform();
+  Vector raw1 = space.Decode(enc);
+  Vector raw2 = space.Decode(space.Encode(raw1));
+  for (size_t i = 0; i < raw1.size(); ++i) {
+    EXPECT_NEAR(raw1[i], raw2[i], 1e-9);
+  }
+  EXPECT_TRUE(space.Validate(raw1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeProperty,
+                         ::testing::Range(100, 120));
+
+}  // namespace
+}  // namespace udao

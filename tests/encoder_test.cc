@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "model/encoder.h"
+
+namespace udao {
+namespace {
+
+// Metrics generated from a low-dimensional latent structure: two workload
+// "families" whose 8 metrics are linear images of 2 latent factors.
+Matrix FamilyMetrics(int n, Rng* rng, Vector* family_of_row = nullptr) {
+  Matrix m(n, 8);
+  if (family_of_row != nullptr) family_of_row->resize(n);
+  for (int i = 0; i < n; ++i) {
+    const int family = i % 2;
+    const double a = (family == 0 ? 1.0 : 8.0) + rng->Gaussian(0, 0.2);
+    const double b = (family == 0 ? 5.0 : 1.0) + rng->Gaussian(0, 0.2);
+    for (int c = 0; c < 8; ++c) {
+      m(i, c) = (c + 1) * a + (8 - c) * b + rng->Gaussian(0, 0.05);
+    }
+    if (family_of_row != nullptr) (*family_of_row)[i] = family;
+  }
+  return m;
+}
+
+EncoderConfig FastEncoder() {
+  EncoderConfig cfg;
+  cfg.encoding_dim = 2;
+  cfg.hidden = 16;
+  cfg.train.epochs = 300;
+  return cfg;
+}
+
+TEST(WorkloadEncoderTest, RejectsBadConfigs) {
+  Rng rng(1);
+  Matrix m = FamilyMetrics(10, &rng);
+  EncoderConfig cfg = FastEncoder();
+  cfg.encoding_dim = 8;  // not a bottleneck
+  EXPECT_FALSE(WorkloadEncoder::Fit(m, cfg, &rng).ok());
+  EXPECT_FALSE(WorkloadEncoder::Fit(Matrix(), FastEncoder(), &rng).ok());
+}
+
+TEST(WorkloadEncoderTest, ReconstructsLowRankMetrics) {
+  Rng rng(2);
+  Matrix m = FamilyMetrics(80, &rng);
+  auto encoder = WorkloadEncoder::Fit(m, FastEncoder(), &rng);
+  ASSERT_TRUE(encoder.ok());
+  // The metrics have 2 latent factors and the bottleneck has 2 units:
+  // standardized reconstruction error should be far below variance 1.
+  EXPECT_LT((*encoder)->ReconstructionError(m), 0.15);
+  EXPECT_EQ((*encoder)->encoding_dim(), 2);
+  EXPECT_EQ((*encoder)->metric_dim(), 8);
+}
+
+TEST(WorkloadEncoderTest, EncodingsSeparateWorkloadFamilies) {
+  Rng rng(3);
+  Vector family;
+  Matrix m = FamilyMetrics(80, &rng, &family);
+  auto encoder = WorkloadEncoder::Fit(m, FastEncoder(), &rng);
+  ASSERT_TRUE(encoder.ok());
+  // Mean intra-family encoding distance must be far below inter-family.
+  std::vector<Vector> encodings;
+  for (int i = 0; i < m.rows(); ++i) {
+    encodings.push_back((*encoder)->Encode(m.Row(i)));
+  }
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (size_t i = 0; i < encodings.size(); ++i) {
+    for (size_t j = i + 1; j < encodings.size(); ++j) {
+      const double dist = SquaredDistance(encodings[i], encodings[j]);
+      if (family[i] == family[j]) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, 0.3 * inter / n_inter);
+}
+
+TEST(WorkloadEncoderTest, ReconstructIsInOriginalUnits) {
+  Rng rng(4);
+  Matrix m = FamilyMetrics(60, &rng);
+  auto encoder = WorkloadEncoder::Fit(m, FastEncoder(), &rng);
+  ASSERT_TRUE(encoder.ok());
+  const Vector row = m.Row(0);
+  const Vector rec = (*encoder)->Reconstruct(row);
+  ASSERT_EQ(rec.size(), row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    EXPECT_NEAR(rec[c], row[c], 0.35 * std::abs(row[c]) + 2.0);
+  }
+}
+
+TEST(GlobalPredictorTest, ColdStartBeatsMeanBaseline) {
+  Rng rng(5);
+  // Two workload families with different latency laws over one knob; a third
+  // "new" workload behaves like family 0 and is held out entirely.
+  auto latency = [](int family, double knob) {
+    return family == 0 ? 20.0 - 10.0 * knob : 100.0 - 60.0 * knob;
+  };
+  Vector family;
+  Matrix metrics = FamilyMetrics(60, &rng, &family);
+  auto encoder = WorkloadEncoder::Fit(metrics, FastEncoder(), &rng);
+  ASSERT_TRUE(encoder.ok());
+
+  std::vector<GlobalPredictor::Observation> observations;
+  for (int i = 0; i < metrics.rows(); ++i) {
+    GlobalPredictor::Observation obs;
+    obs.metrics = metrics.Row(i);
+    const double knob = rng.Uniform();
+    obs.conf_encoded = {knob};
+    obs.value = latency(static_cast<int>(family[i]), knob) +
+                rng.Gaussian(0, 0.5);
+    observations.push_back(obs);
+  }
+  MlpModelConfig cfg;
+  cfg.hidden = {24};
+  cfg.activation = Activation::kTanh;
+  cfg.train.epochs = 500;
+  auto global = GlobalPredictor::Fit(observations, *encoder, cfg, &rng);
+  ASSERT_TRUE(global.ok());
+
+  // Cold-start: a brand new family-0 workload's metric vector.
+  Rng fresh(99);
+  Vector fresh_family;
+  Matrix fresh_metrics = FamilyMetrics(2, &fresh, &fresh_family);
+  const Vector new_metrics = fresh_metrics.Row(0);  // family 0
+  double model_err = 0.0;
+  double mean_err = 0.0;
+  double mean_latency = 0.0;
+  for (const auto& obs : observations) mean_latency += obs.value;
+  mean_latency /= observations.size();
+  for (double knob : {0.1, 0.5, 0.9}) {
+    const double truth = latency(0, knob);
+    model_err += std::abs((*global)->Predict(new_metrics, {knob}) - truth);
+    mean_err += std::abs(mean_latency - truth);
+  }
+  EXPECT_LT(model_err, 0.5 * mean_err);
+}
+
+TEST(GlobalPredictorTest, RejectsEmptyAndInconsistentInputs) {
+  Rng rng(6);
+  Matrix m = FamilyMetrics(20, &rng);
+  auto encoder = WorkloadEncoder::Fit(m, FastEncoder(), &rng);
+  ASSERT_TRUE(encoder.ok());
+  MlpModelConfig cfg;
+  EXPECT_FALSE(GlobalPredictor::Fit({}, *encoder, cfg, &rng).ok());
+  std::vector<GlobalPredictor::Observation> bad = {
+      {m.Row(0), {0.5}, 1.0}, {m.Row(1), {0.5, 0.6}, 2.0}};
+  EXPECT_FALSE(GlobalPredictor::Fit(bad, *encoder, cfg, &rng).ok());
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "spark/conf.h"
+#include "spark/dataflow.h"
+#include "spark/engine.h"
+
+namespace udao {
+namespace {
+
+// A representative SQL dataflow: scan -> filter -> exchange -> aggregate.
+Dataflow SimpleSqlFlow(double rows = 5e7) {
+  Dataflow flow("test_sql", WorkloadClass::kSql);
+  int scan = flow.AddScan(rows, 120);
+  int filter = flow.AddOp(
+      {.type = OpType::kFilter, .inputs = {scan}, .selectivity = 0.4});
+  int exchange = flow.AddOp({.type = OpType::kExchange, .inputs = {filter}});
+  flow.AddOp({.type = OpType::kHashAggregate,
+              .inputs = {exchange},
+              .selectivity = 0.05});
+  return flow;
+}
+
+// Join-heavy dataflow whose small side can be broadcast.
+Dataflow JoinFlow(double small_rows) {
+  Dataflow flow("test_join", WorkloadClass::kSql);
+  int big = flow.AddScan(4e7, 150);
+  int small = flow.AddScan(small_rows, 100);
+  flow.AddOp(
+      {.type = OpType::kJoin, .inputs = {small, big}, .selectivity = 0.8});
+  return flow;
+}
+
+EngineOptions NoNoise() {
+  EngineOptions opt;
+  opt.noise_stddev = 0.0;
+  return opt;
+}
+
+TEST(DataflowTest, ValidatesStructure) {
+  Dataflow flow = SimpleSqlFlow();
+  EXPECT_TRUE(flow.Validate().ok());
+  EXPECT_EQ(flow.CountOps(OpType::kScan), 1);
+  EXPECT_EQ(flow.CountOps(OpType::kExchange), 1);
+  EXPECT_GT(flow.TotalInputBytes(), 0.0);
+}
+
+TEST(DataflowTest, RejectsEmptyFlow) {
+  Dataflow flow("empty", WorkloadClass::kSql);
+  EXPECT_FALSE(flow.Validate().ok());
+}
+
+TEST(EngineTest, RunProducesPositiveSaneMetrics) {
+  SparkEngine engine(NoNoise());
+  RuntimeMetrics m = engine.Run(SimpleSqlFlow(), BatchParamSpace().Defaults());
+  EXPECT_GT(m.latency_s, 0.0);
+  EXPECT_GT(m.cpu_time_s, 0.0);
+  EXPECT_GT(m.bytes_read_mb, 0.0);
+  EXPECT_GT(m.shuffle_write_mb, 0.0);
+  EXPECT_EQ(m.num_stages, 2.0);
+  EXPECT_GE(m.cpu_utilization, 0.0);
+  EXPECT_LE(m.cpu_utilization, 1.0);
+}
+
+TEST(EngineTest, DeterministicEvenWithNoise) {
+  SparkEngine engine;  // default noise on
+  Vector conf = BatchParamSpace().Defaults();
+  double l1 = engine.Latency(SimpleSqlFlow(), conf);
+  double l2 = engine.Latency(SimpleSqlFlow(), conf);
+  EXPECT_DOUBLE_EQ(l1, l2);
+}
+
+TEST(EngineTest, MoreCoresNeverHurtOnBigJob) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(2e8);
+  Vector small = BatchParamSpace().Defaults();
+  Vector big = small;
+  small[1] = 4;   // 4 executors
+  small[2] = 2;   // 2 cores each -> 8 cores
+  big[1] = 24;    // 24 executors
+  big[2] = 4;     // 4 cores each -> 96 cores
+  EXPECT_GT(engine.Latency(flow, small), engine.Latency(flow, big));
+}
+
+TEST(EngineTest, TinyMemoryCausesSpill) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(2e8);
+  Vector conf = BatchParamSpace().Defaults();
+  conf[3] = 1;     // 1 GB per executor
+  conf[11] = 8;    // very few shuffle partitions -> huge per-task state
+  RuntimeMetrics starved = engine.Run(flow, conf);
+  Vector roomy = conf;
+  roomy[3] = 32;   // 32 GB per executor
+  RuntimeMetrics fine = engine.Run(flow, roomy);
+  EXPECT_GT(starved.spill_mb, fine.spill_mb);
+  EXPECT_GT(starved.latency_s, fine.latency_s);
+}
+
+TEST(EngineTest, CompressionTradesNetworkForCpu) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(1e8);
+  Vector on = BatchParamSpace().Defaults();
+  Vector off = on;
+  on[6] = 1;
+  off[6] = 0;
+  RuntimeMetrics with = engine.Run(flow, on);
+  RuntimeMetrics without = engine.Run(flow, off);
+  EXPECT_LT(with.shuffle_write_mb, without.shuffle_write_mb);
+  EXPECT_GT(with.cpu_time_s, without.cpu_time_s);
+}
+
+TEST(EngineTest, BroadcastThresholdSwitchesJoinStrategy) {
+  SparkEngine engine(NoNoise());
+  // Small side ~ 5 MB: broadcast when threshold is 16 MB, shuffle when 1 MB.
+  Dataflow flow = JoinFlow(5e4);
+  Vector broadcast = BatchParamSpace().Defaults();
+  Vector shuffle = broadcast;
+  broadcast[10] = 16;
+  shuffle[10] = 1;
+  RuntimeMetrics b = engine.Run(flow, broadcast);
+  RuntimeMetrics s = engine.Run(flow, shuffle);
+  EXPECT_LT(b.num_stages, s.num_stages);
+  EXPECT_LT(b.shuffle_write_mb, s.shuffle_write_mb);
+}
+
+TEST(EngineTest, ExcessivePartitionsAddOverhead) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(1e6);  // small job
+  Vector few = BatchParamSpace().Defaults();
+  Vector many = few;
+  few[11] = 16;
+  many[11] = 400;
+  EXPECT_LT(engine.Latency(flow, few), engine.Latency(flow, many));
+}
+
+TEST(EngineTest, SmallFetchWindowInflatesFetchWait) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(2e8);
+  Vector conf = BatchParamSpace().Defaults();
+  conf[11] = 16;  // few shuffle partitions -> large per-task fetches
+  Vector tight = conf;
+  Vector roomy = conf;
+  tight[4] = 8;    // spark.reducer.maxSizeInFlight = 8 MB
+  roomy[4] = 128;  // 128 MB
+  RuntimeMetrics m_tight = engine.Run(flow, tight);
+  RuntimeMetrics m_roomy = engine.Run(flow, roomy);
+  EXPECT_GT(m_tight.fetch_wait_s, m_roomy.fetch_wait_s);
+  EXPECT_GT(m_tight.latency_s, m_roomy.latency_s);
+}
+
+TEST(EngineTest, BypassMergeThresholdDiscountsShuffleWrites) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(2e8);
+  Vector conf = BatchParamSpace().Defaults();
+  conf[11] = 150;  // shuffle partitions
+  Vector bypass = conf;
+  Vector merge = conf;
+  bypass[5] = 800;  // threshold above partition count -> bypass path
+  merge[5] = 100;   // below -> full merge sort writes
+  EXPECT_LT(engine.Latency(flow, bypass), engine.Latency(flow, merge));
+}
+
+TEST(EngineTest, NoiseCreatesVarianceAcrossWorkloadNames) {
+  SparkEngine engine;  // noise on
+  Vector conf = BatchParamSpace().Defaults();
+  Dataflow a = SimpleSqlFlow();
+  Dataflow b("other_name", WorkloadClass::kSql);
+  b.AddScan(5e7, 120);
+  int f = b.AddOp(
+      {.type = OpType::kFilter, .inputs = {0}, .selectivity = 0.4});
+  int e = b.AddOp({.type = OpType::kExchange, .inputs = {f}});
+  b.AddOp({.type = OpType::kHashAggregate,
+           .inputs = {e},
+           .selectivity = 0.05});
+  // Same plan, different workload name -> different noise draw.
+  EXPECT_NE(engine.Latency(a, conf), engine.Latency(b, conf));
+}
+
+TEST(CostTest, CostInCoresIsInstancesTimesCores) {
+  Vector conf = BatchParamSpace().Defaults();
+  conf[1] = 10;
+  conf[2] = 4;
+  EXPECT_DOUBLE_EQ(CostInCores(conf), 40.0);
+}
+
+TEST(CostTest, CpuHoursScalesWithLatency) {
+  Vector conf = BatchParamSpace().Defaults();
+  EXPECT_DOUBLE_EQ(CostInCpuHours(3600.0, conf), CostInCores(conf));
+  EXPECT_DOUBLE_EQ(CostInCpuHours(0.0, conf), 0.0);
+}
+
+TEST(CostTest, Cost2IncludesIoComponent) {
+  Vector conf = BatchParamSpace().Defaults();
+  RuntimeMetrics none;
+  RuntimeMetrics heavy;
+  heavy.bytes_read_mb = 1e5;
+  EXPECT_GT(Cost2(10.0, heavy, conf), Cost2(10.0, none, conf));
+}
+
+// Property: latency is monotone non-increasing in total cores for a fixed
+// large workload, sweeping executor counts (wave-quantization can plateau but
+// adding executors must never make the simulated job slower by much).
+class CoreMonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoreMonotonicityProperty, AddingExecutorsNeverHurtsMuch) {
+  SparkEngine engine(NoNoise());
+  Dataflow flow = SimpleSqlFlow(1e8 * (1 + GetParam() % 3));
+  Vector conf = BatchParamSpace().Defaults();
+  double prev = 1e100;
+  for (int execs = 2; execs <= 28; execs += 2) {
+    conf[1] = execs;
+    const double lat = engine.Latency(flow, conf);
+    EXPECT_LE(lat, prev * 1.02) << "execs " << execs;
+    prev = lat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CoreMonotonicityProperty,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "model/feature.h"
+
+namespace udao {
+namespace {
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVariance) {
+  Matrix x = Matrix::FromRows({{1, 10}, {2, 20}, {3, 30}});
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix t = scaler.Transform(x);
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0;
+    for (int r = 0; r < 3; ++r) sum += t(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(t(0, 0), -1.0, 1e-9);
+  EXPECT_NEAR(t(2, 0), 1.0, 1e-9);
+}
+
+TEST(StandardScalerTest, ConstantColumnsAreFlaggedAndSafe) {
+  Matrix x = Matrix::FromRows({{5, 1}, {5, 2}, {5, 3}});
+  StandardScaler scaler;
+  scaler.Fit(x);
+  EXPECT_TRUE(scaler.constant_columns()[0]);
+  EXPECT_FALSE(scaler.constant_columns()[1]);
+  Matrix t = scaler.Transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);  // (5-5)/1
+}
+
+TEST(StandardScalerTest, InverseRoundTrips) {
+  Matrix x = Matrix::FromRows({{1, 2}, {3, 4}, {7, 8}});
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix t = scaler.Transform(x);
+  EXPECT_NEAR(scaler.Inverse(0, t(1, 0)), 3.0, 1e-12);
+  EXPECT_NEAR(scaler.Inverse(1, t(2, 1)), 8.0, 1e-12);
+}
+
+TEST(StandardScalerTest, TransformRowMatchesMatrixTransform) {
+  Matrix x = Matrix::FromRows({{1, 5}, {2, 6}, {3, 7}});
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix t = scaler.Transform(x);
+  Vector row = scaler.TransformRow({2, 6});
+  EXPECT_NEAR(row[0], t(1, 0), 1e-12);
+  EXPECT_NEAR(row[1], t(1, 1), 1e-12);
+}
+
+TEST(LassoTest, StrongRegularizationZeroesEverything) {
+  Rng rng(1);
+  Matrix x(50, 3);
+  Vector y(50);
+  for (int i = 0; i < 50; ++i) {
+    for (int c = 0; c < 3; ++c) x(i, c) = rng.Uniform();
+    y[i] = 2.0 * x(i, 0);
+  }
+  LassoResult fit = LassoFit(x, y, /*lambda=*/100.0);
+  for (double w : fit.coefficients) EXPECT_DOUBLE_EQ(w, 0.0);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.2);  // mean of y
+}
+
+TEST(LassoTest, WeakRegularizationRecoversSignal) {
+  Rng rng(2);
+  const int n = 200;
+  Matrix x(n, 4);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 4; ++c) x(i, c) = rng.Uniform();
+    y[i] = 5.0 * x(i, 0) - 3.0 * x(i, 1) + 0.01 * rng.Gaussian();
+  }
+  LassoResult fit = LassoFit(x, y, /*lambda=*/1e-4);
+  // Standardized coefficients: signs preserved, noise dims near zero.
+  EXPECT_GT(fit.coefficients[0], 0.5);
+  EXPECT_LT(fit.coefficients[1], -0.3);
+  EXPECT_NEAR(fit.coefficients[2], 0.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[3], 0.0, 0.05);
+}
+
+TEST(LassoTest, SparsityIncreasesWithLambda) {
+  Rng rng(3);
+  const int n = 120;
+  Matrix x(n, 6);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 6; ++c) x(i, c) = rng.Uniform();
+    y[i] = 4 * x(i, 0) + 2 * x(i, 1) + 1 * x(i, 2) + 0.5 * x(i, 3);
+  }
+  auto nonzeros = [&](double lambda) {
+    LassoResult fit = LassoFit(x, y, lambda);
+    int count = 0;
+    for (double w : fit.coefficients) count += (w != 0.0);
+    return count;
+  };
+  EXPECT_GE(nonzeros(1e-4), nonzeros(0.1));
+  EXPECT_GE(nonzeros(0.1), nonzeros(0.5));
+}
+
+TEST(LassoPathTest, RanksTrueSignalsFirst) {
+  Rng rng(4);
+  const int n = 300;
+  Matrix x(n, 8);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 8; ++c) x(i, c) = rng.Uniform();
+    y[i] = 10 * x(i, 2) + 5 * x(i, 5) + 0.05 * rng.Gaussian();
+  }
+  std::vector<int> order = LassoPathRank(x, y);
+  ASSERT_EQ(order.size(), 8u);
+  // The two real signals must rank in the top two.
+  EXPECT_TRUE((order[0] == 2 && order[1] == 5) ||
+              (order[0] == 5 && order[1] == 2));
+}
+
+TEST(SelectKnobsTest, HonorsAlwaysKeepAndBudget) {
+  Rng rng(5);
+  const int n = 200;
+  Matrix x(n, 6);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 6; ++c) x(i, c) = rng.Uniform();
+    y[i] = 7 * x(i, 1) + 3 * x(i, 4);
+  }
+  std::vector<int> knobs = SelectKnobs(x, y, 3, {0});
+  EXPECT_EQ(knobs.size(), 3u);
+  EXPECT_TRUE(std::count(knobs.begin(), knobs.end(), 0));  // always kept
+  EXPECT_TRUE(std::count(knobs.begin(), knobs.end(), 1));  // strongest signal
+  EXPECT_TRUE(std::is_sorted(knobs.begin(), knobs.end()));
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "model/gp_model.h"
+
+namespace udao {
+namespace {
+
+// Samples a smooth 2D function on random points.
+void MakeSmoothData(int n, Rng* rng, Matrix* x, Vector* y,
+                    double noise = 0.0) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng->Uniform();
+    (*x)(i, 1) = rng->Uniform();
+    (*y)[i] = std::sin(3.0 * (*x)(i, 0)) + 0.5 * (*x)(i, 1) +
+              (noise > 0 ? rng->Gaussian(0, noise) : 0.0);
+  }
+}
+
+GpConfig FastConfig() {
+  GpConfig cfg;
+  cfg.hyper_opt_steps = 40;
+  return cfg;
+}
+
+TEST(GpModelTest, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_FALSE(GpModel::Fit(Matrix(), {}, GpConfig()).ok());
+  Matrix x(3, 2);
+  Vector y = {1.0, 2.0};
+  EXPECT_FALSE(GpModel::Fit(x, y, GpConfig()).ok());
+}
+
+TEST(GpModelTest, InterpolatesTrainingPointsWithLowNoise) {
+  Rng rng(1);
+  Matrix x;
+  Vector y;
+  MakeSmoothData(40, &rng, &x, &y);
+  GpConfig cfg = FastConfig();
+  auto gp = GpModel::Fit(x, y, cfg);
+  ASSERT_TRUE(gp.ok());
+  for (int i = 0; i < x.rows(); i += 5) {
+    EXPECT_NEAR((*gp)->Predict(x.Row(i)), y[i], 0.1) << "point " << i;
+  }
+}
+
+TEST(GpModelTest, GeneralizesToHeldOutPoints) {
+  Rng rng(2);
+  Matrix x;
+  Vector y;
+  MakeSmoothData(80, &rng, &x, &y);
+  auto gp = GpModel::Fit(x, y, FastConfig());
+  ASSERT_TRUE(gp.ok());
+  Matrix xt;
+  Vector yt;
+  MakeSmoothData(20, &rng, &xt, &yt);
+  for (int i = 0; i < xt.rows(); ++i) {
+    EXPECT_NEAR((*gp)->Predict(xt.Row(i)), yt[i], 0.25) << "point " << i;
+  }
+}
+
+TEST(GpModelTest, UncertaintyGrowsAwayFromData) {
+  Rng rng(3);
+  // Cluster all training points near the origin corner.
+  const int n = 30;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 0.2);
+    x(i, 1) = rng.Uniform(0.0, 0.2);
+    y[i] = x(i, 0) + x(i, 1);
+  }
+  auto gp = GpModel::Fit(x, y, FastConfig());
+  ASSERT_TRUE(gp.ok());
+  double mean_near = 0.0;
+  double std_near = 0.0;
+  double mean_far = 0.0;
+  double std_far = 0.0;
+  (*gp)->PredictWithUncertainty({0.1, 0.1}, &mean_near, &std_near);
+  (*gp)->PredictWithUncertainty({0.95, 0.95}, &mean_far, &std_far);
+  EXPECT_GT(std_far, std_near);
+}
+
+TEST(GpModelTest, HyperparameterFitImprovesMarginalLikelihood) {
+  Rng rng(4);
+  Matrix x;
+  Vector y;
+  MakeSmoothData(50, &rng, &x, &y, /*noise=*/0.05);
+  GpConfig fixed = FastConfig();
+  fixed.hyper_opt_steps = 0;
+  GpConfig fitted = FastConfig();
+  auto gp0 = GpModel::Fit(x, y, fixed);
+  auto gp1 = GpModel::Fit(x, y, fitted);
+  ASSERT_TRUE(gp0.ok());
+  ASSERT_TRUE(gp1.ok());
+  EXPECT_GE((*gp1)->log_marginal_likelihood(),
+            (*gp0)->log_marginal_likelihood());
+}
+
+TEST(GpModelTest, SurvivesDuplicateTrainingPoints) {
+  Matrix x(6, 1);
+  Vector y(6);
+  for (int i = 0; i < 6; ++i) {
+    x(i, 0) = 0.5;  // all identical inputs
+    y[i] = 1.0 + 0.01 * i;
+  }
+  auto gp = GpModel::Fit(x, y, FastConfig());
+  ASSERT_TRUE(gp.ok());
+  EXPECT_NEAR((*gp)->Predict({0.5}), 1.025, 0.2);
+}
+
+TEST(GpModelTest, ConstantTargetsPredictConstant) {
+  Rng rng(5);
+  Matrix x(10, 2);
+  Vector y(10, 3.14);
+  for (int i = 0; i < 10; ++i) {
+    x(i, 0) = rng.Uniform();
+    x(i, 1) = rng.Uniform();
+  }
+  auto gp = GpModel::Fit(x, y, FastConfig());
+  ASSERT_TRUE(gp.ok());
+  EXPECT_NEAR((*gp)->Predict({0.5, 0.5}), 3.14, 0.05);
+}
+
+// Property: analytic posterior-mean gradient matches finite differences.
+class GpGradientProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpGradientProperty, MeanGradientMatchesFiniteDifferences) {
+  Rng rng(GetParam());
+  Matrix x;
+  Vector y;
+  MakeSmoothData(30, &rng, &x, &y);
+  auto gp = GpModel::Fit(x, y, FastConfig());
+  ASSERT_TRUE(gp.ok());
+  const double h = 1e-6;
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector p = {rng.Uniform(), rng.Uniform()};
+    Vector grad = (*gp)->InputGradient(p);
+    for (int d = 0; d < 2; ++d) {
+      Vector pp = p;
+      Vector pm = p;
+      pp[d] += h;
+      pm[d] -= h;
+      const double fd = ((*gp)->Predict(pp) - (*gp)->Predict(pm)) / (2 * h);
+      EXPECT_NEAR(grad[d], fd, 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpGradientProperty,
+                         ::testing::Values(20, 21, 22, 23));
+
+TEST(GpModelTest, NoisyTargetsLearnNonTrivialNoiseVariance) {
+  Rng rng(6);
+  Matrix x;
+  Vector y;
+  MakeSmoothData(60, &rng, &x, &y, /*noise=*/0.3);
+  GpConfig cfg = FastConfig();
+  cfg.hyper_opt_steps = 80;
+  auto gp = GpModel::Fit(x, y, cfg);
+  ASSERT_TRUE(gp.ok());
+  // With sizable observation noise the fitted noise variance should exceed
+  // the near-zero init region.
+  EXPECT_GT((*gp)->noise_var(), 1e-3);
+}
+
+TEST(GpModelTest, LogTransformPositivePredictionsAndGradient) {
+  Rng rng(30);
+  const int n = 50;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform();
+    x(i, 1) = rng.Uniform();
+    y[i] = std::exp(1.0 + x(i, 0) - x(i, 1));
+  }
+  GpConfig cfg;
+  cfg.hyper_opt_steps = 30;
+  cfg.log_transform_targets = true;
+  auto gp = GpModel::Fit(x, y, cfg);
+  ASSERT_TRUE(gp.ok());
+  const double h = 1e-6;
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector p = {rng.Uniform(), rng.Uniform()};
+    EXPECT_GT((*gp)->Predict(p), 0.0);
+    Vector grad = (*gp)->InputGradient(p);
+    for (int d = 0; d < 2; ++d) {
+      Vector pp = p;
+      Vector pm = p;
+      pp[d] += h;
+      pm[d] -= h;
+      const double fd = ((*gp)->Predict(pp) - (*gp)->Predict(pm)) / (2 * h);
+      EXPECT_NEAR(grad[d], fd, 1e-3 * std::max(1.0, std::abs(fd)));
+    }
+  }
+}
+
+TEST(GpModelTest, LogTransformUncertaintyScalesWithMean) {
+  Rng rng(31);
+  Matrix x(20, 1);
+  Vector y(20);
+  for (int i = 0; i < 20; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 0.3);
+    y[i] = 100.0;
+  }
+  GpConfig cfg;
+  cfg.hyper_opt_steps = 10;
+  cfg.log_transform_targets = true;
+  auto gp = GpModel::Fit(x, y, cfg);
+  ASSERT_TRUE(gp.ok());
+  double mean = 0.0;
+  double stddev = 0.0;
+  (*gp)->PredictWithUncertainty({0.9}, &mean, &stddev);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_GT(stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "moo/pareto.h"
+
+namespace udao {
+namespace {
+
+MooPoint P(Vector objectives) { return MooPoint{std::move(objectives), {}}; }
+
+TEST(DominatesTest, BasicCases) {
+  EXPECT_TRUE(Dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(Dominates({1, 2}, {1, 3}));
+  EXPECT_FALSE(Dominates({1, 1}, {1, 1}));  // equal: not strict
+  EXPECT_FALSE(Dominates({1, 3}, {2, 2}));  // incomparable
+  EXPECT_FALSE(Dominates({2, 2}, {1, 1}));
+}
+
+TEST(ParetoFilterTest, RemovesDominatedAndDuplicates) {
+  auto out = ParetoFilter({P({1, 5}), P({2, 4}), P({3, 6}), P({2, 4}),
+                           P({5, 1})});
+  // (3,6) dominated by (2,4); one (2,4) deduplicated.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(MutuallyNonDominated(out));
+}
+
+TEST(ParetoFilterTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ParetoFilter({}).empty());
+  auto out = ParetoFilter({P({1, 2})});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(HyperrectVolumeTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(HyperrectVolume({0, 0}, {2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(HyperrectVolume({0, 0}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(HyperrectVolume({0, 0}, {-1, 3}), 0.0);
+}
+
+TEST(HypervolumeTest, SinglePoint2D) {
+  // Box [p, ref] area.
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{1, 1}}, {3, 4}), 2.0 * 3.0);
+}
+
+TEST(HypervolumeTest, TwoPoints2DWithOverlap) {
+  // Points (1,3) and (2,1), ref (4,4): union area = 3*1 + 2*3 - 2*1 = 7.
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{1, 3}, {2, 1}}, {4, 4}), 7.0);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const double hv1 = DominatedHypervolume({{1, 1}}, {4, 4});
+  const double hv2 = DominatedHypervolume({{1, 1}, {2, 2}}, {4, 4});
+  EXPECT_DOUBLE_EQ(hv1, hv2);
+}
+
+TEST(HypervolumeTest, PointsBeyondRefIgnored) {
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{5, 5}}, {4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{1, 5}}, {4, 4}), 0.0);
+}
+
+TEST(HypervolumeTest, Exact3DBox) {
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{0, 0, 0}}, {2, 3, 4}), 24.0);
+  // Two disjoint-ish boxes: (0,0,2)->(2,3,4): 2*3*2=12; (1,1,0)->(2,3,4):
+  // 1*2*4=8; overlap (1,1,2)->(2,3,4): 1*2*2=4 -> union 16.
+  EXPECT_DOUBLE_EQ(DominatedHypervolume({{0, 0, 2}, {1, 1, 0}}, {2, 3, 4}),
+                   16.0);
+}
+
+TEST(HypervolumeTest, QmcApproximates4DBox) {
+  const double hv = DominatedHypervolume({{0, 0, 0, 0}}, {1, 1, 1, 1});
+  EXPECT_NEAR(hv, 1.0, 0.02);
+}
+
+// Property: exact 2D/3D hypervolume agrees with a brute-force Monte-Carlo
+// estimate on random point clouds.
+class HypervolumeCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypervolumeCrossCheck, ExactMatchesMonteCarlo) {
+  Rng rng(GetParam());
+  const int k = 2 + GetParam() % 2;
+  std::vector<Vector> points;
+  for (int i = 0; i < 8; ++i) {
+    Vector f(k);
+    for (int d = 0; d < k; ++d) f[d] = rng.Uniform();
+    points.push_back(std::move(f));
+  }
+  Vector ref(k, 1.2);
+  const double exact = DominatedHypervolume(points, ref);
+  // Brute-force MC over [0, ref].
+  const int samples = 60000;
+  int dominated = 0;
+  for (int s = 0; s < samples; ++s) {
+    Vector q(k);
+    for (int d = 0; d < k; ++d) q[d] = rng.Uniform(0.0, 1.2);
+    for (const Vector& p : points) {
+      bool dom = true;
+      for (int d = 0; d < k; ++d) {
+        if (p[d] > q[d]) {
+          dom = false;
+          break;
+        }
+      }
+      if (dom) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  const double mc = std::pow(1.2, k) * dominated / samples;
+  EXPECT_NEAR(exact, mc, 0.03 * std::pow(1.2, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeCrossCheck,
+                         ::testing::Range(200, 208));
+
+TEST(UncertainSpaceTest, EmptyFrontierIs100) {
+  EXPECT_DOUBLE_EQ(UncertainSpacePercent({}, {0, 0}, {1, 1}), 100.0);
+}
+
+TEST(UncertainSpaceTest, CenterPointLeavesHalf) {
+  // Center of the unit box: dominated quarter + dominating quarter removed.
+  const double u = UncertainSpacePercent({P({0.5, 0.5})}, {0, 0}, {1, 1});
+  EXPECT_NEAR(u, 50.0, 1e-9);
+}
+
+TEST(UncertainSpaceTest, DenseFrontierApproachesZero) {
+  // Points along the anti-diagonal y = 1 - x.
+  std::vector<MooPoint> frontier;
+  const int n = 200;
+  for (int i = 0; i <= n; ++i) {
+    const double x = static_cast<double>(i) / n;
+    frontier.push_back(P({x, 1.0 - x}));
+  }
+  const double u = UncertainSpacePercent(frontier, {0, 0}, {1, 1});
+  EXPECT_LT(u, 2.0);
+}
+
+TEST(UncertainSpaceTest, MorePointsNeverIncreaseUncertainty) {
+  Rng rng(9);
+  std::vector<MooPoint> frontier;
+  double prev = 100.0;
+  for (int i = 0; i < 20; ++i) {
+    const double x = rng.Uniform();
+    frontier.push_back(P({x, 1.0 - x}));
+    const double u = UncertainSpacePercent(frontier, {0, 0}, {1, 1});
+    EXPECT_LE(u, prev + 1e-9);
+    prev = u;
+  }
+}
+
+TEST(UncertainSpaceTest, PointsOutsideBoxAreClamped) {
+  const double u = UncertainSpacePercent({P({-1.0, 2.0})}, {0, 0}, {1, 1});
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 100.0);
+}
+
+// Property: dominated + dominating volumes never exceed the box volume for
+// mutually non-dominated random frontiers.
+class UncertainSpaceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UncertainSpaceProperty, StaysWithinBounds) {
+  Rng rng(GetParam());
+  const int k = 2 + GetParam() % 2;  // 2D and 3D
+  std::vector<MooPoint> points;
+  for (int i = 0; i < 15; ++i) {
+    Vector f(k);
+    for (int j = 0; j < k; ++j) f[j] = rng.Uniform();
+    points.push_back(P(f));
+  }
+  points = ParetoFilter(std::move(points));
+  Vector utopia(k, 0.0);
+  Vector nadir(k, 1.0);
+  const double u = UncertainSpacePercent(points, utopia, nadir);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UncertainSpaceProperty,
+                         ::testing::Range(50, 62));
+
+}  // namespace
+}  // namespace udao

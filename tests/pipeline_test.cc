@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/pipeline.h"
+#include "test_problems.h"
+
+namespace udao {
+namespace {
+
+using testing_problems::ConvexProblem;
+using testing_problems::UnitSpace2;
+
+PipelinePoint P(Vector objectives, std::vector<Vector> confs = {{0.0}}) {
+  return PipelinePoint{std::move(objectives), std::move(confs)};
+}
+
+TEST(PipelineComposeTest, SumsAndFilters) {
+  // a: (1,4) and (3,1); b: (2,2) and (5,0).
+  // Sums: (3,6) (6,4) (5,3) (8,1) -- (6,4) dominated by (5,3).
+  std::vector<PipelinePoint> a = {P({1, 4}, {{0.1}}), P({3, 1}, {{0.2}})};
+  std::vector<PipelinePoint> b = {P({2, 2}, {{0.3}}), P({5, 0}, {{0.4}})};
+  auto out = PipelineOptimizer::Compose(a, b, 100);
+  ASSERT_EQ(out.size(), 3u);
+  for (const PipelinePoint& p : out) {
+    EXPECT_NE(p.objectives, (Vector{6, 4}));
+    EXPECT_EQ(p.stage_confs_encoded.size(), 2u);
+  }
+}
+
+TEST(PipelineComposeTest, TracksStageDecomposition) {
+  std::vector<PipelinePoint> a = {P({1, 4}, {{0.1}})};
+  std::vector<PipelinePoint> b = {P({2, 2}, {{0.3}})};
+  auto out = PipelineOptimizer::Compose(a, b, 100);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].objectives, (Vector{3, 6}));
+  EXPECT_DOUBLE_EQ(out[0].stage_confs_encoded[0][0], 0.1);
+  EXPECT_DOUBLE_EQ(out[0].stage_confs_encoded[1][0], 0.3);
+}
+
+TEST(PipelineComposeTest, ThinningKeepsExtremes) {
+  std::vector<PipelinePoint> a;
+  std::vector<PipelinePoint> b;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = i / 20.0;
+    a.push_back(P({t, 1.0 - t}, {{t}}));
+    b.push_back(P({t, 1.0 - t}, {{t}}));
+  }
+  auto out = PipelineOptimizer::Compose(a, b, 8);
+  EXPECT_LE(out.size(), 8u);
+  double min0 = 1e9;
+  double max0 = -1e9;
+  for (const PipelinePoint& p : out) {
+    min0 = std::min(min0, p.objectives[0]);
+    max0 = std::max(max0, p.objectives[0]);
+  }
+  EXPECT_NEAR(min0, 0.0, 1e-9);  // both stage minima kept
+  EXPECT_NEAR(max0, 2.0, 1e-9);
+}
+
+class PipelineOptimizerTest : public ::testing::Test {
+ protected:
+  PipelineOptions FastOptions() {
+    PipelineOptions options;
+    options.pf.mogd.multistart = 4;
+    options.pf.mogd.max_iters = 100;
+    options.points_per_stage = 8;
+    // Test problems are exact models: no conservative adjustment, so the
+    // composed objectives equal the plain stage sums.
+    options.uncertainty_alpha = 0.0;
+    return options;
+  }
+};
+
+TEST_F(PipelineOptimizerTest, TwoStagePipelineFrontier) {
+  MooProblem stage_a = ConvexProblem();
+  MooProblem stage_b = ConvexProblem();
+  PipelineOptimizer optimizer(FastOptions());
+  auto result = optimizer.Optimize(
+      {{"etl", &stage_a}, {"train", &stage_b}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->frontier.size(), 5u);
+  EXPECT_EQ(result->stage_frontier_sizes.size(), 2u);
+  // Each frontier point decomposes into 2 configurations, and the summed
+  // frontier is mutually non-dominated.
+  std::vector<MooPoint> as_points;
+  for (const PipelinePoint& p : result->frontier) {
+    EXPECT_EQ(p.stage_confs_encoded.size(), 2u);
+    as_points.push_back(MooPoint{p.objectives, {}});
+  }
+  EXPECT_TRUE(MutuallyNonDominated(as_points));
+  // Sums of two frontiers bounded below by 0 (both problems have min 0).
+  EXPECT_GE(result->utopia[0], -1e-6);
+}
+
+TEST_F(PipelineOptimizerTest, PipelinePointObjectivesMatchStageSums) {
+  MooProblem stage = ConvexProblem();
+  PipelineOptimizer optimizer(FastOptions());
+  auto result = optimizer.Optimize({{"a", &stage}, {"b", &stage}});
+  ASSERT_TRUE(result.ok());
+  for (const PipelinePoint& p : result->frontier) {
+    Vector sum(2, 0.0);
+    for (const Vector& conf : p.stage_confs_encoded) {
+      const Vector f = stage.Evaluate(conf);
+      for (int d = 0; d < 2; ++d) sum[d] += f[d];
+    }
+    EXPECT_NEAR(sum[0], p.objectives[0], 1e-9);
+    EXPECT_NEAR(sum[1], p.objectives[1], 1e-9);
+  }
+}
+
+TEST_F(PipelineOptimizerTest, RecommendFollowsWeights) {
+  MooProblem stage = ConvexProblem();
+  PipelineOptimizer optimizer(FastOptions());
+  auto result = optimizer.Optimize({{"a", &stage}, {"b", &stage}});
+  ASSERT_TRUE(result.ok());
+  auto f1_heavy = PipelineOptimizer::Recommend(*result, {0.9, 0.1});
+  auto f2_heavy = PipelineOptimizer::Recommend(*result, {0.1, 0.9});
+  ASSERT_TRUE(f1_heavy.has_value());
+  ASSERT_TRUE(f2_heavy.has_value());
+  EXPECT_LE(f1_heavy->objectives[0], f2_heavy->objectives[0] + 1e-9);
+  EXPECT_GE(f1_heavy->objectives[1], f2_heavy->objectives[1] - 1e-9);
+}
+
+TEST_F(PipelineOptimizerTest, RejectsBadPipelines) {
+  PipelineOptimizer optimizer(FastOptions());
+  EXPECT_FALSE(optimizer.Optimize({}).ok());
+  MooProblem two = ConvexProblem();
+  MooProblem three = testing_problems::Tri();
+  EXPECT_FALSE(optimizer.Optimize({{"a", &two}, {"b", &three}}).ok());
+}
+
+TEST_F(PipelineOptimizerTest, SingleStageDegeneratesToPlainFrontier) {
+  MooProblem stage = ConvexProblem();
+  PipelineOptimizer optimizer(FastOptions());
+  auto result = optimizer.Optimize({{"only", &stage}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->frontier.size(), 5u);
+  for (const PipelinePoint& p : result->frontier) {
+    EXPECT_EQ(p.stage_confs_encoded.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "moo/recommend.h"
+
+namespace udao {
+namespace {
+
+MooPoint P(Vector objectives) { return MooPoint{std::move(objectives), {}}; }
+
+// A convex frontier in (latency, cost) space.
+std::vector<MooPoint> Frontier() {
+  return {P({100, 24}), P({120, 20}), P({150, 16}), P({200, 12}),
+          P({300, 8})};
+}
+
+TEST(UtopiaNearestTest, PicksBalancedPoint) {
+  auto best = UtopiaNearest(Frontier(), {100, 8}, {300, 24});
+  ASSERT_TRUE(best.has_value());
+  // The middle point (150,16) has normalized coords (.25,.5); (200,12) has
+  // (.5,.25); (120,20) has (.1,.75). Distances: (150,16) is the minimum.
+  EXPECT_EQ(best->objectives, (Vector{150, 16}));
+}
+
+TEST(UtopiaNearestTest, EmptyFrontierIsNullopt) {
+  EXPECT_FALSE(UtopiaNearest({}, {0, 0}, {1, 1}).has_value());
+}
+
+TEST(WeightedUtopiaNearestTest, LatencyWeightPullsTowardFastConfigs) {
+  Vector utopia = {100, 8};
+  Vector nadir = {300, 24};
+  auto balanced = WeightedUtopiaNearest(Frontier(), utopia, nadir, {0.5, 0.5});
+  auto latency_heavy =
+      WeightedUtopiaNearest(Frontier(), utopia, nadir, {0.9, 0.1});
+  auto cost_heavy =
+      WeightedUtopiaNearest(Frontier(), utopia, nadir, {0.1, 0.9});
+  ASSERT_TRUE(balanced.has_value());
+  ASSERT_TRUE(latency_heavy.has_value());
+  ASSERT_TRUE(cost_heavy.has_value());
+  EXPECT_LE(latency_heavy->objectives[0], balanced->objectives[0]);
+  EXPECT_GE(cost_heavy->objectives[0], balanced->objectives[0]);
+  EXPECT_LE(cost_heavy->objectives[1], balanced->objectives[1]);
+}
+
+TEST(CombineWeightsTest, ProductRenormalized) {
+  Vector w = CombineWeights({0.7, 0.3}, {0.5, 0.5});
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  EXPECT_NEAR(w[0] / w[1], 0.7 / 0.3, 1e-9);
+}
+
+TEST(CombineWeightsTest, DegenerateFallsBackToUniform) {
+  Vector w = CombineWeights({1.0, 0.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(WorkloadAwareWeightsTest, LongJobsFavorLatency) {
+  Vector short_job = WorkloadAwareInternalWeights(5.0);
+  Vector medium_job = WorkloadAwareInternalWeights(30.0);
+  Vector long_job = WorkloadAwareInternalWeights(200.0);
+  EXPECT_LT(short_job[0], medium_job[0]);
+  EXPECT_LT(medium_job[0], long_job[0]);
+  EXPECT_GT(short_job[1], long_job[1]);
+}
+
+TEST(SlopeMaximizationTest, PicksSteepestFromLeftAnchor) {
+  // Left anchor is (100,24). Slopes to others: (120,20): 4/20=0.2;
+  // (150,16): 8/50=0.16; (200,12): 12/100=0.12; (300,8): 16/200=0.08.
+  auto best = SlopeMaximization(Frontier(), SlopeSide::kLeft);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->objectives, (Vector{120, 20}));
+}
+
+TEST(SlopeMaximizationTest, SingletonFrontierReturnsIt) {
+  auto best = SlopeMaximization({P({10, 10})}, SlopeSide::kRight);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->objectives, (Vector{10, 10}));
+}
+
+TEST(KneePointTest, PrefersInteriorTradeoffPoint) {
+  auto knee = KneePoint(Frontier(), SlopeSide::kLeft);
+  ASSERT_TRUE(knee.has_value());
+  // Knee must be an interior point, not an anchor.
+  EXPECT_NE(knee->objectives, (Vector{100, 24}));
+  EXPECT_NE(knee->objectives, (Vector{300, 8}));
+}
+
+TEST(KneePointTest, TwoPointFrontierReturnsAnAnchor) {
+  std::vector<MooPoint> two = {P({1, 10}), P({10, 1})};
+  auto left = KneePoint(two, SlopeSide::kLeft);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(left->objectives, (Vector{1, 10}));
+  auto right = KneePoint(two, SlopeSide::kRight);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->objectives, (Vector{10, 1}));
+}
+
+TEST(RecommendTest, EmptyFrontiersAreSafeEverywhere) {
+  EXPECT_FALSE(WeightedUtopiaNearest({}, {0, 0}, {1, 1}, {0.5, 0.5}));
+  EXPECT_FALSE(SlopeMaximization({}, SlopeSide::kLeft));
+  EXPECT_FALSE(KneePoint({}, SlopeSide::kRight));
+}
+
+}  // namespace
+}  // namespace udao

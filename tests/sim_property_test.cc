@@ -1,0 +1,122 @@
+// Property sweeps of the execution substrate across the full benchmark:
+// every template, many random configurations, global invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "spark/engine.h"
+#include "spark/streaming.h"
+#include "workload/streambench.h"
+#include "workload/tpcxbb.h"
+
+namespace udao {
+namespace {
+
+// Every template, random configurations: metrics are finite, non-negative,
+// and internally consistent.
+class BatchTemplateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchTemplateProperty, MetricsAreSane) {
+  const int template_id = GetParam();
+  SparkEngine engine;
+  BatchWorkload w = MakeTpcxbbWorkload(template_id);
+  Rng rng(500 + template_id);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vector conf = BatchParamSpace().Sample(&rng);
+    RuntimeMetrics m = engine.Run(w.flow, conf);
+    const Vector values = m.ToVector();
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(values[i]))
+          << RuntimeMetrics::Names()[i] << " trial " << trial;
+      EXPECT_GE(values[i], 0.0)
+          << RuntimeMetrics::Names()[i] << " trial " << trial;
+    }
+    EXPECT_GT(m.latency_s, 0.0);
+    EXPECT_GE(m.num_tasks, 1.0);
+    EXPECT_GE(m.num_stages, 1.0);
+    EXPECT_LE(m.cpu_utilization, 1.0);
+    // Per-run costs are consistent with the latency.
+    EXPECT_NEAR(CostInCpuHours(m.latency_s, conf),
+                m.latency_s * CostInCores(conf) / 3600.0, 1e-9);
+    EXPECT_GT(Cost2(m.latency_s, m, conf), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, BatchTemplateProperty,
+                         ::testing::Range(1, kNumTpcxbbTemplates + 1));
+
+// Job-level invariants at defaults across a sample of all 258 workloads.
+TEST(BatchBenchmarkTest, VariantsScaleLatencyWithinTemplate) {
+  SparkEngine engine;
+  const Vector conf = BatchParamSpace().Defaults();
+  int scale_monotone = 0;
+  int total = 0;
+  for (int t = 1; t <= kNumTpcxbbTemplates; ++t) {
+    // Variants 0 and 7 of the same template: bigger scale, bigger input.
+    BatchWorkload small = MakeTpcxbbWorkload(t);
+    BatchWorkload large = MakeTpcxbbWorkload(t + 7 * kNumTpcxbbTemplates);
+    EXPECT_GT(large.flow.TotalInputBytes(), small.flow.TotalInputBytes());
+    ++total;
+    if (engine.Latency(large.flow, conf) > engine.Latency(small.flow, conf)) {
+      ++scale_monotone;
+    }
+  }
+  // Latency noise can flip a few, but the trend must hold broadly.
+  EXPECT_GE(scale_monotone, total - 2);
+}
+
+TEST(BatchBenchmarkTest, UdfTemplatesAreCpuBound) {
+  SparkEngine engine;
+  const Vector conf = BatchParamSpace().Defaults();
+  // The Q2-style UDF pipeline spends most of its time in CPU.
+  BatchWorkload udf = MakeTpcxbbWorkload(2);
+  RuntimeMetrics m = engine.Run(udf.flow, conf);
+  EXPECT_GT(m.cpu_time_s, 2.0 * m.io_wait_s);
+}
+
+// Streaming: every template, random configurations.
+class StreamTemplateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamTemplateProperty, ResultsAreSane) {
+  StreamEngine engine;
+  StreamWorkload w = MakeStreamWorkload(GetParam());
+  Rng rng(600 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vector conf = StreamParamSpace().Sample(&rng);
+    StreamResult r = engine.Run(w.profile, conf);
+    EXPECT_TRUE(std::isfinite(r.record_latency_s));
+    EXPECT_GT(r.record_latency_s, 0.0);
+    EXPECT_GT(r.throughput_krps, 0.0);
+    EXPECT_LE(r.throughput_krps,
+              StreamConf::FromRaw(conf).input_rate_krps + 1e-9);
+    EXPECT_GT(r.batch_processing_s, 0.0);
+    if (r.stable) {
+      // Stable: all incoming records are carried.
+      EXPECT_DOUBLE_EQ(r.throughput_krps,
+                       StreamConf::FromRaw(conf).input_rate_krps);
+      // And latency is bounded by interval + processing.
+      EXPECT_LE(r.record_latency_s,
+                conf[0] / 1000.0 + r.batch_processing_s + 1e-9);
+    } else {
+      EXPECT_LT(r.throughput_krps,
+                StreamConf::FromRaw(conf).input_rate_krps);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, StreamTemplateProperty,
+                         ::testing::Range(1, kNumStreamTemplates + 1));
+
+TEST(StreamBenchmarkTest, HigherIntensityVariantsProcessSlower) {
+  StreamEngine engine;
+  const Vector conf = StreamParamSpace().Defaults();
+  // Same template, low vs high intensity variant.
+  StreamResult low = engine.Run(MakeStreamWorkload(1).profile, conf);
+  StreamResult high = engine.Run(
+      MakeStreamWorkload(1 + 9 * kNumStreamTemplates).profile, conf);
+  EXPECT_GT(high.batch_processing_s, low.batch_processing_s);
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "spark/conf.h"
+#include "spark/streaming.h"
+
+namespace udao {
+namespace {
+
+StreamWorkloadProfile Profile() {
+  StreamWorkloadProfile p;
+  p.name = "click_agg";
+  p.map_ops_per_record = 4.0;
+  p.reduce_ops_per_record = 3.0;
+  p.bytes_per_record = 250;
+  p.shuffle_fraction = 0.4;
+  return p;
+}
+
+StreamEngineOptions NoNoise() {
+  StreamEngineOptions opt;
+  opt.noise_stddev = 0.0;
+  return opt;
+}
+
+TEST(StreamEngineTest, StableUnderLightLoad) {
+  StreamEngine engine(NoNoise());
+  Vector conf = StreamParamSpace().Defaults();
+  conf[2] = 100;  // 100k records/s
+  conf[4] = 16;   // plenty of executors
+  conf[5] = 4;
+  StreamResult r = engine.Run(Profile(), conf);
+  EXPECT_TRUE(r.stable);
+  EXPECT_DOUBLE_EQ(r.throughput_krps, 100);
+  // Stable latency >= half the batch interval.
+  EXPECT_GE(r.record_latency_s, conf[0] / 1000.0 / 2.0);
+}
+
+TEST(StreamEngineTest, OverloadSaturatesThroughputAndInflatesLatency) {
+  StreamEngine engine(NoNoise());
+  Vector conf = StreamParamSpace().Defaults();
+  conf[2] = 1200;  // max input rate
+  conf[4] = 2;     // starved: 2 executors x 1 core
+  conf[5] = 1;
+  StreamResult r = engine.Run(Profile(), conf);
+  EXPECT_FALSE(r.stable);
+  EXPECT_LT(r.throughput_krps, 1200);
+  EXPECT_GT(r.record_latency_s, r.batch_processing_s);
+}
+
+TEST(StreamEngineTest, MoreCoresReduceProcessingTime) {
+  StreamEngine engine(NoNoise());
+  Vector small = StreamParamSpace().Defaults();
+  small[2] = 800;
+  small[4] = 2;
+  small[5] = 1;
+  Vector big = small;
+  big[4] = 24;
+  big[5] = 6;
+  StreamResult rs = engine.Run(Profile(), small);
+  StreamResult rb = engine.Run(Profile(), big);
+  EXPECT_GT(rs.batch_processing_s, rb.batch_processing_s);
+}
+
+TEST(StreamEngineTest, LatencyThroughputTradeoffExists) {
+  // With fixed resources, pushing the input rate up raises throughput until
+  // saturation while raising latency -- the Fig. 5 tension.
+  StreamEngine engine(NoNoise());
+  Vector conf = StreamParamSpace().Defaults();
+  conf[4] = 6;
+  conf[5] = 2;
+  conf[2] = 100;
+  StreamResult low = engine.Run(Profile(), conf);
+  conf[2] = 1200;
+  StreamResult high = engine.Run(Profile(), conf);
+  EXPECT_GT(high.throughput_krps, low.throughput_krps);
+  EXPECT_GT(high.record_latency_s, low.record_latency_s);
+}
+
+TEST(StreamEngineTest, ShorterBatchIntervalLowersStableLatency) {
+  StreamEngine engine(NoNoise());
+  Vector conf = StreamParamSpace().Defaults();
+  conf[2] = 100;
+  conf[4] = 16;
+  conf[5] = 4;
+  conf[0] = 8000;
+  StreamResult slow = engine.Run(Profile(), conf);
+  conf[0] = 2000;
+  StreamResult fast = engine.Run(Profile(), conf);
+  ASSERT_TRUE(slow.stable);
+  ASSERT_TRUE(fast.stable);
+  EXPECT_LT(fast.record_latency_s, slow.record_latency_s);
+}
+
+TEST(StreamEngineTest, DeterministicWithNoise) {
+  StreamEngine engine;  // noise on
+  Vector conf = StreamParamSpace().Defaults();
+  StreamResult a = engine.Run(Profile(), conf);
+  StreamResult b = engine.Run(Profile(), conf);
+  EXPECT_DOUBLE_EQ(a.record_latency_s, b.record_latency_s);
+  EXPECT_DOUBLE_EQ(a.throughput_krps, b.throughput_krps);
+}
+
+TEST(StreamEngineTest, MetricsArePopulated) {
+  StreamEngine engine(NoNoise());
+  StreamResult r = engine.Run(Profile(), StreamParamSpace().Defaults());
+  EXPECT_GT(r.metrics.cpu_time_s, 0);
+  EXPECT_GT(r.metrics.shuffle_read_mb, 0);
+  EXPECT_EQ(r.metrics.num_stages, 2);
+  EXPECT_GT(r.metrics.num_tasks, 0);
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "spark/engine.h"
+#include "tuning/expert.h"
+#include "tuning/ottertune.h"
+#include "workload/tpcxbb.h"
+#include "workload/trace_gen.h"
+
+namespace udao {
+namespace {
+
+// ------------------------------------------------------------ Expert
+
+TEST(ExpertTest, BatchConfigIsValidAndScalesWithData) {
+  BatchWorkload small = MakeTpcxbbWorkload(7);   // small scan template
+  BatchWorkload large = MakeTpcxbbWorkload(2);   // heavy UDF template
+  Vector cs = ExpertBatchConfig(small.flow);
+  Vector cl = ExpertBatchConfig(large.flow);
+  EXPECT_TRUE(BatchParamSpace().Validate(cs).ok());
+  EXPECT_TRUE(BatchParamSpace().Validate(cl).ok());
+  EXPECT_GE(SparkConf::FromRaw(cl).TotalCores(),
+            SparkConf::FromRaw(cs).TotalCores());
+}
+
+TEST(ExpertTest, BatchConfigBeatsWorstCaseDefaults) {
+  // The expert config should be a credible baseline: never dramatically
+  // worse than defaults on a heavy job.
+  SparkEngine engine;
+  BatchWorkload w = MakeTpcxbbWorkload(2);
+  const double expert = engine.Latency(w.flow, ExpertBatchConfig(w.flow));
+  const double defaults =
+      engine.Latency(w.flow, BatchParamSpace().Defaults());
+  EXPECT_LT(expert, defaults * 1.5);
+}
+
+TEST(ExpertTest, StreamConfigSizesForRate) {
+  StreamWorkloadProfile profile;
+  profile.name = "t";
+  Vector low = ExpertStreamConfig(profile, 100);
+  Vector high = ExpertStreamConfig(profile, 1200);
+  EXPECT_TRUE(StreamParamSpace().Validate(low).ok());
+  EXPECT_TRUE(StreamParamSpace().Validate(high).ok());
+  EXPECT_GE(StreamConf::FromRaw(high).TotalCores(),
+            StreamConf::FromRaw(low).TotalCores());
+}
+
+// ------------------------------------------------------------ OtterTune
+
+class OtterTuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ModelServerConfig cfg;
+    cfg.kind = ModelKind::kGp;
+    cfg.gp.hyper_opt_steps = 10;
+    server_ = std::make_unique<ModelServer>(cfg);
+    engine_ = std::make_unique<SparkEngine>();
+    Rng rng(5);
+    // Traces for three workloads; workload "9" is the target.
+    for (int job : {9, 10, 11}) {
+      BatchWorkload w = MakeTpcxbbWorkload(job);
+      auto configs = SampleConfigs(BatchParamSpace(), 24,
+                                   SamplingStrategy::kLatinHypercube, &rng);
+      CollectBatchTraces(*engine_, w, configs, server_.get());
+    }
+  }
+
+  std::unique_ptr<ModelServer> server_;
+  std::unique_ptr<SparkEngine> engine_;
+};
+
+TEST_F(OtterTuneTest, MapWorkloadFindsAnotherWorkload) {
+  OtterTune tuner(server_.get(), OtterTuneConfig{.gp = {.hyper_opt_steps = 5}});
+  auto mapped = tuner.MapWorkload("9");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_NE(*mapped, "9");
+}
+
+TEST_F(OtterTuneTest, MapWorkloadFailsWithoutMetrics) {
+  ModelServer empty;
+  OtterTune tuner(&empty, OtterTuneConfig{});
+  EXPECT_FALSE(tuner.MapWorkload("9").ok());
+}
+
+TEST_F(OtterTuneTest, RecommendReturnsValidConfig) {
+  OtterTuneConfig cfg;
+  cfg.gp.hyper_opt_steps = 5;
+  cfg.search_candidates = 100;
+  OtterTune tuner(server_.get(), cfg);
+  auto rec = tuner.Recommend(BatchParamSpace(), "9",
+                             {objectives::kLatency, objectives::kCostCores},
+                             {0.5, 0.5});
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(BatchParamSpace().Validate(*rec).ok());
+}
+
+TEST_F(OtterTuneTest, RecommendationBeatsMedianSample) {
+  // The tuned config should beat the median sampled latency on the weighted
+  // (1, 0) objective, i.e. pure latency.
+  OtterTuneConfig cfg;
+  cfg.gp.hyper_opt_steps = 10;
+  cfg.search_candidates = 300;
+  OtterTune tuner(server_.get(), cfg);
+  auto rec = tuner.Recommend(BatchParamSpace(), "9",
+                             {objectives::kLatency}, {1.0});
+  ASSERT_TRUE(rec.ok());
+  BatchWorkload w = MakeTpcxbbWorkload(9);
+  const double tuned = engine_->Latency(w.flow, *rec);
+  // Median of the sampled training latencies.
+  auto data = server_->GetData("9", objectives::kLatency);
+  ASSERT_TRUE(data.ok());
+  Vector ys = (*data)->y;
+  std::sort(ys.begin(), ys.end());
+  EXPECT_LT(tuned, ys[ys.size() / 2]);
+}
+
+TEST_F(OtterTuneTest, RecommendFailsForUnknownWorkload) {
+  OtterTune tuner(server_.get(), OtterTuneConfig{});
+  EXPECT_FALSE(tuner
+                   .Recommend(BatchParamSpace(), "unknown",
+                              {objectives::kLatency}, {1.0})
+                   .ok());
+}
+
+TEST_F(OtterTuneTest, BuildSurrogatesServesCostCoresExactly) {
+  OtterTuneConfig cfg;
+  cfg.gp.hyper_opt_steps = 5;
+  OtterTune tuner(server_.get(), cfg);
+  auto surrogates = tuner.BuildSurrogates(
+      BatchParamSpace(), "9", {objectives::kLatency, objectives::kCostCores});
+  ASSERT_TRUE(surrogates.ok());
+  ASSERT_EQ(surrogates->size(), 2u);
+  // The cores surrogate is the exact analytic function, not a learned one.
+  Vector conf = BatchParamSpace().Defaults();
+  conf[1] = 10;
+  conf[2] = 4;
+  EXPECT_NEAR((*surrogates)[1].model->Predict(BatchParamSpace().Encode(conf)),
+              40.0, 1e-6);
+}
+
+TEST_F(OtterTuneTest, NegativeWeightMaximizesThatObjective) {
+  // Recommend with strong negative weight on cost-in-cores: the search
+  // should then prefer *large* allocations.
+  OtterTuneConfig cfg;
+  cfg.gp.hyper_opt_steps = 5;
+  cfg.search_candidates = 150;
+  OtterTune tuner(server_.get(), cfg);
+  auto min_cores = tuner.Recommend(BatchParamSpace(), "9",
+                                   {objectives::kCostCores}, {1.0});
+  auto max_cores = tuner.Recommend(BatchParamSpace(), "9",
+                                   {objectives::kCostCores}, {-1.0});
+  ASSERT_TRUE(min_cores.ok());
+  ASSERT_TRUE(max_cores.ok());
+  EXPECT_GT(CostInCores(*max_cores), CostInCores(*min_cores));
+}
+
+TEST_F(OtterTuneTest, RejectsMismatchedWeights) {
+  OtterTune tuner(server_.get(), OtterTuneConfig{});
+  EXPECT_FALSE(
+      tuner.Recommend(BatchParamSpace(), "9", {objectives::kLatency}, {})
+          .ok());
+}
+
+}  // namespace
+}  // namespace udao

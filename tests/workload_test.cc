@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "spark/engine.h"
+#include "workload/streambench.h"
+#include "workload/tpcxbb.h"
+#include "workload/trace_gen.h"
+
+namespace udao {
+namespace {
+
+// ------------------------------------------------------------ TPCx-BB
+
+TEST(TpcxbbTest, All258WorkloadsAreValidAndUnique) {
+  std::vector<BatchWorkload> workloads = MakeTpcxbbWorkloads();
+  ASSERT_EQ(workloads.size(), static_cast<size_t>(kNumTpcxbbWorkloads));
+  std::set<std::string> ids;
+  std::set<std::string> flow_names;
+  for (const BatchWorkload& w : workloads) {
+    EXPECT_TRUE(w.flow.Validate().ok()) << w.id;
+    ids.insert(w.id);
+    flow_names.insert(w.flow.name());
+    EXPECT_GE(w.template_id, 1);
+    EXPECT_LE(w.template_id, kNumTpcxbbTemplates);
+  }
+  EXPECT_EQ(ids.size(), workloads.size());
+  EXPECT_EQ(flow_names.size(), workloads.size());
+}
+
+TEST(TpcxbbTest, TemplateCompositionMatchesBenchmark) {
+  // 14 SQL, 11 SQL+UDF, 5 ML.
+  int sql = 0;
+  int udf = 0;
+  int ml = 0;
+  for (int t = 1; t <= kNumTpcxbbTemplates; ++t) {
+    Dataflow flow = MakeTpcxbbTemplate(t, 1.0, 0.0);
+    switch (flow.workload_class()) {
+      case WorkloadClass::kSql:
+        ++sql;
+        break;
+      case WorkloadClass::kSqlUdf:
+        ++udf;
+        break;
+      case WorkloadClass::kMl:
+        ++ml;
+        break;
+    }
+  }
+  EXPECT_EQ(sql, 13);  // template 2 is SQL+UDF (the paper's Q2)
+  EXPECT_EQ(udf, 12);
+  EXPECT_EQ(ml, 5);
+}
+
+TEST(TpcxbbTest, VariantsChangeDataScale) {
+  BatchWorkload v0 = MakeTpcxbbWorkload(9);          // template 9 variant 0
+  BatchWorkload v5 = MakeTpcxbbWorkload(9 + 5 * 30); // template 9 variant 5
+  EXPECT_EQ(v0.template_id, v5.template_id);
+  EXPECT_NE(v0.variant, v5.variant);
+  EXPECT_NE(v0.flow.TotalInputBytes(), v5.flow.TotalInputBytes());
+}
+
+TEST(TpcxbbTest, LatencySpansTwoOrdersOfMagnitude) {
+  SparkEngine engine;
+  Vector conf = BatchParamSpace().Defaults();
+  double min_lat = 1e100;
+  double max_lat = 0;
+  for (int t = 1; t <= kNumTpcxbbTemplates; ++t) {
+    BatchWorkload w = MakeTpcxbbWorkload(t);
+    const double lat = engine.Latency(w.flow, conf);
+    min_lat = std::min(min_lat, lat);
+    max_lat = std::max(max_lat, lat);
+  }
+  EXPECT_GT(max_lat / min_lat, 20.0)
+      << "min " << min_lat << " max " << max_lat;
+}
+
+TEST(TpcxbbTest, DeterministicConstruction) {
+  BatchWorkload a = MakeTpcxbbWorkload(42);
+  BatchWorkload b = MakeTpcxbbWorkload(42);
+  EXPECT_EQ(a.flow.name(), b.flow.name());
+  EXPECT_DOUBLE_EQ(a.flow.TotalInputBytes(), b.flow.TotalInputBytes());
+}
+
+// ------------------------------------------------------------ Streaming
+
+TEST(StreamBenchTest, All63WorkloadsAreUnique) {
+  std::vector<StreamWorkload> workloads = MakeStreamWorkloads();
+  ASSERT_EQ(workloads.size(), static_cast<size_t>(kNumStreamWorkloads));
+  std::set<std::string> names;
+  for (const StreamWorkload& w : workloads) {
+    names.insert(w.profile.name);
+    EXPECT_GT(w.profile.map_ops_per_record, 0);
+    EXPECT_GT(w.profile.bytes_per_record, 0);
+    EXPECT_LE(w.profile.shuffle_fraction, 0.9);
+  }
+  EXPECT_EQ(names.size(), workloads.size());
+}
+
+TEST(StreamBenchTest, TemplatesDiffer) {
+  StreamWorkloadProfile a = MakeStreamTemplate(1, 1.0);
+  StreamWorkloadProfile b = MakeStreamTemplate(6, 1.0);
+  EXPECT_NE(a.map_ops_per_record, b.map_ops_per_record);
+}
+
+// ------------------------------------------------------------ Sampling
+
+TEST(SamplingTest, LhsProducesValidConfigs) {
+  Rng rng(1);
+  auto configs = SampleConfigs(BatchParamSpace(), 50,
+                               SamplingStrategy::kLatinHypercube, &rng);
+  EXPECT_EQ(configs.size(), 50u);
+  for (const Vector& c : configs) {
+    EXPECT_TRUE(BatchParamSpace().Validate(c).ok());
+  }
+}
+
+TEST(SamplingTest, HeuristicStartsWithDefaults) {
+  Rng rng(2);
+  auto configs = SampleConfigs(BatchParamSpace(), 20,
+                               SamplingStrategy::kHeuristic, &rng);
+  EXPECT_EQ(configs.size(), 20u);
+  EXPECT_EQ(configs[0], BatchParamSpace().Defaults());
+  for (const Vector& c : configs) {
+    EXPECT_TRUE(BatchParamSpace().Validate(c).ok());
+  }
+}
+
+TEST(SamplingTest, HeuristicWorksForStreamSpaceToo) {
+  Rng rng(3);
+  auto configs = SampleConfigs(StreamParamSpace(), 12,
+                               SamplingStrategy::kHeuristic, &rng);
+  EXPECT_EQ(configs.size(), 12u);
+  for (const Vector& c : configs) {
+    EXPECT_TRUE(StreamParamSpace().Validate(c).ok());
+  }
+}
+
+TEST(SamplingTest, BoGuidedConcentratesOnLowLatency) {
+  Rng rng(4);
+  // Synthetic latency: minimized when knob 1 (executors) is large.
+  auto latency_fn = [](const Vector& raw) {
+    return 100.0 / raw[1];
+  };
+  auto configs = BoGuidedConfigs(BatchParamSpace(), 40, latency_fn, &rng);
+  EXPECT_EQ(configs.size(), 40u);
+  // The BO tail should push executors higher than the seed average.
+  double seed_mean = 0;
+  double tail_mean = 0;
+  for (int i = 0; i < 10; ++i) seed_mean += configs[i][1];
+  for (int i = 30; i < 40; ++i) tail_mean += configs[i][1];
+  EXPECT_GT(tail_mean, seed_mean * 0.9);
+  for (const Vector& c : configs) {
+    EXPECT_TRUE(BatchParamSpace().Validate(c).ok());
+  }
+}
+
+// ------------------------------------------------------------ Traces
+
+TEST(TraceGenTest, BatchTracesIngestAllObjectives) {
+  SparkEngine engine;
+  ModelServer server;
+  Rng rng(5);
+  BatchWorkload w = MakeTpcxbbWorkload(9);
+  auto configs = SampleConfigs(BatchParamSpace(), 10,
+                               SamplingStrategy::kLatinHypercube, &rng);
+  auto traces = CollectBatchTraces(engine, w, configs, &server);
+  EXPECT_EQ(traces.size(), 10u);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kLatency), 10);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kCostCores), 10);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kCostCpuHour), 10);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kCost2), 10);
+  EXPECT_TRUE(server.MeanMetrics(w.id).ok());
+}
+
+TEST(TraceGenTest, StreamTracesIngestThroughput) {
+  StreamEngine engine;
+  ModelServer server;
+  Rng rng(6);
+  StreamWorkload w = MakeStreamWorkload(54);
+  auto configs = SampleConfigs(StreamParamSpace(), 8,
+                               SamplingStrategy::kLatinHypercube, &rng);
+  auto traces = CollectStreamTraces(engine, w, configs, &server);
+  EXPECT_EQ(traces.size(), 8u);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kThroughput), 8);
+  EXPECT_EQ(server.NumTraces(w.id, objectives::kLatency), 8);
+}
+
+TEST(TraceGenTest, TracesWorkWithoutServer) {
+  SparkEngine engine;
+  Rng rng(7);
+  BatchWorkload w = MakeTpcxbbWorkload(1);
+  auto configs = SampleConfigs(BatchParamSpace(), 3,
+                               SamplingStrategy::kLatinHypercube, &rng);
+  auto traces = CollectBatchTraces(engine, w, configs, nullptr);
+  EXPECT_EQ(traces.size(), 3u);
+  for (const TraceRecord& t : traces) {
+    EXPECT_GT(t.metrics.latency_s, 0);
+    EXPECT_EQ(t.workload_id, "1");
+  }
+}
+
+}  // namespace
+}  // namespace udao

@@ -1,0 +1,321 @@
+// udao_cli -- command-line front end for the UDAO optimizer over the
+// simulated Spark substrate.
+//
+//   udao_cli list [--stream]
+//       Enumerate the benchmark workloads.
+//   udao_cli simulate --job N [--set knob=value ...]
+//       Run one batch workload under a configuration and print its metrics.
+//   udao_cli trace --job N [--samples K] [--out DIR]
+//       Collect training traces (optionally persisting them to DIR).
+//   udao_cli frontier --job N [--points M] [--method PF-AP|PF-AS|WS|NC|Evo]
+//       [--traces DIR]
+//       Compute and print a Pareto frontier (latency vs cost in #cores).
+//   udao_cli optimize --job N [--wl W --wc W] [--traces DIR]
+//       End-to-end recommendation; deploys the result on the simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/analytic_models.h"
+#include "model/checkpoint.h"
+#include "moo/evo.h"
+#include "moo/normal_constraints.h"
+#include "moo/progressive_frontier.h"
+#include "moo/weighted_sum.h"
+#include "spark/engine.h"
+#include "tuning/udao.h"
+#include "workload/streambench.h"
+#include "workload/tpcxbb.h"
+#include "workload/trace_gen.h"
+
+namespace udao {
+namespace {
+
+// Minimal --key value / --flag parser; positionals collected separately.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (key == "set" && i + 1 < argc) {
+          sets_.push_back(argv[++i]);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "1";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::vector<std::string>& sets() const { return sets_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> sets_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: udao_cli <list|simulate|trace|frontier|optimize> "
+               "[options]\n"
+               "  list      [--stream]\n"
+               "  simulate  --job N [--set knob=value ...]\n"
+               "  trace     --job N [--samples K] [--out DIR]\n"
+               "  frontier  --job N [--points M] [--method PF-AP] "
+               "[--traces DIR]\n"
+               "  optimize  --job N [--wl W --wc W] [--traces DIR]\n");
+  return 2;
+}
+
+Vector ApplySets(const Args& args, const ParamSpace& space) {
+  Vector raw = space.Defaults();
+  for (const std::string& kv : args.sets()) {
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --set '%s' (need knob=value)\n", kv.c_str());
+      std::exit(2);
+    }
+    const std::string name = kv.substr(0, eq);
+    StatusOr<int> idx = space.IndexOf(name);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "unknown knob '%s'; knobs are:\n", name.c_str());
+      for (const ParamSpec& spec : space.specs()) {
+        std::fprintf(stderr, "  %s\n", spec.name.c_str());
+      }
+      std::exit(2);
+    }
+    raw[*idx] = std::atof(kv.substr(eq + 1).c_str());
+  }
+  Status valid = space.Validate(raw);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 valid.ToString().c_str());
+    std::exit(2);
+  }
+  return raw;
+}
+
+int CmdList(const Args& args) {
+  if (args.Has("stream")) {
+    std::printf("%-5s %-10s %-22s\n", "job", "template", "profile");
+    for (const StreamWorkload& w : MakeStreamWorkloads()) {
+      std::printf("%-5s %-10d %-22s\n", w.id.c_str(), w.template_id,
+                  w.profile.name.c_str());
+    }
+    return 0;
+  }
+  std::printf("%-5s %-10s %-9s %-10s %s\n", "job", "template", "variant",
+              "class", "input");
+  for (const BatchWorkload& w : MakeTpcxbbWorkloads()) {
+    const char* wclass =
+        w.flow.workload_class() == WorkloadClass::kSql      ? "SQL"
+        : w.flow.workload_class() == WorkloadClass::kSqlUdf ? "SQL+UDF"
+                                                            : "ML";
+    std::printf("%-5s %-10d %-9d %-10s %.1f GB\n", w.id.c_str(),
+                w.template_id, w.variant, wclass,
+                w.flow.TotalInputBytes() / 1e9);
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const int job = args.GetInt("job", 0);
+  if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
+  BatchWorkload workload = MakeTpcxbbWorkload(job);
+  const Vector conf = ApplySets(args, BatchParamSpace());
+  SparkEngine engine;
+  RuntimeMetrics m = engine.Run(workload.flow, conf);
+  std::printf("workload %s (%s)\n", workload.id.c_str(),
+              workload.flow.name().c_str());
+  const auto& names = RuntimeMetrics::Names();
+  const Vector values = m.ToVector();
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %-22s %.3f\n", names[i].c_str(), values[i]);
+  }
+  std::printf("  %-22s %.1f\n", "cost_cores", CostInCores(conf));
+  std::printf("  %-22s %.4f\n", "cost_cpu_hour",
+              CostInCpuHours(m.latency_s, conf));
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const int job = args.GetInt("job", 0);
+  if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
+  const int samples = args.GetInt("samples", 100);
+  BatchWorkload workload = MakeTpcxbbWorkload(job);
+  SparkEngine engine;
+  ModelServer server;
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  auto configs = SampleConfigs(BatchParamSpace(), samples,
+                               SamplingStrategy::kLatinHypercube, &rng);
+  auto traces = CollectBatchTraces(engine, workload, configs, &server);
+  std::printf("collected %zu traces for workload %s\n", traces.size(),
+              workload.id.c_str());
+  if (args.Has("out")) {
+    Status saved = SaveModelServerData(
+        server, {workload.id},
+        {objectives::kLatency, objectives::kCostCores,
+         objectives::kCostCpuHour, objectives::kCost2},
+        args.Get("out", ""));
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("persisted to %s\n", args.Get("out", "").c_str());
+  }
+  return 0;
+}
+
+// Builds a model server for `workload`: reloading persisted traces from
+// --traces when given, sampling fresh ones otherwise.
+ModelServer MakeServer(const Args& args, const BatchWorkload& workload,
+                       const SparkEngine& engine) {
+  ModelServer server;
+  if (args.Has("traces")) {
+    Status loaded = LoadModelServerData(args.Get("traces", ""), &server);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "trace load failed: %s\n",
+                   loaded.ToString().c_str());
+      std::exit(1);
+    }
+    if (server.HasTraces(workload.id, objectives::kLatency)) return server;
+    std::fprintf(stderr,
+                 "no traces for workload %s in %s; sampling fresh ones\n",
+                 workload.id.c_str(), args.Get("traces", "").c_str());
+  }
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  auto configs = SampleConfigs(BatchParamSpace(),
+                               args.GetInt("samples", 120),
+                               SamplingStrategy::kLatinHypercube, &rng);
+  CollectBatchTraces(engine, workload, configs, &server);
+  return server;
+}
+
+int CmdFrontier(const Args& args) {
+  const int job = args.GetInt("job", 0);
+  if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
+  BatchWorkload workload = MakeTpcxbbWorkload(job);
+  SparkEngine engine;
+  ModelServer server = MakeServer(args, workload, engine);
+
+  auto latency = server.GetModel(workload.id, objectives::kLatency);
+  if (!latency.ok()) {
+    std::fprintf(stderr, "%s\n", latency.status().ToString().c_str());
+    return 1;
+  }
+  MooProblem problem(
+      &BatchParamSpace(),
+      {MooObjective{objectives::kLatency,
+                    std::make_shared<NonNegativeModel>(*latency)},
+       MooObjective{objectives::kCostCores, MakeCostCoresModel()}});
+
+  const int points = args.GetInt("points", 15);
+  const std::string method = args.Get("method", "PF-AP");
+  std::vector<MooPoint> frontier;
+  if (method == "PF-AP" || method == "PF-AS") {
+    PfConfig cfg;
+    cfg.parallel = method == "PF-AP";
+    ProgressiveFrontier pf(&problem, cfg);
+    frontier = pf.Run(points).frontier;
+  } else if (method == "WS") {
+    frontier = RunWeightedSum(problem, points).frontier;
+  } else if (method == "NC") {
+    frontier = RunNormalConstraints(problem, points).frontier;
+  } else if (method == "Evo") {
+    frontier = RunNsga2(problem, points).frontier;
+  } else {
+    std::fprintf(stderr, "unknown method %s\n", method.c_str());
+    return 2;
+  }
+
+  std::printf("frontier of workload %s via %s (%zu points):\n",
+              workload.id.c_str(), method.c_str(), frontier.size());
+  std::printf("%-14s %-12s %s\n", "latency(s)", "cores", "configuration");
+  for (const MooPoint& p : frontier) {
+    const Vector raw = BatchParamSpace().Decode(p.conf_encoded);
+    const SparkConf conf = SparkConf::FromRaw(raw);
+    std::printf("%-14.2f %-12.0f %.0fx%.0f cores, parallelism %.0f, "
+                "partitions %.0f, mem %.0fG\n",
+                p.objectives[0], p.objectives[1], conf.executor_instances,
+                conf.executor_cores, conf.parallelism,
+                conf.shuffle_partitions, conf.executor_memory_gb);
+  }
+  return 0;
+}
+
+int CmdOptimize(const Args& args) {
+  const int job = args.GetInt("job", 0);
+  if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
+  BatchWorkload workload = MakeTpcxbbWorkload(job);
+  SparkEngine engine;
+  ModelServer server = MakeServer(args, workload, engine);
+
+  Udao optimizer(&server);
+  UdaoRequest request;
+  request.workload_id = workload.id;
+  request.space = &BatchParamSpace();
+  request.objectives = {{objectives::kLatency, true},
+                        {objectives::kCostCores, true}};
+  request.preference_weights = {args.GetDouble("wl", 0.5),
+                                args.GetDouble("wc", 0.5)};
+  auto rec = optimizer.Optimize(request);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recommended configuration for workload %s "
+              "(weights %.2f/%.2f, %.2f s to optimize):\n",
+              workload.id.c_str(), request.preference_weights[0],
+              request.preference_weights[1], rec->seconds);
+  for (int i = 0; i < BatchParamSpace().NumParams(); ++i) {
+    std::printf("  %-45s %g\n", BatchParamSpace().spec(i).name.c_str(),
+                rec->conf_raw[i]);
+  }
+  std::printf("predicted: latency %.1f s at %.0f cores\n",
+              rec->predicted_objectives[0], rec->predicted_objectives[1]);
+  const double measured = engine.Latency(workload.flow, rec->conf_raw);
+  const double defaults =
+      engine.Latency(workload.flow, BatchParamSpace().Defaults());
+  std::printf("deployed on the simulator: %.1f s (defaults: %.1f s)\n",
+              measured, defaults);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "list") return CmdList(args);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "trace") return CmdTrace(args);
+  if (command == "frontier") return CmdFrontier(args);
+  if (command == "optimize") return CmdOptimize(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace udao
+
+int main(int argc, char** argv) { return udao::Main(argc, argv); }
