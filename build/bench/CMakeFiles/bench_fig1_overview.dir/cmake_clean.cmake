@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_overview.dir/bench_fig1_overview.cc.o"
+  "CMakeFiles/bench_fig1_overview.dir/bench_fig1_overview.cc.o.d"
+  "bench_fig1_overview"
+  "bench_fig1_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

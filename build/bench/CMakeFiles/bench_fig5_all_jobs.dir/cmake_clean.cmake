@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_all_jobs.dir/bench_fig5_all_jobs.cc.o"
+  "CMakeFiles/bench_fig5_all_jobs.dir/bench_fig5_all_jobs.cc.o.d"
+  "bench_fig5_all_jobs"
+  "bench_fig5_all_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_all_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

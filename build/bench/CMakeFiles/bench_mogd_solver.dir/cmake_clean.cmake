@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mogd_solver.dir/bench_mogd_solver.cc.o"
+  "CMakeFiles/bench_mogd_solver.dir/bench_mogd_solver.cc.o.d"
+  "bench_mogd_solver"
+  "bench_mogd_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mogd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

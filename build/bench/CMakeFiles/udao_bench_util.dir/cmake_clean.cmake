@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/udao_bench_util.dir/bench_util.cc.o.d"
+  "libudao_bench_util.a"
+  "libudao_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudao_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_cost_latency.dir/cloud_cost_latency.cpp.o"
+  "CMakeFiles/cloud_cost_latency.dir/cloud_cost_latency.cpp.o.d"
+  "cloud_cost_latency"
+  "cloud_cost_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_cost_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

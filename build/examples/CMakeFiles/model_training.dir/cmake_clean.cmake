@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_training.dir/model_training.cpp.o"
+  "CMakeFiles/model_training.dir/model_training.cpp.o.d"
+  "model_training"
+  "model_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tuning.dir/pipeline_tuning.cpp.o"
+  "CMakeFiles/pipeline_tuning.dir/pipeline_tuning.cpp.o.d"
+  "pipeline_tuning"
+  "pipeline_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

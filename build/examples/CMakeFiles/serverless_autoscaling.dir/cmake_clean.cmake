@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_autoscaling.dir/serverless_autoscaling.cpp.o"
+  "CMakeFiles/serverless_autoscaling.dir/serverless_autoscaling.cpp.o.d"
+  "serverless_autoscaling"
+  "serverless_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_common.dir/common/matrix.cc.o"
+  "CMakeFiles/udao_common.dir/common/matrix.cc.o.d"
+  "CMakeFiles/udao_common.dir/common/random.cc.o"
+  "CMakeFiles/udao_common.dir/common/random.cc.o.d"
+  "CMakeFiles/udao_common.dir/common/stats.cc.o"
+  "CMakeFiles/udao_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/udao_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/udao_common.dir/common/thread_pool.cc.o.d"
+  "libudao_common.a"
+  "libudao_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

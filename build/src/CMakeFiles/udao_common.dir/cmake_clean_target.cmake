@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudao_common.a"
+)

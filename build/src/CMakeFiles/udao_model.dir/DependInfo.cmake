@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytic_models.cc" "src/CMakeFiles/udao_model.dir/model/analytic_models.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/analytic_models.cc.o.d"
+  "/root/repo/src/model/checkpoint.cc" "src/CMakeFiles/udao_model.dir/model/checkpoint.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/checkpoint.cc.o.d"
+  "/root/repo/src/model/encoder.cc" "src/CMakeFiles/udao_model.dir/model/encoder.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/encoder.cc.o.d"
+  "/root/repo/src/model/feature.cc" "src/CMakeFiles/udao_model.dir/model/feature.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/feature.cc.o.d"
+  "/root/repo/src/model/gp_model.cc" "src/CMakeFiles/udao_model.dir/model/gp_model.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/gp_model.cc.o.d"
+  "/root/repo/src/model/mlp_model.cc" "src/CMakeFiles/udao_model.dir/model/mlp_model.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/mlp_model.cc.o.d"
+  "/root/repo/src/model/model_server.cc" "src/CMakeFiles/udao_model.dir/model/model_server.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/model_server.cc.o.d"
+  "/root/repo/src/model/objective_model.cc" "src/CMakeFiles/udao_model.dir/model/objective_model.cc.o" "gcc" "src/CMakeFiles/udao_model.dir/model/objective_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udao_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_model.dir/model/analytic_models.cc.o"
+  "CMakeFiles/udao_model.dir/model/analytic_models.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/checkpoint.cc.o"
+  "CMakeFiles/udao_model.dir/model/checkpoint.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/encoder.cc.o"
+  "CMakeFiles/udao_model.dir/model/encoder.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/feature.cc.o"
+  "CMakeFiles/udao_model.dir/model/feature.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/gp_model.cc.o"
+  "CMakeFiles/udao_model.dir/model/gp_model.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/mlp_model.cc.o"
+  "CMakeFiles/udao_model.dir/model/mlp_model.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/model_server.cc.o"
+  "CMakeFiles/udao_model.dir/model/model_server.cc.o.d"
+  "CMakeFiles/udao_model.dir/model/objective_model.cc.o"
+  "CMakeFiles/udao_model.dir/model/objective_model.cc.o.d"
+  "libudao_model.a"
+  "libudao_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

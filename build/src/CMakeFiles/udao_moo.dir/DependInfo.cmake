@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/evo.cc" "src/CMakeFiles/udao_moo.dir/moo/evo.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/evo.cc.o.d"
+  "/root/repo/src/moo/exhaustive.cc" "src/CMakeFiles/udao_moo.dir/moo/exhaustive.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/exhaustive.cc.o.d"
+  "/root/repo/src/moo/mobo.cc" "src/CMakeFiles/udao_moo.dir/moo/mobo.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/mobo.cc.o.d"
+  "/root/repo/src/moo/mogd.cc" "src/CMakeFiles/udao_moo.dir/moo/mogd.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/mogd.cc.o.d"
+  "/root/repo/src/moo/normal_constraints.cc" "src/CMakeFiles/udao_moo.dir/moo/normal_constraints.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/normal_constraints.cc.o.d"
+  "/root/repo/src/moo/pareto.cc" "src/CMakeFiles/udao_moo.dir/moo/pareto.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/pareto.cc.o.d"
+  "/root/repo/src/moo/problem.cc" "src/CMakeFiles/udao_moo.dir/moo/problem.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/problem.cc.o.d"
+  "/root/repo/src/moo/progressive_frontier.cc" "src/CMakeFiles/udao_moo.dir/moo/progressive_frontier.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/progressive_frontier.cc.o.d"
+  "/root/repo/src/moo/recommend.cc" "src/CMakeFiles/udao_moo.dir/moo/recommend.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/recommend.cc.o.d"
+  "/root/repo/src/moo/weighted_sum.cc" "src/CMakeFiles/udao_moo.dir/moo/weighted_sum.cc.o" "gcc" "src/CMakeFiles/udao_moo.dir/moo/weighted_sum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udao_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_spark.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_moo.dir/moo/evo.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/evo.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/exhaustive.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/exhaustive.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/mobo.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/mobo.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/mogd.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/mogd.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/normal_constraints.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/normal_constraints.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/pareto.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/pareto.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/problem.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/problem.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/progressive_frontier.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/progressive_frontier.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/recommend.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/recommend.cc.o.d"
+  "CMakeFiles/udao_moo.dir/moo/weighted_sum.cc.o"
+  "CMakeFiles/udao_moo.dir/moo/weighted_sum.cc.o.d"
+  "libudao_moo.a"
+  "libudao_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_nn.dir/nn/adam.cc.o"
+  "CMakeFiles/udao_nn.dir/nn/adam.cc.o.d"
+  "CMakeFiles/udao_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/udao_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/udao_nn.dir/nn/train.cc.o"
+  "CMakeFiles/udao_nn.dir/nn/train.cc.o.d"
+  "libudao_nn.a"
+  "libudao_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/conf.cc" "src/CMakeFiles/udao_spark.dir/spark/conf.cc.o" "gcc" "src/CMakeFiles/udao_spark.dir/spark/conf.cc.o.d"
+  "/root/repo/src/spark/dataflow.cc" "src/CMakeFiles/udao_spark.dir/spark/dataflow.cc.o" "gcc" "src/CMakeFiles/udao_spark.dir/spark/dataflow.cc.o.d"
+  "/root/repo/src/spark/engine.cc" "src/CMakeFiles/udao_spark.dir/spark/engine.cc.o" "gcc" "src/CMakeFiles/udao_spark.dir/spark/engine.cc.o.d"
+  "/root/repo/src/spark/metrics.cc" "src/CMakeFiles/udao_spark.dir/spark/metrics.cc.o" "gcc" "src/CMakeFiles/udao_spark.dir/spark/metrics.cc.o.d"
+  "/root/repo/src/spark/streaming.cc" "src/CMakeFiles/udao_spark.dir/spark/streaming.cc.o" "gcc" "src/CMakeFiles/udao_spark.dir/spark/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

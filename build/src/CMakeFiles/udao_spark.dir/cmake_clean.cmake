@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_spark.dir/spark/conf.cc.o"
+  "CMakeFiles/udao_spark.dir/spark/conf.cc.o.d"
+  "CMakeFiles/udao_spark.dir/spark/dataflow.cc.o"
+  "CMakeFiles/udao_spark.dir/spark/dataflow.cc.o.d"
+  "CMakeFiles/udao_spark.dir/spark/engine.cc.o"
+  "CMakeFiles/udao_spark.dir/spark/engine.cc.o.d"
+  "CMakeFiles/udao_spark.dir/spark/metrics.cc.o"
+  "CMakeFiles/udao_spark.dir/spark/metrics.cc.o.d"
+  "CMakeFiles/udao_spark.dir/spark/streaming.cc.o"
+  "CMakeFiles/udao_spark.dir/spark/streaming.cc.o.d"
+  "libudao_spark.a"
+  "libudao_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

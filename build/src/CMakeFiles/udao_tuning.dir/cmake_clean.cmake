@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_tuning.dir/tuning/expert.cc.o"
+  "CMakeFiles/udao_tuning.dir/tuning/expert.cc.o.d"
+  "CMakeFiles/udao_tuning.dir/tuning/ottertune.cc.o"
+  "CMakeFiles/udao_tuning.dir/tuning/ottertune.cc.o.d"
+  "CMakeFiles/udao_tuning.dir/tuning/pipeline.cc.o"
+  "CMakeFiles/udao_tuning.dir/tuning/pipeline.cc.o.d"
+  "CMakeFiles/udao_tuning.dir/tuning/udao.cc.o"
+  "CMakeFiles/udao_tuning.dir/tuning/udao.cc.o.d"
+  "libudao_tuning.a"
+  "libudao_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_workload.dir/workload/streambench.cc.o"
+  "CMakeFiles/udao_workload.dir/workload/streambench.cc.o.d"
+  "CMakeFiles/udao_workload.dir/workload/tpcxbb.cc.o"
+  "CMakeFiles/udao_workload.dir/workload/tpcxbb.cc.o.d"
+  "CMakeFiles/udao_workload.dir/workload/trace_gen.cc.o"
+  "CMakeFiles/udao_workload.dir/workload/trace_gen.cc.o.d"
+  "libudao_workload.a"
+  "libudao_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_moo_test.dir/analytic_moo_test.cc.o"
+  "CMakeFiles/analytic_moo_test.dir/analytic_moo_test.cc.o.d"
+  "analytic_moo_test"
+  "analytic_moo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_moo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

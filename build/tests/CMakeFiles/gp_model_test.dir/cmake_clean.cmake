@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_model_test.dir/gp_model_test.cc.o"
+  "CMakeFiles/gp_model_test.dir/gp_model_test.cc.o.d"
+  "gp_model_test"
+  "gp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

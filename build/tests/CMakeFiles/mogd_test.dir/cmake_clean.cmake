@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mogd_test.dir/mogd_test.cc.o"
+  "CMakeFiles/mogd_test.dir/mogd_test.cc.o.d"
+  "mogd_test"
+  "mogd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mogd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/progressive_frontier_test.cc" "tests/CMakeFiles/progressive_frontier_test.dir/progressive_frontier_test.cc.o" "gcc" "tests/CMakeFiles/progressive_frontier_test.dir/progressive_frontier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udao_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/udao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

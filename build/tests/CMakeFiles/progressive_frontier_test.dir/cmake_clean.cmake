@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_frontier_test.dir/progressive_frontier_test.cc.o"
+  "CMakeFiles/progressive_frontier_test.dir/progressive_frontier_test.cc.o.d"
+  "progressive_frontier_test"
+  "progressive_frontier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_frontier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

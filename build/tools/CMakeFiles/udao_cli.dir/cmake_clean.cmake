@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udao_cli.dir/udao_cli.cc.o"
+  "CMakeFiles/udao_cli.dir/udao_cli.cc.o.d"
+  "udao_cli"
+  "udao_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udao_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
