@@ -238,8 +238,8 @@ int main() {
       UdaoRequest request;
       request.workload_id = udao_bp.workload_id;
       request.space = &BatchParamSpace();
-      request.objectives = {{objectives::kLatency, true},
-                            {objectives::kCostCores, true}};
+      request.objectives = {{.name = objectives::kLatency},
+                            {.name = objectives::kCostCores}};
       request.preference_weights = {wl, wc};
       auto udao_rec = optimizer.Optimize(request);
       if (!udao_rec.ok()) continue;
@@ -316,8 +316,8 @@ int main() {
       UdaoRequest request;
       request.workload_id = udao_bp.workload_id;
       request.space = &BatchParamSpace();
-      request.objectives = {{objectives::kLatency, true},
-                            {objectives::kCost2, true}};
+      request.objectives = {{.name = objectives::kLatency},
+                            {.name = objectives::kCost2}};
       request.preference_weights = {wl, wc};
       auto udao_rec = optimizer.Optimize(request);
       if (!ot_conf.ok() || !udao_rec.ok()) continue;

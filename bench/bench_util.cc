@@ -133,10 +133,13 @@ BenchProblem MakeStreamProblem(int job, int num_objectives, int traces,
 }
 
 MogdConfig BenchMogd() {
+  // One shared pool for every benchmark solve; solver configs point at it
+  // rather than spawning threads per call.
+  static ThreadPool pool(4);
   MogdConfig cfg;
   cfg.multistart = 6;
   cfg.max_iters = 100;
-  cfg.threads = 4;
+  cfg.pool = &pool;
   return cfg;
 }
 

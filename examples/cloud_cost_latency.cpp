@@ -50,8 +50,8 @@ int main() {
   UdaoRequest request;
   request.workload_id = workload.id;
   request.space = &BatchParamSpace();
-  request.objectives = {{objectives::kLatency, true},
-                        {objectives::kCostCores, true}};
+  request.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kCostCores}};
 
   std::printf("%-18s %-12s %-12s %-14s %-12s\n", "preference(w)",
               "pred lat(s)", "pred cores", "meas lat(s)", "meas cores");

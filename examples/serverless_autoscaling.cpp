@@ -58,10 +58,11 @@ int main() {
     request.space = &StreamParamSpace();
     // Objectives: minimize record latency, maximize throughput (must at
     // least carry the expected load), minimize cost in cores.
-    UdaoRequest::Objective latency{objectives::kLatency, true};
-    UdaoRequest::Objective throughput{objectives::kThroughput, false};
+    UdaoRequest::Objective latency{.name = objectives::kLatency};
+    UdaoRequest::Objective throughput{.name = objectives::kThroughput,
+                                      .minimize = false};
     throughput.lower = lp.load_krps;  // serve at least the incoming rate
-    UdaoRequest::Objective cost{objectives::kCostCores, true};
+    UdaoRequest::Objective cost{.name = objectives::kCostCores};
     request.objectives = {latency, throughput, cost};
     request.preference_weights = {0.4, 0.2, 0.4};
 

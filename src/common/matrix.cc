@@ -50,6 +50,22 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
+  UDAO_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (int j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.RowPtr(j);
+      double acc = 0.0;
+      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
 Vector Matrix::Apply(const Vector& v) const {
   UDAO_CHECK_EQ(static_cast<int>(v.size()), cols_);
   Vector out(rows_, 0.0);

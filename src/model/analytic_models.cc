@@ -27,6 +27,62 @@ double Denorm(const ParamSpec& spec, double u) {
   return spec.lo + c * (spec.hi - spec.lo);
 }
 
+// The closed forms below are written over a raw point pointer so the same
+// arithmetic serves the scalar Predict and the vectorized PredictBatch (one
+// pass over the row-major batch, no per-point std::function dispatch).
+
+double BatchLatencyAt(const AnalyticWorkload& w, const ParamSpace& space,
+                      const double* x) {
+  // Encoded layout of BatchParamSpace(): all scalar knobs, one dim each.
+  const double parallelism = Denorm(space.spec(0), x[0]);
+  const double instances = Denorm(space.spec(1), x[1]);
+  const double cores_per_exec = Denorm(space.spec(2), x[2]);
+  const double mem_gb = Denorm(space.spec(3), x[3]);
+  const double inflight_mb = Denorm(space.spec(4), x[4]);
+  const double compress = std::min(1.0, std::max(0.0, x[6]));
+  const double mem_fraction = Denorm(space.spec(7), x[7]);
+  const double partitions = Denorm(space.spec(11), x[11]);
+
+  const double cores = instances * cores_per_exec;
+  // Amdahl split of compute work; 1e9 ops ~ 20 core-seconds at baseline.
+  const double work_s = w.work * 20.0;
+  const double serial_s = work_s * (1.0 - w.parallel_fraction);
+  const double parallel_s = work_s * w.parallel_fraction / cores;
+  // Shuffle: compression shrinks the transfer 3x but costs CPU.
+  const double net_factor = 1.0 - 0.65 * compress;
+  const double shuffle_s =
+      w.shuffle_gb * 1024.0 * net_factor / (instances * 1100.0) +
+      compress * w.shuffle_gb * 0.4;
+  // Fetch-wait grows when per-partition transfers exceed the window.
+  const double fetch_s =
+      0.01 * Softplus(w.shuffle_gb * 1024.0 * net_factor / partitions /
+                          inflight_mb - 1.0);
+  // Memory pressure: spill when per-task state exceeds execution memory.
+  const double state_per_task_mb = w.state_gb * 1024.0 / partitions * 2.5;
+  const double mem_per_task_mb =
+      mem_gb * 1024.0 * mem_fraction / cores_per_exec;
+  const double spill_s =
+      Softplus((state_per_task_mb - mem_per_task_mb) / 200.0, 0.5) * 1.5;
+  // Per-partition scheduling overhead and a parallelism sweet spot.
+  const double overhead_s = 0.004 * (partitions + parallelism) +
+                            0.02 * Softplus(cores - parallelism, 0.2);
+  return 1.2 + serial_s + parallel_s + shuffle_s + fetch_s + spill_s +
+         overhead_s;
+}
+
+double Fig3LatencyAt(const double* x) {
+  const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
+  const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
+  const double cores = SoftMin(execs * cpe, 24.0, 2.0);
+  return 100.0 + Softplus(2400.0 / std::max(1e-6, cores) - 100.0, 0.5);
+}
+
+double Fig3CostAt(const double* x) {
+  const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
+  const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
+  return SoftMin(execs * cpe, 24.0, 2.0);
+}
+
 }  // namespace
 
 std::shared_ptr<ObjectiveModel> MakeAnalyticBatchLatencyModel(
@@ -35,44 +91,16 @@ std::shared_ptr<ObjectiveModel> MakeAnalyticBatchLatencyModel(
   const int dim = space.EncodedDim();
   AnalyticWorkload w = workload;
   auto fn = [w, &space](const Vector& x) {
-    // Encoded layout of BatchParamSpace(): all scalar knobs, one dim each.
-    const double parallelism = Denorm(space.spec(0), x[0]);
-    const double instances = Denorm(space.spec(1), x[1]);
-    const double cores_per_exec = Denorm(space.spec(2), x[2]);
-    const double mem_gb = Denorm(space.spec(3), x[3]);
-    const double inflight_mb = Denorm(space.spec(4), x[4]);
-    const double compress = std::min(1.0, std::max(0.0, x[6]));
-    const double mem_fraction = Denorm(space.spec(7), x[7]);
-    const double partitions = Denorm(space.spec(11), x[11]);
-
-    const double cores = instances * cores_per_exec;
-    // Amdahl split of compute work; 1e9 ops ~ 20 core-seconds at baseline.
-    const double work_s = w.work * 20.0;
-    const double serial_s = work_s * (1.0 - w.parallel_fraction);
-    const double parallel_s = work_s * w.parallel_fraction / cores;
-    // Shuffle: compression shrinks the transfer 3x but costs CPU.
-    const double net_factor = 1.0 - 0.65 * compress;
-    const double shuffle_s =
-        w.shuffle_gb * 1024.0 * net_factor / (instances * 1100.0) +
-        compress * w.shuffle_gb * 0.4;
-    // Fetch-wait grows when per-partition transfers exceed the window.
-    const double fetch_s =
-        0.01 * Softplus(w.shuffle_gb * 1024.0 * net_factor / partitions /
-                            inflight_mb - 1.0);
-    // Memory pressure: spill when per-task state exceeds execution memory.
-    const double state_per_task_mb = w.state_gb * 1024.0 / partitions * 2.5;
-    const double mem_per_task_mb =
-        mem_gb * 1024.0 * mem_fraction / cores_per_exec;
-    const double spill_s =
-        Softplus((state_per_task_mb - mem_per_task_mb) / 200.0, 0.5) * 1.5;
-    // Per-partition scheduling overhead and a parallelism sweet spot.
-    const double overhead_s = 0.004 * (partitions + parallelism) +
-                              0.02 * Softplus(cores - parallelism, 0.2);
-    return 1.2 + serial_s + parallel_s + shuffle_s + fetch_s + spill_s +
-           overhead_s;
+    return BatchLatencyAt(w, space, x.data());
   };
-  return std::make_shared<CallableModel>("analytic-latency", dim,
-                                         std::move(fn));
+  auto model = std::make_shared<CallableModel>("analytic-latency", dim,
+                                               std::move(fn));
+  model->WithBatch([w, &space](const Matrix& x, Vector* out) {
+    for (int i = 0; i < x.rows(); ++i) {
+      (*out)[i] = BatchLatencyAt(w, space, x.RowPtr(i));
+    }
+  });
+  return model;
 }
 
 std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
@@ -93,8 +121,30 @@ std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
     g[2] = (sc.hi - sc.lo) * instances;
     return g;
   };
-  return std::make_shared<CallableModel>("cost-cores", dim, std::move(fn),
-                                         std::move(grad));
+  auto model = std::make_shared<CallableModel>("cost-cores", dim,
+                                               std::move(fn), std::move(grad));
+  model->WithBatch(
+      [&space](const Matrix& x, Vector* out) {
+        for (int i = 0; i < x.rows(); ++i) {
+          const double* row = x.RowPtr(i);
+          (*out)[i] = Denorm(space.spec(1), row[1]) *
+                      Denorm(space.spec(2), row[2]);
+        }
+      },
+      [&space](const Matrix& x, Matrix* grads, Vector* values) {
+        const ParamSpec& si = space.spec(1);
+        const ParamSpec& sc = space.spec(2);
+        for (int i = 0; i < x.rows(); ++i) {
+          const double* row = x.RowPtr(i);
+          const double instances = Denorm(si, row[1]);
+          const double cores_per_exec = Denorm(sc, row[2]);
+          double* g = grads->RowPtr(i);
+          g[1] = (si.hi - si.lo) * cores_per_exec;
+          g[2] = (sc.hi - sc.lo) * instances;
+          if (values != nullptr) (*values)[i] = instances * cores_per_exec;
+        }
+      });
+  return model;
 }
 
 std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
@@ -114,8 +164,30 @@ std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
     g[5] = (sc.hi - sc.lo) * Denorm(si, x[4]);
     return g;
   };
-  return std::make_shared<CallableModel>("stream-cost-cores", dim,
-                                         std::move(fn), std::move(grad));
+  auto model = std::make_shared<CallableModel>("stream-cost-cores", dim,
+                                               std::move(fn), std::move(grad));
+  model->WithBatch(
+      [&space](const Matrix& x, Vector* out) {
+        for (int i = 0; i < x.rows(); ++i) {
+          const double* row = x.RowPtr(i);
+          (*out)[i] = Denorm(space.spec(4), row[4]) *
+                      Denorm(space.spec(5), row[5]);
+        }
+      },
+      [&space](const Matrix& x, Matrix* grads, Vector* values) {
+        const ParamSpec& si = space.spec(4);
+        const ParamSpec& sc = space.spec(5);
+        for (int i = 0; i < x.rows(); ++i) {
+          const double* row = x.RowPtr(i);
+          double* g = grads->RowPtr(i);
+          g[4] = (si.hi - si.lo) * Denorm(sc, row[5]);
+          g[5] = (sc.hi - sc.lo) * Denorm(si, row[4]);
+          if (values != nullptr) {
+            (*values)[i] = Denorm(si, row[4]) * Denorm(sc, row[5]);
+          }
+        }
+      });
+  return model;
 }
 
 std::shared_ptr<ObjectiveModel> MakeCpuHourModel(
@@ -137,27 +209,55 @@ std::shared_ptr<ObjectiveModel> MakeCpuHourModel(
     }
     return gl;
   };
-  return std::make_shared<CallableModel>("cost-cpu-hour", dim, std::move(fn),
-                                         std::move(grad));
+  auto model = std::make_shared<CallableModel>("cost-cpu-hour", dim,
+                                               std::move(fn), std::move(grad));
+  // The product rule composes batch-wise from the factors' batch paths, so a
+  // DNN latency times the analytic cores model stays one GEMM per batch.
+  model->WithBatch(
+      [latency_model, cores](const Matrix& x, Vector* out) {
+        Vector lat;
+        Vector c;
+        latency_model->PredictBatch(x, &lat);
+        cores->PredictBatch(x, &c);
+        for (int i = 0; i < x.rows(); ++i) (*out)[i] = lat[i] * c[i] / 3600.0;
+      },
+      [latency_model, cores](const Matrix& x, Matrix* grads, Vector* values) {
+        Vector lat;
+        Vector c;
+        Matrix gl;
+        Matrix gc;
+        latency_model->GradientBatch(x, &gl, &lat);
+        cores->GradientBatch(x, &gc, &c);
+        for (int i = 0; i < x.rows(); ++i) {
+          double* out = grads->RowPtr(i);
+          const double* l = gl.RowPtr(i);
+          const double* r = gc.RowPtr(i);
+          for (int d = 0; d < grads->cols(); ++d) {
+            out[d] = (l[d] * c[i] + lat[i] * r[d]) / 3600.0;
+          }
+          if (values != nullptr) (*values)[i] = lat[i] * c[i] / 3600.0;
+        }
+      });
+  return model;
 }
 
 std::shared_ptr<ObjectiveModel> MakeFig3LatencyModel() {
-  auto fn = [](const Vector& x) {
-    const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
-    const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
-    const double cores = SoftMin(execs * cpe, 24.0, 2.0);
-    return 100.0 + Softplus(2400.0 / std::max(1e-6, cores) - 100.0, 0.5);
-  };
-  return std::make_shared<CallableModel>("fig3-latency", 2, std::move(fn));
+  auto fn = [](const Vector& x) { return Fig3LatencyAt(x.data()); };
+  auto model = std::make_shared<CallableModel>("fig3-latency", 2,
+                                               std::move(fn));
+  model->WithBatch([](const Matrix& x, Vector* out) {
+    for (int i = 0; i < x.rows(); ++i) (*out)[i] = Fig3LatencyAt(x.RowPtr(i));
+  });
+  return model;
 }
 
 std::shared_ptr<ObjectiveModel> MakeFig3CostModel() {
-  auto fn = [](const Vector& x) {
-    const double execs = 1.0 + 11.0 * std::min(1.0, std::max(0.0, x[0]));
-    const double cpe = 1.0 + 1.0 * std::min(1.0, std::max(0.0, x[1]));
-    return SoftMin(execs * cpe, 24.0, 2.0);
-  };
-  return std::make_shared<CallableModel>("fig3-cost", 2, std::move(fn));
+  auto fn = [](const Vector& x) { return Fig3CostAt(x.data()); };
+  auto model = std::make_shared<CallableModel>("fig3-cost", 2, std::move(fn));
+  model->WithBatch([](const Matrix& x, Vector* out) {
+    for (int i = 0; i < x.rows(); ++i) (*out)[i] = Fig3CostAt(x.RowPtr(i));
+  });
+  return model;
 }
 
 }  // namespace udao

@@ -47,6 +47,17 @@ Vector GpModel::KernelVector(const Vector& x) const {
   return k;
 }
 
+Matrix GpModel::KernelMatrix(const Matrix& x) const {
+  UDAO_CHECK_EQ(x.cols(), x_.cols());
+  Matrix k(x.rows(), x_.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    double* out = k.RowPtr(i);
+    for (int j = 0; j < x_.rows(); ++j) out[j] = Kernel(row, x_.RowPtr(j));
+  }
+  return k;
+}
+
 bool GpModel::Refactorize() {
   const int n = x_.rows();
   Matrix k(n, n);
@@ -220,6 +231,66 @@ Vector GpModel::InputGradient(const Vector& x) const {
   }
   for (double& g : grad) g *= scale;
   return grad;
+}
+
+void GpModel::PredictBatch(const Matrix& x, Vector* out) const {
+  const Matrix k = KernelMatrix(x);
+  out->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    double acc = 0.0;
+    const double* row = k.RowPtr(i);
+    for (int j = 0; j < x_.rows(); ++j) acc += row[j] * alpha_[j];
+    const double t = acc * y_std_ + y_mean_;
+    (*out)[i] = log_targets_ ? std::exp(t) : t;
+  }
+}
+
+void GpModel::GradientBatch(const Matrix& x, Matrix* grads,
+                            Vector* values) const {
+  const Matrix k = KernelMatrix(x);
+  *grads = Matrix(x.rows(), x_.cols());
+  if (values != nullptr) values->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* krow = k.RowPtr(i);
+    const double* xrow = x.RowPtr(i);
+    double* grow = grads->RowPtr(i);
+    for (int j = 0; j < x_.rows(); ++j) {
+      const double w = alpha_[j] * krow[j];
+      const double* train = x_.RowPtr(j);
+      for (int d = 0; d < x_.cols(); ++d) {
+        grow[d] += w * (train[d] - xrow[d]) /
+                   (lengthscales_[d] * lengthscales_[d]);
+      }
+    }
+    double mean_acc = 0.0;
+    for (int j = 0; j < x_.rows(); ++j) mean_acc += krow[j] * alpha_[j];
+    const double t = mean_acc * y_std_ + y_mean_;
+    double scale = y_std_;
+    if (log_targets_) scale *= std::exp(t);
+    for (int d = 0; d < x_.cols(); ++d) grow[d] *= scale;
+    if (values != nullptr) (*values)[i] = log_targets_ ? std::exp(t) : t;
+  }
+}
+
+void GpModel::PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                          Vector* stddev) const {
+  const Matrix k = KernelMatrix(x);
+  mean->resize(x.rows());
+  stddev->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const Vector ki = k.Row(i);
+    const double t_mean = Dot(ki, alpha_) * y_std_ + y_mean_;
+    const Vector v = SolveLowerTriangular(chol_, ki);
+    const double var = std::max(0.0, signal_var_ + noise_var_ - Dot(v, v));
+    const double t_std = std::sqrt(var) * y_std_;
+    if (log_targets_) {
+      (*mean)[i] = std::exp(t_mean);
+      (*stddev)[i] = (*mean)[i] * t_std;
+    } else {
+      (*mean)[i] = t_mean;
+      (*stddev)[i] = t_std;
+    }
+  }
 }
 
 void GpModel::SerializeTo(std::ostream& out) const {

@@ -50,6 +50,13 @@ class GpModel : public ObjectiveModel {
   void PredictWithUncertainty(const Vector& x, double* mean,
                               double* stddev) const override;
   Vector InputGradient(const Vector& x) const override;
+  // Batched inference shares one cross-kernel matrix K* [n, n_train] across
+  // predictions, gradients, and the posterior variance of all query points.
+  void PredictBatch(const Matrix& x, Vector* out) const override;
+  void GradientBatch(const Matrix& x, Matrix* grads,
+                     Vector* values = nullptr) const override;
+  void PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                   Vector* stddev) const override;
   int input_dim() const override { return x_.cols(); }
   std::string Name() const override { return "gp"; }
 
@@ -71,6 +78,8 @@ class GpModel : public ObjectiveModel {
 
   double Kernel(const double* a, const double* b) const;
   Vector KernelVector(const Vector& x) const;
+  // Cross-kernel matrix k(x_i, train_j) for every row of `x`.
+  Matrix KernelMatrix(const Matrix& x) const;
   // Recomputes the factorization for the current hyperparameters; returns
   // false if even escalated jitter cannot make the kernel SPD.
   bool Refactorize();

@@ -120,6 +120,31 @@ Vector MlpModel::InputGradient(const Vector& x) const {
   return grad;
 }
 
+void MlpModel::PredictBatch(const Matrix& x, Vector* out) const {
+  mlp_->PredictBatch(x, out);
+  for (double& v : *out) v = FromTarget(v * y_std_ + y_mean_);
+}
+
+void MlpModel::GradientBatch(const Matrix& x, Matrix* grads,
+                             Vector* values) const {
+  Vector raw;
+  *grads = mlp_->InputGradientBatch(x, &raw);
+  for (int i = 0; i < grads->rows(); ++i) {
+    double scale = y_std_;
+    if (config_.log_transform_targets) {
+      scale *= FromTarget(raw[i] * y_std_ + y_mean_);
+    }
+    double* row = grads->RowPtr(i);
+    for (int d = 0; d < grads->cols(); ++d) row[d] *= scale;
+  }
+  if (values != nullptr) {
+    values->resize(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      (*values)[i] = FromTarget(raw[i] * y_std_ + y_mean_);
+    }
+  }
+}
+
 void MlpModel::SerializeTo(std::ostream& out) const {
   out << "udao-mlp-v1\n";
   const auto& sizes = mlp_->config().layer_sizes;

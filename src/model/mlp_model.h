@@ -47,6 +47,12 @@ class MlpModel : public ObjectiveModel {
   void PredictWithUncertainty(const Vector& x, double* mean,
                               double* stddev) const override;
   Vector InputGradient(const Vector& x) const override;
+  // Batched inference rides the GEMM forward/backward in nn/mlp.cc; MOGD's
+  // lockstep multistart loop enters here. MC-dropout uncertainty stays a
+  // per-point loop (the seed is derived from each query point).
+  void PredictBatch(const Matrix& x, Vector* out) const override;
+  void GradientBatch(const Matrix& x, Matrix* grads,
+                     Vector* values = nullptr) const override;
   int input_dim() const override { return mlp_->input_dim(); }
   std::string Name() const override { return "dnn"; }
 

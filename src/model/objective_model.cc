@@ -22,11 +22,77 @@ Vector FiniteDifferenceGradient(const ObjectiveModel& model, const Vector& x,
   return grad;
 }
 
+void ObjectiveModel::PredictBatch(const Matrix& x, Vector* out) const {
+  UDAO_CHECK_EQ(x.cols(), input_dim());
+  out->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) (*out)[i] = Predict(x.Row(i));
+}
+
+void ObjectiveModel::GradientBatch(const Matrix& x, Matrix* grads,
+                                   Vector* values) const {
+  UDAO_CHECK_EQ(x.cols(), input_dim());
+  *grads = Matrix(x.rows(), input_dim());
+  if (values != nullptr) values->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    const Vector point = x.Row(i);
+    const Vector g = InputGradient(point);
+    UDAO_CHECK_EQ(static_cast<int>(g.size()), grads->cols());
+    double* row = grads->RowPtr(i);
+    for (int d = 0; d < grads->cols(); ++d) row[d] = g[d];
+    if (values != nullptr) (*values)[i] = Predict(point);
+  }
+}
+
+void ObjectiveModel::PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                                 Vector* stddev) const {
+  UDAO_CHECK_EQ(x.cols(), input_dim());
+  mean->resize(x.rows());
+  stddev->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    PredictWithUncertainty(x.Row(i), &(*mean)[i], &(*stddev)[i]);
+  }
+}
+
 CallableModel::CallableModel(std::string name, int dim, Fn fn)
     : name_(std::move(name)), dim_(dim), fn_(std::move(fn)) {
   grad_ = [this](const Vector& x) {
     return FiniteDifferenceGradient(*this, x);
   };
+}
+
+CallableModel& CallableModel::WithBatch(BatchFn batch_fn,
+                                        BatchGradFn batch_grad) {
+  batch_fn_ = std::move(batch_fn);
+  batch_grad_ = std::move(batch_grad);
+  return *this;
+}
+
+void CallableModel::PredictBatch(const Matrix& x, Vector* out) const {
+  if (batch_fn_ == nullptr) {
+    ObjectiveModel::PredictBatch(x, out);
+    return;
+  }
+  UDAO_CHECK_EQ(x.cols(), dim_);
+  out->resize(x.rows());
+  batch_fn_(x, out);
+}
+
+void CallableModel::GradientBatch(const Matrix& x, Matrix* grads,
+                                  Vector* values) const {
+  if (batch_grad_ == nullptr) {
+    // A vectorized value form still speeds up the fused path's values.
+    if (batch_fn_ != nullptr && values != nullptr) {
+      ObjectiveModel::GradientBatch(x, grads, nullptr);
+      PredictBatch(x, values);
+      return;
+    }
+    ObjectiveModel::GradientBatch(x, grads, values);
+    return;
+  }
+  UDAO_CHECK_EQ(x.cols(), dim_);
+  *grads = Matrix(x.rows(), dim_);
+  if (values != nullptr) values->resize(x.rows());
+  batch_grad_(x, grads, values);
 }
 
 double NonNegativeModel::Predict(const Vector& x) const {
@@ -43,6 +109,27 @@ Vector NonNegativeModel::InputGradient(const Vector& x) const {
   return base_->InputGradient(x);
 }
 
+void NonNegativeModel::PredictBatch(const Matrix& x, Vector* out) const {
+  base_->PredictBatch(x, out);
+  for (double& v : *out) v = std::max(0.0, v);
+}
+
+void NonNegativeModel::GradientBatch(const Matrix& x, Matrix* grads,
+                                     Vector* values) const {
+  // Gradients pass through unfloored (pseudo-gradient); values get the floor.
+  base_->GradientBatch(x, grads, values);
+  if (values != nullptr) {
+    for (double& v : *values) v = std::max(0.0, v);
+  }
+}
+
+void NonNegativeModel::PredictWithUncertaintyBatch(const Matrix& x,
+                                                   Vector* mean,
+                                                   Vector* stddev) const {
+  base_->PredictWithUncertaintyBatch(x, mean, stddev);
+  for (double& v : *mean) v = std::max(0.0, v);
+}
+
 double UncertaintyAdjustedModel::Predict(const Vector& x) const {
   double mean = 0.0;
   double stddev = 0.0;
@@ -55,6 +142,19 @@ void UncertaintyAdjustedModel::PredictWithUncertainty(const Vector& x,
                                                       double* stddev) const {
   base_->PredictWithUncertainty(x, mean, stddev);
   *mean += alpha_ * *stddev;
+}
+
+void UncertaintyAdjustedModel::PredictBatch(const Matrix& x,
+                                            Vector* out) const {
+  Vector stddev;
+  base_->PredictWithUncertaintyBatch(x, out, &stddev);
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] += alpha_ * stddev[i];
+}
+
+void UncertaintyAdjustedModel::PredictWithUncertaintyBatch(
+    const Matrix& x, Vector* mean, Vector* stddev) const {
+  base_->PredictWithUncertaintyBatch(x, mean, stddev);
+  for (size_t i = 0; i < mean->size(); ++i) (*mean)[i] += alpha_ * (*stddev)[i];
 }
 
 Vector UncertaintyAdjustedModel::InputGradient(const Vector& x) const {

@@ -35,6 +35,24 @@ class ObjectiveModel {
   /// be subdifferentiable (Section IV-B).
   virtual Vector InputGradient(const Vector& x) const = 0;
 
+  /// Batched evaluation surface. Each row of `x` is one encoded point; the
+  /// defaults fall back to a scalar loop, so every model supports batching
+  /// and fast models (GEMM MLP forward, batched GP kernels, vectorized
+  /// closed forms) override with a single tensor-style pass. MOGD and PF-AP
+  /// issue thousands of predictions per run through these entry points.
+  virtual void PredictBatch(const Matrix& x, Vector* out) const;
+
+  /// Gradients for every row of `x`: row i of `grads` is InputGradient of
+  /// x.Row(i). When `values` is non-null it also receives the predictions,
+  /// letting implementations share one forward pass between value and
+  /// gradient -- the MOGD hot path evaluates both at every Adam step.
+  virtual void GradientBatch(const Matrix& x, Matrix* grads,
+                             Vector* values = nullptr) const;
+
+  /// Batched mean/stddev; same contract as PredictWithUncertainty per row.
+  virtual void PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                           Vector* stddev) const;
+
   /// Input dimensionality (encoded).
   virtual int input_dim() const = 0;
 
@@ -48,6 +66,8 @@ class CallableModel : public ObjectiveModel {
  public:
   using Fn = std::function<double(const Vector&)>;
   using GradFn = std::function<Vector(const Vector&)>;
+  using BatchFn = std::function<void(const Matrix&, Vector*)>;
+  using BatchGradFn = std::function<void(const Matrix&, Matrix*, Vector*)>;
 
   /// Builds from a value function and an explicit gradient.
   CallableModel(std::string name, int dim, Fn fn, GradFn grad)
@@ -58,8 +78,16 @@ class CallableModel : public ObjectiveModel {
   /// finite differences (adequate for baselines that do not descend).
   CallableModel(std::string name, int dim, Fn fn);
 
+  /// Installs vectorized closed forms used by PredictBatch/GradientBatch
+  /// instead of the scalar loop (the analytic models provide these).
+  /// Returns *this for chained setup at construction sites.
+  CallableModel& WithBatch(BatchFn batch_fn, BatchGradFn batch_grad = nullptr);
+
   double Predict(const Vector& x) const override { return fn_(x); }
   Vector InputGradient(const Vector& x) const override { return grad_(x); }
+  void PredictBatch(const Matrix& x, Vector* out) const override;
+  void GradientBatch(const Matrix& x, Matrix* grads,
+                     Vector* values = nullptr) const override;
   int input_dim() const override { return dim_; }
   std::string Name() const override { return name_; }
 
@@ -68,6 +96,8 @@ class CallableModel : public ObjectiveModel {
   int dim_;
   Fn fn_;
   GradFn grad_;
+  BatchFn batch_fn_;
+  BatchGradFn batch_grad_;
 };
 
 /// Wraps a base model with the paper's uncertainty adjustment:
@@ -85,6 +115,9 @@ class UncertaintyAdjustedModel : public ObjectiveModel {
   void PredictWithUncertainty(const Vector& x, double* mean,
                               double* stddev) const override;
   Vector InputGradient(const Vector& x) const override;
+  void PredictBatch(const Matrix& x, Vector* out) const override;
+  void PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                   Vector* stddev) const override;
   int input_dim() const override { return base_->input_dim(); }
   std::string Name() const override { return base_->Name() + "+ucb"; }
 
@@ -109,6 +142,11 @@ class NonNegativeModel : public ObjectiveModel {
   void PredictWithUncertainty(const Vector& x, double* mean,
                               double* stddev) const override;
   Vector InputGradient(const Vector& x) const override;
+  void PredictBatch(const Matrix& x, Vector* out) const override;
+  void GradientBatch(const Matrix& x, Matrix* grads,
+                     Vector* values = nullptr) const override;
+  void PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                   Vector* stddev) const override;
   int input_dim() const override { return base_->input_dim(); }
   std::string Name() const override { return base_->Name() + "+floor"; }
 

@@ -1,6 +1,7 @@
 #include "moo/mogd.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -19,6 +20,39 @@ void ClipToUnitBox(Vector* x) {
   for (double& v : *x) v = std::min(1.0, std::max(0.0, v));
 }
 
+void ClipToUnitBox(double* x, int dim) {
+  for (int d = 0; d < dim; ++d) x[d] = std::min(1.0, std::max(0.0, x[d]));
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Draws the multistart initial points in the scalar path's RNG order:
+// start 0 is the center of the box, later starts are uniform draws taken
+// start-major so both paths consume the same random sequence.
+Matrix DrawStarts(int multistart, int dim, Rng* rng) {
+  Matrix x(multistart, dim);
+  double* row0 = x.RowPtr(0);
+  for (int d = 0; d < dim; ++d) row0[d] = 0.5;
+  for (int s = 1; s < multistart; ++s) {
+    double* row = x.RowPtr(s);
+    for (int d = 0; d < dim; ++d) row[d] = rng->Uniform();
+  }
+  return x;
+}
+
+// Per-start incumbent for the batched paths. Keeping the best per start and
+// merging in start order reproduces the scalar path's global
+// first-best-wins bookkeeping exactly (strict < keeps the earliest).
+struct StartBest {
+  bool found = false;
+  Vector x;
+  Vector objectives;
+  double target_value = std::numeric_limits<double>::infinity();
+};
+
 }  // namespace
 
 MogdSolver::MogdSolver(MogdConfig config) : config_(config) {
@@ -27,22 +61,35 @@ MogdSolver::MogdSolver(MogdConfig config) : config_(config) {
 }
 
 std::optional<CoResult> MogdSolver::SolveCo(const MooProblem& problem,
-                                            const CoProblem& co) const {
-  return SolveCoSeeded(problem, co, config_.seed);
+                                            const CoProblem& co,
+                                            SolvePerf* perf) const {
+  return SolveCoSeeded(problem, co, config_.seed, perf);
 }
 
 std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
                                                   const CoProblem& co,
-                                                  uint64_t seed) const {
+                                                  uint64_t seed,
+                                                  SolvePerf* perf) const {
   const int k = problem.NumObjectives();
-  const int dim = problem.EncodedDim();
   UDAO_CHECK(co.target >= 0 && co.target < k);
   UDAO_CHECK_EQ(static_cast<int>(co.lower.size()), k);
   UDAO_CHECK_EQ(static_cast<int>(co.upper.size()), k);
+  for (int j = 0; j < k; ++j) UDAO_CHECK(co.lower[j] <= co.upper[j]);
+  return config_.batched ? SolveCoBatched(problem, co, seed, perf)
+                         : SolveCoScalar(problem, co, seed, perf);
+}
+
+std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
+                                                  const CoProblem& co,
+                                                  uint64_t seed,
+                                                  SolvePerf* perf) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SolvePerf local;
+  const int k = problem.NumObjectives();
+  const int dim = problem.EncodedDim();
 
   Vector spans(k);
   for (int j = 0; j < k; ++j) {
-    UDAO_CHECK(co.lower[j] <= co.upper[j]);
     spans[j] = std::max(1e-9, co.upper[j] - co.lower[j]);
   }
 
@@ -50,6 +97,7 @@ std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
   // gradients at x.
   auto evaluate = [&](const Vector& x, Vector* f,
                       std::vector<Vector>* grads) {
+    const auto e0 = std::chrono::steady_clock::now();
     f->resize(k);
     grads->resize(k);
     for (int j = 0; j < k; ++j) {
@@ -65,6 +113,9 @@ std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
       // term shifts values (conservatism) without steering the search.
       (*grads)[j] = problem.Gradient(j, x);
     }
+    local.model_evals += k;
+    local.batch_calls += k;
+    local.eval_seconds += SecondsSince(e0);
   };
 
   Rng rng(seed);
@@ -129,39 +180,212 @@ std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
       }
       adam.Step(&x, loss_grad);
       ClipToUnitBox(&x);
+      ++local.iterations;
     }
     evaluate(x, &f, &grads);
     consider(x, f);
   }
+  local.solve_seconds = SecondsSince(t0);
+  if (best.has_value()) best->perf = local;
+  if (perf != nullptr) perf->Merge(local);
   return best;
 }
 
+std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
+                                                   const CoProblem& co,
+                                                   uint64_t seed,
+                                                   SolvePerf* perf) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SolvePerf local;
+  const int k = problem.NumObjectives();
+  const int dim = problem.EncodedDim();
+  const int S = config_.multistart;
+
+  Vector spans(k);
+  for (int j = 0; j < k; ++j) {
+    spans[j] = std::max(1e-9, co.upper[j] - co.lower[j]);
+  }
+
+  Rng rng(seed);
+  Matrix x = DrawStarts(S, dim, &rng);
+
+  // Per-objective values and gradients for the whole lockstep batch:
+  // f[j][s] and grads[j](s, d).
+  std::vector<Vector> f(k);
+  std::vector<Matrix> grads(k);
+  Vector mean;
+  Vector stddev;
+  auto evaluate = [&]() {
+    const auto e0 = std::chrono::steady_clock::now();
+    for (int j = 0; j < k; ++j) {
+      if (config_.alpha > 0.0) {
+        // Values come from the uncertainty-adjusted surface; the descent
+        // direction still follows the mean's gradient (as in the scalar
+        // path), so the fused values from GradientBatch are discarded.
+        problem.EvaluateWithUncertaintyBatch(j, x, &mean, &stddev);
+        problem.GradientBatch(j, x, &grads[j]);
+        f[j].resize(S);
+        for (int s = 0; s < S; ++s) {
+          f[j][s] = mean[s] + config_.alpha * stddev[s];
+        }
+      } else {
+        problem.GradientBatch(j, x, &grads[j], &f[j]);
+      }
+    }
+    local.model_evals += static_cast<long long>(S) * k;
+    local.batch_calls += k;
+    local.eval_seconds += SecondsSince(e0);
+  };
+
+  std::vector<StartBest> best(S);
+  Vector fs(k);
+  auto consider = [&]() {
+    for (int s = 0; s < S; ++s) {
+      bool feasible = true;
+      for (int j = 0; j < k && feasible; ++j) {
+        const double fn = (f[j][s] - co.lower[j]) / spans[j];
+        feasible = fn >= -kFeasibilityTol && fn <= 1.0 + kFeasibilityTol;
+      }
+      if (!feasible) continue;
+      if (!co.linear.empty()) {
+        for (int j = 0; j < k; ++j) fs[j] = f[j][s];
+        for (const CoProblem::LinearConstraint& lc : co.linear) {
+          if (Dot(lc.normal, fs) - lc.offset > kFeasibilityTol) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+      }
+      StartBest& b = best[s];
+      if (!b.found || f[co.target][s] < b.target_value) {
+        b.found = true;
+        b.x.assign(x.RowPtr(s), x.RowPtr(s) + dim);
+        b.objectives.resize(k);
+        for (int j = 0; j < k; ++j) b.objectives[j] = f[j][s];
+        b.target_value = f[co.target][s];
+      }
+    }
+  };
+
+  std::vector<Adam> adams;
+  adams.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    adams.emplace_back(dim, AdamConfig{.learning_rate = config_.learning_rate});
+  }
+
+  Vector loss_grad(dim);
+  Vector xs(dim);
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    evaluate();
+    consider();
+    for (int s = 0; s < S; ++s) {
+      // Loss gradient per Eq. 3 for start s.
+      std::fill(loss_grad.begin(), loss_grad.end(), 0.0);
+      for (int j = 0; j < k; ++j) {
+        const double fn = (f[j][s] - co.lower[j]) / spans[j];
+        double coeff = 0.0;
+        if (fn < 0.0 || fn > 1.0) {
+          coeff = 2.0 * (fn - 0.5) / spans[j];
+        } else if (j == co.target) {
+          coeff = 2.0 * fn / spans[j];
+        }
+        if (coeff != 0.0) {
+          const double* g = grads[j].RowPtr(s);
+          for (int d = 0; d < dim; ++d) loss_grad[d] += coeff * g[d];
+        }
+      }
+      for (const CoProblem::LinearConstraint& lc : co.linear) {
+        for (int j = 0; j < k; ++j) fs[j] = f[j][s];
+        const double g = Dot(lc.normal, fs) - lc.offset;
+        if (g > 0.0) {
+          for (int j = 0; j < k; ++j) {
+            if (lc.normal[j] == 0.0) continue;
+            const double* gj = grads[j].RowPtr(s);
+            for (int d = 0; d < dim; ++d) {
+              loss_grad[d] += 2.0 * g * lc.normal[j] * gj[d];
+            }
+          }
+        }
+      }
+      xs.assign(x.RowPtr(s), x.RowPtr(s) + dim);
+      adams[s].Step(&xs, loss_grad);
+      std::copy(xs.begin(), xs.end(), x.RowPtr(s));
+      ClipToUnitBox(x.RowPtr(s), dim);
+      ++local.iterations;
+    }
+  }
+  evaluate();
+  consider();
+
+  // Merge per-start incumbents in start order; strict < keeps the earliest,
+  // matching the scalar path's single global incumbent.
+  std::optional<CoResult> out;
+  for (int s = 0; s < S; ++s) {
+    const StartBest& b = best[s];
+    if (!b.found) continue;
+    if (!out.has_value() || b.target_value < out->target_value) {
+      CoResult result;
+      result.x = b.x;
+      result.raw = problem.space().Decode(b.x);
+      result.objectives = b.objectives;
+      result.target_value = b.target_value;
+      out = std::move(result);
+    }
+  }
+  local.solve_seconds = SecondsSince(t0);
+  if (out.has_value()) out->perf = local;
+  if (perf != nullptr) perf->Merge(local);
+  return out;
+}
+
 std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
-    const MooProblem& problem, const std::vector<CoProblem>& problems) const {
+    const MooProblem& problem, const std::vector<CoProblem>& problems,
+    SolvePerf* perf) const {
   std::vector<std::optional<CoResult>> results(problems.size());
   if (problems.empty()) return results;
-  if (config_.threads <= 1 || problems.size() == 1) {
+  // Per-problem counters land in a fixed slot each, so the aggregate is
+  // identical whether the batch ran inline or on the pool.
+  std::vector<SolvePerf> perfs(problems.size());
+  auto solve_one = [&](int i) {
+    results[i] =
+        SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i,
+                      &perfs[i]);
+  };
+  if (config_.pool == nullptr || problems.size() == 1) {
     for (size_t i = 0; i < problems.size(); ++i) {
-      results[i] =
-          SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i);
+      solve_one(static_cast<int>(i));
     }
-    return results;
+  } else {
+    config_.pool->ParallelFor(static_cast<int>(problems.size()), solve_one);
   }
-  ThreadPool pool(config_.threads);
-  pool.ParallelFor(static_cast<int>(problems.size()), [&](int i) {
-    results[i] = SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i);
-  });
+  if (perf != nullptr) {
+    for (const SolvePerf& p : perfs) perf->Merge(p);
+  }
   return results;
 }
 
-CoResult MogdSolver::Minimize(const MooProblem& problem, int target) const {
+CoResult MogdSolver::Minimize(const MooProblem& problem, int target,
+                              SolvePerf* perf) const {
+  return config_.batched ? MinimizeBatched(problem, target, perf)
+                         : MinimizeScalar(problem, target, perf);
+}
+
+CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
+                                    SolvePerf* perf) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SolvePerf local;
   const int dim = problem.EncodedDim();
   Rng rng(config_.seed + 7 * target);
   CoResult best;
   best.target_value = std::numeric_limits<double>::infinity();
 
   auto consider = [&](const Vector& x) {
+    const auto e0 = std::chrono::steady_clock::now();
     const double v = problem.EvaluateOne(target, x);
+    ++local.model_evals;
+    ++local.batch_calls;
+    local.eval_seconds += SecondsSince(e0);
     if (v < best.target_value) {
       best.x = x;
       best.raw = problem.space().Decode(x);
@@ -179,14 +403,94 @@ CoResult MogdSolver::Minimize(const MooProblem& problem, int target) const {
     }
     Adam adam(dim, AdamConfig{.learning_rate = config_.learning_rate});
     for (int iter = 0; iter < config_.max_iters; ++iter) {
+      const auto e0 = std::chrono::steady_clock::now();
       Vector grad = problem.Gradient(target, x);
+      ++local.model_evals;
+      ++local.batch_calls;
+      local.eval_seconds += SecondsSince(e0);
       adam.Step(&x, grad);
       ClipToUnitBox(&x);
       consider(x);
+      ++local.iterations;
     }
   }
   UDAO_CHECK(std::isfinite(best.target_value));
+  local.solve_seconds = SecondsSince(t0);
+  best.perf = local;
+  if (perf != nullptr) perf->Merge(local);
   return best;
+}
+
+CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
+                                     SolvePerf* perf) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SolvePerf local;
+  const int dim = problem.EncodedDim();
+  const int S = config_.multistart;
+  Rng rng(config_.seed + 7 * target);
+  Matrix x = DrawStarts(S, dim, &rng);
+
+  // The scalar path considers the point *after* each Adam step, so values
+  // are needed at the stepped points: one gradient batch before the step and
+  // one value batch after it per iteration (the scalar path pays the same
+  // two model calls per point).
+  std::vector<StartBest> best(S);
+  Matrix grads;
+  Vector values;
+  Vector xs(dim);
+  std::vector<Adam> adams;
+  adams.reserve(S);
+  for (int s = 0; s < S; ++s) {
+    adams.emplace_back(dim, AdamConfig{.learning_rate = config_.learning_rate});
+  }
+
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    const auto g0 = std::chrono::steady_clock::now();
+    problem.GradientBatch(target, x, &grads);
+    local.model_evals += S;
+    local.batch_calls += 1;
+    local.eval_seconds += SecondsSince(g0);
+    for (int s = 0; s < S; ++s) {
+      xs.assign(x.RowPtr(s), x.RowPtr(s) + dim);
+      Vector grad(grads.RowPtr(s), grads.RowPtr(s) + dim);
+      adams[s].Step(&xs, grad);
+      std::copy(xs.begin(), xs.end(), x.RowPtr(s));
+      ClipToUnitBox(x.RowPtr(s), dim);
+      ++local.iterations;
+    }
+    const auto v0 = std::chrono::steady_clock::now();
+    problem.EvaluateOneBatch(target, x, &values);
+    local.model_evals += S;
+    local.batch_calls += 1;
+    local.eval_seconds += SecondsSince(v0);
+    for (int s = 0; s < S; ++s) {
+      StartBest& b = best[s];
+      if (values[s] < b.target_value) {
+        b.found = true;
+        b.x.assign(x.RowPtr(s), x.RowPtr(s) + dim);
+        b.target_value = values[s];
+      }
+    }
+  }
+
+  CoResult out;
+  out.target_value = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < S; ++s) {
+    const StartBest& b = best[s];
+    if (b.found && b.target_value < out.target_value) {
+      out.x = b.x;
+      out.target_value = b.target_value;
+    }
+  }
+  UDAO_CHECK(std::isfinite(out.target_value));
+  out.raw = problem.space().Decode(out.x);
+  out.objectives = problem.Evaluate(out.x);
+  local.model_evals += problem.NumObjectives();
+  local.batch_calls += problem.NumObjectives();
+  local.solve_seconds = SecondsSince(t0);
+  out.perf = local;
+  if (perf != nullptr) perf->Merge(local);
+  return out;
 }
 
 }  // namespace udao

@@ -20,9 +20,42 @@ struct MogdConfig {
   /// Uncertainty coefficient: objectives are replaced by
   /// E[F] + alpha * std[F] when alpha > 0 (Section IV-B.3).
   double alpha = 0.0;
-  /// Worker threads for batch solves (PF-AP sends l^k CO problems at once).
-  int threads = 4;
+  /// Advance all multistarts in lockstep, evaluating every objective once
+  /// per Adam iteration over the whole [multistart, dim] batch (one GEMM for
+  /// DNN objectives, with the forward pass shared between values and
+  /// gradients). The scalar path (false) descends one start at a time; both
+  /// paths visit the same points and return the same solutions.
+  bool batched = true;
+  /// Worker threads for SolveBatch (PF-AP sends l^k CO problems at once).
+  /// Non-owning: the caller creates the pool once (Udao / PipelineOptimizer
+  /// own one per instance) and may share it across solvers. Null runs the
+  /// batch inline on the calling thread. Per-problem results are independent
+  /// of the pool, so threading never changes solutions.
+  ThreadPool* pool = nullptr;
   uint64_t seed = 17;
+};
+
+/// Performance counters for one solve (or an aggregate of many). These feed
+/// the numbers printed by tools/udao_cli.cc and bench_mogd_solver.
+struct SolvePerf {
+  long long model_evals = 0;   ///< Point-evaluations of objective models.
+  long long batch_calls = 0;   ///< Model invocations issued (scalar call = 1).
+  long long iterations = 0;    ///< Adam iterations executed (all starts).
+  double eval_seconds = 0.0;   ///< Wall-clock inside model evaluation.
+  double solve_seconds = 0.0;  ///< Wall-clock of the whole solve.
+
+  /// Mean points per model invocation; 1.0 for the scalar path.
+  double AvgBatch() const {
+    return batch_calls > 0 ? static_cast<double>(model_evals) / batch_calls
+                           : 0.0;
+  }
+  void Merge(const SolvePerf& other) {
+    model_evals += other.model_evals;
+    batch_calls += other.batch_calls;
+    iterations += other.iterations;
+    eval_seconds += other.eval_seconds;
+    solve_seconds += other.solve_seconds;
+  }
 };
 
 /// A constrained-optimization task: minimize objective `target` subject to
@@ -46,6 +79,7 @@ struct CoResult {
   Vector raw;         ///< Decoded raw knob values (rounded / argmaxed).
   Vector objectives;  ///< Objective values at x (minimization orientation).
   double target_value = 0.0;
+  SolvePerf perf;     ///< Counters for the solve that produced this result.
 };
 
 /// Multi-Objective Gradient Descent solver. Uses the carefully-crafted loss
@@ -69,24 +103,43 @@ class MogdSolver {
 
   /// Solves one CO problem; nullopt when no feasible point was found, which
   /// the Progressive Frontier treats as "this hyperrectangle is empty".
+  /// `perf`, when non-null, accumulates this solve's counters (also reported
+  /// even when the solve comes back infeasible).
   std::optional<CoResult> SolveCo(const MooProblem& problem,
-                                  const CoProblem& co) const;
+                                  const CoProblem& co,
+                                  SolvePerf* perf = nullptr) const;
 
-  /// Solves a batch of CO problems in parallel on an internal thread pool
-  /// (the PF-AP fan-out). Result i corresponds to problems[i].
+  /// Solves a batch of CO problems on config().pool (inline when null) --
+  /// the PF-AP fan-out. Result i corresponds to problems[i] and is
+  /// independent of the pool's thread count.
   std::vector<std::optional<CoResult>> SolveBatch(
-      const MooProblem& problem, const std::vector<CoProblem>& problems) const;
+      const MooProblem& problem, const std::vector<CoProblem>& problems,
+      SolvePerf* perf = nullptr) const;
 
   /// Unconstrained single-objective minimization (line 2 of Algorithm 1, used
   /// to find the reference points). Only the box [0,1]^D constrains x.
-  CoResult Minimize(const MooProblem& problem, int target) const;
+  CoResult Minimize(const MooProblem& problem, int target,
+                    SolvePerf* perf = nullptr) const;
 
   const MogdConfig& config() const { return config_; }
 
  private:
   std::optional<CoResult> SolveCoSeeded(const MooProblem& problem,
-                                        const CoProblem& co,
-                                        uint64_t seed) const;
+                                        const CoProblem& co, uint64_t seed,
+                                        SolvePerf* perf) const;
+  // One start at a time; the original formulation.
+  std::optional<CoResult> SolveCoScalar(const MooProblem& problem,
+                                        const CoProblem& co, uint64_t seed,
+                                        SolvePerf* perf) const;
+  // All starts in lockstep, batched model evaluation. Visits exactly the
+  // points the scalar path visits (same seeds) and keeps the same best.
+  std::optional<CoResult> SolveCoBatched(const MooProblem& problem,
+                                         const CoProblem& co, uint64_t seed,
+                                         SolvePerf* perf) const;
+  CoResult MinimizeScalar(const MooProblem& problem, int target,
+                          SolvePerf* perf) const;
+  CoResult MinimizeBatched(const MooProblem& problem, int target,
+                           SolvePerf* perf) const;
 
   MogdConfig config_;
 };

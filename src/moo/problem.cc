@@ -5,14 +5,14 @@
 namespace udao {
 
 MooProblem::MooProblem(const ParamSpace* space,
-                       std::vector<MooObjective> objectives)
+                       std::vector<ObjectiveSpec> objectives)
     : space_(space), objectives_(std::move(objectives)) {
   UDAO_CHECK(space_ != nullptr);
   UDAO_CHECK(!objectives_.empty());
-  for (const MooObjective& obj : objectives_) {
+  for (const ObjectiveSpec& obj : objectives_) {
     UDAO_CHECK(obj.model != nullptr);
     UDAO_CHECK_EQ(obj.model->input_dim(), space_->EncodedDim());
-    UDAO_CHECK(obj.user_lower <= obj.user_upper);
+    UDAO_CHECK(obj.lower <= obj.upper);
   }
 }
 
@@ -25,13 +25,13 @@ Vector MooProblem::Evaluate(const Vector& x) const {
 }
 
 double MooProblem::EvaluateOne(int i, const Vector& x) const {
-  const MooObjective& obj = objectives_[i];
+  const ObjectiveSpec& obj = objectives_[i];
   const double v = obj.model->Predict(x);
   return obj.minimize ? v : -v;
 }
 
 Vector MooProblem::Gradient(int i, const Vector& x) const {
-  const MooObjective& obj = objectives_[i];
+  const ObjectiveSpec& obj = objectives_[i];
   Vector g = obj.model->InputGradient(x);
   if (!obj.minimize) {
     for (double& v : g) v = -v;
@@ -41,21 +41,51 @@ Vector MooProblem::Gradient(int i, const Vector& x) const {
 
 void MooProblem::EvaluateWithUncertainty(int i, const Vector& x, double* mean,
                                          double* stddev) const {
-  const MooObjective& obj = objectives_[i];
+  const ObjectiveSpec& obj = objectives_[i];
   obj.model->PredictWithUncertainty(x, mean, stddev);
   if (!obj.minimize) *mean = -*mean;
 }
 
+void MooProblem::EvaluateOneBatch(int i, const Matrix& x, Vector* out) const {
+  const ObjectiveSpec& obj = objectives_[i];
+  obj.model->PredictBatch(x, out);
+  if (!obj.minimize) {
+    for (double& v : *out) v = -v;
+  }
+}
+
+void MooProblem::GradientBatch(int i, const Matrix& x, Matrix* grads,
+                               Vector* values) const {
+  const ObjectiveSpec& obj = objectives_[i];
+  obj.model->GradientBatch(x, grads, values);
+  if (!obj.minimize) {
+    for (double& v : grads->data()) v = -v;
+    if (values != nullptr) {
+      for (double& v : *values) v = -v;
+    }
+  }
+}
+
+void MooProblem::EvaluateWithUncertaintyBatch(int i, const Matrix& x,
+                                              Vector* mean,
+                                              Vector* stddev) const {
+  const ObjectiveSpec& obj = objectives_[i];
+  obj.model->PredictWithUncertaintyBatch(x, mean, stddev);
+  if (!obj.minimize) {
+    for (double& v : *mean) v = -v;
+  }
+}
+
 double MooProblem::UserLower(int i) const {
-  const MooObjective& obj = objectives_[i];
+  const ObjectiveSpec& obj = objectives_[i];
   // In minimization orientation, a maximize objective's [L, U] becomes
   // [-U, -L].
-  return obj.minimize ? obj.user_lower : -obj.user_upper;
+  return obj.minimize ? obj.lower : -obj.upper;
 }
 
 double MooProblem::UserUpper(int i) const {
-  const MooObjective& obj = objectives_[i];
-  return obj.minimize ? obj.user_upper : -obj.user_lower;
+  const ObjectiveSpec& obj = objectives_[i];
+  return obj.minimize ? obj.upper : -obj.lower;
 }
 
 }  // namespace udao

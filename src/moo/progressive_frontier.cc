@@ -26,14 +26,14 @@ ProgressiveFrontier::ProgressiveFrontier(const MooProblem* problem,
   UDAO_CHECK_GE(config_.grid_per_dim, 2);
 }
 
-std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co) const {
+std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co) {
   if (config_.use_exhaustive) return exhaustive_.SolveCo(*problem_, co);
-  return mogd_.SolveCo(*problem_, co);
+  return mogd_.SolveCo(*problem_, co, &result_.perf);
 }
 
-CoResult ProgressiveFrontier::SolveMin(int target) const {
+CoResult ProgressiveFrontier::SolveMin(int target) {
   if (config_.use_exhaustive) return exhaustive_.Minimize(*problem_, target);
-  return mogd_.Minimize(*problem_, target);
+  return mogd_.Minimize(*problem_, target, &result_.perf);
 }
 
 double ProgressiveFrontier::QueueVolume() const {
@@ -235,7 +235,7 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
                   }
                   return r;
                 }()
-              : mogd_.SolveBatch(*problem_, cos);
+              : mogd_.SolveBatch(*problem_, cos, &result_.perf);
       result_.probes += cells;
       ++probes_this_call;
       for (size_t i = 0; i < solved.size(); ++i) {

@@ -49,6 +49,9 @@ struct PfResult {
   double uncertain_percent = 100.0;  ///< Final uncertain space.
   std::vector<PfSnapshot> history;   ///< Per-probe progress.
   int probes = 0;                    ///< CO problems solved.
+  /// Aggregated MOGD counters over every CO solve of the run (reference
+  /// points, probes, and PF-AP grid cells). Zero when use_exhaustive is on.
+  SolvePerf perf;
 };
 
 /// The paper's core contribution: incrementally transforms the MOO problem
@@ -93,8 +96,9 @@ class ProgressiveFrontier {
   void AddPoint(const CoResult& co);
   void Snapshot();
   double QueueVolume() const;
-  std::optional<CoResult> Solve(const CoProblem& co) const;
-  CoResult SolveMin(int target) const;
+  // Non-const: both fold their MOGD counters into result_.perf.
+  std::optional<CoResult> Solve(const CoProblem& co);
+  CoResult SolveMin(int target);
 
   const MooProblem* problem_;
   PfConfig config_;

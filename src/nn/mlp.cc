@@ -70,6 +70,70 @@ Vector Mlp::ForwardCached(const Vector& x, std::vector<Vector>* pre,
   return cur;
 }
 
+Matrix Mlp::ForwardCachedBatch(const Matrix& x, std::vector<Matrix>* pre,
+                               std::vector<Matrix>* post) const {
+  UDAO_CHECK_EQ(x.cols(), input_dim());
+  Matrix cur = x;
+  const int num_layers = static_cast<int>(layers_.size());
+  for (int l = 0; l < num_layers; ++l) {
+    // z = cur * W^T + b: one GEMM for the whole batch. Accumulation order
+    // per output element matches the scalar Apply path, so batched and
+    // scalar predictions agree exactly.
+    Matrix z = cur.MultiplyTransposed(layers_[l].w);
+    const Vector& b = layers_[l].b;
+    for (int i = 0; i < z.rows(); ++i) {
+      double* row = z.RowPtr(i);
+      for (int j = 0; j < z.cols(); ++j) row[j] += b[j];
+    }
+    if (pre != nullptr) pre->push_back(z);
+    const bool is_output = (l == num_layers - 1);
+    if (!is_output) {
+      for (double& v : z.data()) v = Act(v);
+    }
+    if (post != nullptr) post->push_back(z);
+    cur = std::move(z);
+  }
+  return cur;
+}
+
+Matrix Mlp::ForwardBatch(const Matrix& x) const {
+  return ForwardCachedBatch(x, nullptr, nullptr);
+}
+
+void Mlp::PredictBatch(const Matrix& x, Vector* out) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  const Matrix y = ForwardBatch(x);
+  out->resize(y.rows());
+  for (int i = 0; i < y.rows(); ++i) (*out)[i] = y(i, 0);
+}
+
+Matrix Mlp::InputGradientBatch(const Matrix& x, Vector* values) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  std::vector<Matrix> pre;
+  std::vector<Matrix> post;
+  const Matrix out = ForwardCachedBatch(x, &pre, &post);
+  if (values != nullptr) {
+    values->resize(out.rows());
+    for (int i = 0; i < out.rows(); ++i) (*values)[i] = out(i, 0);
+  }
+  const int num_layers = static_cast<int>(layers_.size());
+  // Seed every row with d(out)/d(out) = 1 and back-propagate all points at
+  // once; delta * W replicates the per-point ApplyTranspose exactly.
+  Matrix delta(x.rows(), 1, 1.0);
+  for (int l = num_layers - 1; l >= 0; --l) {
+    if (l != num_layers - 1) {
+      for (int i = 0; i < delta.rows(); ++i) {
+        double* row = delta.RowPtr(i);
+        for (int j = 0; j < delta.cols(); ++j) {
+          row[j] *= ActGrad(pre[l](i, j), post[l](i, j));
+        }
+      }
+    }
+    delta = delta.Multiply(layers_[l].w);
+  }
+  return delta;
+}
+
 Vector Mlp::Forward(const Vector& x) const {
   return ForwardCached(x, nullptr, nullptr, nullptr);
 }

@@ -61,6 +61,20 @@ class Mlp {
   /// exactly what the paper's MOGD solver requires.
   Vector InputGradient(const Vector& x) const;
 
+  /// Batched deterministic forward: rows of `x` are inputs, rows of the
+  /// result are outputs. One GEMM per layer instead of a matrix-vector
+  /// product per point -- the kernel behind ObjectiveModel::PredictBatch.
+  Matrix ForwardBatch(const Matrix& x) const;
+
+  /// Batched scalar prediction for 1-output networks.
+  void PredictBatch(const Matrix& x, Vector* out) const;
+
+  /// Batched input gradients: row i of the result is InputGradient of row i
+  /// of `x`. When `values` is non-null it receives the predictions from the
+  /// same forward pass, so the MOGD hot path pays for one forward per Adam
+  /// iteration instead of two.
+  Matrix InputGradientBatch(const Matrix& x, Vector* values = nullptr) const;
+
   /// MC-dropout estimate: runs `samples` stochastic forward passes and
   /// reports mean and standard deviation of the scalar output.
   void PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
@@ -103,6 +117,9 @@ class Mlp {
   Vector ForwardCached(const Vector& x, std::vector<Vector>* pre,
                        std::vector<Vector>* post,
                        const std::vector<Vector>* dropout_masks) const;
+  // Batched forward caching per-layer pre/post activation matrices.
+  Matrix ForwardCachedBatch(const Matrix& x, std::vector<Matrix>* pre,
+                            std::vector<Matrix>* post) const;
 
   MlpConfig config_;
   std::vector<Layer> layers_;

@@ -12,6 +12,10 @@ PipelineOptimizer::PipelineOptimizer(PipelineOptions options)
     : options_(options) {
   UDAO_CHECK_GT(options_.points_per_stage, 0);
   UDAO_CHECK_GT(options_.max_points, 1);
+  if (options_.pf.mogd.pool == nullptr && options_.solver_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.solver_threads);
+    options_.pf.mogd.pool = pool_.get();
+  }
 }
 
 std::vector<PipelinePoint> PipelineOptimizer::Compose(

@@ -1,11 +1,13 @@
 #ifndef UDAO_TUNING_PIPELINE_H_
 #define UDAO_TUNING_PIPELINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "moo/progressive_frontier.h"
 
 namespace udao {
@@ -45,6 +47,10 @@ struct PipelineOptions {
   /// composing, so pipeline plans avoid configurations whose appeal rests on
   /// model holes (same guard as UdaoOptions::uncertainty_alpha).
   double uncertainty_alpha = 1.0;
+  /// Worker threads for the per-stage PF-AP fan-out; one ThreadPool is
+  /// created at construction and shared by every stage solve (a caller-set
+  /// pf.mogd.pool wins). <= 1 runs solves inline.
+  int solver_threads = 4;
 };
 
 /// Multi-task pipeline optimizer -- the extension the paper names as future
@@ -77,6 +83,9 @@ class PipelineOptimizer {
 
  private:
   PipelineOptions options_;
+  /// Lives as long as the optimizer; options_.pf.mogd.pool points here
+  /// unless the caller supplied a pool of their own.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace udao

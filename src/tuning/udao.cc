@@ -11,6 +11,10 @@ namespace udao {
 Udao::Udao(ModelServer* server, UdaoOptions options)
     : server_(server), options_(options) {
   UDAO_CHECK(server_ != nullptr);
+  if (options_.pf.mogd.pool == nullptr && options_.solver_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.solver_threads);
+    options_.pf.mogd.pool = pool_.get();
+  }
 }
 
 StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
@@ -27,28 +31,24 @@ StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Retrieve the latest task-specific models (Fig. 1(a), step 1).
-  std::vector<MooObjective> objectives;
-  for (const UdaoRequest::Objective& spec : request.objectives) {
-    MooObjective obj;
-    obj.name = spec.name;
-    obj.minimize = spec.minimize;
-    obj.user_lower = spec.lower;
-    obj.user_upper = spec.upper;
-    if (spec.model != nullptr) {
-      obj.model = spec.model;
-    } else if (spec.name == objectives::kCostCores &&
-               request.space == &BatchParamSpace()) {
-      obj.model = MakeCostCoresModel();
-    } else if (spec.name == objectives::kCostCores &&
-               request.space == &StreamParamSpace()) {
-      obj.model = MakeStreamCostCoresModel();
-    } else {
-      StatusOr<std::shared_ptr<const ObjectiveModel>> model =
-          server_->GetModel(request.workload_id, spec.name);
-      if (!model.ok()) return model.status();
-      // Learned models of physical quantities get a non-negativity floor so
-      // the optimizer cannot chase extrapolated negative predictions.
-      obj.model = std::make_shared<NonNegativeModel>(*model);
+  std::vector<ObjectiveSpec> objectives;
+  for (const ObjectiveSpec& spec : request.objectives) {
+    ObjectiveSpec obj = spec;
+    if (obj.model == nullptr) {
+      if (obj.name == objectives::kCostCores &&
+          request.space == &BatchParamSpace()) {
+        obj.model = MakeCostCoresModel();
+      } else if (obj.name == objectives::kCostCores &&
+                 request.space == &StreamParamSpace()) {
+        obj.model = MakeStreamCostCoresModel();
+      } else {
+        StatusOr<std::shared_ptr<const ObjectiveModel>> model =
+            server_->GetModel(request.workload_id, obj.name);
+        if (!model.ok()) return model.status();
+        // Learned models of physical quantities get a non-negativity floor
+        // so the optimizer cannot chase extrapolated negative predictions.
+        obj.model = std::make_shared<NonNegativeModel>(*model);
+      }
     }
     objectives.push_back(std::move(obj));
   }

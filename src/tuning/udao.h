@@ -1,8 +1,11 @@
 #ifndef UDAO_TUNING_UDAO_H_
 #define UDAO_TUNING_UDAO_H_
 
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "common/status.h"
 #include "model/model_server.h"
@@ -19,20 +22,14 @@ struct UdaoRequest {
   std::string workload_id;
   const ParamSpace* space = nullptr;
 
-  struct Objective {
-    /// Model-server objective name (see workload/trace_gen.h constants).
-    std::string name;
-    bool minimize = true;
-    /// Optional value constraints F_i in [lower, upper], natural orientation.
-    double lower = -MooObjective::kInf;
-    double upper = MooObjective::kInf;
-    /// Optional explicit model (e.g. a hand-crafted regression function);
-    /// when null the optimizer resolves the model itself: cost-in-cores is
-    /// served analytically (it is a certain function of the knobs), other
-    /// objectives come from the model server with a non-negativity floor.
-    std::shared_ptr<const ObjectiveModel> model;
-  };
-  std::vector<Objective> objectives;
+  /// Objectives use the stack-wide ObjectiveSpec (src/moo/problem.h). `name`
+  /// is the model-server objective name (see workload/trace_gen.h constants).
+  /// `model` may be left null: the optimizer resolves it itself --
+  /// cost-in-cores is served analytically (it is a certain function of the
+  /// knobs), other objectives come from the model server with a
+  /// non-negativity floor.
+  using Objective = ObjectiveSpec;
+  std::vector<ObjectiveSpec> objectives;
 
   /// External (application) preference weights, one per objective; empty
   /// means uniform. They need not be normalized.
@@ -69,6 +66,11 @@ struct UdaoOptions {
   /// in a sparsely-trained model lose to well-supported ones. Applied only
   /// at the (cheap) recommendation stage; 0 disables it.
   double uncertainty_alpha = 1.0;
+  /// Worker threads for the solver's PF-AP fan-out. The optimizer creates
+  /// one ThreadPool at construction and reuses it across every Optimize()
+  /// call (pf.mogd.pool, when already set by the caller, wins). <= 1 runs
+  /// solves inline.
+  int solver_threads = 4;
 };
 
 /// UDAO: the Spark-based Unified Data Analytics Optimizer (Fig. 1(a)).
@@ -96,6 +98,9 @@ class Udao {
  private:
   ModelServer* server_;
   UdaoOptions options_;
+  /// Lives as long as the optimizer; options_.pf.mogd.pool points here
+  /// unless the caller supplied a pool of their own.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace udao

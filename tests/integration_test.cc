@@ -18,7 +18,7 @@ UdaoOptions FastOptions() {
   UdaoOptions options;
   options.pf.mogd.multistart = 4;
   options.pf.mogd.max_iters = 80;
-  options.pf.mogd.threads = 4;
+  options.solver_threads = 4;
   options.frontier_points = 10;
   return options;
 }
@@ -47,8 +47,8 @@ class UdaoEndToEndTest : public ::testing::Test {
     UdaoRequest request;
     request.workload_id = workload_->id;
     request.space = &BatchParamSpace();
-    request.objectives = {{objectives::kLatency, true},
-                          {objectives::kCostCores, true}};
+    request.objectives = {{.name = objectives::kLatency},
+                          {.name = objectives::kCostCores}};
     return request;
   }
 
@@ -148,8 +148,8 @@ TEST(UdaoStreamingTest, LatencyThroughputTradeoffEndToEnd) {
   UdaoRequest request;
   request.workload_id = w.id;
   request.space = &StreamParamSpace();
-  request.objectives = {{objectives::kLatency, true},
-                        {objectives::kThroughput, false}};
+  request.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kThroughput, .minimize = false}};
   auto rec = optimizer.Optimize(request);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_TRUE(StreamParamSpace().Validate(rec->conf_raw).ok());
@@ -173,8 +173,8 @@ TEST(UdaoRetrainTest, RecommendationsTrackModelUpdates) {
   UdaoRequest request;
   request.workload_id = w.id;
   request.space = &BatchParamSpace();
-  request.objectives = {{objectives::kLatency, true},
-                        {objectives::kCostCores, true}};
+  request.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kCostCores}};
   auto r1 = optimizer.Optimize(request);
   ASSERT_TRUE(r1.ok());
   // Large update: retrain must kick in and optimization still succeeds.

@@ -87,8 +87,9 @@ TEST(MogdTest, SolveCoHonorsLinearConstraints) {
 
 TEST(MogdTest, BatchMatchesSequentialResults) {
   MooProblem problem = ConvexProblem();
+  ThreadPool pool(4);
   MogdConfig cfg = FastConfig();
-  cfg.threads = 4;
+  cfg.pool = &pool;
   MogdSolver solver(cfg);
   std::vector<CoProblem> problems;
   for (int i = 0; i < 6; ++i) {
@@ -101,7 +102,7 @@ TEST(MogdTest, BatchMatchesSequentialResults) {
   auto batch = solver.SolveBatch(problem, problems);
   ASSERT_EQ(batch.size(), problems.size());
   MogdConfig seq_cfg = cfg;
-  seq_cfg.threads = 1;
+  seq_cfg.pool = nullptr;
   MogdSolver seq(seq_cfg);
   auto sequential = seq.SolveBatch(problem, problems);
   for (size_t i = 0; i < batch.size(); ++i) {

@@ -13,6 +13,11 @@ using testing_problems::ConcaveProblem;
 using testing_problems::ConvexProblem;
 using testing_problems::Tri;
 
+ThreadPool* SharedPool() {
+  static ThreadPool pool(4);
+  return &pool;
+}
+
 PfConfig FastSequential() {
   PfConfig cfg;
   cfg.mogd.multistart = 4;
@@ -23,7 +28,7 @@ PfConfig FastSequential() {
 PfConfig FastParallel() {
   PfConfig cfg = FastSequential();
   cfg.parallel = true;
-  cfg.mogd.threads = 4;
+  cfg.mogd.pool = SharedPool();
   return cfg;
 }
 
@@ -144,8 +149,8 @@ TEST(PfTest, UserConstraintsRestrictTheFrontier) {
     return (1.0 - x[0]) * (1.0 - x[0]) + x[1];
   });
   MooObjective o1{"f1", f1};
-  o1.user_lower = 0.3;
-  o1.user_upper = 0.7;
+  o1.lower = 0.3;
+  o1.upper = 0.7;
   MooObjective o2{"f2", f2};
   MooProblem problem(&testing_problems::UnitSpace2(), {o1, o2});
   ProgressiveFrontier pf(&problem, FastSequential());

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 configure/build/ctest cycle, then the same
+# test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# (the Asan build type defined in the top-level CMakeLists.txt).
+#
+# Usage: tools/check.sh [--tier1-only]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "== tier 1: default build + tests =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build + tests =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Asan
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+echo "all checks passed"

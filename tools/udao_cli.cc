@@ -213,6 +213,14 @@ ModelServer MakeServer(const Args& args, const BatchWorkload& workload,
   return server;
 }
 
+// Solver performance counters (SolvePerf accumulated across a PF run).
+void PrintSolvePerf(const SolvePerf& perf, int probes) {
+  std::printf("solver: %d probes, %lld model evals in %lld batches "
+              "(avg batch %.1f), eval %.3f s of %.3f s solve\n",
+              probes, perf.model_evals, perf.batch_calls, perf.AvgBatch(),
+              perf.eval_seconds, perf.solve_seconds);
+}
+
 int CmdFrontier(const Args& args) {
   const int job = args.GetInt("job", 0);
   if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
@@ -238,7 +246,9 @@ int CmdFrontier(const Args& args) {
     PfConfig cfg;
     cfg.parallel = method == "PF-AP";
     ProgressiveFrontier pf(&problem, cfg);
-    frontier = pf.Run(points).frontier;
+    const PfResult& res = pf.Run(points);
+    frontier = res.frontier;
+    PrintSolvePerf(res.perf, res.probes);
   } else if (method == "WS") {
     frontier = RunWeightedSum(problem, points).frontier;
   } else if (method == "NC") {
@@ -276,8 +286,8 @@ int CmdOptimize(const Args& args) {
   UdaoRequest request;
   request.workload_id = workload.id;
   request.space = &BatchParamSpace();
-  request.objectives = {{objectives::kLatency, true},
-                        {objectives::kCostCores, true}};
+  request.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kCostCores}};
   request.preference_weights = {args.GetDouble("wl", 0.5),
                                 args.GetDouble("wc", 0.5)};
   auto rec = optimizer.Optimize(request);
@@ -289,6 +299,7 @@ int CmdOptimize(const Args& args) {
               "(weights %.2f/%.2f, %.2f s to optimize):\n",
               workload.id.c_str(), request.preference_weights[0],
               request.preference_weights[1], rec->seconds);
+  PrintSolvePerf(rec->frontier.perf, rec->frontier.probes);
   for (int i = 0; i < BatchParamSpace().NumParams(); ++i) {
     std::printf("  %-45s %g\n", BatchParamSpace().spec(i).name.c_str(),
                 rec->conf_raw[i]);
