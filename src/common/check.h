@@ -1,6 +1,7 @@
 #ifndef UDAO_COMMON_CHECK_H_
 #define UDAO_COMMON_CHECK_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,12 +36,36 @@
 #define UDAO_CHECK_GT(a, b) UDAO_CHECK_OP(a, >, b)
 #define UDAO_CHECK_GE(a, b) UDAO_CHECK_OP(a, >=, b)
 
+/// Aborts when `val` is NaN or infinite. Model outputs and gradients must
+/// stay finite: a single NaN silently poisons every downstream Adam step and
+/// Pareto comparison (NaN compares false against everything, so the solver
+/// would "converge" to garbage instead of crashing).
+#define UDAO_CHECK_FINITE(val)                                                \
+  do {                                                                        \
+    const double udao_check_finite_v_ = (val);                                \
+    if (!std::isfinite(udao_check_finite_v_)) {                               \
+      std::fprintf(stderr,                                                    \
+                   "UDAO_CHECK_FINITE failed at %s:%d: %s = %g\n", __FILE__,  \
+                   __LINE__, #val, udao_check_finite_v_);                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Release bodies reference their argument inside sizeof (unevaluated, so no
+// runtime cost or side effects) to keep variables used only in checks from
+// triggering -Wunused under -Werror.
 #ifdef NDEBUG
-#define UDAO_DCHECK(cond) \
-  do {                    \
+#define UDAO_DCHECK(cond)        \
+  do {                           \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define UDAO_DCHECK_FINITE(val) \
+  do {                          \
+    (void)sizeof(val);          \
   } while (0)
 #else
 #define UDAO_DCHECK(cond) UDAO_CHECK(cond)
+#define UDAO_DCHECK_FINITE(val) UDAO_CHECK_FINITE(val)
 #endif
 
 #endif  // UDAO_COMMON_CHECK_H_

@@ -24,9 +24,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  UDAO_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    UDAO_CHECK(!shutdown_);
+    // Accepted even when shutdown has begun: the submitter is then a task
+    // already running on a worker (the destructor joins before external
+    // callers could legally touch the pool), and that worker drains the
+    // queue — including this submission — before it exits.
     queue_.push(std::move(task));
   }
   work_available_.notify_one();
@@ -38,6 +42,7 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;  // WaitIdle would otherwise block on unrelated tasks.
   for (int i = 0; i < n; ++i) {
     Submit([&fn, i] { fn(i); });
   }

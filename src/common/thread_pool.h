@@ -23,13 +23,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Safe to call from inside
+  /// a running task, including while the destructor is draining: workers
+  /// finish everything in the queue before exiting, so follow-up work
+  /// submitted by an in-flight task still runs before destruction completes.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Safe to call
+  /// concurrently from several threads; each returns once the pool is idle.
   void WaitIdle();
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Returns immediately when n <= 0 (it never waits on unrelated tasks).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

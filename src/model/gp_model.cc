@@ -193,7 +193,9 @@ StatusOr<std::shared_ptr<GpModel>> GpModel::Fit(const Matrix& x,
 double GpModel::Predict(const Vector& x) const {
   const Vector k = KernelVector(x);
   const double t = Dot(k, alpha_) * y_std_ + y_mean_;
-  return log_targets_ ? std::exp(t) : t;
+  const double v = log_targets_ ? std::exp(t) : t;
+  UDAO_DCHECK_FINITE(v);
+  return v;
 }
 
 void GpModel::PredictWithUncertainty(const Vector& x, double* mean,
@@ -211,6 +213,8 @@ void GpModel::PredictWithUncertainty(const Vector& x, double* mean,
     *mean = t_mean;
     *stddev = t_std;
   }
+  UDAO_DCHECK_FINITE(*mean);
+  UDAO_DCHECK_FINITE(*stddev);
 }
 
 Vector GpModel::InputGradient(const Vector& x) const {
@@ -229,7 +233,10 @@ Vector GpModel::InputGradient(const Vector& x) const {
     const Vector kv = KernelVector(x);
     scale *= std::exp(Dot(kv, alpha_) * y_std_ + y_mean_);
   }
-  for (double& g : grad) g *= scale;
+  for (double& g : grad) {
+    g *= scale;
+    UDAO_DCHECK_FINITE(g);
+  }
   return grad;
 }
 
@@ -242,6 +249,7 @@ void GpModel::PredictBatch(const Matrix& x, Vector* out) const {
     for (int j = 0; j < x_.rows(); ++j) acc += row[j] * alpha_[j];
     const double t = acc * y_std_ + y_mean_;
     (*out)[i] = log_targets_ ? std::exp(t) : t;
+    UDAO_DCHECK_FINITE((*out)[i]);
   }
 }
 
@@ -267,8 +275,14 @@ void GpModel::GradientBatch(const Matrix& x, Matrix* grads,
     const double t = mean_acc * y_std_ + y_mean_;
     double scale = y_std_;
     if (log_targets_) scale *= std::exp(t);
-    for (int d = 0; d < x_.cols(); ++d) grow[d] *= scale;
-    if (values != nullptr) (*values)[i] = log_targets_ ? std::exp(t) : t;
+    for (int d = 0; d < x_.cols(); ++d) {
+      grow[d] *= scale;
+      UDAO_DCHECK_FINITE(grow[d]);
+    }
+    if (values != nullptr) {
+      (*values)[i] = log_targets_ ? std::exp(t) : t;
+      UDAO_DCHECK_FINITE((*values)[i]);
+    }
   }
 }
 
@@ -290,6 +304,8 @@ void GpModel::PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
       (*mean)[i] = t_mean;
       (*stddev)[i] = t_std;
     }
+    UDAO_DCHECK_FINITE((*mean)[i]);
+    UDAO_DCHECK_FINITE((*stddev)[i]);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "model/model_server.h"
 
+#include <mutex>
+
 #include "common/check.h"
 
 namespace udao {
@@ -11,6 +13,7 @@ void ModelServer::Ingest(const std::string& workload_id,
                          const std::string& objective,
                          const Vector& encoded_conf, double value) {
   UDAO_CHECK(!encoded_conf.empty());
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[{workload_id, objective}];
   if (!entry.data.x.empty()) {
     UDAO_CHECK_EQ(entry.data.x.front().size(), encoded_conf.size());
@@ -22,6 +25,7 @@ void ModelServer::Ingest(const std::string& workload_id,
 
 void ModelServer::IngestMetrics(const std::string& workload_id,
                                 const RuntimeMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_[workload_id].push_back(metrics.ToVector());
 }
 
@@ -42,6 +46,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFresh(
 
 StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     const std::string& workload_id, const std::string& objective) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end() || it->second.data.x.empty()) {
     return Status::NotFound("no traces for workload " + workload_id +
@@ -80,12 +85,14 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
 
 bool ModelServer::HasTraces(const std::string& workload_id,
                             const std::string& objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   return it != entries_.end() && !it->second.data.x.empty();
 }
 
 StatusOr<const ModelServer::DataSet*> ModelServer::GetData(
     const std::string& workload_id, const std::string& objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) {
     return Status::NotFound("no traces for workload " + workload_id);
@@ -95,6 +102,7 @@ StatusOr<const ModelServer::DataSet*> ModelServer::GetData(
 
 StatusOr<Vector> ModelServer::MeanMetrics(
     const std::string& workload_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(workload_id);
   if (it == metrics_.end() || it->second.empty()) {
     return Status::NotFound("no metrics for workload " + workload_id);
@@ -108,6 +116,7 @@ StatusOr<Vector> ModelServer::MeanMetrics(
 }
 
 std::vector<std::string> ModelServer::WorkloadsWithMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(metrics_.size());
   for (const auto& [id, unused] : metrics_) out.push_back(id);
@@ -116,6 +125,7 @@ std::vector<std::string> ModelServer::WorkloadsWithMetrics() const {
 
 int ModelServer::NumTraces(const std::string& workload_id,
                            const std::string& objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) return 0;
   return static_cast<int>(it->second.data.x.size());

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +56,11 @@ struct ModelServerConfig {
 /// call after enough new data applies the paper's retrain/fine-tune policy.
 /// This mirrors the architecture's key property -- modeling never blocks the
 /// few-seconds MOO path, which always uses the latest *available* model.
+///
+/// Thread safety: all methods may be called concurrently (several optimizer
+/// instances share one server). A single mutex serializes trace ingestion
+/// and the lazy (re)train inside GetModel; the returned model handle is an
+/// immutable snapshot, so callers use it lock-free after retrieval.
 class ModelServer {
  public:
   /// A training dataset for one (workload, objective) pair: encoded
@@ -85,7 +91,10 @@ class ModelServer {
   bool HasTraces(const std::string& workload_id,
                  const std::string& objective) const;
 
-  /// Training data for the pair (for workload mapping / baselines).
+  /// Training data for the pair (for workload mapping / baselines). The
+  /// pointer stays valid for the server's lifetime, but its contents are
+  /// only stable until the next Ingest() for the same pair -- concurrent
+  /// readers must not hold it across ingestion.
   StatusOr<const DataSet*> GetData(const std::string& workload_id,
                                    const std::string& objective) const;
 
@@ -113,6 +122,8 @@ class ModelServer {
       const DataSet& data);
 
   ModelServerConfig config_;
+  /// Guards rng_, entries_, and metrics_ (every member below config_).
+  mutable std::mutex mu_;
   Rng rng_;
   std::map<std::pair<std::string, std::string>, Entry> entries_;
   std::map<std::string, std::vector<Vector>> metrics_;

@@ -43,6 +43,18 @@ Matrix DrawStarts(int multistart, int dim, Rng* rng) {
   return x;
 }
 
+// Debug-only finite sweeps over model results. A NaN objective would pass
+// every feasibility comparison as "infeasible" silently (NaN compares false),
+// and a NaN gradient permanently corrupts Adam's moment estimates -- both
+// make the solver return plausible-looking garbage instead of crashing.
+void DCheckFiniteModelOutputs(const Vector& values) {
+  for (const double v : values) UDAO_DCHECK_FINITE(v);
+}
+
+void DCheckFiniteModelOutputs(const Matrix& m) {
+  for (const double v : m.data()) UDAO_DCHECK_FINITE(v);
+}
+
 // Per-start incumbent for the batched paths. Keeping the best per start and
 // merging in start order reproduces the scalar path's global
 // first-best-wins bookkeeping exactly (strict < keeps the earliest).
@@ -112,6 +124,8 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
       // The descent direction follows the mean's gradient; the uncertainty
       // term shifts values (conservatism) without steering the search.
       (*grads)[j] = problem.Gradient(j, x);
+      UDAO_DCHECK_FINITE((*f)[j]);
+      DCheckFiniteModelOutputs((*grads)[j]);
     }
     local.model_evals += k;
     local.batch_calls += k;
@@ -231,6 +245,8 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
       } else {
         problem.GradientBatch(j, x, &grads[j], &f[j]);
       }
+      DCheckFiniteModelOutputs(f[j]);
+      DCheckFiniteModelOutputs(grads[j]);
     }
     local.model_evals += static_cast<long long>(S) * k;
     local.batch_calls += k;
@@ -405,6 +421,7 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
     for (int iter = 0; iter < config_.max_iters; ++iter) {
       const auto e0 = std::chrono::steady_clock::now();
       Vector grad = problem.Gradient(target, x);
+      DCheckFiniteModelOutputs(grad);
       ++local.model_evals;
       ++local.batch_calls;
       local.eval_seconds += SecondsSince(e0);
@@ -447,6 +464,7 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
   for (int iter = 0; iter < config_.max_iters; ++iter) {
     const auto g0 = std::chrono::steady_clock::now();
     problem.GradientBatch(target, x, &grads);
+    DCheckFiniteModelOutputs(grads);
     local.model_evals += S;
     local.batch_calls += 1;
     local.eval_seconds += SecondsSince(g0);
@@ -460,6 +478,7 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
     }
     const auto v0 = std::chrono::steady_clock::now();
     problem.EvaluateOneBatch(target, x, &values);
+    DCheckFiniteModelOutputs(values);
     local.model_evals += S;
     local.batch_calls += 1;
     local.eval_seconds += SecondsSince(v0);

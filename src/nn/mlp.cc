@@ -104,7 +104,10 @@ void Mlp::PredictBatch(const Matrix& x, Vector* out) const {
   UDAO_CHECK_EQ(output_dim(), 1);
   const Matrix y = ForwardBatch(x);
   out->resize(y.rows());
-  for (int i = 0; i < y.rows(); ++i) (*out)[i] = y(i, 0);
+  for (int i = 0; i < y.rows(); ++i) {
+    (*out)[i] = y(i, 0);
+    UDAO_DCHECK_FINITE((*out)[i]);
+  }
 }
 
 Matrix Mlp::InputGradientBatch(const Matrix& x, Vector* values) const {
@@ -114,7 +117,10 @@ Matrix Mlp::InputGradientBatch(const Matrix& x, Vector* values) const {
   const Matrix out = ForwardCachedBatch(x, &pre, &post);
   if (values != nullptr) {
     values->resize(out.rows());
-    for (int i = 0; i < out.rows(); ++i) (*values)[i] = out(i, 0);
+    for (int i = 0; i < out.rows(); ++i) {
+      (*values)[i] = out(i, 0);
+      UDAO_DCHECK_FINITE((*values)[i]);
+    }
   }
   const int num_layers = static_cast<int>(layers_.size());
   // Seed every row with d(out)/d(out) = 1 and back-propagate all points at
@@ -131,6 +137,9 @@ Matrix Mlp::InputGradientBatch(const Matrix& x, Vector* values) const {
     }
     delta = delta.Multiply(layers_[l].w);
   }
+  // A non-finite entry here means the forward pass overflowed; fail loudly
+  // before the solver averages NaN gradients into Adam's moments.
+  for (const double g : delta.data()) UDAO_DCHECK_FINITE(g);
   return delta;
 }
 
@@ -140,7 +149,9 @@ Vector Mlp::Forward(const Vector& x) const {
 
 double Mlp::Predict(const Vector& x) const {
   UDAO_CHECK_EQ(output_dim(), 1);
-  return Forward(x)[0];
+  const double y = Forward(x)[0];
+  UDAO_DCHECK_FINITE(y);
+  return y;
 }
 
 Vector Mlp::InputGradient(const Vector& x) const {
@@ -160,6 +171,7 @@ Vector Mlp::InputGradient(const Vector& x) const {
     }
     delta = layers_[l].w.ApplyTranspose(delta);
   }
+  for (const double g : delta) UDAO_DCHECK_FINITE(g);
   return delta;
 }
 
@@ -189,6 +201,8 @@ void Mlp::PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
       samples > 1 ? std::max(0.0, (sum_sq - sum * sum / samples) / (samples - 1))
                   : 0.0;
   *stddev = std::sqrt(var);
+  UDAO_DCHECK_FINITE(*mean);
+  UDAO_DCHECK_FINITE(*stddev);
 }
 
 std::vector<Mlp::LayerGrad> Mlp::ZeroGrads() const {

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <future>
 #include <set>
+#include <thread>
 
+#include "common/check.h"
 #include "common/matrix.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -268,6 +273,94 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not deadlock
 }
+
+TEST(ThreadPoolTest, ParallelForZeroNeverWaitsOnUnrelatedTasks) {
+  ThreadPool pool(1);
+  // Block the lone worker on a task we control. If ParallelFor(0) waited
+  // for pool-wide idle it would deadlock here (the blocker cannot finish
+  // until after the call returns), which ctest reports as a timeout.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int) { ++calls; });
+  pool.ParallelFor(-3, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  release.set_value();
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, WaitIdleFromTwoThreadsConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  std::thread a([&pool] { pool.WaitIdle(); });
+  std::thread b([&pool] { pool.WaitIdle(); });
+  a.join();
+  b.join();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitFromTaskDuringShutdownStillRuns) {
+  std::atomic<bool> follow_up_ran{false};
+  {
+    ThreadPool pool(1);
+    // The outer task is still executing when the destructor flips the
+    // shutdown flag; its follow-up submission must be drained, not dropped.
+    std::atomic<bool>* flag = &follow_up_ran;
+    ThreadPool* p = &pool;
+    pool.Submit([p, flag] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      p->Submit([flag] { flag->store(true); });
+    });
+  }
+  EXPECT_TRUE(follow_up_ran.load());
+}
+
+// ---------------------------------------------------------------- Check
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  UDAO_CHECK(true);
+  UDAO_CHECK_EQ(2, 2);
+  UDAO_CHECK_LT(1, 2);
+  UDAO_CHECK_FINITE(0.0);
+  UDAO_CHECK_FINITE(-1e300);
+  UDAO_DCHECK(true);
+  UDAO_DCHECK_FINITE(1.5);
+}
+
+TEST(CheckDeathTest, CheckFailureAbortsWithLocation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(UDAO_CHECK(1 == 2), "UDAO_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsOperands) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(UDAO_CHECK_LT(5, 3), "5 < 3");
+}
+
+TEST(CheckDeathTest, CheckFiniteAbortsOnNanAndInf) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(UDAO_CHECK_FINITE(std::nan("")), "UDAO_CHECK_FINITE");
+  EXPECT_DEATH(UDAO_CHECK_FINITE(1.0 / 0.0), "UDAO_CHECK_FINITE");
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckCompilesOutInReleaseBuilds) {
+  // Deliberately-false conditions: Release keeps UDAO_CHECK but drops
+  // UDAO_DCHECK, the contract udao_lint's no-assert rule exists to protect.
+  UDAO_DCHECK(false);
+  UDAO_DCHECK_FINITE(std::nan(""));
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(UDAO_DCHECK(false), "UDAO_CHECK failed");
+  EXPECT_DEATH(UDAO_DCHECK_FINITE(std::nan("")), "UDAO_CHECK_FINITE");
+}
+#endif
 
 }  // namespace
 }  // namespace udao

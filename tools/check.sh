@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 configure/build/ctest cycle, then the same
-# test suite under AddressSanitizer + UndefinedBehaviorSanitizer
-# (the Asan build type defined in the top-level CMakeLists.txt).
+# Repo verification pipeline:
+#   1. tier 1      -- default (Release) configure/build/ctest, which also
+#                     runs udao_lint over src/
+#   2. ASan+UBSan  -- the suite under -DCMAKE_BUILD_TYPE=Asan
+#   3. TSan        -- the suite under -DCMAKE_BUILD_TYPE=Tsan (includes
+#                     race_stress_test, which hammers ThreadPool, concurrent
+#                     SolveBatch, and concurrent ModelServer lookups)
+#   4. clang-tidy  -- tools/tidy.sh (skipped automatically when clang-tidy
+#                     is not installed)
 #
 # Usage: tools/check.sh [--tier1-only]
 set -euo pipefail
@@ -22,5 +28,16 @@ echo "== sanitizers: ASan+UBSan build + tests =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
+
+echo "== sanitizers: TSan build + tests =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan
+cmake --build build-tsan -j
+# TSAN_OPTIONS makes any report fail the run even if the test binary would
+# otherwise exit 0.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j
+
+echo "== clang-tidy =="
+tools/tidy.sh
 
 echo "all checks passed"

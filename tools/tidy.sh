@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over library sources.
+#
+# Usage: tools/tidy.sh [file...]
+#   With no arguments, lints every .cc under src/. Pass explicit paths (e.g.
+#   the changed files in a CI diff) to lint a subset.
+#
+# Requires clang-tidy on PATH; exits 0 with a notice when it is missing so
+# environments without LLVM (the default container has gcc only) can still
+# run the full check pipeline.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tools/tidy.sh: clang-tidy not found on PATH; skipping (install LLVM" \
+       "or use the CI image to run this check)"
+  exit 0
+fi
+
+# A compile database gives clang-tidy exact flags; build one if absent.
+build_dir="build-tidy"
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+# Filter to library translation units present in the database (headers are
+# covered transitively via HeaderFilterRegex).
+status=0
+for f in "${files[@]}"; do
+  case "$f" in
+    src/*.cc) ;;
+    *) continue ;;
+  esac
+  echo "== clang-tidy $f"
+  clang-tidy --quiet -p "$build_dir" "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "tools/tidy.sh: findings above must be fixed or NOLINT'd with a reason"
+fi
+exit $status

@@ -190,17 +190,20 @@ int CmdTrace(const Args& args) {
 
 // Builds a model server for `workload`: reloading persisted traces from
 // --traces when given, sampling fresh ones otherwise.
-ModelServer MakeServer(const Args& args, const BatchWorkload& workload,
-                       const SparkEngine& engine) {
-  ModelServer server;
+// (ModelServer owns a mutex and is neither movable nor copyable, so the
+// factory hands back a unique_ptr.)
+std::unique_ptr<ModelServer> MakeServer(const Args& args,
+                                        const BatchWorkload& workload,
+                                        const SparkEngine& engine) {
+  auto server = std::make_unique<ModelServer>();
   if (args.Has("traces")) {
-    Status loaded = LoadModelServerData(args.Get("traces", ""), &server);
+    Status loaded = LoadModelServerData(args.Get("traces", ""), server.get());
     if (!loaded.ok()) {
       std::fprintf(stderr, "trace load failed: %s\n",
                    loaded.ToString().c_str());
       std::exit(1);
     }
-    if (server.HasTraces(workload.id, objectives::kLatency)) return server;
+    if (server->HasTraces(workload.id, objectives::kLatency)) return server;
     std::fprintf(stderr,
                  "no traces for workload %s in %s; sampling fresh ones\n",
                  workload.id.c_str(), args.Get("traces", "").c_str());
@@ -209,7 +212,7 @@ ModelServer MakeServer(const Args& args, const BatchWorkload& workload,
   auto configs = SampleConfigs(BatchParamSpace(),
                                args.GetInt("samples", 120),
                                SamplingStrategy::kLatinHypercube, &rng);
-  CollectBatchTraces(engine, workload, configs, &server);
+  CollectBatchTraces(engine, workload, configs, server.get());
   return server;
 }
 
@@ -226,9 +229,9 @@ int CmdFrontier(const Args& args) {
   if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
   BatchWorkload workload = MakeTpcxbbWorkload(job);
   SparkEngine engine;
-  ModelServer server = MakeServer(args, workload, engine);
+  std::unique_ptr<ModelServer> server = MakeServer(args, workload, engine);
 
-  auto latency = server.GetModel(workload.id, objectives::kLatency);
+  auto latency = server->GetModel(workload.id, objectives::kLatency);
   if (!latency.ok()) {
     std::fprintf(stderr, "%s\n", latency.status().ToString().c_str());
     return 1;
@@ -280,9 +283,9 @@ int CmdOptimize(const Args& args) {
   if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
   BatchWorkload workload = MakeTpcxbbWorkload(job);
   SparkEngine engine;
-  ModelServer server = MakeServer(args, workload, engine);
+  std::unique_ptr<ModelServer> server = MakeServer(args, workload, engine);
 
-  Udao optimizer(&server);
+  Udao optimizer(server.get());
   UdaoRequest request;
   request.workload_id = workload.id;
   request.space = &BatchParamSpace();

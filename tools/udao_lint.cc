@@ -1,0 +1,265 @@
+// udao_lint: domain-specific repo-invariant checker, run as a ctest.
+//
+// Generic tools (clang-tidy, sanitizers) cannot see project conventions, so
+// this linter enforces the handful of invariants the codebase's correctness
+// story depends on:
+//
+//   1. No std::thread / std::async outside src/common/thread_pool.* -- all
+//      parallelism goes through the shared ThreadPool so thread counts are
+//      bounded and WaitIdle semantics hold everywhere.
+//   2. No rand()/srand()/std::random_device/raw engine construction outside
+//      src/common/random.* -- every stochastic component takes an explicitly
+//      seeded udao::Rng, which is what makes solver results bitwise
+//      reproducible across reruns and thread counts.
+//   3. No assert() in src/ -- invariants use UDAO_CHECK/UDAO_DCHECK, whose
+//      keep-or-drop behavior under NDEBUG is a deliberate per-site decision
+//      rather than a build-flag accident.
+//   4. No printf/cout/cerr in library code outside designated reporting
+//      files -- the library reports through Status values; only the CHECK
+//      macros' abort path writes to stderr.
+//   5. Include guards named UDAO_<PATH>_H_ after the file's path under src/,
+//      so guards can never collide as files move or get copied.
+//
+// Usage: udao_lint <src-dir>
+// Exits nonzero and prints one "file:line: rule: detail" per finding.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string detail;
+};
+
+// Files exempt from a rule, keyed by path relative to the scanned src dir.
+bool IsThreadPoolFile(const std::string& rel) {
+  return rel == "common/thread_pool.h" || rel == "common/thread_pool.cc";
+}
+
+bool IsRandomFile(const std::string& rel) {
+  return rel == "common/random.h" || rel == "common/random.cc";
+}
+
+// Designated reporting files: the CHECK macros print before aborting.
+bool IsReportingFile(const std::string& rel) {
+  return rel == "common/check.h";
+}
+
+// Strips // and /* */ comments plus string/char literals so tokens inside
+// documentation or messages never count as code. Replaced bytes become
+// spaces, keeping line numbers and column positions intact.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChar } st = St::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// One token rule: any regex match on a (comment-stripped) line is a finding.
+struct TokenRule {
+  std::string name;
+  std::regex pattern;
+  std::string detail;
+  bool (*exempt)(const std::string& rel);
+};
+
+const std::vector<TokenRule>& Rules() {
+  static const std::vector<TokenRule>* rules = new std::vector<TokenRule>{
+      {"raw-thread", std::regex(R"(std\s*::\s*(thread|jthread|async)\b)"),
+       "use udao::ThreadPool (src/common/thread_pool.h); raw threads bypass "
+       "the pool's bounded-concurrency and WaitIdle guarantees",
+       &IsThreadPoolFile},
+      {"raw-random",
+       std::regex(R"(\b(s?rand\s*\(|std\s*::\s*(random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b))"),
+       "use udao::Rng with an explicit seed (src/common/random.h); ambient "
+       "randomness breaks bitwise reproducibility of solver results",
+       &IsRandomFile},
+      {"assert", std::regex(R"((^|[^\w.:>])assert\s*\()"),
+       "use UDAO_CHECK (kept in Release) or UDAO_DCHECK (debug-only); "
+       "assert()'s NDEBUG behavior is a build accident, not a decision",
+       nullptr},
+      {"direct-print",
+       std::regex(R"(\b(printf|fprintf|puts|fputs)\s*\(|std\s*::\s*(cout|cerr|clog)\b)"),
+       "library code reports through udao::Status; stdout/stderr writes "
+       "belong to tools/, bench/, and the CHECK abort path",
+       &IsReportingFile},
+  };
+  return *rules;
+}
+
+std::string ExpectedGuard(const std::string& rel) {
+  std::string guard = "UDAO_";
+  for (const char c : rel) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return guard + "_";
+}
+
+void CheckIncludeGuard(const std::string& rel,
+                       const std::vector<std::string>& lines,
+                       std::vector<Finding>* findings) {
+  const std::string want = ExpectedGuard(rel);
+  const std::regex ifndef_re(R"(^\s*#\s*ifndef\s+(\w+))");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, ifndef_re)) {
+      if (m[1].str() != want) {
+        findings->push_back({rel, static_cast<int>(i) + 1, "include-guard",
+                             "guard is " + m[1].str() + ", expected " + want});
+      }
+      return;  // Only the first #ifndef is the guard.
+    }
+  }
+  findings->push_back(
+      {rel, 1, "include-guard", "no include guard found, expected " + want});
+}
+
+void LintFile(const fs::path& path, const std::string& rel,
+              std::vector<Finding>* findings) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+  const std::vector<std::string> lines =
+      SplitLines(StripCommentsAndStrings(raw));
+
+  for (const TokenRule& rule : Rules()) {
+    if (rule.exempt != nullptr && rule.exempt(rel)) continue;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      // static_assert is a distinct keyword, not an assert() call.
+      if (rule.name == "assert" &&
+          lines[i].find("static_assert") != std::string::npos) {
+        continue;
+      }
+      if (std::regex_search(lines[i], rule.pattern)) {
+        findings->push_back({rel, static_cast<int>(i) + 1, rule.name,
+                             rule.detail});
+      }
+    }
+  }
+  if (path.extension() == ".h") {
+    CheckIncludeGuard(rel, SplitLines(raw), findings);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <src-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "udao_lint: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  // Sorted traversal keeps output deterministic across filesystems.
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".cc" || p.extension() == ".h") files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& p : files) {
+    LintFile(p, fs::relative(p, root).generic_string(), &findings);
+  }
+
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.detail.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "udao_lint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("udao_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
