@@ -63,7 +63,7 @@ Status SaveModelServerData(const ModelServer& server,
   if (ec) return Status::InvalidArgument("cannot create " + directory);
   for (const std::string& workload : workload_ids) {
     for (const std::string& objective : objective_names) {
-      StatusOr<const ModelServer::DataSet*> data =
+      StatusOr<ModelServer::DataSet> data =
           server.GetData(workload, objective);
       if (!data.ok()) continue;  // pair never observed: nothing to persist
       const fs::path path = fs::path(directory) / (Sanitize(workload) +
@@ -74,12 +74,12 @@ Status SaveModelServerData(const ModelServer& server,
       if (!out) return Status::InvalidArgument("cannot open " + path.string());
       out << "udao-traces-v1\n";
       out << workload << '\n' << objective << '\n';
-      out << (*data)->x.size() << ' '
-          << ((*data)->x.empty() ? 0 : (*data)->x.front().size()) << '\n';
+      out << data->x.size() << ' '
+          << (data->x.empty() ? 0 : data->x.front().size()) << '\n';
       out.precision(17);
-      for (size_t i = 0; i < (*data)->x.size(); ++i) {
-        for (double v : (*data)->x[i]) out << v << ' ';
-        out << (*data)->y[i] << '\n';
+      for (size_t i = 0; i < data->x.size(); ++i) {
+        for (double v : data->x[i]) out << v << ' ';
+        out << data->y[i] << '\n';
       }
       if (!out) return Status::InvalidArgument("write failed");
     }

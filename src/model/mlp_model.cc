@@ -82,6 +82,11 @@ TrainResult MlpModel::FineTune(const Matrix& x, const Vector& y, int epochs,
   return TrainMlp(mlp_.get(), x, z, ft, rng);
 }
 
+std::shared_ptr<MlpModel> MlpModel::Clone() const {
+  return std::shared_ptr<MlpModel>(
+      new MlpModel(config_, std::make_unique<Mlp>(*mlp_), y_mean_, y_std_));
+}
+
 double MlpModel::Predict(const Vector& x) const {
   return FromTarget(mlp_->Predict(x) * y_std_ + y_mean_);
 }

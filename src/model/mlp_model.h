@@ -43,6 +43,10 @@ class MlpModel : public ObjectiveModel {
   /// learning rate -- the model server's "small trace update" fine-tune path.
   TrainResult FineTune(const Matrix& x, const Vector& y, int epochs, Rng* rng);
 
+  /// Deep copy (network weights included). The model server fine-tunes a
+  /// clone and swaps it in, so previously served handles stay immutable.
+  std::shared_ptr<MlpModel> Clone() const;
+
   double Predict(const Vector& x) const override;
   void PredictWithUncertainty(const Vector& x, double* mean,
                               double* stddev) const override;

@@ -62,15 +62,15 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     entry.pending = 0;
   } else if (entry.pending >= config_.finetune_threshold) {
     if (config_.kind == ModelKind::kDnn) {
-      // Small update: fine-tune the existing network from its checkpoint.
-      // The served model is shared as const, so fine-tuning builds on a copy
-      // of the dataset through a fresh mutable handle.
-      auto mutable_model = std::const_pointer_cast<ObjectiveModel>(
-          std::static_pointer_cast<const ObjectiveModel>(entry.model));
-      auto* dnn = dynamic_cast<MlpModel*>(mutable_model.get());
+      // Small update: fine-tune from the latest checkpoint. Handles already
+      // returned by GetModel are immutable snapshots, so training happens on
+      // a deep copy that is swapped in once it is ready.
+      const auto* dnn = dynamic_cast<const MlpModel*>(entry.model.get());
       UDAO_CHECK(dnn != nullptr);
+      std::shared_ptr<MlpModel> tuned = dnn->Clone();
       Matrix x = Matrix::FromRows(entry.data.x);
-      dnn->FineTune(x, entry.data.y, config_.finetune_epochs, &rng_);
+      tuned->FineTune(x, entry.data.y, config_.finetune_epochs, &rng_);
+      entry.model = std::move(tuned);
     } else {
       // GPs have no incremental path; refit on all data.
       StatusOr<std::shared_ptr<const ObjectiveModel>> model =
@@ -90,14 +90,14 @@ bool ModelServer::HasTraces(const std::string& workload_id,
   return it != entries_.end() && !it->second.data.x.empty();
 }
 
-StatusOr<const ModelServer::DataSet*> ModelServer::GetData(
+StatusOr<ModelServer::DataSet> ModelServer::GetData(
     const std::string& workload_id, const std::string& objective) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) {
     return Status::NotFound("no traces for workload " + workload_id);
   }
-  return &it->second.data;
+  return it->second.data;
 }
 
 StatusOr<Vector> ModelServer::MeanMetrics(

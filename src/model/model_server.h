@@ -91,12 +91,11 @@ class ModelServer {
   bool HasTraces(const std::string& workload_id,
                  const std::string& objective) const;
 
-  /// Training data for the pair (for workload mapping / baselines). The
-  /// pointer stays valid for the server's lifetime, but its contents are
-  /// only stable until the next Ingest() for the same pair -- concurrent
-  /// readers must not hold it across ingestion.
-  StatusOr<const DataSet*> GetData(const std::string& workload_id,
-                                   const std::string& objective) const;
+  /// Training data for the pair (for workload mapping / baselines), returned
+  /// as a snapshot copy so it stays coherent however many Ingest() calls race
+  /// with the caller's use of it.
+  StatusOr<DataSet> GetData(const std::string& workload_id,
+                            const std::string& objective) const;
 
   /// Mean metric vector over all ingested runs of a workload.
   StatusOr<Vector> MeanMetrics(const std::string& workload_id) const;

@@ -87,17 +87,17 @@ StatusOr<std::vector<OtterTune::Surrogate>> OtterTune::BuildSurrogates(
       surrogates.push_back(std::move(s));
       continue;
     }
-    StatusOr<const ModelServer::DataSet*> own_data =
+    StatusOr<ModelServer::DataSet> own_data =
         server_->GetData(workload_id, objective_names[o]);
     if (!own_data.ok()) return own_data.status();
-    std::vector<Vector> xs = (*own_data)->x;
-    Vector ys = (*own_data)->y;
+    std::vector<Vector> xs = std::move(own_data->x);
+    Vector ys = std::move(own_data->y);
     if (mapped.ok()) {
-      StatusOr<const ModelServer::DataSet*> other =
+      StatusOr<ModelServer::DataSet> other =
           server_->GetData(*mapped, objective_names[o]);
       if (other.ok()) {
-        xs.insert(xs.end(), (*other)->x.begin(), (*other)->x.end());
-        ys.insert(ys.end(), (*other)->y.begin(), (*other)->y.end());
+        xs.insert(xs.end(), other->x.begin(), other->x.end());
+        ys.insert(ys.end(), other->y.begin(), other->y.end());
       }
     }
     StatusOr<std::shared_ptr<GpModel>> gp =
@@ -124,10 +124,10 @@ StatusOr<Vector> OtterTune::Recommend(
   if (!built.ok()) return built.status();
   const std::vector<Surrogate>& surrogates = *built;
 
-  StatusOr<const ModelServer::DataSet*> own_data =
+  StatusOr<ModelServer::DataSet> own_data =
       server_->GetData(workload_id, objective_names[0]);
   if (!own_data.ok()) return own_data.status();
-  const std::vector<Vector>& observed_x = (*own_data)->x;
+  const std::vector<Vector>& observed_x = own_data->x;
   UDAO_CHECK(!observed_x.empty());
 
   // Best observed own configuration under the weighted objective seeds the

@@ -141,8 +141,8 @@ TEST_F(CheckpointTest, ModelServerDataRoundTrips) {
   auto data = restored.GetData("w1", "latency");
   ASSERT_TRUE(data.ok());
   auto orig = original.GetData("w1", "latency");
-  for (size_t i = 0; i < (*data)->y.size(); ++i) {
-    EXPECT_DOUBLE_EQ((*data)->y[i], (*orig)->y[i]);
+  for (size_t i = 0; i < data->y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(data->y[i], orig->y[i]);
   }
 }
 

@@ -205,5 +205,85 @@ TEST(RaceStressTest, ConcurrentModelServerLookupsAndIngest) {
   EXPECT_EQ(server.NumTraces("w", "latency"), 56);
 }
 
+// The DNN path is the one where "handed-out models are immutable snapshots"
+// is easiest to break: a small trace update fine-tunes network weights, and
+// doing that in place would race with (and silently change) every handle a
+// caller already holds. Readers here retain a handle and keep calling
+// Predict on it while a writer ingests enough traces to trip fine-tunes and
+// other readers pull fresh models; the retained handle must keep returning
+// the bitwise-identical prediction throughout.
+TEST(RaceStressTest, DnnFineTuneLeavesRetainedHandlesUntouched) {
+  ModelServerConfig cfg;
+  cfg.kind = ModelKind::kDnn;
+  cfg.dnn.hidden = {8};
+  cfg.dnn.train.epochs = 20;
+  cfg.retrain_threshold = 1 << 20;  // Only the initial train is full.
+  cfg.finetune_threshold = 4;
+  cfg.finetune_epochs = 5;
+  ModelServer server(cfg);
+
+  Rng rng(17);
+  auto trace = [&rng] {
+    Vector x(4);
+    for (double& v : x) v = rng.Uniform();
+    return x;
+  };
+  for (int i = 0; i < 8; ++i) {
+    server.Ingest("w", "latency", trace(), 1.0 + rng.Uniform());
+  }
+
+  auto initial = server.GetModel("w", "latency");
+  ASSERT_TRUE(initial.ok());
+  const std::shared_ptr<const ObjectiveModel> retained = *initial;
+  const Vector probe = trace();
+  const double baseline = retained->Predict(probe);
+
+  std::atomic<int> drift{0};
+  std::atomic<int> model_failures{0};
+  std::vector<std::thread> clients;
+  // Retained-handle readers: the snapshot they hold must never move.
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&retained, &probe, baseline, &drift] {
+      for (int i = 0; i < 200; ++i) {
+        if (retained->Predict(probe) != baseline) drift.fetch_add(1);
+      }
+    });
+  }
+  // Fresh-model readers: GetModel trips the fine-tune policy, and the model
+  // it returns is predicted from immediately (as MOGD would).
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&server, &probe, &model_failures] {
+      for (int i = 0; i < 25; ++i) {
+        auto model = server.GetModel("w", "latency");
+        if (!model.ok() || *model == nullptr) {
+          model_failures.fetch_add(1);
+          continue;
+        }
+        (void)(*model)->Predict(probe);
+      }
+    });
+  }
+  // Writer: keeps crossing finetune_threshold while readers run.
+  clients.emplace_back([&server] {
+    Rng wrng(23);
+    for (int i = 0; i < 40; ++i) {
+      Vector x(4);
+      for (double& v : x) v = wrng.Uniform();
+      server.Ingest("w", "latency", x, 1.0 + wrng.Uniform());
+    }
+  });
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(model_failures.load(), 0);
+  EXPECT_EQ(drift.load(), 0);
+  EXPECT_EQ(retained->Predict(probe), baseline);
+  // The served model did move on from the snapshot: at least one fine-tune
+  // ran (40 ingests over threshold 4), so a fresh GetModel returns a
+  // different object than the retained handle.
+  auto final_model = server.GetModel("w", "latency");
+  ASSERT_TRUE(final_model.ok());
+  EXPECT_NE(final_model->get(), retained.get());
+}
+
 }  // namespace
 }  // namespace udao

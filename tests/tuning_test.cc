@@ -109,7 +109,7 @@ TEST_F(OtterTuneTest, RecommendationBeatsMedianSample) {
   // Median of the sampled training latencies.
   auto data = server_->GetData("9", objectives::kLatency);
   ASSERT_TRUE(data.ok());
-  Vector ys = (*data)->y;
+  Vector ys = data->y;
   std::sort(ys.begin(), ys.end());
   EXPECT_LT(tuned, ys[ys.size() / 2]);
 }
