@@ -29,81 +29,94 @@ void Report(const char* label, const PfResult& result, const MetricBox& box) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Ablations on batch job 9 (latency, cost in #cores) "
-              "===\n\n");
-  BenchProblem bp = MakeBatchProblem(9);
-  const MooProblem& problem = *bp.problem;
-  const MetricBox box = ComputeBox(problem);
+int main(int argc, char** argv) {
+  return BenchMain("bench_ablation", argc, argv, [](const BenchOptions& o) {
+    std::printf("=== Ablations on batch job 9 (latency, cost in #cores) "
+                "===\n\n");
+    BenchProblem bp = MakeBatchProblem(9, QuickScaled(150, 60));
+    const MooProblem& problem = *bp.problem;
+    const MetricBox box = ComputeBox(problem);
+    const int probes = QuickScaled(12, 4);
 
-  // (i) Uncertainty-aware (largest-volume-first) vs FIFO exploration.
-  std::printf("--- (i) rectangle selection order ---\n");
-  {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    ProgressiveFrontier pf(&problem, cfg);
-    Report("largest-volume-first (paper)", pf.Run(12), box);
-  }
-  {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    cfg.fifo_queue = true;
-    ProgressiveFrontier pf(&problem, cfg);
-    Report("FIFO (ablated)", pf.Run(12), box);
-  }
-
-  std::printf("\n--- (ii) MOGD multi-start count ---\n");
-  for (int starts : {1, 2, 6, 16}) {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    cfg.mogd.multistart = starts;
-    ProgressiveFrontier pf(&problem, cfg);
-    char label[64];
-    std::snprintf(label, sizeof(label), "multistart = %d", starts);
-    Report(label, pf.Run(12), box);
-  }
-
-  std::printf("\n--- (iii) PF-AP grid degree l ---\n");
-  for (int l : {2, 3, 4}) {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    cfg.parallel = true;
-    cfg.grid_per_dim = l;
-    ProgressiveFrontier pf(&problem, cfg);
-    char label[64];
-    std::snprintf(label, sizeof(label), "PF-AP, l = %d", l);
-    Report(label, pf.Run(12), box);
-  }
-
-  std::printf("\n--- (iv) MOGD learning rate ---\n");
-  for (double lr : {0.01, 0.05, 0.1, 0.3}) {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    cfg.mogd.learning_rate = lr;
-    ProgressiveFrontier pf(&problem, cfg);
-    char label[64];
-    std::snprintf(label, sizeof(label), "learning rate = %g", lr);
-    Report(label, pf.Run(12), box);
-  }
-
-  std::printf("\n--- (v) uncertainty coefficient alpha ---\n");
-  for (double alpha : {0.0, 0.5, 1.0, 2.0}) {
-    PfConfig cfg;
-    cfg.mogd = BenchMogd();
-    cfg.mogd.alpha = alpha;
-    ProgressiveFrontier pf(&problem, cfg);
-    char label[64];
-    std::snprintf(label, sizeof(label), "alpha = %g", alpha);
-    const PfResult& result = pf.Run(12);
-    Report(label, result, box);
-    // With alpha > 0 the frontier's *reported* latencies are conservative
-    // (mean + alpha*std): show the frontier's minimum latency value.
-    double min_lat = 1e300;
-    for (const MooPoint& p : result.frontier) {
-      min_lat = std::min(min_lat, p.objectives[0]);
+    // (i) Uncertainty-aware (largest-volume-first) vs FIFO exploration.
+    std::printf("--- (i) rectangle selection order ---\n");
+    {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      ProgressiveFrontier pf(&problem, cfg);
+      Report("largest-volume-first (paper)", pf.Run(probes), box);
     }
-    std::printf("    frontier min latency (conservative estimate): %.2f s\n",
-                min_lat);
-  }
-  return 0;
+    {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      cfg.fifo_queue = true;
+      ProgressiveFrontier pf(&problem, cfg);
+      Report("FIFO (ablated)", pf.Run(probes), box);
+    }
+
+    std::printf("\n--- (ii) MOGD multi-start count ---\n");
+    const std::vector<int> starts_arms =
+        o.quick ? std::vector<int>{1, 6} : std::vector<int>{1, 2, 6, 16};
+    for (int starts : starts_arms) {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      cfg.mogd.multistart = starts;
+      ProgressiveFrontier pf(&problem, cfg);
+      char label[64];
+      std::snprintf(label, sizeof(label), "multistart = %d", starts);
+      Report(label, pf.Run(probes), box);
+    }
+
+    std::printf("\n--- (iii) PF-AP grid degree l ---\n");
+    const std::vector<int> grid_arms =
+        o.quick ? std::vector<int>{2} : std::vector<int>{2, 3, 4};
+    for (int l : grid_arms) {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      cfg.parallel = true;
+      cfg.grid_per_dim = l;
+      ProgressiveFrontier pf(&problem, cfg);
+      char label[64];
+      std::snprintf(label, sizeof(label), "PF-AP, l = %d", l);
+      Report(label, pf.Run(probes), box);
+    }
+
+    std::printf("\n--- (iv) MOGD learning rate ---\n");
+    const std::vector<double> lr_arms =
+        o.quick ? std::vector<double>{0.05, 0.3}
+                : std::vector<double>{0.01, 0.05, 0.1, 0.3};
+    for (double lr : lr_arms) {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      cfg.mogd.learning_rate = lr;
+      ProgressiveFrontier pf(&problem, cfg);
+      char label[64];
+      std::snprintf(label, sizeof(label), "learning rate = %g", lr);
+      Report(label, pf.Run(probes), box);
+    }
+
+    std::printf("\n--- (v) uncertainty coefficient alpha ---\n");
+    const std::vector<double> alpha_arms =
+        o.quick ? std::vector<double>{0.0, 1.0}
+                : std::vector<double>{0.0, 0.5, 1.0, 2.0};
+    for (double alpha : alpha_arms) {
+      PfConfig cfg;
+      cfg.mogd = BenchMogd();
+      cfg.mogd.alpha = alpha;
+      ProgressiveFrontier pf(&problem, cfg);
+      char label[64];
+      std::snprintf(label, sizeof(label), "alpha = %g", alpha);
+      const PfResult& result = pf.Run(probes);
+      Report(label, result, box);
+      // With alpha > 0 the frontier's *reported* latencies are conservative
+      // (mean + alpha*std): show the frontier's minimum latency value.
+      double min_lat = 1e300;
+      for (const MooPoint& p : result.frontier) {
+        min_lat = std::min(min_lat, p.objectives[0]);
+      }
+      std::printf("    frontier min latency (conservative estimate): %.2f s\n",
+                  min_lat);
+    }
+    return 0;
+  });
 }

@@ -9,15 +9,17 @@
 #include "tuning/udao.h"
 #include "workload/trace_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
 
+  return BenchMain("bench_fig1_overview", argc, argv, [](
+                       const BenchOptions& o) {
   std::printf("=== Fig. 1(c): UDAO vs OtterTune on TPCx-BB Q2 ===\n\n");
   SparkEngine engine;
 
   // UDAO side: DNN models over the workload's own traces.
-  BenchProblem udao_bp = MakeBatchProblem(2);
+  BenchProblem udao_bp = MakeBatchProblem(2, QuickScaled(150, 60));
 
   // OtterTune side: GP models with workload mapping; give the server a
   // second workload (same template, different scale) to map against.
@@ -25,7 +27,7 @@ int main() {
   {
     BatchWorkload partner = MakeTpcxbbWorkload(2 + 4 * 30);
     Rng rng(77);
-    auto configs = SampleConfigs(BatchParamSpace(), 60,
+    auto configs = SampleConfigs(BatchParamSpace(), QuickScaled(60, 30),
                                  SamplingStrategy::kLatinHypercube, &rng);
     CollectBatchTraces(engine, partner, configs, ot_bp.server.get());
   }
@@ -33,10 +35,14 @@ int main() {
 
   Udao optimizer(udao_bp.server.get());
 
+  // Quick mode keeps only the balanced weight pair; the second pair shows
+  // preference adaptation, not a different code path.
+  const std::vector<std::pair<double, double>> weight_pairs =
+      o.quick ? std::vector<std::pair<double, double>>{{0.5, 0.5}}
+              : std::vector<std::pair<double, double>>{{0.5, 0.5}, {0.9, 0.1}};
   std::printf("%-22s %-14s %-14s %-10s\n", "weights(lat,cost)", "Ottertune(s)",
               "Udao(s)", "reduction");
-  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
-           {0.5, 0.5}, {0.9, 0.1}}) {
+  for (const auto& [wl, wc] : weight_pairs) {
     auto ot_conf = ottertune.Recommend(
         BatchParamSpace(), ot_bp.workload_id,
         {objectives::kLatency, objectives::kCostCores}, {wl, wc});
@@ -63,4 +69,5 @@ int main() {
   std::printf("\n(the paper reports 43%%-56%% latency reduction for UDAO "
               "while adapting to the preference shift)\n");
   return 0;
+  });
 }

@@ -11,12 +11,16 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
 
+  return BenchMain("bench_fig4_all_jobs", argc, argv, [](
+                       const BenchOptions& o) {
   std::vector<int> jobs;
-  if (FullScale()) {
+  if (o.quick) {
+    jobs = {9};
+  } else if (FullScale()) {
     for (int j = 1; j <= kNumTpcxbbWorkloads; ++j) jobs.push_back(j);
   } else {
     for (int j = 1; j <= kNumTpcxbbTemplates; ++j) jobs.push_back(j);
@@ -24,7 +28,9 @@ int main() {
   std::printf("=== Fig. 4(f): uncertain space across %zu batch jobs ===\n\n",
               jobs.size());
 
-  const std::vector<std::string> methods = {"PF-AP", "Evo", "qEHVI", "NC"};
+  const std::vector<std::string> methods =
+      o.quick ? std::vector<std::string>{"PF-AP", "NC"}
+              : std::vector<std::string>{"PF-AP", "Evo", "qEHVI", "NC"};
   const std::vector<double> thresholds = {0.05, 0.1, 0.2, 0.5,
                                           1.0,  2.0, 5.0};
   // uncertain[m][t] holds the per-job values for method m at threshold t.
@@ -34,10 +40,11 @@ int main() {
   std::vector<std::vector<double>> first_set(methods.size());
 
   for (int job : jobs) {
-    BenchProblem bp = MakeBatchProblem(job);
+    BenchProblem bp = MakeBatchProblem(job, QuickScaled(150, 60));
     const MetricBox box = ComputeBox(*bp.problem);
     for (size_t m = 0; m < methods.size(); ++m) {
-      MooRunResult run = RunMethod(methods[m], *bp.problem, 20, box);
+      MooRunResult run =
+          RunMethod(methods[m], *bp.problem, QuickScaled(20, 6), box);
       for (size_t t = 0; t < thresholds.size(); ++t) {
         uncertain[m][t].push_back(UncertainAt(run, thresholds[t]));
       }
@@ -70,4 +77,5 @@ int main() {
               "all jobs with a median of 8.8%% uncertain space, and a 2-50x "
               "speedup over the other methods)\n");
   return 0;
+  });
 }

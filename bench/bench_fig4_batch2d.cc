@@ -10,13 +10,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
 
+  return BenchMain("bench_fig4_batch2d", argc, argv, [](
+                       const BenchOptions& o) {
   std::printf("=== Fig. 4(a)-(e): MOO methods on batch job 9, "
               "(latency, cost in #cores) ===\n\n");
-  BenchProblem bp = MakeBatchProblem(9);
+  BenchProblem bp = MakeBatchProblem(9, QuickScaled(150, 60));
   const MooProblem& problem = *bp.problem;
   const MetricBox box = ComputeBox(problem);
   std::printf("measurement box: latency [%.1f, %.1f] s, cost [%.1f, %.1f] "
@@ -24,15 +26,20 @@ int main() {
               box.utopia[0], box.nadir[0], box.utopia[1], box.nadir[1]);
 
   // ---- (a) + (d): uncertain space over time per method. Like the paper, we
-  // request increasingly many points and report the timed trajectory.
-  const int kProbes = 30;
+  // request increasingly many points and report the timed trajectory. Quick
+  // mode keeps one PF variant and one baseline: enough to exercise both the
+  // PF machinery and the single-weight solvers in CI smoke time.
+  const int kProbes = QuickScaled(30, 8);
   struct Entry {
     const char* name;
     MooRunResult run;
   };
+  const std::vector<const char*> method_names =
+      o.quick ? std::vector<const char*>{"PF-AP", "WS"}
+              : std::vector<const char*>{"PF-AP", "PF-AS", "WS",  "NC",
+                                         "Evo",   "qEHVI", "PESM"};
   std::vector<Entry> methods;
-  for (const char* name :
-       {"PF-AP", "PF-AS", "WS", "NC", "Evo", "qEHVI", "PESM"}) {
+  for (const char* name : method_names) {
     methods.push_back({name, RunMethod(name, problem, kProbes, box)});
   }
 
@@ -62,7 +69,9 @@ int main() {
   std::printf("--- Fig. 4(c): frontier of PF-AP ---\n");
   PrintFrontier("PF-AP", methods[0].run.frontier);
 
-  // ---- (e): Evo inconsistency across probe budgets.
+  // ---- (e): Evo inconsistency across probe budgets. Skipped in quick mode
+  // (six extra Evo runs with no new code paths).
+  if (o.quick) return 0;
   std::printf("--- Fig. 4(e): Evo frontiers at 30/40/50 probes "
               "(independent runs) ---\n");
   for (int probes : {30, 40, 50}) {
@@ -93,4 +102,5 @@ int main() {
                 probes, latency_cut, cost);
   }
   return 0;
+  });
 }

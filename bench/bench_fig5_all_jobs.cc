@@ -15,14 +15,19 @@ namespace {
 void Sweep(const std::vector<int>& jobs, int num_objectives) {
   using namespace udao;
   using namespace udao::bench;
-  const std::vector<std::string> methods = {"PF-AP", "Evo", "qEHVI", "NC"};
+  const bool quick = CurrentBench().quick;
+  const std::vector<std::string> methods =
+      quick ? std::vector<std::string>{"PF-AP", "NC"}
+            : std::vector<std::string>{"PF-AP", "Evo", "qEHVI", "NC"};
   const std::vector<double> thresholds = {0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
   std::vector<std::vector<std::vector<double>>> uncertain(
       methods.size(), std::vector<std::vector<double>>(thresholds.size()));
   // 3D volumes need more points for the same coverage.
-  const int probes = num_objectives == 3 ? 30 : 15;
+  const int probes =
+      num_objectives == 3 ? QuickScaled(30, 8) : QuickScaled(15, 5);
   for (int job : jobs) {
-    BenchProblem bp = MakeStreamProblem(job, num_objectives);
+    BenchProblem bp =
+        MakeStreamProblem(job, num_objectives, QuickScaled(150, 60));
     const MetricBox box = ComputeBox(*bp.problem);
     for (size_t m = 0; m < methods.size(); ++m) {
       MooRunResult run = RunMethod(methods[m], *bp.problem, probes, box);
@@ -51,21 +56,30 @@ void Sweep(const std::vector<int>& jobs, int num_objectives) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
-  std::vector<int> jobs;
-  if (FullScale()) {
-    for (int j = 1; j <= kNumStreamWorkloads; ++j) jobs.push_back(j);
-  } else {
-    for (int j = 1; j <= kNumStreamWorkloads; j += 3) jobs.push_back(j);
-  }
-  std::printf("=== Fig. 5(e): %zu streaming jobs, 2D ===\n\n", jobs.size());
-  Sweep(jobs, 2);
-  std::printf("=== Fig. 5(f): %zu streaming jobs, 3D ===\n\n", jobs.size());
-  Sweep(jobs, 3);
-  std::printf("(the paper: PF-AP reaches a 6.5%% median under 2 s in 2D and "
-              "1.3%% by 2.5 s in 3D; Evo needs ~5 s; qEHVI and NC need ~50 "
-              "s)\n");
-  return 0;
+  return BenchMain("bench_fig5_all_jobs", argc, argv, [](
+                       const BenchOptions& o) {
+    std::vector<int> jobs;
+    if (o.quick) {
+      jobs = {54};
+    } else if (FullScale()) {
+      for (int j = 1; j <= kNumStreamWorkloads; ++j) jobs.push_back(j);
+    } else {
+      for (int j = 1; j <= kNumStreamWorkloads; j += 3) jobs.push_back(j);
+    }
+    std::printf("=== Fig. 5(e): %zu streaming jobs, 2D ===\n\n", jobs.size());
+    Sweep(jobs, 2);
+    // Quick mode keeps the 2D sweep only; 3D adds probes, not code paths.
+    if (!o.quick) {
+      std::printf("=== Fig. 5(f): %zu streaming jobs, 3D ===\n\n",
+                  jobs.size());
+      Sweep(jobs, 3);
+    }
+    std::printf("(the paper: PF-AP reaches a 6.5%% median under 2 s in 2D "
+                "and 1.3%% by 2.5 s in 3D; Evo needs ~5 s; qEHVI and NC need "
+                "~50 s)\n");
+    return 0;
+  });
 }

@@ -11,13 +11,17 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
 
-  std::printf("=== Fig. 5(a)-(c): frontiers on streaming job 54 (3D: "
-              "latency s, -throughput krps, cost cores) ===\n\n");
-  {
+  return BenchMain("bench_fig5_stream", argc, argv, [](
+                       const BenchOptions& o) {
+  // Quick mode keeps the Fig. 5(a)-(d) half on job 54 with fewer methods;
+  // the Fig. 8 appendix section re-runs the same code paths on job 56.
+  if (!o.quick) {
+    std::printf("=== Fig. 5(a)-(c): frontiers on streaming job 54 (3D: "
+                "latency s, -throughput krps, cost cores) ===\n\n");
     BenchProblem bp3 = MakeStreamProblem(54, /*num_objectives=*/3);
     const MetricBox box3 = ComputeBox(*bp3.problem);
     for (const char* method : {"WS", "NC", "PF-AP"}) {
@@ -27,12 +31,17 @@ int main() {
   }
 
   std::printf("=== Fig. 5(d): uncertain space vs time, job 54 (2D) ===\n\n");
-  BenchProblem bp = MakeStreamProblem(54, /*num_objectives=*/2);
+  BenchProblem bp = MakeStreamProblem(54, /*num_objectives=*/2,
+                                      QuickScaled(150, 60));
   const MetricBox box = ComputeBox(*bp.problem);
   std::vector<std::pair<std::string, MooRunResult>> runs;
-  for (const char* method :
-       {"PF-AP", "Evo", "WS", "NC", "qEHVI", "PESM"}) {
-    runs.emplace_back(method, RunMethod(method, *bp.problem, 20, box));
+  const std::vector<const char*> fig5d_methods =
+      o.quick ? std::vector<const char*>{"PF-AP", "WS"}
+              : std::vector<const char*>{"PF-AP", "Evo", "WS",
+                                         "NC",    "qEHVI", "PESM"};
+  for (const char* method : fig5d_methods) {
+    runs.emplace_back(method,
+                      RunMethod(method, *bp.problem, QuickScaled(20, 6), box));
   }
   for (const auto& [name, run] : runs) {
     std::vector<std::pair<double, double>> series;
@@ -46,6 +55,7 @@ int main() {
     std::printf("%-7s %.3f\n", name.c_str(), TimeToFirstParetoSet(run));
   }
 
+  if (o.quick) return 0;
   std::printf("\n=== Fig. 8(a)-(d): streaming job 56 (2D) ===\n\n");
   {
     BenchProblem bp56 = MakeStreamProblem(56, /*num_objectives=*/2);
@@ -73,4 +83,5 @@ int main() {
     }
   }
   return 0;
+  });
 }

@@ -80,17 +80,27 @@ struct Expt4Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  return BenchMain("bench_fig6_endtoend", argc, argv, [](
+                       const BenchOptions& o) {
   SparkEngine engine;
   std::vector<int> test_jobs;
-  for (int t = 1; t <= kNumTpcxbbTemplates; ++t) test_jobs.push_back(t);
+  if (o.quick) {
+    // Two templates cover both systems' full pipelines (GP mapping, DNN
+    // training, PF+WUN, measured deployment) in CI-smoke time.
+    test_jobs = {2, 9};
+  } else {
+    for (int t = 1; t <= kNumTpcxbbTemplates; ++t) test_jobs.push_back(t);
+  }
+  const std::vector<std::pair<double, double>> weight_pairs =
+      o.quick ? std::vector<std::pair<double, double>>{{0.5, 0.5}}
+              : std::vector<std::pair<double, double>>{{0.5, 0.5}, {0.9, 0.1}};
 
   // ------------------------------------------------------------- Expt 3
   std::printf("=== Expt 3 (Fig. 6(a)-(b)): accurate models, batch 2D ===\n");
   std::printf("(both systems on OtterTune's GP models; predictions treated "
               "as true values; #cores allowed [2, 224])\n\n");
-  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
-           {0.5, 0.5}, {0.9, 0.1}}) {
+  for (const auto& [wl, wc] : weight_pairs) {
     std::printf("--- weights (%.1f, %.1f) ---\n", wl, wc);
     std::printf("%-5s %-12s %-12s %-10s %-10s %-12s\n", "job", "OT lat(s)",
                 "UDAO lat(s)", "OT cores", "UDAO cores", "UDAO lat %");
@@ -142,14 +152,14 @@ int main() {
   std::printf("=== Expt 3 (Fig. 6(c)-(d)): accurate models, streaming "
               "(latency vs throughput) ===\n\n");
   StreamEngine stream_engine;
-  for (const auto& [wl, wt] : std::initializer_list<std::pair<double, double>>{
-           {0.5, 0.5}, {0.9, 0.1}}) {
+  const int stream_jobs = o.quick ? 3 : 15;
+  for (const auto& [wl, wt] : weight_pairs) {
     std::printf("--- weights (%.1f, %.1f) ---\n", wl, wt);
     std::printf("%-5s %-12s %-12s %-12s %-12s\n", "job", "OT lat(s)",
                 "UDAO lat(s)", "OT thr(k/s)", "UDAO thr");
     int udao_lower_latency = 0;
     double max_reduction = 0;
-    for (int job = 1; job <= 15; ++job) {
+    for (int job = 1; job <= stream_jobs; ++job) {
       StreamWorkload workload = MakeStreamWorkload(job);
       ModelServerConfig cfg;
       cfg.kind = ModelKind::kGp;
@@ -199,8 +209,8 @@ int main() {
             std::max(max_reduction, 100.0 * (ot_lat - udao_lat) / ot_lat);
       }
     }
-    std::printf("UDAO lower latency on %d/15 jobs; max reduction %.0f%%\n\n",
-                udao_lower_latency, max_reduction);
+    std::printf("UDAO lower latency on %d/%d jobs; max reduction %.0f%%\n\n",
+                udao_lower_latency, stream_jobs, max_reduction);
   }
 
   // ------------------------------------------------------------- Expt 4+5
@@ -211,8 +221,7 @@ int main() {
   std::vector<double> ape_ot;
   std::vector<double> pir_udao;
   std::vector<double> pir_ot;
-  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
-           {0.5, 0.5}, {0.9, 0.1}}) {
+  for (const auto& [wl, wc] : weight_pairs) {
     std::vector<Expt4Row> rows;
     double total_ot = 0;
     double total_udao = 0;
@@ -233,7 +242,7 @@ int main() {
           ottertune.BuildSurrogates(BatchParamSpace(), workload.id, names);
 
       // UDAO pipeline (DNN models).
-      BenchProblem udao_bp = MakeBatchProblem(job);
+      BenchProblem udao_bp = MakeBatchProblem(job, QuickScaled(150, 60));
       Udao optimizer(udao_bp.server.get());
       UdaoRequest request;
       request.workload_id = udao_bp.workload_id;
@@ -298,10 +307,11 @@ int main() {
   }
 
   // Fig. 9 contributes the cost2 half of the 120 configs; run the same two
-  // weights with cost2 to complete Expt 5's sample.
+  // weights with cost2 to complete Expt 5's sample. Quick mode skips it:
+  // the cost2 half repeats the Expt 4 pipelines with a different objective.
+  if (!o.quick) {
   std::printf("=== Expt 5 extra sample: latency + cost2 (learned) ===\n");
-  for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
-           {0.5, 0.5}, {0.9, 0.1}}) {
+  for (const auto& [wl, wc] : weight_pairs) {
     for (int job : test_jobs) {
       BatchWorkload workload = MakeTpcxbbWorkload(job);
       std::unique_ptr<ModelServer> gp_server = MakeGpServer(workload, engine);
@@ -340,6 +350,7 @@ int main() {
       pir_udao.push_back((expert - udao_meas) / expert);
     }
   }
+  }
   std::printf("collected %zu configurations per system\n\n", pir_udao.size());
 
   std::printf("=== Expt 5 (Fig. 6(g)-(h)): accuracy vs improvement over the "
@@ -358,4 +369,5 @@ int main() {
   std::printf("\n(the paper: DNN more accurate than GP; Ottertune below the "
               "expert on 38/120 configs vs 16/120 for UDAO)\n");
   return 0;
+  });
 }

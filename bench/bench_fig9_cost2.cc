@@ -44,7 +44,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  return BenchMain("bench_fig9_cost2", argc, argv, [](const BenchOptions& o) {
   SparkEngine engine;
   std::printf("=== Fig. 9: latency vs cost2 (CPU-hour + IO), measured ===\n\n");
 
@@ -55,10 +56,13 @@ int main() {
   Totals ot_totals[2];
   Totals udao_totals[2];
   int weight_idx = 0;
+  // Quick mode still runs both weight pairs (the adaptivity summary needs
+  // the shift) but only two jobs each.
+  const int max_job = o.quick ? 2 : kNumTpcxbbTemplates;
   for (const auto& [wl, wc] : std::initializer_list<std::pair<double, double>>{
            {0.5, 0.5}, {0.9, 0.1}}) {
     std::vector<Row> rows;
-    for (int job = 1; job <= kNumTpcxbbTemplates; ++job) {
+    for (int job = 1; job <= max_job; ++job) {
       BatchWorkload workload = MakeTpcxbbWorkload(job);
       std::unique_ptr<ModelServer> gp_server = MakeGpServer(workload, engine);
       OtterTune ottertune(gp_server.get(), OtterTuneConfig{});
@@ -119,4 +123,5 @@ int main() {
   shift(ot_totals[0], ot_totals[1], "Ottertune");
   shift(udao_totals[0], udao_totals[1], "UDAO");
   return 0;
+  });
 }

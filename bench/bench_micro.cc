@@ -4,6 +4,10 @@
 // simulator itself.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/random.h"
 #include "model/gp_model.h"
 #include "moo/mogd.h"
@@ -165,4 +169,41 @@ BENCHMARK(BM_MogdSolveCo);
 }  // namespace
 }  // namespace udao
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): BenchMain owns --quick / --json
+// and the report; everything else is forwarded to google-benchmark. Quick
+// mode trims the heavy fits/solves and the repeat counts.
+int main(int argc, char** argv) {
+  return udao::bench::BenchMain(
+      "bench_micro", argc, argv, [argc, argv](
+                                     const udao::bench::BenchOptions& o) {
+        std::vector<char*> fwd;
+        fwd.push_back(argv[0]);
+        for (int i = 1; i < argc; ++i) {
+          const std::string arg = argv[i];
+          if (arg == "--quick") continue;
+          if (arg == "--json") {
+            ++i;  // skip the path operand
+            continue;
+          }
+          fwd.push_back(argv[i]);
+        }
+        static std::string quick_filter =
+            "BM_ParetoFilter/64|BM_Hypervolume2D/64|BM_MlpForward|"
+            "BM_GpPredict|BM_EngineRun/9|BM_MogdSolveCo";
+        static std::string filter_flag =
+            "--benchmark_filter=" + quick_filter;
+        static std::string min_time_flag = "--benchmark_min_time=0.05";
+        if (o.quick) {
+          fwd.push_back(filter_flag.data());
+          fwd.push_back(min_time_flag.data());
+        }
+        int fwd_argc = static_cast<int>(fwd.size());
+        benchmark::Initialize(&fwd_argc, fwd.data());
+        if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) {
+          return 1;
+        }
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+      });
+}

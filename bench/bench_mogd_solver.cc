@@ -125,20 +125,26 @@ void CompareScalarVsBatched(const char* label, const MooProblem& problem) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Section V: MOGD vs general MINLP solving, one CO problem "
-              "===\n\n");
-  {
-    BenchProblem dnn = MakeBatchProblem(9, 60, ModelKind::kDnn);
-    Compare("DNN", *dnn.problem);
-    CompareScalarVsBatched("DNN", *dnn.problem);
-  }
-  {
-    BenchProblem gp = MakeBatchProblem(9, 60, ModelKind::kGp);
-    Compare("GP", *gp.problem);
-    CompareScalarVsBatched("GP", *gp.problem);
-  }
-  std::printf("(the paper: Knitro needs 42 min on DNN / 17 min on GP per CO "
-              "problem; MOGD 0.1-0.5 s at equal-or-better target values)\n");
-  return 0;
+int main(int argc, char** argv) {
+  return BenchMain("bench_mogd_solver", argc, argv, [](const BenchOptions& o) {
+    std::printf("=== Section V: MOGD vs general MINLP solving, one CO "
+                "problem ===\n\n");
+    {
+      BenchProblem dnn = MakeBatchProblem(9, QuickScaled(60, 40),
+                                          ModelKind::kDnn);
+      Compare("DNN", *dnn.problem);
+      CompareScalarVsBatched("DNN", *dnn.problem);
+    }
+    // Quick mode keeps the DNN half only: GP fitting dominates wall time
+    // while the solver-vs-solver story is identical.
+    if (!o.quick) {
+      BenchProblem gp = MakeBatchProblem(9, 60, ModelKind::kGp);
+      Compare("GP", *gp.problem);
+      CompareScalarVsBatched("GP", *gp.problem);
+    }
+    std::printf("(the paper: Knitro needs 42 min on DNN / 17 min on GP per "
+                "CO problem; MOGD 0.1-0.5 s at equal-or-better target "
+                "values)\n");
+    return 0;
+  });
 }

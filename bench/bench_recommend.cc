@@ -13,18 +13,20 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace udao;
   using namespace udao::bench;
 
+  return BenchMain("bench_recommend", argc, argv, [](const BenchOptions& o) {
+  (void)o;
   std::printf("=== Appendix B: recommendation strategies on batch job 9 "
               "===\n\n");
-  BenchProblem bp = MakeBatchProblem(9);
+  BenchProblem bp = MakeBatchProblem(9, QuickScaled(150, 60));
   PfConfig cfg;
   cfg.parallel = true;
   cfg.mogd = BenchMogd();
   ProgressiveFrontier pf(bp.problem.get(), cfg);
-  const PfResult& result = pf.Run(20);
+  const PfResult& result = pf.Run(QuickScaled(20, 8));
   PrintFrontier("frontier (latency s, cost cores)", result.frontier);
 
   auto show = [&](const char* name, const std::optional<MooPoint>& point) {
@@ -68,4 +70,5 @@ int main() {
               "interior trade-offs, which is why UDAO ships WUN as the "
               "default)\n");
   return 0;
+  });
 }

@@ -1,8 +1,11 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <limits>
 
 #include "common/check.h"
@@ -16,12 +19,28 @@ namespace bench {
 
 namespace {
 
+// Options of the BenchMain run in flight; defaults when a helper is used
+// outside of one (e.g. from a test).
+BenchOptions g_options;
+
+std::string GitSha() {
+  // CI exports the exact commit; local builds fall back to the configure-time
+  // sha baked in by bench/CMakeLists.txt (stale only until the next cmake).
+  const char* env = std::getenv("UDAO_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef UDAO_GIT_SHA
+  return UDAO_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
 ModelServerConfig ServerConfig(ModelKind kind) {
   ModelServerConfig cfg;
   cfg.kind = kind;
   cfg.dnn.hidden = {64, 64};
-  cfg.dnn.train.epochs = 400;
-  cfg.gp.hyper_opt_steps = 40;
+  cfg.dnn.train.epochs = g_options.quick ? 120 : 400;
+  cfg.gp.hyper_opt_steps = g_options.quick ? 15 : 40;
   return cfg;
 }
 
@@ -263,6 +282,76 @@ void PrintFrontier(const std::string& title,
 bool FullScale() {
   const char* env = std::getenv("UDAO_BENCH_FULL");
   return env != nullptr && env[0] == '1';
+}
+
+const BenchOptions& CurrentBench() { return g_options; }
+
+std::string BenchReportJson(const std::string& benchmark_name,
+                            const BenchOptions& options, double wall_ms) {
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
+  std::string out = "{\n";
+  out += "  \"benchmark\": \"" + benchmark_name + "\",\n";
+  out += "  \"git_sha\": \"" + GitSha() + "\",\n";
+  out += std::string("  \"config\": {\"quick\": ") +
+         (options.quick ? "true" : "false") +
+         ", \"full\": " + (options.full ? "true" : "false") + "},\n";
+  out += std::string("  \"wall_ms\": ") + wall + ",\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : MetricsRegistry::Global().Counters()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(value);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+int BenchMain(const char* benchmark_name, int argc, char** argv,
+              const std::function<int(const BenchOptions&)>& body) {
+  BenchOptions options;
+  options.full = FullScale();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n",
+                   benchmark_name);
+      return 2;
+    }
+  }
+  g_options = options;
+  // Counters in the report cover exactly this run of this binary.
+  MetricsRegistry::Global().Reset();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const int code = body(options);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", benchmark_name,
+                   options.json_path.c_str());
+      return code != 0 ? code : 1;
+    }
+    out << BenchReportJson(benchmark_name, options, wall_ms);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "%s: short write to %s\n", benchmark_name,
+                   options.json_path.c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("wrote bench report: %s\n", options.json_path.c_str());
+  }
+  return code;
 }
 
 }  // namespace bench

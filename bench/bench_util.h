@@ -6,11 +6,23 @@
 // and run every MOO method with uniform outputs. Each bench binary prints
 // the rows/series of one paper figure or table (see DESIGN.md's experiment
 // index and EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Every bench binary enters through BenchMain, which gives the whole suite a
+// uniform command line:
+//   bench_x [--quick] [--json <path>]
+// --quick shrinks workload counts / trace budgets / probe counts so one run
+// lands in CI-smoke time; --json writes a machine-readable report with the
+// stable schema {benchmark, git_sha, config, wall_ms, counters{...}} whose
+// counters come from the process-wide MetricsRegistry (reset at body start).
+// tools/bench_gate.py consumes these reports and compares them against
+// bench/baseline.json.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "model/model_server.h"
 #include "moo/evo.h"
 #include "moo/mobo.h"
@@ -25,6 +37,33 @@
 
 namespace udao {
 namespace bench {
+
+/// Parsed bench command line (plus the UDAO_BENCH_FULL environment toggle).
+struct BenchOptions {
+  /// CI-smoke mode: bodies subsample jobs/methods and the problem builders
+  /// shrink trace budgets and training epochs.
+  bool quick = false;
+  /// Full-scale (all-jobs) sweep requested via UDAO_BENCH_FULL=1.
+  bool full = false;
+  /// When non-empty, the JSON report is written here.
+  std::string json_path;
+};
+
+/// Options of the run currently inside BenchMain (defaults outside of one);
+/// MakeBatchProblem/MakeStreamProblem consult this for quick-mode scaling.
+const BenchOptions& CurrentBench();
+
+/// Uniform bench entry point: parses --quick / --json <path>, resets the
+/// global MetricsRegistry, times `body`, and writes the JSON report when
+/// requested. Returns the body's exit code (report writing failures turn a
+/// zero exit into 1). Unknown flags fail fast with usage on stderr.
+int BenchMain(const char* benchmark_name, int argc, char** argv,
+              const std::function<int(const BenchOptions&)>& body);
+
+/// The report emitted by BenchMain, exposed for schema tests: a JSON object
+/// with keys benchmark, git_sha, config, wall_ms, counters.
+std::string BenchReportJson(const std::string& benchmark_name,
+                            const BenchOptions& options, double wall_ms);
 
 /// A MOO problem whose objectives are learned models trained on simulator
 /// traces of one workload, plus everything needed to keep it alive and to
@@ -81,6 +120,11 @@ void PrintFrontier(const std::string& title,
 /// True when the environment asks for the full-scale (all-jobs) sweep
 /// (UDAO_BENCH_FULL=1); benches subsample otherwise to stay laptop-friendly.
 bool FullScale();
+
+/// Scale helper: `quick_value` under --quick, `value` otherwise.
+inline int QuickScaled(int value, int quick_value) {
+  return CurrentBench().quick ? quick_value : value;
+}
 
 }  // namespace bench
 }  // namespace udao

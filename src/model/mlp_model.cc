@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 #include "common/stats.h"
 
 namespace udao {
@@ -126,12 +127,24 @@ Vector MlpModel::InputGradient(const Vector& x) const {
 }
 
 void MlpModel::PredictBatch(const Matrix& x, Vector* out) const {
+  // Batched entry points are the GEMM fast path MOGD's lockstep descent
+  // lives on; the batch-size histogram is how bench reports show whether
+  // batching is actually engaged (avg batch >> 1) or degenerated to scalar.
+  // batch_calls is not a separate counter -- it is the histogram's count,
+  // and these sites run hot enough that every registry op shows up in the
+  // bench_mogd_solver overhead budget.
+  UDAO_METRIC_COUNTER_ADD("udao.model.mlp.batch_evals", x.rows());
+  UDAO_METRIC_OBSERVE("udao.model.mlp.batch_size",
+                      static_cast<double>(x.rows()));
   mlp_->PredictBatch(x, out);
   for (double& v : *out) v = FromTarget(v * y_std_ + y_mean_);
 }
 
 void MlpModel::GradientBatch(const Matrix& x, Matrix* grads,
                              Vector* values) const {
+  UDAO_METRIC_COUNTER_ADD("udao.model.mlp.batch_evals", x.rows());
+  UDAO_METRIC_OBSERVE("udao.model.mlp.batch_size",
+                      static_cast<double>(x.rows()));
   Vector raw;
   *grads = mlp_->InputGradientBatch(x, &raw);
   for (int i = 0; i < grads->rows(); ++i) {

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 
 namespace udao {
 
@@ -21,6 +22,7 @@ void ModelServer::Ingest(const std::string& workload_id,
   entry.data.x.push_back(encoded_conf);
   entry.data.y.push_back(value);
   ++entry.pending;
+  UDAO_METRIC_COUNTER_ADD("udao.model.ingests", 1);
 }
 
 void ModelServer::IngestMetrics(const std::string& workload_id,
@@ -53,14 +55,21 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
                             " objective " + objective);
   }
   Entry& entry = it->second;
+  UDAO_METRIC_COUNTER_ADD("udao.model.get_model", 1);
   if (entry.model == nullptr || entry.pending >= config_.retrain_threshold) {
     // First model, or a large trace update: full retrain.
+    UDAO_TRACE_SPAN("model.train_full");
+    UDAO_METRIC_COUNTER_ADD("udao.model.train_full", 1);
+    UDAO_METRIC_OBSERVE("udao.model.train_traces",
+                        static_cast<double>(entry.data.x.size()));
     StatusOr<std::shared_ptr<const ObjectiveModel>> model =
         TrainFresh(entry.data);
     if (!model.ok()) return model.status();
     entry.model = *model;
     entry.pending = 0;
   } else if (entry.pending >= config_.finetune_threshold) {
+    UDAO_TRACE_SPAN("model.finetune");
+    UDAO_METRIC_COUNTER_ADD("udao.model.finetune", 1);
     if (config_.kind == ModelKind::kDnn) {
       // Small update: fine-tune from the latest checkpoint. Handles already
       // returned by GetModel are immutable snapshots, so training happens on
@@ -79,6 +88,10 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
       entry.model = *model;
     }
     entry.pending = 0;
+  } else {
+    // Served straight from the trained snapshot: the cache-hit path that
+    // keeps GetModel off the few-seconds MOO budget.
+    UDAO_METRIC_COUNTER_ADD("udao.model.cache_hits", 1);
   }
   return entry.model;
 }

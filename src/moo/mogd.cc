@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/matrix.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
 #include "nn/adam.h"
 
@@ -15,6 +16,27 @@ namespace udao {
 namespace {
 
 constexpr double kFeasibilityTol = 1e-6;
+
+// One registry flush per completed solve: the inner descent loops accumulate
+// into the local SolvePerf and the totals land here, so instrumentation cost
+// never sits inside an Adam iteration.
+void FlushSolveMetrics(const SolvePerf& perf, int restarts, bool feasible) {
+#if UDAO_METRICS_ENABLED
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.AddCounter("udao.mogd.solves");
+  m.AddCounter("udao.mogd.restarts", restarts);
+  m.AddCounter("udao.mogd.iterations", perf.iterations);
+  m.AddCounter("udao.mogd.model_evals", perf.model_evals);
+  m.AddCounter("udao.mogd.batch_calls", perf.batch_calls);
+  if (!feasible) m.AddCounter("udao.mogd.infeasible_solves");
+  m.Observe("udao.mogd.solve_ms", perf.solve_seconds * 1e3);
+  m.Observe("udao.mogd.eval_ms", perf.eval_seconds * 1e3);
+#else
+  (void)perf;
+  (void)restarts;
+  (void)feasible;
+#endif
+}
 
 void ClipToUnitBox(Vector* x) {
   for (double& v : *x) v = std::min(1.0, std::max(0.0, v));
@@ -95,6 +117,7 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
                                                   const CoProblem& co,
                                                   uint64_t seed,
                                                   SolvePerf* perf) const {
+  UDAO_TRACE_SPAN("mogd.solve_co");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
   const int k = problem.NumObjectives();
@@ -200,6 +223,7 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
     consider(x, f);
   }
   local.solve_seconds = SecondsSince(t0);
+  FlushSolveMetrics(local, config_.multistart, best.has_value());
   if (best.has_value()) best->perf = local;
   if (perf != nullptr) perf->Merge(local);
   return best;
@@ -209,6 +233,7 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
                                                    const CoProblem& co,
                                                    uint64_t seed,
                                                    SolvePerf* perf) const {
+  UDAO_TRACE_SPAN("mogd.solve_co");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
   const int k = problem.NumObjectives();
@@ -350,6 +375,7 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
     }
   }
   local.solve_seconds = SecondsSince(t0);
+  FlushSolveMetrics(local, config_.multistart, out.has_value());
   if (out.has_value()) out->perf = local;
   if (perf != nullptr) perf->Merge(local);
   return out;
@@ -358,6 +384,10 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
 std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
     const MooProblem& problem, const std::vector<CoProblem>& problems,
     SolvePerf* perf) const {
+  UDAO_TRACE_SPAN("mogd.solve_batch");
+  UDAO_METRIC_COUNTER_ADD("udao.mogd.solve_batches", 1);
+  UDAO_METRIC_OBSERVE("udao.mogd.solve_batch_size",
+                      static_cast<double>(problems.size()));
   std::vector<std::optional<CoResult>> results(problems.size());
   if (problems.empty()) return results;
   // Per-problem counters land in a fixed slot each, so the aggregate is
@@ -389,6 +419,7 @@ CoResult MogdSolver::Minimize(const MooProblem& problem, int target,
 
 CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
                                     SolvePerf* perf) const {
+  UDAO_TRACE_SPAN("mogd.minimize");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
   const int dim = problem.EncodedDim();
@@ -433,6 +464,7 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
   }
   UDAO_CHECK(std::isfinite(best.target_value));
   local.solve_seconds = SecondsSince(t0);
+  FlushSolveMetrics(local, config_.multistart, /*feasible=*/true);
   best.perf = local;
   if (perf != nullptr) perf->Merge(local);
   return best;
@@ -440,6 +472,7 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
 
 CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
                                      SolvePerf* perf) const {
+  UDAO_TRACE_SPAN("mogd.minimize");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
   const int dim = problem.EncodedDim();
@@ -507,6 +540,7 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
   local.model_evals += problem.NumObjectives();
   local.batch_calls += problem.NumObjectives();
   local.solve_seconds = SecondsSince(t0);
+  FlushSolveMetrics(local, config_.multistart, /*feasible=*/true);
   out.perf = local;
   if (perf != nullptr) perf->Merge(local);
   return out;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 
 namespace udao {
 
@@ -78,6 +79,7 @@ void ProgressiveFrontier::AddPoint(const CoResult& co) {
   MooPoint point{co.objectives, co.x};
   result_.frontier.push_back(std::move(point));
   result_.frontier = ParetoFilter(std::move(result_.frontier));
+  UDAO_METRIC_COUNTER_ADD("udao.pf.points_added", 1);
 }
 
 void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
@@ -105,11 +107,15 @@ void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
         config_.fifo_queue ? -(next_seq_++) : rect.volume;
     if (rect.volume > 1e-12 * std::max(1.0, initial_volume_)) {
       queue_.push(std::move(rect));
+      UDAO_METRIC_COUNTER_ADD("udao.pf.rects_pushed", 1);
     }
   }
+  UDAO_METRIC_COUNTER_ADD("udao.pf.splits", 1);
 }
 
 void ProgressiveFrontier::Initialize() {
+  UDAO_TRACE_SPAN("pf.initialize");
+  UDAO_METRIC_COUNTER_ADD("udao.pf.initializes", 1);
   initialized_ = true;
   const int k = problem_->NumObjectives();
   const auto start = Clock::now();
@@ -171,6 +177,7 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
 
   while (static_cast<int>(result_.frontier.size()) < total_points &&
          !queue_.empty() && probes_this_call < config_.max_probes) {
+    UDAO_TRACE_SPAN("pf.probe");
     const auto start = Clock::now();
     Rect rect = queue_.top();
     queue_.pop();
@@ -188,6 +195,8 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
       std::optional<CoResult> found = Solve(co);
       ++result_.probes;
       ++probes_this_call;
+      UDAO_METRIC_COUNTER_ADD("udao.pf.probes", 1);
+      UDAO_METRIC_COUNTER_ADD("udao.pf.subspace_solves", 1);
       if (found.has_value()) {
         AddPoint(*found);
         // Split the whole rectangle at fM; [U, fM] is empty (else fM not
@@ -238,6 +247,8 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
               : mogd_.SolveBatch(*problem_, cos, &result_.perf);
       result_.probes += cells;
       ++probes_this_call;
+      UDAO_METRIC_COUNTER_ADD("udao.pf.probes", 1);
+      UDAO_METRIC_COUNTER_ADD("udao.pf.subspace_solves", cells);
       for (size_t i = 0; i < solved.size(); ++i) {
         if (!solved[i].has_value()) continue;  // cell proven empty
         AddPoint(*solved[i]);
@@ -248,7 +259,9 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
                   /*drop_all_lower=*/true, /*drop_all_upper=*/true);
       }
     }
-    elapsed_s_ += SecondsSince(start);
+    const double probe_s = SecondsSince(start);
+    elapsed_s_ += probe_s;
+    UDAO_METRIC_OBSERVE("udao.pf.probe_ms", probe_s * 1e3);
     Snapshot();
   }
   return result_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
 
 namespace udao {
@@ -329,6 +330,11 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
   m.latency_s = latency;
   m.cpu_utilization =
       std::min(1.0, busy_core_seconds / std::max(1e-9, latency * total_cores));
+  // Simulated-run accounting: trace collection and deployed-measurement
+  // loops both funnel through here, so this counter is the bench reports'
+  // "how many cluster runs did this experiment cost" number.
+  UDAO_METRIC_COUNTER_ADD("udao.spark.sim_runs", 1);
+  UDAO_METRIC_OBSERVE("udao.spark.sim_latency_s", latency);
   return m;
 }
 

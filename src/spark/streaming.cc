@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
 
 namespace udao {
@@ -156,6 +157,8 @@ StreamResult StreamEngine::Run(const StreamWorkloadProfile& profile,
   m.bytes_read_mb = batch_mb;
   m.cpu_utilization = std::min(
       1.0, m.cpu_time_s / std::max(1e-9, proc_s * total_cores));
+  UDAO_METRIC_COUNTER_ADD("udao.spark.sim_runs", 1);
+  UDAO_METRIC_OBSERVE("udao.spark.sim_latency_s", result.record_latency_s);
   return result;
 }
 

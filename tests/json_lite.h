@@ -1,0 +1,222 @@
+#ifndef UDAO_TESTS_JSON_LITE_H_
+#define UDAO_TESTS_JSON_LITE_H_
+
+// Minimal recursive-descent JSON parser for tests: just enough to round-trip
+// the MetricsRegistry snapshots and bench reports the observability layer
+// emits (objects, arrays, strings, numbers, booleans, null). Not a general
+// JSON library -- no \u escapes beyond pass-through, no streaming.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace udao {
+namespace testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool Has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole input; sets *ok to false on any syntax error or
+  // trailing garbage.
+  JsonValue Parse(bool* ok) {
+    pos_ = 0;
+    failed_ = false;
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) failed_ = true;
+    *ok = !failed_;
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      failed_ = true;
+      return JsonValue{};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Consume('{');
+    if (Consume('}')) return v;
+    while (!failed_) {
+      JsonValue key = ParseString();
+      if (failed_ || !Consume(':')) {
+        failed_ = true;
+        return v;
+      }
+      v.object[key.str] = ParseValue();
+      if (Consume('}')) return v;
+      if (!Consume(',')) {
+        failed_ = true;
+        return v;
+      }
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Consume('[');
+    if (Consume(']')) return v;
+    while (!failed_) {
+      v.array.push_back(ParseValue());
+      if (Consume(']')) return v;
+      if (!Consume(',')) {
+        failed_ = true;
+        return v;
+      }
+    }
+    return v;
+  }
+
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!Consume('"')) {
+      failed_ = true;
+      return v;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            // \uXXXX and anything else: keep the escape verbatim.
+            v.str.push_back(c);
+            c = esc;
+            break;
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      failed_ = true;
+      return v;
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      failed_ = true;
+    }
+    return v;
+  }
+
+  JsonValue ParseNull() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      failed_ = true;
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      failed_ = true;
+      return v;
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') failed_ = true;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+inline JsonValue ParseJson(const std::string& text, bool* ok) {
+  return JsonParser(text).Parse(ok);
+}
+
+}  // namespace testing
+}  // namespace udao
+
+#endif  // UDAO_TESTS_JSON_LITE_H_

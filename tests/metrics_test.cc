@@ -1,0 +1,208 @@
+// MetricsRegistry / TraceSpan unit tests plus JSON round-trips for the two
+// machine-readable surfaces the observability layer exposes: the registry
+// snapshot (udao_cli --metrics-json) and the bench report (bench_* --json).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics_registry.h"
+#include "json_lite.h"
+
+namespace udao {
+namespace {
+
+using ::udao::testing::JsonValue;
+using ::udao::testing::ParseJson;
+
+TEST(MetricsRegistryTest, CountersAccumulateAndRead) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.CounterValue("udao.test.c"), 0);
+  reg.AddCounter("udao.test.c");
+  reg.AddCounter("udao.test.c", 41);
+  EXPECT_EQ(reg.CounterValue("udao.test.c"), 42);
+  reg.AddCounter("udao.test.other", 7);
+  auto all = reg.Counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all["udao.test.c"], 42);
+  EXPECT_EQ(all["udao.test.other"], 7);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepLastValue) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GaugeValue("udao.test.g"), 0.0);
+  reg.SetGauge("udao.test.g", 1.5);
+  reg.SetGauge("udao.test.g", -3.25);
+  EXPECT_EQ(reg.GaugeValue("udao.test.g"), -3.25);
+}
+
+TEST(MetricsRegistryTest, HistogramStats) {
+  MetricsRegistry reg;
+  reg.Observe("udao.test.h", 1.0);
+  reg.Observe("udao.test.h", 4.0);
+  reg.Observe("udao.test.h", 0.25);
+  HistogramSnapshot snap = reg.HistogramValue("udao.test.h");
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.25);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+  ASSERT_EQ(static_cast<int>(snap.buckets.size()),
+            MetricsRegistry::kNumBuckets);
+  long long total = 0;
+  for (long long b : snap.buckets) total += b;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(MetricsRegistryTest, BucketEdges) {
+  // Degenerate inputs land in the underflow bucket.
+  EXPECT_EQ(MetricsRegistry::BucketIndex(0.0), 0);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(-5.0), 0);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(std::ldexp(1.0, -40)), 0);
+
+  // 1.0 sits at the lower edge of its bucket; [1, 2) share it, 2 moves up.
+  const int one = MetricsRegistry::BucketIndex(1.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::BucketLowerBound(one), 1.0);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(1.999), one);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(2.0), one + 1);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(0.999), one - 1);
+
+  // Every interior bucket's lower edge maps back to that bucket, and the
+  // value just below the edge maps to the previous one.
+  for (int i = 1; i < MetricsRegistry::kNumBuckets - 1; ++i) {
+    const double edge = MetricsRegistry::BucketLowerBound(i);
+    EXPECT_EQ(MetricsRegistry::BucketIndex(edge), i) << "bucket " << i;
+    const double below = std::nextafter(edge, 0.0);
+    EXPECT_EQ(MetricsRegistry::BucketIndex(below), i - 1) << "bucket " << i;
+    EXPECT_GT(edge, MetricsRegistry::BucketLowerBound(i - 1));
+  }
+
+  // Overflow bucket catches everything huge.
+  EXPECT_EQ(MetricsRegistry::BucketIndex(std::ldexp(1.0, 40)),
+            MetricsRegistry::kNumBuckets - 1);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(1e300),
+            MetricsRegistry::kNumBuckets - 1);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.AddCounter("udao.test.c", 3);
+  reg.SetGauge("udao.test.g", 2.0);
+  reg.Observe("udao.test.h", 1.0);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("udao.test.c"), 0);
+  EXPECT_EQ(reg.GaugeValue("udao.test.g"), 0.0);
+  EXPECT_EQ(reg.HistogramValue("udao.test.h").count, 0);
+  EXPECT_TRUE(reg.Counters().empty());
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.AddCounter("udao.test.counter", 5);
+  reg.SetGauge("udao.test.gauge", 1.25);
+  reg.Observe("udao.test.hist", 3.0);
+  reg.Observe("udao.test.hist", 0.5);
+  // A name that needs escaping must not corrupt the document.
+  reg.AddCounter("udao.test.\"quoted\\name\"", 1);
+
+  bool ok = false;
+  JsonValue doc = ParseJson(reg.SnapshotJson(), &ok);
+  ASSERT_TRUE(ok) << reg.SnapshotJson();
+  ASSERT_TRUE(doc.IsObject());
+  for (const char* key : {"counters", "gauges", "histograms", "traces"}) {
+    EXPECT_TRUE(doc.Has(key)) << key;
+  }
+  EXPECT_EQ(doc.At("counters").At("udao.test.counter").number, 5.0);
+  EXPECT_EQ(doc.At("counters").At("udao.test.\"quoted\\name\"").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.At("gauges").At("udao.test.gauge").number, 1.25);
+
+  const JsonValue& hist = doc.At("histograms").At("udao.test.hist");
+  ASSERT_TRUE(hist.IsObject());
+  EXPECT_EQ(hist.At("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.At("sum").number, 3.5);
+  EXPECT_DOUBLE_EQ(hist.At("min").number, 0.5);
+  EXPECT_DOUBLE_EQ(hist.At("max").number, 3.0);
+  // Only occupied buckets are emitted: two observations, two buckets.
+  ASSERT_TRUE(hist.At("buckets").IsArray());
+  EXPECT_EQ(hist.At("buckets").array.size(), 2u);
+  long long from_buckets = 0;
+  for (const JsonValue& pair : hist.At("buckets").array) {
+    ASSERT_TRUE(pair.IsArray());
+    ASSERT_EQ(pair.array.size(), 2u);
+    from_buckets += static_cast<long long>(pair.array[1].number);
+  }
+  EXPECT_EQ(from_buckets, 2);
+}
+
+#if UDAO_METRICS_ENABLED
+TEST(TraceSpanTest, NestedSpansFormOneTree) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  {
+    UDAO_TRACE_SPAN("test.root");
+    { UDAO_TRACE_SPAN("test.child_a"); }
+    { UDAO_TRACE_SPAN("test.child_b"); }
+  }
+  bool ok = false;
+  JsonValue doc = ParseJson(reg.SnapshotJson(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(doc.At("traces").IsArray());
+  ASSERT_EQ(doc.At("traces").array.size(), 1u);
+  const JsonValue& tree = doc.At("traces").array[0];
+  ASSERT_EQ(tree.array.size(), 3u);
+  EXPECT_EQ(tree.array[0].At("name").str, "test.root");
+  EXPECT_EQ(tree.array[0].At("parent").number, -1.0);
+  EXPECT_EQ(tree.array[1].At("name").str, "test.child_a");
+  EXPECT_EQ(tree.array[1].At("parent").number, 0.0);
+  EXPECT_EQ(tree.array[2].At("name").str, "test.child_b");
+  EXPECT_EQ(tree.array[2].At("parent").number, 0.0);
+  // Every span also feeds its duration histogram.
+  EXPECT_EQ(reg.HistogramValue("udao.span.test.root_ms").count, 1);
+  EXPECT_EQ(reg.HistogramValue("udao.span.test.child_a_ms").count, 1);
+  reg.Reset();
+}
+
+TEST(TraceSpanTest, SpansOnDifferentThreadsFormSeparateTrees) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  {
+    UDAO_TRACE_SPAN("test.main_root");
+    std::thread worker([] { UDAO_TRACE_SPAN("test.worker_root"); });
+    worker.join();
+  }
+  bool ok = false;
+  JsonValue doc = ParseJson(reg.SnapshotJson(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(doc.At("traces").array.size(), 2u);
+  reg.Reset();
+}
+#endif  // UDAO_METRICS_ENABLED
+
+TEST(BenchReportTest, ReportJsonMatchesSchema) {
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::Global().AddCounter("udao.test.bench_counter", 9);
+  bench::BenchOptions options;
+  options.quick = true;
+  const std::string report =
+      bench::BenchReportJson("metrics_test_bench", options, 123.5);
+  bool ok = false;
+  JsonValue doc = ParseJson(report, &ok);
+  ASSERT_TRUE(ok) << report;
+  for (const char* key :
+       {"benchmark", "git_sha", "config", "wall_ms", "counters"}) {
+    EXPECT_TRUE(doc.Has(key)) << key;
+  }
+  EXPECT_EQ(doc.At("benchmark").str, "metrics_test_bench");
+  EXPECT_TRUE(doc.At("git_sha").IsString());
+  EXPECT_TRUE(doc.At("config").At("quick").boolean);
+  EXPECT_FALSE(doc.At("config").At("full").boolean);
+  EXPECT_DOUBLE_EQ(doc.At("wall_ms").number, 123.5);
+  EXPECT_EQ(doc.At("counters").At("udao.test.bench_counter").number, 9.0);
+  MetricsRegistry::Global().Reset();
+}
+
+}  // namespace
+}  // namespace udao

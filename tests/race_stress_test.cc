@@ -14,7 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
+#include "json_lite.h"
 #include "model/model_server.h"
 #include "moo/mogd.h"
 #include "spark/metrics.h"
@@ -283,6 +285,90 @@ TEST(RaceStressTest, DnnFineTuneLeavesRetainedHandlesUntouched) {
   auto final_model = server.GetModel("w", "latency");
   ASSERT_TRUE(final_model.ok());
   EXPECT_NE(final_model->get(), retained.get());
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+// Writers on all three metric kinds (some sharing names across threads, so
+// stripes genuinely contend) race against SnapshotJson/Counters readers and
+// a Reset. Under TSan this attacks the lock striping; in normal builds it
+// still validates that a snapshot taken mid-insert parses as a consistent
+// document and that non-reset counts add up.
+TEST(RaceStressTest, MetricsWritersVsSnapshotReaders) {
+  MetricsRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 400;
+  std::vector<std::thread> attackers;
+  for (int t = 0; t < kWriters; ++t) {
+    attackers.emplace_back([&reg, t] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        reg.AddCounter("udao.race.shared");
+        reg.AddCounter("udao.race.counter." + std::to_string(t));
+        reg.SetGauge("udao.race.gauge." + std::to_string(i % 8),
+                     static_cast<double>(i));
+        reg.Observe("udao.race.hist", static_cast<double>(i % 100));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_snapshots{0};
+  for (int t = 0; t < 2; ++t) {
+    attackers.emplace_back([&reg, &stop, &bad_snapshots] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The snapshot must always parse as a complete JSON object, even
+        // while writers are mid-flight.
+        bool ok = false;
+        (void)testing::ParseJson(reg.SnapshotJson(), &ok);
+        if (!ok) bad_snapshots.fetch_add(1);
+        (void)reg.Counters();
+        (void)reg.HistogramValue("udao.race.hist");
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) attackers[t].join();
+  stop.store(true);
+  for (size_t t = kWriters; t < attackers.size(); ++t) attackers[t].join();
+
+  EXPECT_EQ(bad_snapshots.load(), 0);
+  EXPECT_EQ(reg.CounterValue("udao.race.shared"), kWriters * kOpsPerWriter);
+  for (int t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(reg.CounterValue("udao.race.counter." + std::to_string(t)),
+              kOpsPerWriter);
+  }
+  EXPECT_EQ(reg.HistogramValue("udao.race.hist").count,
+            kWriters * kOpsPerWriter);
+
+  // Reset racing against late readers must leave an empty, parseable state.
+  reg.Reset();
+  EXPECT_TRUE(reg.Counters().empty());
+}
+
+// TraceSpan trees assembled on racing threads: each thread builds its own
+// nested tree, so RecordTrace and the span histograms contend but the trees
+// themselves never interleave.
+TEST(RaceStressTest, TraceSpansOnRacingThreads) {
+#if UDAO_METRICS_ENABLED
+  MetricsRegistry::Global().Reset();
+  std::vector<std::thread> attackers;
+  for (int t = 0; t < 4; ++t) {
+    attackers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        UDAO_TRACE_SPAN("race.root");
+        { UDAO_TRACE_SPAN("race.inner"); }
+      }
+    });
+  }
+  for (std::thread& t : attackers) t.join();
+  // 4 threads x 50 roots each closed cleanly into the span histogram.
+  EXPECT_EQ(
+      MetricsRegistry::Global().HistogramValue("udao.span.race.root_ms").count,
+      200);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .HistogramValue("udao.span.race.inner_ms")
+                .count,
+            200);
+  MetricsRegistry::Global().Reset();
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench JSON reports.
+
+Every bench binary emits a report with the stable schema
+  {benchmark, git_sha, config, wall_ms, counters{...}}
+(one object per file), and reports can be merged into
+  {"benchmarks": [...]}.
+
+Usage:
+  bench_gate.py FRESH BASELINE [--threshold PCT]
+      Compare fresh reports against the committed baseline. Exits 1 when any
+      benchmark present in both is more than PCT percent (default 25) slower
+      on wall_ms. Benchmarks missing from either side are reported but do
+      not fail the gate (the suites may drift independently).
+  bench_gate.py --merge OUT IN [IN...]
+      Merge report files (single reports or merged files) into OUT as
+      {"benchmarks": [...]}.
+  bench_gate.py --schema-only FILE [FILE...]
+      Validate report files against the schema only.
+
+Exit codes: 0 ok, 1 regression, 2 schema/usage error.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = {"benchmark", "git_sha", "config", "wall_ms", "counters"}
+
+
+def fail_schema(msg):
+    print("bench_gate: schema error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def validate_entry(entry, origin):
+    if not isinstance(entry, dict):
+        fail_schema("%s: report entry is not an object" % origin)
+    missing = REQUIRED_KEYS - set(entry)
+    if missing:
+        fail_schema("%s: missing keys %s" % (origin, sorted(missing)))
+    if not isinstance(entry["benchmark"], str) or not entry["benchmark"]:
+        fail_schema("%s: 'benchmark' must be a non-empty string" % origin)
+    if not isinstance(entry["git_sha"], str):
+        fail_schema("%s: 'git_sha' must be a string" % origin)
+    if not isinstance(entry["config"], dict):
+        fail_schema("%s: 'config' must be an object" % origin)
+    if not isinstance(entry["wall_ms"], (int, float)) or entry["wall_ms"] < 0:
+        fail_schema("%s: 'wall_ms' must be a non-negative number" % origin)
+    if not isinstance(entry["counters"], dict):
+        fail_schema("%s: 'counters' must be an object" % origin)
+    for name, value in entry["counters"].items():
+        if not isinstance(value, (int, float)):
+            fail_schema("%s: counter '%s' is not a number" % (origin, name))
+
+
+def load_entries(path):
+    """Loads a report file: either one report object or {"benchmarks":[...]}."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        fail_schema("%s: %s" % (path, e))
+    except json.JSONDecodeError as e:
+        fail_schema("%s: invalid JSON: %s" % (path, e))
+    if isinstance(data, dict) and "benchmarks" in data:
+        entries = data["benchmarks"]
+        if not isinstance(entries, list):
+            fail_schema("%s: 'benchmarks' must be a list" % path)
+    else:
+        entries = [data]
+    for i, entry in enumerate(entries):
+        validate_entry(entry, "%s[%d]" % (path, i))
+    return entries
+
+
+def index_by_name(entries, origin):
+    by_name = {}
+    for entry in entries:
+        name = entry["benchmark"]
+        if name in by_name:
+            fail_schema("%s: duplicate benchmark '%s'" % (origin, name))
+        by_name[name] = entry
+    return by_name
+
+
+def cmd_merge(out_path, in_paths):
+    merged = []
+    for path in in_paths:
+        merged.extend(load_entries(path))
+    index_by_name(merged, "merge result")
+    with open(out_path, "w") as f:
+        json.dump({"benchmarks": merged}, f, indent=2)
+        f.write("\n")
+    print("bench_gate: merged %d reports into %s" % (len(merged), out_path))
+    return 0
+
+
+def cmd_compare(fresh_path, baseline_path, threshold_pct):
+    fresh = index_by_name(load_entries(fresh_path), fresh_path)
+    base = index_by_name(load_entries(baseline_path), baseline_path)
+    regressions = []
+    print("%-24s %12s %12s %9s" % ("benchmark", "base ms", "fresh ms", "delta"))
+    for name in sorted(set(fresh) | set(base)):
+        if name not in fresh:
+            print("%-24s %12.1f %12s %9s" % (name, base[name]["wall_ms"],
+                                             "-", "missing"))
+            continue
+        if name not in base:
+            print("%-24s %12s %12.1f %9s" % (name, "-",
+                                             fresh[name]["wall_ms"], "new"))
+            continue
+        base_ms = base[name]["wall_ms"]
+        fresh_ms = fresh[name]["wall_ms"]
+        delta_pct = (100.0 * (fresh_ms - base_ms) / base_ms
+                     if base_ms > 0 else 0.0)
+        flag = ""
+        if delta_pct > threshold_pct:
+            flag = "  << REGRESSION"
+            regressions.append((name, base_ms, fresh_ms, delta_pct))
+        print("%-24s %12.1f %12.1f %+8.1f%%%s"
+              % (name, base_ms, fresh_ms, delta_pct, flag))
+    if regressions:
+        print("bench_gate: %d benchmark(s) regressed more than %.0f%% on "
+              "wall_ms:" % (len(regressions), threshold_pct), file=sys.stderr)
+        for name, base_ms, fresh_ms, delta_pct in regressions:
+            print("  %s: %.1f ms -> %.1f ms (%+.1f%%)"
+                  % (name, base_ms, fresh_ms, delta_pct), file=sys.stderr)
+        return 1
+    print("bench_gate: no wall_ms regression above %.0f%%" % threshold_pct)
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--merge", metavar="OUT",
+                        help="merge the input reports into OUT")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the report schema and exit")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="wall_ms regression threshold in percent "
+                             "(default 25)")
+    parser.add_argument("files", nargs="+",
+                        help="FRESH BASELINE for compare mode; report files "
+                             "otherwise")
+    args = parser.parse_args(argv)
+
+    if args.merge:
+        return cmd_merge(args.merge, args.files)
+    if args.schema_only:
+        total = 0
+        for path in args.files:
+            total += len(load_entries(path))
+        print("bench_gate: %d report(s) schema-valid" % total)
+        return 0
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly FRESH and BASELINE")
+    return cmd_compare(args.files[0], args.files[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

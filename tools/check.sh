@@ -16,7 +16,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
 echo "== tier 1: default build + tests =="
-cmake -B build -S .
+# -DUDAO_WERROR=ON matches the CI tier-1 job, so local check.sh runs catch
+# new warnings before a push does.
+cmake -B build -S . -DUDAO_WERROR=ON
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 

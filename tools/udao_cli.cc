@@ -12,12 +12,18 @@
 //       Compute and print a Pareto frontier (latency vs cost in #cores).
 //   udao_cli optimize --job N [--wl W --wc W] [--traces DIR]
 //       End-to-end recommendation; deploys the result on the simulator.
+//
+// Every command accepts --metrics-json PATH: after the command runs, the
+// process-wide MetricsRegistry snapshot (counters, gauges, histograms,
+// recent solve traces) is written there as JSON.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "model/analytic_models.h"
 #include "model/checkpoint.h"
 #include "moo/evo.h"
@@ -85,7 +91,9 @@ int Usage() {
                "  trace     --job N [--samples K] [--out DIR]\n"
                "  frontier  --job N [--points M] [--method PF-AP] "
                "[--traces DIR]\n"
-               "  optimize  --job N [--wl W --wc W] [--traces DIR]\n");
+               "  optimize  --job N [--wl W --wc W] [--traces DIR]\n"
+               "all commands: [--metrics-json PATH] writes the "
+               "MetricsRegistry snapshot after the run\n");
   return 2;
 }
 
@@ -317,16 +325,33 @@ int CmdOptimize(const Args& args) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  Args args(argc, argv);
+int Dispatch(const std::string& command, const Args& args) {
   if (command == "list") return CmdList(args);
   if (command == "simulate") return CmdSimulate(args);
   if (command == "trace") return CmdTrace(args);
   if (command == "frontier") return CmdFrontier(args);
   if (command == "optimize") return CmdOptimize(args);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  int rc = Dispatch(command, args);
+  if (args.Has("metrics-json")) {
+    const std::string path = args.Get("metrics-json", "");
+    std::ofstream out(path);
+    out << MetricsRegistry::Global().SnapshotJson() << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write metrics snapshot to %s\n",
+                   path.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("wrote metrics snapshot: %s\n", path.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
