@@ -1,0 +1,113 @@
+// Serving layer: what frontier caching buys. One cold request computes the
+// Pareto frontier end to end (step 2 dominates); follow-up requests that
+// differ only in their preference weights re-run just the recommendation
+// step off the cached frontier; an ingested trace bumps the workload
+// generation and forces the next request cold again.
+//
+// The report's udao.service.* counters (cache_hits/cache_misses/
+// invalidations) plus the measured cold-vs-warm ratio are the evidence the
+// cache works; the bench fails if a weight-only repeat is not at least 10x
+// faster than the cold solve.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "serving/udao_service.h"
+#include "workload/trace_gen.h"
+
+#include "bench_util.h"
+
+namespace {
+double MsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace udao;
+  using namespace udao::bench;
+
+  return BenchMain("bench_service", argc, argv, [](const BenchOptions& o) {
+  (void)o;
+  std::printf("=== serving layer: cold solve vs cached weight-only repeats "
+              "===\n\n");
+  BenchProblem bp = MakeBatchProblem(9, QuickScaled(150, 60));
+
+  UdaoServiceConfig cfg;
+  cfg.udao.pf.parallel = true;
+  cfg.udao.pf.mogd = BenchMogd();
+  cfg.udao.frontier_points = QuickScaled(20, 8);
+  UdaoService service(bp.server.get(), cfg);
+
+  UdaoRequest request;
+  request.workload_id = bp.workload_id;
+  request.space = &BatchParamSpace();
+  request.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kCostCores}};
+  request.preference_weights = {0.5, 0.5};
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto cold = service.Optimize(request);
+  const double cold_ms = MsSince(t0);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "cold solve failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cold solve: %.1f ms (%zu frontier points)\n", cold_ms,
+              cold->frontier.frontier.size());
+
+  const int repeats = QuickScaled(40, 10);
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    const double wl = 0.1 + 0.8 * i / std::max(1, repeats - 1);
+    request.preference_weights = {wl, 1.0 - wl};
+    auto rec = service.Optimize(request);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "warm request failed: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double warm_ms = MsSince(t0) / repeats;
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf("%d weight-only repeats: %.3f ms each (%.0fx vs cold)\n",
+              repeats, warm_ms, speedup);
+
+  // One new trace bumps the workload generation; the cached frontier is now
+  // tagged stale and the next request recomputes.
+  bp.server->Ingest(bp.workload_id, objectives::kLatency,
+                    BatchParamSpace().Encode(BatchParamSpace().Defaults()),
+                    100.0);
+  request.preference_weights = {0.5, 0.5};
+  t0 = std::chrono::steady_clock::now();
+  auto after = service.Optimize(request);
+  const double invalidated_ms = MsSince(t0);
+  if (!after.ok()) {
+    std::fprintf(stderr, "post-ingest request failed: %s\n",
+                 after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("after ingest (entry invalidated): %.1f ms\n", invalidated_ms);
+
+  UdaoServiceStats s = service.stats();
+  std::printf("\nservice counters: %lld requests, %lld hits, %lld misses, "
+              "%lld invalidations, %lld errors\n",
+              s.requests, s.cache_hits, s.cache_misses, s.invalidations,
+              s.errors);
+  if (s.cache_hits != repeats || s.cache_misses != 2 ||
+      s.invalidations != 1 || s.errors != 0) {
+    std::fprintf(stderr, "unexpected cache behavior\n");
+    return 1;
+  }
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "weight-only repeat not >= 10x faster than cold (%.1fx)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+  });
+}

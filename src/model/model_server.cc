@@ -22,6 +22,7 @@ void ModelServer::Ingest(const std::string& workload_id,
   entry.data.x.push_back(encoded_conf);
   entry.data.y.push_back(value);
   ++entry.pending;
+  ++generations_[workload_id];
   UDAO_METRIC_COUNTER_ADD("udao.model.ingests", 1);
 }
 
@@ -67,6 +68,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     if (!model.ok()) return model.status();
     entry.model = *model;
     entry.pending = 0;
+    ++generations_[workload_id];
   } else if (entry.pending >= config_.finetune_threshold) {
     UDAO_TRACE_SPAN("model.finetune");
     UDAO_METRIC_COUNTER_ADD("udao.model.finetune", 1);
@@ -88,6 +90,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
       entry.model = *model;
     }
     entry.pending = 0;
+    ++generations_[workload_id];
   } else {
     // Served straight from the trained snapshot: the cache-hit path that
     // keeps GetModel off the few-seconds MOO budget.
@@ -142,6 +145,12 @@ int ModelServer::NumTraces(const std::string& workload_id,
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) return 0;
   return static_cast<int>(it->second.data.x.size());
+}
+
+uint64_t ModelServer::Generation(const std::string& workload_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generations_.find(workload_id);
+  return it == generations_.end() ? 0 : it->second;
 }
 
 }  // namespace udao

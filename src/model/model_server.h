@@ -1,6 +1,7 @@
 #ifndef UDAO_MODEL_MODEL_SERVER_H_
 #define UDAO_MODEL_MODEL_SERVER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,14 @@ class ModelServer {
   int NumTraces(const std::string& workload_id,
                 const std::string& objective) const;
 
+  /// Monotone per-workload data/model generation: bumped by every Ingest()
+  /// for the workload and again whenever GetModel retrains or fine-tunes one
+  /// of its models. Serving-layer caches tag entries with the generation they
+  /// were computed under and compare against this to detect staleness in one
+  /// cheap map lookup -- no model access, no training. Starts at 0 for
+  /// workloads never seen.
+  uint64_t Generation(const std::string& workload_id) const;
+
   const ModelServerConfig& config() const { return config_; }
 
  private:
@@ -126,6 +135,8 @@ class ModelServer {
   Rng rng_;
   std::map<std::pair<std::string, std::string>, Entry> entries_;
   std::map<std::string, std::vector<Vector>> metrics_;
+  /// Per-workload generation counters (see Generation()).
+  std::map<std::string, uint64_t> generations_;
 };
 
 }  // namespace udao

@@ -38,15 +38,20 @@ CoResult ProgressiveFrontier::SolveMin(int target) {
 }
 
 double ProgressiveFrontier::QueueVolume() const {
-  // priority_queue lacks iteration; track via a copy. The queue is small
-  // (tens of rectangles), so this stays cheap relative to CO solves.
+#ifndef NDEBUG
+  // Cross-check the incrementally maintained sum against a recomputation
+  // (priority_queue lacks iteration, hence the copy). The tolerance covers
+  // floating-point drift of the running +=/-= sum versus the heap-order sum.
   std::priority_queue<Rect> copy = queue_;
-  double volume = 0;
+  double recomputed = 0;
   while (!copy.empty()) {
-    volume += copy.top().volume;
+    recomputed += copy.top().volume;
     copy.pop();
   }
-  return volume;
+  const double scale = std::max({1.0, recomputed, queue_volume_});
+  UDAO_CHECK(std::abs(recomputed - queue_volume_) <= 1e-9 * scale);
+#endif
+  return queue_volume_;
 }
 
 void ProgressiveFrontier::Snapshot() {
@@ -76,9 +81,22 @@ void ProgressiveFrontier::AddPoint(const CoResult& co) {
     }
     if (same) return;
   }
-  MooPoint point{co.objectives, co.x};
-  result_.frontier.push_back(std::move(point));
-  result_.frontier = ParetoFilter(std::move(result_.frontier));
+  // Single-pass incremental insert (the resident frontier is mutually
+  // non-dominated, so re-running the full O(n^2) ParetoFilter per insertion
+  // is redundant): a candidate dominated by any resident point is dropped,
+  // and by transitivity a surviving candidate can only evict points it
+  // itself dominates. The stable erase keeps survivor order identical to
+  // what ParetoFilter produced.
+  for (const MooPoint& p : result_.frontier) {
+    if (Dominates(p.objectives, co.objectives)) return;
+  }
+  result_.frontier.erase(
+      std::remove_if(result_.frontier.begin(), result_.frontier.end(),
+                     [&co](const MooPoint& p) {
+                       return Dominates(co.objectives, p.objectives);
+                     }),
+      result_.frontier.end());
+  result_.frontier.push_back(MooPoint{co.objectives, co.x});
   UDAO_METRIC_COUNTER_ADD("udao.pf.points_added", 1);
 }
 
@@ -105,7 +123,10 @@ void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
     rect.volume = HyperrectVolume(rect.utopia, rect.nadir);
     rect.priority =
         config_.fifo_queue ? -(next_seq_++) : rect.volume;
+    // Rects below the volume floor are dropped entirely, so they never enter
+    // the running sum either.
     if (rect.volume > 1e-12 * std::max(1.0, initial_volume_)) {
+      queue_volume_ += rect.volume;
       queue_.push(std::move(rect));
       UDAO_METRIC_COUNTER_ADD("udao.pf.rects_pushed", 1);
     }
@@ -155,6 +176,7 @@ void ProgressiveFrontier::Initialize() {
   initial_volume_ = HyperrectVolume(utopia, nadir);
   queue_.push(Rect{utopia, nadir, initial_volume_,
                    config_.fifo_queue ? -(next_seq_++) : initial_volume_});
+  queue_volume_ = initial_volume_;
 
   // Reference points that satisfy the user constraints seed the frontier.
   for (const CoResult& plan : plans) {
@@ -181,6 +203,9 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
     const auto start = Clock::now();
     Rect rect = queue_.top();
     queue_.pop();
+    queue_volume_ -= rect.volume;
+    // An empty queue pins the sum to exactly 0, shedding any +=/-= drift.
+    if (queue_.empty()) queue_volume_ = 0;
 
     if (!config_.parallel) {
       // Middle-point probe (Definition III.3): search the lower half-box.

@@ -95,6 +95,10 @@ class ProgressiveFrontier {
                  bool drop_all_lower, bool drop_all_upper);
   void AddPoint(const CoResult& co);
   void Snapshot();
+  /// Total volume of the queued hyperrectangles, maintained incrementally on
+  /// every push/pop (recomputing it per probe meant copying the whole
+  /// priority_queue once per Snapshot). Debug builds cross-check the running
+  /// sum against a recomputation.
   double QueueVolume() const;
   // Non-const: both fold their MOGD counters into result_.perf.
   std::optional<CoResult> Solve(const CoProblem& co);
@@ -107,6 +111,8 @@ class ProgressiveFrontier {
   bool initialized_ = false;
   bool box_empty_ = false;
   std::priority_queue<Rect> queue_;
+  /// Running sum of queue_'s rect volumes (see QueueVolume()).
+  double queue_volume_ = 0;
   double initial_volume_ = 0;
   double next_seq_ = 0;  // FIFO ordering counter (ablation)
   double elapsed_s_ = 0;

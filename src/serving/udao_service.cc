@@ -1,0 +1,259 @@
+#include "serving/udao_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics_registry.h"
+#include "moo/progressive_frontier.h"
+
+namespace udao {
+namespace {
+
+// Cache keys are exact byte serializations, not hashes: a collision would
+// silently serve the wrong frontier, and the keys are small enough (a few
+// hundred bytes) that exactness costs nothing. Fields are separated by a
+// unit separator so variable-length strings cannot alias across field
+// boundaries; numeric fields are appended as raw fixed-width bytes.
+constexpr char kSep = '\x1f';
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out->append(bytes, sizeof(value));
+  out->push_back(kSep);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  out->append(s);
+  out->push_back(kSep);
+}
+
+double NowMs(const std::chrono::steady_clock::time_point& since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
+    : server_(server),
+      config_(config),
+      udao_(server, config.udao),
+      admission_(config.admission_threads) {
+  UDAO_CHECK(server_ != nullptr);
+  // Every field of the solver configuration that can change what step 2
+  // computes (which points PF probes and in what order). The MOGD pool
+  // pointer is excluded on purpose: threading never changes solutions.
+  const UdaoOptions& o = udao_.options();
+  std::string* f = &options_fingerprint_;
+  AppendPod(f, o.pf.parallel);
+  AppendPod(f, o.pf.grid_per_dim);
+  AppendPod(f, o.pf.use_exhaustive);
+  AppendPod(f, o.pf.exhaustive_budget);
+  AppendPod(f, o.pf.max_probes);
+  AppendPod(f, o.pf.fifo_queue);
+  AppendPod(f, o.pf.mogd.multistart);
+  AppendPod(f, o.pf.mogd.max_iters);
+  AppendPod(f, o.pf.mogd.learning_rate);
+  AppendPod(f, o.pf.mogd.alpha);
+  AppendPod(f, o.pf.mogd.batched);
+  AppendPod(f, o.pf.mogd.seed);
+  AppendPod(f, o.frontier_points);
+  AppendPod(f, o.workload_aware);
+  AppendPod(f, o.uncertainty_alpha);
+}
+
+std::string UdaoService::CacheKey(const UdaoRequest& request) const {
+  std::string key;
+  key.reserve(64 + options_fingerprint_.size());
+  AppendString(&key, request.workload_id);
+  // Spaces are long-lived singletons (BatchParamSpace()) or caller-owned for
+  // the service lifetime, so pointer identity identifies the space.
+  AppendPod(&key, request.space);
+  for (const ObjectiveSpec& obj : request.objectives) {
+    AppendString(&key, obj.name);
+    AppendPod(&key, obj.minimize);
+    AppendPod(&key, obj.lower);
+    AppendPod(&key, obj.upper);
+    // Explicit models participate by identity. A cached entry's problem
+    // holds a shared_ptr to the model, so the address cannot be recycled
+    // while the entry is alive; null (server-resolved) models are covered
+    // by workload_id + the generation tag instead.
+    AppendPod(&key, obj.model.get());
+  }
+  key.append(options_fingerprint_);
+  return key;
+}
+
+bool UdaoService::Lookup(const std::string& key, uint64_t generation,
+                         std::shared_ptr<const MooProblem>* problem,
+                         std::shared_ptr<const PfResult>* frontier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  if (it->second.generation != generation) {
+    // The workload saw new traces (or a retrain) since this frontier was
+    // computed: the models behind it are no longer the latest available.
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.invalidations", 1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *problem = it->second.problem;
+  *frontier = it->second.frontier;
+  return true;
+}
+
+void UdaoService::Insert(const std::string& key, uint64_t generation,
+                         std::shared_ptr<const MooProblem> problem,
+                         std::shared_ptr<const PfResult> frontier) {
+  if (config_.frontier_cache_capacity <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent miss on the same key got here first. Deterministic
+    // computation means both entries are identical; keep the newer tag in
+    // case the other racer observed an older generation.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    if (generation > it->second.generation) {
+      it->second.problem = std::move(problem);
+      it->second.frontier = std::move(frontier);
+      it->second.generation = generation;
+    }
+    return;
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.problem = std::move(problem);
+  entry.frontier = std::move(frontier);
+  entry.generation = generation;
+  entry.lru_it = lru_.begin();
+  cache_.emplace(key, std::move(entry));
+  while (static_cast<int>(cache_.size()) > config_.frontier_cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.evictions", 1);
+  }
+  UDAO_METRIC_GAUGE_SET("udao.service.cache_size",
+                        static_cast<double>(cache_.size()));
+}
+
+StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request) {
+  UDAO_TRACE_SPAN("service.handle");
+  const auto t0 = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  UDAO_METRIC_COUNTER_ADD("udao.service.requests", 1);
+
+  Status valid = Udao::Validate(request);
+  if (!valid.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+    return valid;
+  }
+
+  // Read the generation BEFORE resolving models: ResolveObjectives may
+  // lazily retrain (bumping the generation), and a concurrent Ingest may
+  // land between resolve and insert. Tagging with the pre-read value keeps
+  // the entry conservatively old, so staleness detection can only err
+  // toward recomputing, never toward serving a stale frontier.
+  const uint64_t generation = server_->Generation(request.workload_id);
+  const std::string key = CacheKey(request);
+
+  std::shared_ptr<const MooProblem> problem;
+  std::shared_ptr<const PfResult> frontier;
+  const bool hit =
+      config_.frontier_cache_capacity > 0 &&
+      Lookup(key, generation, &problem, &frontier);
+  if (hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.cache_hits", 1);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.cache_misses", 1);
+    StatusOr<std::vector<ObjectiveSpec>> objectives =
+        udao_.ResolveObjectives(request);
+    if (!objectives.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+      return objectives.status();
+    }
+    auto owned_problem =
+        std::make_shared<MooProblem>(request.space, std::move(*objectives));
+    auto owned_frontier = std::make_shared<PfResult>();
+    {
+      UDAO_TRACE_SPAN("service.pf");
+      ProgressiveFrontier pf(owned_problem.get(), udao_.options().pf);
+      *owned_frontier = pf.Run(udao_.options().frontier_points);
+    }
+    problem = owned_problem;
+    frontier = owned_frontier;
+    // Empty (infeasible) frontiers are cached too: re-asking the same
+    // constraints deterministically re-derives the same emptiness.
+    Insert(key, generation, problem, frontier);
+  }
+
+  StatusOr<UdaoRecommendation> rec =
+      udao_.Recommend(request, *problem, *frontier);
+  if (!rec.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+    UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
+    return rec.status();
+  }
+  rec->seconds = NowMs(t0) / 1e3;
+  UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
+  return rec;
+}
+
+void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
+  UDAO_CHECK(done != nullptr);
+  const auto enqueued = std::chrono::steady_clock::now();
+  admission_.Submit(
+      [this, request, done = std::move(done), enqueued]() mutable {
+        UDAO_METRIC_OBSERVE("udao.service.queue_wait_ms", NowMs(enqueued));
+        done(Handle(request));
+      });
+}
+
+StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::optional<StatusOr<UdaoRecommendation>> result;
+  OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
+    // Notify while holding the lock: the waiter owns `m`/`cv` on its stack,
+    // and may destroy them the moment it observes `result`. Signaling under
+    // the lock guarantees it cannot wake and return before this worker is
+    // completely done touching them.
+    std::lock_guard<std::mutex> lock(m);
+    result.emplace(std::move(r));
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+UdaoServiceStats UdaoService::stats() const {
+  UdaoServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int UdaoService::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cache_.size());
+}
+
+}  // namespace udao

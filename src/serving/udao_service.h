@@ -1,0 +1,147 @@
+#ifndef UDAO_SERVING_UDAO_SERVICE_H_
+#define UDAO_SERVING_UDAO_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "tuning/udao.h"
+
+namespace udao {
+
+/// Serving-layer policy.
+struct UdaoServiceConfig {
+  /// Optimizer policy for the service's internal Udao instance. Fixed for
+  /// the service lifetime -- per-request variation enters through
+  /// UdaoRequest only, which is what makes cached frontiers reusable.
+  UdaoOptions udao;
+  /// Workers admitting requests. This pool is deliberately distinct from the
+  /// solver pool (udao.solver_threads): request tasks block in the solver
+  /// pool's WaitIdle during PF fan-out, and a worker of a pool must never
+  /// wait for that same pool to drain.
+  int admission_threads = 4;
+  /// Cached frontiers kept (LRU eviction). <= 0 disables caching.
+  int frontier_cache_capacity = 64;
+};
+
+/// Point-in-time request/cache counters (see UdaoService::stats()).
+struct UdaoServiceStats {
+  long long requests = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long invalidations = 0;  ///< Entries dropped for generation staleness.
+  long long evictions = 0;      ///< Entries dropped for capacity.
+  long long errors = 0;         ///< Requests that returned a non-OK status.
+};
+
+/// Thread-safe serving front-end over Udao + ModelServer (the "within a few
+/// seconds" interactive loop of Fig. 1(a), made multi-tenant).
+///
+/// Three things distinguish it from calling Udao::Optimize directly:
+///
+///  - Admission: requests run on a fixed-size ThreadPool, so any number of
+///    client threads can call Optimize()/OptimizeAsync() concurrently while
+///    solver parallelism stays bounded.
+///  - Frontier caching: step 2 (Progressive Frontier) dominates end-to-end
+///    latency but depends only on (workload, objectives, constraints, solver
+///    options) -- NOT on preference weights or the recommendation policy.
+///    Computed frontiers are cached under an exact key of those inputs, so a
+///    request that differs only in weights/policy re-runs just step 3
+///    (microseconds instead of seconds).
+///  - Invalidation: every cache entry is tagged with the model server's
+///    per-workload generation (bumped on Ingest and on lazy retrain /
+///    fine-tune). The generation is read *before* models are resolved, so an
+///    entry can only ever be tagged older -- never newer -- than the models
+///    that produced it: a stale frontier is never served, at worst one fresh
+///    frontier is recomputed spuriously.
+///
+/// Two requests missing on the same key concurrently both compute the
+/// frontier (no single-flighting); the computation is deterministic, so both
+/// arrive at identical entries and the second insert is a no-op overwrite.
+///
+/// Lifetime: the caller keeps `server`, request spaces, and any explicit
+/// request models alive for the service's lifetime. The destructor drains
+/// in-flight requests. Callbacks run on admission workers: keep them light
+/// and never call the synchronous Optimize() from inside one (it would wait
+/// for a worker slot while holding one).
+class UdaoService {
+ public:
+  using Callback = std::function<void(StatusOr<UdaoRecommendation>)>;
+
+  explicit UdaoService(ModelServer* server,
+                       UdaoServiceConfig config = UdaoServiceConfig());
+
+  /// Admits the request and blocks for the result. Safe to call from any
+  /// number of threads concurrently (but not from a Callback, see above).
+  StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
+
+  /// Admits the request and returns immediately; `done` runs on an admission
+  /// worker with the result. The request is copied; the space/model pointers
+  /// inside it must outlive the call.
+  void OptimizeAsync(const UdaoRequest& request, Callback done);
+
+  /// Counter snapshot (approximate under concurrency: the fields are read
+  /// individually, not atomically as a group).
+  UdaoServiceStats stats() const;
+
+  /// Frontiers currently cached.
+  int CacheSize() const;
+
+  const UdaoServiceConfig& config() const { return config_; }
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const MooProblem> problem;
+    std::shared_ptr<const PfResult> frontier;
+    /// ModelServer::Generation(workload) observed before resolving models.
+    uint64_t generation = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Exact byte-serialized cache key: workload, space identity, per-objective
+  /// (name, direction, bounds, explicit model identity), plus the service's
+  /// solver-options fingerprint. Preference weights, policy, and slope side
+  /// are deliberately absent -- they only steer step 3.
+  std::string CacheKey(const UdaoRequest& request) const;
+
+  /// The whole request path; runs on an admission worker.
+  StatusOr<UdaoRecommendation> Handle(const UdaoRequest& request);
+
+  /// Cache lookup incl. staleness check; fills problem/frontier on a hit.
+  bool Lookup(const std::string& key, uint64_t generation,
+              std::shared_ptr<const MooProblem>* problem,
+              std::shared_ptr<const PfResult>* frontier);
+  void Insert(const std::string& key, uint64_t generation,
+              std::shared_ptr<const MooProblem> problem,
+              std::shared_ptr<const PfResult> frontier);
+
+  ModelServer* server_;
+  UdaoServiceConfig config_;
+  Udao udao_;
+  /// Constant over the service lifetime; precomputed CacheKey() suffix.
+  std::string options_fingerprint_;
+  ThreadPool admission_;
+
+  /// Guards lru_ + cache_ only; never held while solving or recommending.
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+
+  std::atomic<long long> requests_{0};
+  std::atomic<long long> cache_hits_{0};
+  std::atomic<long long> cache_misses_{0};
+  std::atomic<long long> invalidations_{0};
+  std::atomic<long long> evictions_{0};
+  std::atomic<long long> errors_{0};
+};
+
+}  // namespace udao
+
+#endif  // UDAO_SERVING_UDAO_SERVICE_H_

@@ -50,8 +50,13 @@ Vector ParamSpace::Encode(const Vector& raw) const {
         enc.push_back(c == cat ? 1.0 : 0.0);
       }
     } else {
+      // Clamp into [lo, hi] before normalizing: MOGD's seeded/warm-start
+      // entry points assume encodings live in the unit box (ClipToUnitBox
+      // only guards the descent path), so an out-of-range raw must not
+      // produce an encoding outside [0, 1].
       const double span = s.hi - s.lo;
-      enc.push_back(span > 0 ? (raw[i] - s.lo) / span : 0.0);
+      enc.push_back(span > 0 ? (Clamp(raw[i], s.lo, s.hi) - s.lo) / span
+                             : 0.0);
     }
   }
   return enc;

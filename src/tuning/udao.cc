@@ -17,7 +17,7 @@ Udao::Udao(ModelServer* server, UdaoOptions options)
   }
 }
 
-StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
+Status Udao::Validate(const UdaoRequest& request) {
   if (request.space == nullptr) {
     return Status::InvalidArgument("request needs a parameter space");
   }
@@ -28,8 +28,13 @@ StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
       request.preference_weights.size() != request.objectives.size()) {
     return Status::InvalidArgument("one preference weight per objective");
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  return Status::Ok();
+}
 
+StatusOr<std::vector<ObjectiveSpec>> Udao::ResolveObjectives(
+    const UdaoRequest& request) const {
+  Status valid = Validate(request);
+  if (!valid.ok()) return valid;
   // Retrieve the latest task-specific models (Fig. 1(a), step 1).
   std::vector<ObjectiveSpec> objectives;
   for (const ObjectiveSpec& spec : request.objectives) {
@@ -52,15 +57,19 @@ StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
     }
     objectives.push_back(std::move(obj));
   }
-  MooProblem problem(request.space, std::move(objectives));
+  return objectives;
+}
 
-  // Compute the Pareto frontier (step 2).
-  ProgressiveFrontier pf(&problem, options_.pf);
-  const PfResult& frontier = pf.Run(options_.frontier_points);
+StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
+                                             const MooProblem& problem,
+                                             const PfResult& frontier) const {
+  Status valid = Validate(request);
+  if (!valid.ok()) return valid;
   if (frontier.frontier.empty()) {
     return Status::FailedPrecondition(
         "no Pareto point satisfies the requested constraints");
   }
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Recommend via (workload-aware) Weighted Utopia Nearest (step 3).
   const int k = problem.NumObjectives();
@@ -99,8 +108,21 @@ StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
       }
     }
   }
-  std::optional<MooPoint> choice = WeightedUtopiaNearest(
-      ranked, frontier.utopia, frontier.nadir, weights);
+  std::optional<MooPoint> choice;
+  switch (request.policy) {
+    case RecommendPolicy::kWun:
+      break;  // the fallback below is the WUN pick
+    case RecommendPolicy::kKnee:
+      if (k == 2) choice = KneePoint(ranked, request.slope_side);
+      break;
+    case RecommendPolicy::kSlope:
+      if (k == 2) choice = SlopeMaximization(ranked, request.slope_side);
+      break;
+  }
+  if (!choice.has_value()) {
+    choice = WeightedUtopiaNearest(ranked, frontier.utopia, frontier.nadir,
+                                   weights);
+  }
   UDAO_CHECK(choice.has_value());
   // Report the conservative estimates the system acted on ("F~ offers a more
   // conservative estimate of F ... given the model uncertainty", IV-B.3);
@@ -117,6 +139,24 @@ StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
   rec.frontier = frontier;
   rec.weights_used = weights;
   rec.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rec;
+}
+
+StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<std::vector<ObjectiveSpec>> objectives = ResolveObjectives(request);
+  if (!objectives.ok()) return objectives.status();
+  MooProblem problem(request.space, std::move(*objectives));
+
+  // Compute the Pareto frontier (step 2).
+  ProgressiveFrontier pf(&problem, options_.pf);
+  const PfResult& frontier = pf.Run(options_.frontier_points);
+
+  StatusOr<UdaoRecommendation> rec = Recommend(request, problem, frontier);
+  if (!rec.ok()) return rec.status();
+  rec->seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return rec;

@@ -15,6 +15,13 @@
 
 namespace udao {
 
+/// Which step-3 strategy picks the final configuration from the computed
+/// frontier (Appendix B). Knee/slope are 2D-only and fall back to WUN when
+/// inapplicable (k != 2, or the frontier has too few points for a slope).
+/// The policy never affects step 2, so the serving layer serves any policy
+/// change from a cached frontier.
+enum class RecommendPolicy { kWun, kKnee, kSlope };
+
 /// One optimization request (Fig. 1(a)): a workload (standing in for its
 /// dataflow program, whose models live in the model server), the chosen
 /// objectives, optional value constraints, and optional preference weights.
@@ -34,6 +41,13 @@ struct UdaoRequest {
   /// External (application) preference weights, one per objective; empty
   /// means uniform. They need not be normalized.
   Vector preference_weights;
+
+  /// Recommendation (step 3) strategy. Requests that differ only in
+  /// `preference_weights`, `policy`, or `slope_side` share the same frontier
+  /// and are served from UdaoService's cache without re-running PF.
+  RecommendPolicy policy = RecommendPolicy::kWun;
+  /// Reference anchor for the kKnee / kSlope policies.
+  SlopeSide slope_side = SlopeSide::kLeft;
 };
 
 /// The optimizer's answer: a configuration plus the frontier that justified
@@ -91,7 +105,31 @@ class Udao {
   /// Handles one request end to end. NotFound when the workload has no
   /// traces yet for some requested objective -- callers should run the
   /// default configuration once and retry after ingestion.
+  ///
+  /// Equivalent to Validate + ResolveObjectives + PF + Recommend below; the
+  /// decomposed surface exists so the serving layer can reuse a cached
+  /// frontier and re-run only step 3.
   StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
+
+  /// Structural request validation (no model access): non-null space, at
+  /// least one objective, one preference weight per objective when given.
+  static Status Validate(const UdaoRequest& request);
+
+  /// Step 1: resolves every requested objective to a concrete model --
+  /// analytic cost-in-cores when applicable, otherwise the model server's
+  /// latest model behind a non-negativity floor. May train lazily inside the
+  /// server. Also validates the request.
+  StatusOr<std::vector<ObjectiveSpec>> ResolveObjectives(
+      const UdaoRequest& request) const;
+
+  /// Step 3 alone: recommends from an already-computed frontier of
+  /// `problem` (which must hold the resolved objectives the frontier was
+  /// computed with). This is the serving layer's cache-hit path; it touches
+  /// no solver state and is safe to call concurrently. The returned
+  /// `seconds` covers only this call.
+  StatusOr<UdaoRecommendation> Recommend(const UdaoRequest& request,
+                                         const MooProblem& problem,
+                                         const PfResult& frontier) const;
 
   const UdaoOptions& options() const { return options_; }
 

@@ -43,6 +43,26 @@ TEST(ParamSpaceTest, EncodeNormalizesToUnitRange) {
   EXPECT_DOUBLE_EQ(enc[1], 1.0);
 }
 
+TEST(ParamSpaceTest, EncodeClampsOutOfRangeRawsIntoUnitBox) {
+  ParamSpace space = TestSpace();
+  // Continuous above hi, integer below lo, boolean above 1: each must clamp
+  // into the unit box (MOGD seeds descents from encodings and assumes
+  // [0, 1]) and round-trip to the nearest in-range raw value.
+  Vector enc = space.Encode({25.0, -4.0, 3.0, 1.0});
+  for (double v : enc) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(enc[0], 1.0);
+  EXPECT_DOUBLE_EQ(enc[1], 0.0);
+  EXPECT_DOUBLE_EQ(enc[2], 1.0);
+  Vector back = space.Decode(enc);
+  EXPECT_DOUBLE_EQ(back[0], 10.0);  // clamped to hi
+  EXPECT_DOUBLE_EQ(back[1], 1.0);   // clamped to lo
+  EXPECT_DOUBLE_EQ(back[2], 1.0);
+  EXPECT_TRUE(space.Validate(back).ok());
+}
+
 TEST(ParamSpaceTest, DecodeRoundsIntegersAndBooleans) {
   ParamSpace space = TestSpace();
   // int in [1,9]: encoded 0.5 -> 5; bool 0.49 -> 0; 0.51 -> 1.

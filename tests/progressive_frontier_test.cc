@@ -96,6 +96,26 @@ TEST(PfTest, IncrementalExpansionIsConsistent) {
   }
 }
 
+TEST(PfTest, IncrementalInsertMatchesBatchParetoFilter) {
+  // AddPoint maintains the frontier with a single-pass insert; re-filtering
+  // the final frontier with the batch ParetoFilter must be a no-op (same
+  // points, same order): the incremental path never leaves a dominated point
+  // behind nor reorders survivors.
+  for (const bool parallel : {false, true}) {
+    MooProblem problem = ConvexProblem();
+    ProgressiveFrontier pf(&problem,
+                           parallel ? FastParallel() : FastSequential());
+    const PfResult& result = pf.Run(12);
+    ASSERT_GE(result.frontier.size(), 5u);
+    const std::vector<MooPoint> refiltered = ParetoFilter(result.frontier);
+    ASSERT_EQ(refiltered.size(), result.frontier.size());
+    for (size_t i = 0; i < refiltered.size(); ++i) {
+      EXPECT_EQ(refiltered[i].objectives, result.frontier[i].objectives);
+      EXPECT_EQ(refiltered[i].conf_encoded, result.frontier[i].conf_encoded);
+    }
+  }
+}
+
 TEST(PfTest, ParallelVariantCoversFrontier) {
   MooProblem problem = ConvexProblem();
   ProgressiveFrontier pf(&problem, FastParallel());

@@ -19,6 +19,7 @@
 #include "json_lite.h"
 #include "model/model_server.h"
 #include "moo/mogd.h"
+#include "serving/udao_service.h"
 #include "spark/metrics.h"
 #include "test_problems.h"
 
@@ -285,6 +286,75 @@ TEST(RaceStressTest, DnnFineTuneLeavesRetainedHandlesUntouched) {
   auto final_model = server.GetModel("w", "latency");
   ASSERT_TRUE(final_model.ok());
   EXPECT_NE(final_model->get(), retained.get());
+}
+
+// ------------------------------------------------------------- UdaoService
+
+// Client threads hammer the serving layer's synchronous Optimize while an
+// ingest thread keeps bumping the workload generation: cache lookups,
+// inserts, LRU touches, and generation-based invalidations all race here.
+// Every request must still come back with a valid recommendation (the
+// frontier is recomputed, never served stale or half-built).
+TEST(RaceStressTest, ConcurrentServiceOptimizeVsIngest) {
+  ModelServer server;
+  UdaoServiceConfig cfg;
+  cfg.udao.pf.mogd.multistart = 2;
+  cfg.udao.pf.mogd.max_iters = 20;
+  cfg.udao.solver_threads = 2;
+  cfg.udao.frontier_points = 5;
+  cfg.admission_threads = 3;
+  UdaoService service(&server, cfg);
+
+  // Explicit models shared by every request, so cache keys collide by
+  // design and the threads contend on one entry.
+  const MooProblem problem = testing_problems::ConvexProblem();
+  auto make_request = [&problem](int i) {
+    UdaoRequest request;
+    request.workload_id = "w";
+    request.space = &testing_problems::UnitSpace2();
+    request.objectives = {problem.objective(0), problem.objective(1)};
+    const double wl = 0.1 + 0.2 * (i % 5);
+    request.preference_weights = {wl, 1.0 - wl};
+    return request;
+  };
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> failures{0};
+  std::atomic<int> empty_frontiers{0};
+  std::atomic<bool> stop_ingest{false};
+  std::vector<std::thread> attackers;
+  for (int t = 0; t < kClients; ++t) {
+    attackers.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto rec = service.Optimize(make_request(kRequestsPerClient * t + i));
+        if (!rec.ok()) {
+          failures.fetch_add(1);
+        } else if (rec->frontier.frontier.empty()) {
+          empty_frontiers.fetch_add(1);
+        }
+      }
+    });
+  }
+  attackers.emplace_back([&] {
+    Rng wrng(29);
+    while (!stop_ingest.load(std::memory_order_relaxed)) {
+      server.Ingest("w", "f1", {wrng.Uniform(), wrng.Uniform()},
+                    1.0 + wrng.Uniform());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (int t = 0; t < kClients; ++t) attackers[t].join();
+  stop_ingest.store(true);
+  attackers.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(empty_frontiers.load(), 0);
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, kClients * kRequestsPerClient);
+  EXPECT_EQ(s.cache_hits + s.cache_misses, kClients * kRequestsPerClient);
+  EXPECT_GE(s.cache_misses, 1);
+  EXPECT_EQ(s.errors, 0);
 }
 
 // --------------------------------------------------------- MetricsRegistry

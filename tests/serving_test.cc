@@ -1,0 +1,254 @@
+// UdaoService: the serving layer's frontier cache must be invisible in the
+// results (a cache hit returns bitwise what a cold solve returns), visible
+// in the counters (hits / misses / invalidations), and safely invalidated
+// by model-server generation bumps (Ingest, lazy retrain).
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "common/random.h"
+#include "serving/udao_service.h"
+#include "test_problems.h"
+
+namespace udao {
+namespace {
+
+using testing_problems::UnitSpace2;
+
+UdaoOptions FastOptions() {
+  UdaoOptions options;
+  options.pf.mogd.multistart = 4;
+  options.pf.mogd.max_iters = 40;
+  options.solver_threads = 2;
+  options.frontier_points = 8;
+  return options;
+}
+
+UdaoServiceConfig FastServiceConfig() {
+  UdaoServiceConfig config;
+  config.udao = FastOptions();
+  config.admission_threads = 2;
+  return config;
+}
+
+// The ConvexProblem objectives as a request (explicit models, so the model
+// server is only consulted for its generation counter).
+UdaoRequest ConvexRequest() {
+  static const MooProblem& problem =
+      *new MooProblem(testing_problems::ConvexProblem());
+  UdaoRequest request;
+  request.workload_id = "w";
+  request.space = &UnitSpace2();
+  request.objectives = {problem.objective(0), problem.objective(1)};
+  return request;
+}
+
+void ExpectBitwiseEqual(const UdaoRecommendation& a,
+                        const UdaoRecommendation& b) {
+  ASSERT_EQ(a.frontier.frontier.size(), b.frontier.frontier.size());
+  for (size_t i = 0; i < a.frontier.frontier.size(); ++i) {
+    EXPECT_EQ(a.frontier.frontier[i].conf_encoded,
+              b.frontier.frontier[i].conf_encoded)
+        << "frontier point " << i;
+    EXPECT_EQ(a.frontier.frontier[i].objectives,
+              b.frontier.frontier[i].objectives)
+        << "frontier point " << i;
+  }
+  EXPECT_EQ(a.frontier.utopia, b.frontier.utopia);
+  EXPECT_EQ(a.frontier.nadir, b.frontier.nadir);
+  EXPECT_EQ(a.conf_encoded, b.conf_encoded);
+  EXPECT_EQ(a.conf_raw, b.conf_raw);
+  EXPECT_EQ(a.predicted_objectives, b.predicted_objectives);
+  EXPECT_EQ(a.weights_used, b.weights_used);
+}
+
+TEST(UdaoServiceTest, CacheHitIsBitwiseIdenticalToColdSolve) {
+  ModelServer server;
+  // Ground truth: the plain optimizer, no cache anywhere.
+  Udao direct(&server, FastOptions());
+  auto baseline = direct.Optimize(ConvexRequest());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  UdaoService service(&server, FastServiceConfig());
+  auto cold = service.Optimize(ConvexRequest());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = service.Optimize(ConvexRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  ExpectBitwiseEqual(*baseline, *cold);
+  ExpectBitwiseEqual(*cold, *warm);
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, 2);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.invalidations, 0);
+  EXPECT_EQ(s.errors, 0);
+  EXPECT_EQ(service.CacheSize(), 1);
+}
+
+TEST(UdaoServiceTest, WeightAndPolicyOnlyVariationsShareOneFrontier) {
+  ModelServer server;
+  Udao direct(&server, FastOptions());
+  UdaoService service(&server, FastServiceConfig());
+
+  // Prime the cache.
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+
+  // Different preference weights: served from the cached frontier, yet
+  // bitwise identical to what a cold optimizer computes for those weights.
+  UdaoRequest weighted = ConvexRequest();
+  weighted.preference_weights = {0.9, 0.1};
+  auto from_cache = service.Optimize(weighted);
+  ASSERT_TRUE(from_cache.ok()) << from_cache.status().ToString();
+  auto from_cold = direct.Optimize(weighted);
+  ASSERT_TRUE(from_cold.ok());
+  ExpectBitwiseEqual(*from_cold, *from_cache);
+
+  // Different recommendation policy: also weight-only as far as step 2 is
+  // concerned.
+  UdaoRequest knee = ConvexRequest();
+  knee.policy = RecommendPolicy::kKnee;
+  auto knee_cached = service.Optimize(knee);
+  ASSERT_TRUE(knee_cached.ok());
+  auto knee_cold = direct.Optimize(knee);
+  ASSERT_TRUE(knee_cold.ok());
+  ExpectBitwiseEqual(*knee_cold, *knee_cached);
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, 3);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.cache_hits, 2);
+}
+
+TEST(UdaoServiceTest, ConstraintChangesMissTheCache) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+
+  // A different value constraint changes what PF computes: new key.
+  UdaoRequest constrained = ConvexRequest();
+  constrained.objectives[0].upper = 0.8;
+  ASSERT_TRUE(service.Optimize(constrained).ok());
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_misses, 2);
+  EXPECT_EQ(s.cache_hits, 0);
+  EXPECT_EQ(service.CacheSize(), 2);
+}
+
+TEST(UdaoServiceTest, IngestInvalidatesCachedFrontier) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1);
+
+  // A trace lands for this workload: its generation moves, so the cached
+  // frontier may rest on out-of-date models and must not be served.
+  server.Ingest("w", "f1", {0.5, 0.5}, 1.0);
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.invalidations, 1);
+  EXPECT_EQ(s.cache_misses, 2);
+
+  // Generation is per-workload: other workloads' entries are untouched, and
+  // the recomputed entry serves hits again.
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  s = service.stats();
+  EXPECT_EQ(s.cache_hits, 2);
+  EXPECT_EQ(s.invalidations, 1);
+}
+
+TEST(UdaoServiceTest, LazyRetrainCausesAtMostOneSpuriousRecompute) {
+  // Server-resolved models: the first request's resolve triggers the initial
+  // (lazy) train, which bumps the generation *after* the service read it.
+  // The conservative protocol makes the second request recompute once; from
+  // then on the cache serves hits.
+  ModelServerConfig cfg;
+  cfg.kind = ModelKind::kGp;
+  cfg.gp.hyper_opt_steps = 5;
+  ModelServer server(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 24; ++i) {
+    const Vector x = {rng.Uniform(), rng.Uniform()};
+    server.Ingest("w", "lat", x, 1.0 + x[0] + x[1]);
+  }
+
+  UdaoService service(&server, FastServiceConfig());
+  UdaoRequest request = ConvexRequest();
+  request.objectives[0] = ObjectiveSpec{.name = "lat"};  // server-resolved
+
+  ASSERT_TRUE(service.Optimize(request).ok());  // miss; resolve trains
+  ASSERT_TRUE(service.Optimize(request).ok());  // spurious miss (gen moved)
+  ASSERT_TRUE(service.Optimize(request).ok());  // hit
+  ASSERT_TRUE(service.Optimize(request).ok());  // hit
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_misses, 2);
+  EXPECT_EQ(s.invalidations, 1);
+  EXPECT_EQ(s.cache_hits, 2);
+  EXPECT_EQ(s.errors, 0);
+}
+
+TEST(UdaoServiceTest, LruEvictsLeastRecentlyUsedFrontier) {
+  ModelServer server;
+  UdaoServiceConfig config = FastServiceConfig();
+  config.frontier_cache_capacity = 1;
+  UdaoService service(&server, config);
+
+  UdaoRequest a = ConvexRequest();
+  UdaoRequest b = ConvexRequest();
+  b.objectives[0].upper = 0.8;
+
+  ASSERT_TRUE(service.Optimize(a).ok());  // miss, cached
+  ASSERT_TRUE(service.Optimize(b).ok());  // miss, evicts a
+  EXPECT_EQ(service.CacheSize(), 1);
+  ASSERT_TRUE(service.Optimize(b).ok());  // hit
+  ASSERT_TRUE(service.Optimize(a).ok());  // miss again (was evicted)
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_misses, 3);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_GE(s.evictions, 2);
+}
+
+TEST(UdaoServiceTest, InvalidRequestsAreCountedAsErrors) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+  UdaoRequest bad;  // no space, no objectives
+  auto rec = service.Optimize(bad);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, 1);
+  EXPECT_EQ(s.errors, 1);
+  EXPECT_EQ(service.CacheSize(), 0);
+}
+
+TEST(UdaoServiceTest, AsyncCallbackDeliversTheResult) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::optional<StatusOr<UdaoRecommendation>> result;
+  service.OptimizeAsync(ConvexRequest(),
+                        [&](StatusOr<UdaoRecommendation> r) {
+                          // Notify under the lock: the main thread destroys
+                          // m/cv as soon as it sees the result.
+                          std::lock_guard<std::mutex> lock(m);
+                          result.emplace(std::move(r));
+                          cv.notify_one();
+                        });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return result.has_value(); });
+  ASSERT_TRUE(result->ok()) << result->status().ToString();
+  EXPECT_FALSE((*result)->frontier.frontier.empty());
+}
+
+}  // namespace
+}  // namespace udao

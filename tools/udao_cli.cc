@@ -12,14 +12,23 @@
 //       Compute and print a Pareto frontier (latency vs cost in #cores).
 //   udao_cli optimize --job N [--wl W --wc W] [--traces DIR]
 //       End-to-end recommendation; deploys the result on the simulator.
+//   udao_cli serve-sim --job N [--requests R] [--clients C]
+//       [--ingest-every K] [--traces DIR]
+//       Closed-loop driver for the UdaoService serving layer: R concurrent
+//       requests with varying preference weights against one workload,
+//       optionally ingesting fresh traces every K requests to exercise
+//       cache invalidation. Prints cache hit/miss/invalidation counters.
 //
 // Every command accepts --metrics-json PATH: after the command runs, the
 // process-wide MetricsRegistry snapshot (counters, gauges, histograms,
 // recent solve traces) is written there as JSON.
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +39,7 @@
 #include "moo/normal_constraints.h"
 #include "moo/progressive_frontier.h"
 #include "moo/weighted_sum.h"
+#include "serving/udao_service.h"
 #include "spark/engine.h"
 #include "tuning/udao.h"
 #include "workload/streambench.h"
@@ -84,7 +94,8 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: udao_cli <list|simulate|trace|frontier|optimize> "
+               "usage: udao_cli "
+               "<list|simulate|trace|frontier|optimize|serve-sim> "
                "[options]\n"
                "  list      [--stream]\n"
                "  simulate  --job N [--set knob=value ...]\n"
@@ -92,6 +103,8 @@ int Usage() {
                "  frontier  --job N [--points M] [--method PF-AP] "
                "[--traces DIR]\n"
                "  optimize  --job N [--wl W --wc W] [--traces DIR]\n"
+               "  serve-sim --job N [--requests R] [--clients C] "
+               "[--ingest-every K] [--traces DIR]\n"
                "all commands: [--metrics-json PATH] writes the "
                "MetricsRegistry snapshot after the run\n");
   return 2;
@@ -325,12 +338,93 @@ int CmdOptimize(const Args& args) {
   return 0;
 }
 
+// Closed-loop simulated request driver against the serving layer: issues
+// --requests asynchronous optimizations (preference weights sweeping the
+// trade-off curve, so after the first cold solve the rest are weight-only
+// cache hits), optionally ingesting fresh simulator traces every
+// --ingest-every requests to force generation-based invalidations.
+int CmdServeSim(const Args& args) {
+  const int job = args.GetInt("job", 0);
+  if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
+  BatchWorkload workload = MakeTpcxbbWorkload(job);
+  SparkEngine engine;
+  std::unique_ptr<ModelServer> server = MakeServer(args, workload, engine);
+
+  UdaoServiceConfig cfg;
+  cfg.admission_threads = args.GetInt("clients", 4);
+  UdaoService service(server.get(), cfg);
+
+  const int requests = args.GetInt("requests", 32);
+  const int ingest_every = args.GetInt("ingest-every", 0);
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)) + 1);
+
+  std::mutex m;
+  std::condition_variable cv;
+  int outstanding = 0;
+  int failed = 0;
+  double service_seconds = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    UdaoRequest request;
+    request.workload_id = workload.id;
+    request.space = &BatchParamSpace();
+    request.objectives = {{.name = objectives::kLatency},
+                          {.name = objectives::kCostCores}};
+    const double wl = 0.1 + 0.8 * (i % 9) / 8.0;
+    request.preference_weights = {wl, 1.0 - wl};
+    {
+      std::lock_guard<std::mutex> lock(m);
+      ++outstanding;
+    }
+    service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> rec) {
+      std::lock_guard<std::mutex> lock(m);
+      if (rec.ok()) {
+        service_seconds += rec->seconds;
+      } else {
+        ++failed;
+      }
+      --outstanding;
+      cv.notify_one();
+    });
+    if (ingest_every > 0 && (i + 1) % ingest_every == 0) {
+      // A fresh run lands while requests are in flight: run the simulator on
+      // a sampled configuration and ingest its traces (bumps the workload
+      // generation, invalidating the cached frontier).
+      const std::vector<Vector> configs = {BatchParamSpace().Sample(&rng)};
+      CollectBatchTraces(engine, workload, configs, server.get());
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const UdaoServiceStats s = service.stats();
+  std::printf("served %d requests on %d admission workers in %.2f s "
+              "(%.1f req/s, %d failed)\n",
+              requests, cfg.admission_threads, wall_s,
+              wall_s > 0 ? requests / wall_s : 0.0, failed);
+  std::printf("cache: %lld hits, %lld misses, %lld invalidations, "
+              "%lld evictions (%d resident)\n",
+              s.cache_hits, s.cache_misses, s.invalidations, s.evictions,
+              service.CacheSize());
+  const long long ok = s.requests - s.errors;
+  std::printf("mean in-service time: %.2f ms\n",
+              ok > 0 ? 1e3 * service_seconds / ok : 0.0);
+  return failed == 0 ? 0 : 1;
+}
+
 int Dispatch(const std::string& command, const Args& args) {
   if (command == "list") return CmdList(args);
   if (command == "simulate") return CmdSimulate(args);
   if (command == "trace") return CmdTrace(args);
   if (command == "frontier") return CmdFrontier(args);
   if (command == "optimize") return CmdOptimize(args);
+  if (command == "serve-sim") return CmdServeSim(args);
   return Usage();
 }
 
