@@ -40,8 +40,11 @@ CoResult ProgressiveFrontier::SolveMin(int target) {
 double ProgressiveFrontier::QueueVolume() const {
 #ifndef NDEBUG
   // Cross-check the incrementally maintained sum against a recomputation
-  // (priority_queue lacks iteration, hence the copy). The tolerance covers
-  // floating-point drift of the running +=/-= sum versus the heap-order sum.
+  // (priority_queue lacks iteration, hence the copy). The running +=/-= sum
+  // is NOT bitwise-equal to the heap-order sum: each push/pop contributes
+  // O(eps) relative rounding, and cancellation amplifies it, so the
+  // tolerance scales with how many updates fed the running sum since the
+  // last exact resync (the empty-queue pin in Run()).
   std::priority_queue<Rect> copy = queue_;
   double recomputed = 0;
   while (!copy.empty()) {
@@ -49,7 +52,9 @@ double ProgressiveFrontier::QueueVolume() const {
     copy.pop();
   }
   const double scale = std::max({1.0, recomputed, queue_volume_});
-  UDAO_CHECK(std::abs(recomputed - queue_volume_) <= 1e-9 * scale);
+  const double tol =
+      std::max(1e-6, 1e-12 * static_cast<double>(volume_updates_));
+  UDAO_CHECK(std::abs(recomputed - queue_volume_) <= tol * scale);
 #endif
   return queue_volume_;
 }
@@ -127,6 +132,7 @@ void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
     // the running sum either.
     if (rect.volume > 1e-12 * std::max(1.0, initial_volume_)) {
       queue_volume_ += rect.volume;
+      ++volume_updates_;
       queue_.push(std::move(rect));
       UDAO_METRIC_COUNTER_ADD("udao.pf.rects_pushed", 1);
     }
@@ -176,7 +182,8 @@ void ProgressiveFrontier::Initialize() {
   initial_volume_ = HyperrectVolume(utopia, nadir);
   queue_.push(Rect{utopia, nadir, initial_volume_,
                    config_.fifo_queue ? -(next_seq_++) : initial_volume_});
-  queue_volume_ = initial_volume_;
+  queue_volume_ = initial_volume_;  // exact: single-element sum
+  volume_updates_ = 0;
 
   // Reference points that satisfy the user constraints seed the frontier.
   for (const CoResult& plan : plans) {
@@ -204,8 +211,12 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
     Rect rect = queue_.top();
     queue_.pop();
     queue_volume_ -= rect.volume;
+    ++volume_updates_;
     // An empty queue pins the sum to exactly 0, shedding any +=/-= drift.
-    if (queue_.empty()) queue_volume_ = 0;
+    if (queue_.empty()) {
+      queue_volume_ = 0;
+      volume_updates_ = 0;
+    }
 
     if (!config_.parallel) {
       // Middle-point probe (Definition III.3): search the lower half-box.

@@ -113,6 +113,9 @@ class ProgressiveFrontier {
   std::priority_queue<Rect> queue_;
   /// Running sum of queue_'s rect volumes (see QueueVolume()).
   double queue_volume_ = 0;
+  /// +=/-= updates applied to queue_volume_ since its last exact resync;
+  /// scales the debug-build drift tolerance in QueueVolume().
+  long long volume_updates_ = 0;
   double initial_volume_ = 0;
   double next_seq_ = 0;  // FIFO ordering counter (ablation)
   double elapsed_s_ = 0;

@@ -69,11 +69,30 @@ UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
 
 std::string UdaoService::CacheKey(const UdaoRequest& request) const {
   std::string key;
-  key.reserve(64 + options_fingerprint_.size());
+  key.reserve(256 + options_fingerprint_.size());
   AppendString(&key, request.workload_id);
-  // Spaces are long-lived singletons (BatchParamSpace()) or caller-owned for
-  // the service lifetime, so pointer identity identifies the space.
+  // The space enters by address AND by structural content. Address alone is
+  // not enough: the documented lifetime contract (spaces outlive the
+  // service) is not enforceable here, and a caller that destroys a space and
+  // allocates a different one at the recycled address would otherwise be
+  // silently served the old space's frontier. With the structure in the key
+  // that scenario degrades to a cache miss; an address recycled by a
+  // structurally identical space hits, which is semantically sound.
   AppendPod(&key, request.space);
+  AppendPod(&key, request.space->NumParams());
+  for (const ParamSpec& spec : request.space->specs()) {
+    AppendString(&key, spec.name);
+    AppendPod(&key, spec.type);
+    AppendPod(&key, spec.lo);
+    AppendPod(&key, spec.hi);
+    AppendPod(&key, spec.default_value);
+    // The count keeps variable-length category lists from aliasing across
+    // adjacent specs.
+    AppendPod(&key, spec.NumCategories());
+    for (const std::string& category : spec.categories) {
+      AppendString(&key, category);
+    }
+  }
   for (const ObjectiveSpec& obj : request.objectives) {
     AppendString(&key, obj.name);
     AppendPod(&key, obj.minimize);
@@ -102,6 +121,8 @@ bool UdaoService::Lookup(const std::string& key, uint64_t generation,
     cache_.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     UDAO_METRIC_COUNTER_ADD("udao.service.invalidations", 1);
+    UDAO_METRIC_GAUGE_SET("udao.service.cache_size",
+                          static_cast<double>(cache_.size()));
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);

@@ -105,10 +105,12 @@ class UdaoService {
     std::list<std::string>::iterator lru_it;
   };
 
-  /// Exact byte-serialized cache key: workload, space identity, per-objective
-  /// (name, direction, bounds, explicit model identity), plus the service's
-  /// solver-options fingerprint. Preference weights, policy, and slope side
-  /// are deliberately absent -- they only steer step 3.
+  /// Exact byte-serialized cache key: workload, space identity AND structure
+  /// (knob names/types/bounds/categories, so a recycled address with
+  /// different content misses instead of serving the old space's frontier),
+  /// per-objective (name, direction, bounds, explicit model identity), plus
+  /// the service's solver-options fingerprint. Preference weights, policy,
+  /// and slope side are deliberately absent -- they only steer step 3.
   std::string CacheKey(const UdaoRequest& request) const;
 
   /// The whole request path; runs on an admission worker.
@@ -127,7 +129,6 @@ class UdaoService {
   Udao udao_;
   /// Constant over the service lifetime; precomputed CacheKey() suffix.
   std::string options_fingerprint_;
-  ThreadPool admission_;
 
   /// Guards lru_ + cache_ only; never held while solving or recommending.
   mutable std::mutex mu_;
@@ -140,6 +141,14 @@ class UdaoService {
   std::atomic<long long> invalidations_{0};
   std::atomic<long long> evictions_{0};
   std::atomic<long long> errors_{0};
+
+  /// MUST be the last member: ~ThreadPool drains queued/in-flight Handle
+  /// tasks, which lock mu_ and touch the cache and counters above. Members
+  /// destroy in reverse declaration order, so declaring the pool last keeps
+  /// everything a draining task needs alive until the drain completes
+  /// (race_stress_test.ServiceDestructionWithInflightRequests regresses
+  /// under TSan if this moves).
+  ThreadPool admission_;
 };
 
 }  // namespace udao

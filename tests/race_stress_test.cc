@@ -357,6 +357,51 @@ TEST(RaceStressTest, ConcurrentServiceOptimizeVsIngest) {
   EXPECT_EQ(s.errors, 0);
 }
 
+// Destroying the service while OptimizeAsync requests are still queued and
+// running: the destructor's pool drain has tasks locking the cache mutex and
+// bumping the stats atomics, so those members must outlive the pool
+// (admission_ is deliberately the last-declared member). TSan/ASan catch any
+// regression as lock-of-destroyed-mutex / use-after-free.
+TEST(RaceStressTest, ServiceDestructionWithInflightRequests) {
+  for (int round = 0; round < 4; ++round) {
+    ModelServer server;
+    UdaoServiceConfig cfg;
+    cfg.udao.pf.mogd.multistart = 2;
+    cfg.udao.pf.mogd.max_iters = 20;
+    cfg.udao.solver_threads = 2;
+    cfg.udao.frontier_points = 4;
+    cfg.admission_threads = 3;
+
+    const MooProblem problem = testing_problems::ConvexProblem();
+    std::atomic<int> delivered{0};
+    constexpr int kRequests = 12;
+    auto make_request = [&problem](int i) {
+      UdaoRequest request;
+      request.workload_id = "w";
+      request.space = &testing_problems::UnitSpace2();
+      request.objectives = {problem.objective(0), problem.objective(1)};
+      // Vary a constraint so some requests rebuild the frontier while
+      // others hit/evict concurrently with the drain.
+      request.objectives[0].upper = 10.0 - 0.5 * (i % 3);
+      return request;
+    };
+    {
+      UdaoService service(&server, cfg);
+      // Prime the cache synchronously so the service destructor frees real
+      // heap (map nodes, LRU strings, bucket arrays); draining lookups would
+      // read that freed memory if destruction order regressed.
+      ASSERT_TRUE(service.Optimize(make_request(0)).ok());
+      for (int i = 0; i < kRequests; ++i) {
+        service.OptimizeAsync(make_request(i),
+                              [&](StatusOr<UdaoRecommendation> r) {
+                                if (r.ok()) delivered.fetch_add(1);
+                              });
+      }
+    }  // destructor drains while requests are in flight
+    EXPECT_EQ(delivered.load(), kRequests);
+  }
+}
+
 // --------------------------------------------------------- MetricsRegistry
 
 // Writers on all three metric kinds (some sharing names across threads, so

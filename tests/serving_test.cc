@@ -4,9 +4,11 @@
 // by model-server generation bumps (Ingest, lazy retrain).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/random.h"
 #include "serving/udao_service.h"
@@ -227,6 +229,63 @@ TEST(UdaoServiceTest, InvalidRequestsAreCountedAsErrors) {
   EXPECT_EQ(s.requests, 1);
   EXPECT_EQ(s.errors, 1);
   EXPECT_EQ(service.CacheSize(), 0);
+}
+
+TEST(UdaoServiceTest, RecycledSpaceAddressWithDifferentStructureMisses) {
+  // The lifetime contract says spaces outlive the service, but a caller that
+  // breaks it by destroying a space and building a different one at the
+  // recycled address must get a cache miss, never the old space's frontier.
+  // std::optional stores its value inline, so re-emplacing reuses the exact
+  // same address deterministically.
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+
+  std::optional<ParamSpace> space;
+  space.emplace(std::vector<ParamSpec>{
+      {"u0", ParamType::kContinuous, 0.0, 1.0, {}, 0.5},
+      {"u1", ParamType::kContinuous, 0.0, 1.0, {}, 0.5},
+  });
+  UdaoRequest request = ConvexRequest();
+  request.space = &*space;
+
+  ASSERT_TRUE(service.Optimize(request).ok());  // miss, cached
+  ASSERT_TRUE(service.Optimize(request).ok());  // hit (same space)
+
+  // Same address, different knob bounds: structurally a different space.
+  space.emplace(std::vector<ParamSpec>{
+      {"u0", ParamType::kContinuous, 0.0, 2.0, {}, 0.5},
+      {"u1", ParamType::kContinuous, 0.0, 1.0, {}, 0.5},
+  });
+  ASSERT_EQ(request.space, &*space);  // address really was recycled
+  ASSERT_TRUE(service.Optimize(request).ok());
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_misses, 2);
+  EXPECT_EQ(s.cache_hits, 1);
+}
+
+TEST(UdaoServiceTest, DestructorDrainsInflightAsyncRequests) {
+  // Every async request admitted before destruction must complete (and its
+  // callback run) before the destructor returns: the admission pool is the
+  // last-destroyed member, so draining tasks still see a live cache/mutex.
+  ModelServer server;
+  std::atomic<int> delivered{0};
+  std::atomic<int> ok{0};
+  constexpr int kRequests = 16;
+  {
+    UdaoService service(&server, FastServiceConfig());
+    for (int i = 0; i < kRequests; ++i) {
+      UdaoRequest request = ConvexRequest();
+      const double w = 0.1 + 0.05 * i;  // distinct weights, shared frontier
+      request.preference_weights = {w, 1.0 - w};
+      service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
+        if (r.ok()) ok.fetch_add(1);
+        delivered.fetch_add(1);
+      });
+    }
+  }  // destructor runs with most requests still queued
+  EXPECT_EQ(delivered.load(), kRequests);
+  EXPECT_EQ(ok.load(), kRequests);
 }
 
 TEST(UdaoServiceTest, AsyncCallbackDeliversTheResult) {
