@@ -8,10 +8,18 @@
 // invalidations) plus the measured cold-vs-warm ratio are the evidence the
 // cache works; the bench fails if a weight-only repeat is not at least 10x
 // faster than the cold solve.
+//
+// A second scenario stresses the deadline contract: requests carrying a
+// budget shorter than the cold solve must come back within 1.2x the budget
+// at p99, and every single response must be either a valid (non-empty,
+// mutually non-dominated) frontier or an explicit DeadlineExceeded /
+// Unavailable error -- never a silent overrun.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "common/deadline.h"
 #include "serving/udao_service.h"
 #include "workload/trace_gen.h"
 
@@ -22,6 +30,28 @@ double MsSince(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// True when no frontier point dominates another (<= everywhere, < somewhere;
+// all bench objectives are minimized).
+bool DominanceConsistent(const std::vector<udao::MooPoint>& frontier) {
+  for (size_t a = 0; a < frontier.size(); ++a) {
+    for (size_t b = 0; b < frontier.size(); ++b) {
+      if (a == b) continue;
+      bool all_le = true;
+      bool some_lt = false;
+      for (size_t j = 0; j < frontier[a].objectives.size(); ++j) {
+        if (frontier[a].objectives[j] > frontier[b].objectives[j]) {
+          all_le = false;
+        }
+        if (frontier[a].objectives[j] < frontier[b].objectives[j]) {
+          some_lt = true;
+        }
+      }
+      if (all_le && some_lt) return false;
+    }
+  }
+  return true;
 }
 }  // namespace
 
@@ -36,8 +66,7 @@ int main(int argc, char** argv) {
   BenchProblem bp = MakeBatchProblem(9, QuickScaled(150, 60));
 
   UdaoServiceConfig cfg;
-  cfg.udao.pf.parallel = true;
-  cfg.udao.pf.mogd = BenchMogd();
+  cfg.udao = BenchSolverOptions();
   cfg.udao.frontier_points = QuickScaled(20, 8);
   UdaoService service(bp.server.get(), cfg);
 
@@ -78,9 +107,14 @@ int main(int argc, char** argv) {
 
   // One new trace bumps the workload generation; the cached frontier is now
   // tagged stale and the next request recomputes.
-  bp.server->Ingest(bp.workload_id, objectives::kLatency,
-                    BatchParamSpace().Encode(BatchParamSpace().Defaults()),
-                    100.0);
+  Status ingested =
+      bp.server->Ingest(bp.workload_id, objectives::kLatency,
+                        BatchParamSpace().Encode(BatchParamSpace().Defaults()),
+                        100.0);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", ingested.ToString().c_str());
+    return 1;
+  }
   request.preference_weights = {0.5, 0.5};
   t0 = std::chrono::steady_clock::now();
   auto after = service.Optimize(request);
@@ -106,6 +140,68 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "weight-only repeat not >= 10x faster than cold (%.1fx)\n",
                  speedup);
+    return 1;
+  }
+
+  // --- Deadline scenario: budgets shorter than the cold solve. ---
+  // A fresh service with caching disabled, so every request runs the anytime
+  // solve path instead of returning a cached frontier in microseconds.
+  std::printf("\n=== deadline scenario: budget shorter than the cold solve "
+              "===\n\n");
+  UdaoServiceConfig dcfg = cfg;
+  dcfg.frontier_cache_capacity = 0;
+  UdaoService deadline_service(bp.server.get(), dcfg);
+
+  const double budget_ms = std::max(25.0, 0.4 * cold_ms);
+  const int deadline_requests = QuickScaled(24, 10);
+  std::vector<double> latencies_ms;
+  int deadline_degraded = 0;
+  int deadline_errors = 0;
+  for (int i = 0; i < deadline_requests; ++i) {
+    UdaoRequest dreq = request;
+    const double wl = 0.1 + 0.8 * i / std::max(1, deadline_requests - 1);
+    dreq.preference_weights = {wl, 1.0 - wl};
+    dreq.deadline = Deadline::AfterMs(budget_ms);
+    t0 = std::chrono::steady_clock::now();
+    auto rec = deadline_service.Optimize(dreq);
+    latencies_ms.push_back(MsSince(t0));
+    if (rec.ok()) {
+      if (rec->degraded) ++deadline_degraded;
+      // Valid response: non-empty, mutually non-dominated frontier --
+      // degraded or not, a silent empty/inconsistent answer is a bug.
+      if (rec->frontier.frontier.empty()) {
+        std::fprintf(stderr, "deadline request %d: empty frontier\n", i);
+        return 1;
+      }
+      if (!DominanceConsistent(rec->frontier.frontier)) {
+        std::fprintf(stderr,
+                     "deadline request %d: dominated point in frontier\n", i);
+        return 1;
+      }
+    } else {
+      ++deadline_errors;
+      const StatusCode code = rec.status().code();
+      if (code != StatusCode::kDeadlineExceeded &&
+          code != StatusCode::kUnavailable) {
+        std::fprintf(stderr, "deadline request %d: unexpected error %s\n", i,
+                     rec.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p99 =
+      sorted[static_cast<size_t>(0.99 * (sorted.size() - 1))];
+  std::printf("%d requests at %.1f ms budget: p99 %.1f ms (%.2fx budget), "
+              "%d degraded, %d explicit errors\n",
+              deadline_requests, budget_ms, p99, p99 / budget_ms,
+              deadline_degraded, deadline_errors);
+  if (p99 > 1.2 * budget_ms) {
+    std::fprintf(stderr,
+                 "deadline overrun: p99 %.1f ms exceeds 1.2x the %.1f ms "
+                 "budget\n",
+                 p99, budget_ms);
     return 1;
   }
   return 0;

@@ -162,6 +162,13 @@ MogdConfig BenchMogd() {
   return cfg;
 }
 
+SolverOptions BenchSolverOptions() {
+  SolverOptions options;
+  options.pf.parallel = true;
+  options.pf.mogd = BenchMogd();
+  return options;
+}
+
 MetricBox ComputeBox(const MooProblem& problem) {
   MogdSolver solver(BenchMogd());
   const int k = problem.NumObjectives();
@@ -295,7 +302,9 @@ std::string BenchReportJson(const std::string& benchmark_name,
   out += "  \"git_sha\": \"" + GitSha() + "\",\n";
   out += std::string("  \"config\": {\"quick\": ") +
          (options.quick ? "true" : "false") +
-         ", \"full\": " + (options.full ? "true" : "false") + "},\n";
+         ", \"full\": " + (options.full ? "true" : "false") +
+         ", \"solver_fingerprint\": \"" +
+         BenchSolverOptions().FingerprintHex() + "\"},\n";
   out += std::string("  \"wall_ms\": ") + wall + ",\n";
   out += "  \"counters\": {";
   bool first = true;

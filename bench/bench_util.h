@@ -32,6 +32,7 @@
 #include "moo/weighted_sum.h"
 #include "spark/engine.h"
 #include "spark/streaming.h"
+#include "tuning/udao.h"
 #include "workload/streambench.h"
 #include "workload/tpcxbb.h"
 
@@ -96,6 +97,13 @@ MetricBox ComputeBox(const MooProblem& problem);
 /// probe lands in the tens of milliseconds, the scale at which the paper's
 /// relative comparisons play out).
 MogdConfig BenchMogd();
+
+/// The full solver policy benches run under (BenchMogd wrapped in parallel
+/// PF). Its FingerprintHex() -- the same canonical byte serialization the
+/// serving cache key uses -- is reported in every bench report's config
+/// object, so bench_gate.py comparisons are traceable to the exact solver
+/// settings that produced the numbers.
+SolverOptions BenchSolverOptions();
 
 /// Runs one named method ("PF-AP", "PF-AS", "WS", "NC", "Evo", "qEHVI",
 /// "PESM") for a probe budget; PF variants run incrementally internally.

@@ -1,0 +1,47 @@
+#ifndef UDAO_COMMON_BYTE_KEY_H_
+#define UDAO_COMMON_BYTE_KEY_H_
+
+#include <string>
+
+namespace udao {
+
+/// Exact byte-serialization helpers shared by every component that needs a
+/// canonical, collision-free encoding of configuration state: the serving
+/// layer's frontier-cache key, SolverOptions::Fingerprint(), and the bench
+/// reports' config field. Keys are exact serializations, not hashes -- a
+/// collision would silently serve the wrong frontier, and the keys are small
+/// enough (a few hundred bytes) that exactness costs nothing.
+///
+/// Fields are separated by a unit separator so variable-length strings
+/// cannot alias across field boundaries; numeric fields are appended as raw
+/// fixed-width bytes.
+inline constexpr char kByteKeySep = '\x1f';
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out->append(bytes, sizeof(value));
+  out->push_back(kByteKeySep);
+}
+
+inline void AppendString(std::string* out, const std::string& s) {
+  out->append(s);
+  out->push_back(kByteKeySep);
+}
+
+/// Lowercase-hex rendering for embedding a byte key in JSON/text reports.
+inline std::string ToHex(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    hex.push_back(kDigits[u >> 4]);
+    hex.push_back(kDigits[u & 0xf]);
+  }
+  return hex;
+}
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_BYTE_KEY_H_

@@ -1,0 +1,142 @@
+#ifndef UDAO_COMMON_DEADLINE_H_
+#define UDAO_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace udao {
+
+/// A point in time after which a request's answer is no longer worth
+/// computing. Deadlines are values (copyable, cheap) and flow down the solve
+/// stack inside StopToken; "no deadline" is the default and costs a single
+/// branch per check.
+///
+/// Deadlines use the steady clock: wall-clock adjustments (NTP slew) must not
+/// extend or shrink a request budget.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: never expires.
+  Deadline() = default;
+
+  /// Expires `budget_ms` from now. Non-positive budgets are already expired
+  /// (a zero budget is the canonical "best effort, right now" request).
+  static Deadline AfterMs(double budget_ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(budget_ms));
+    return d;
+  }
+
+  static Deadline Never() { return Deadline(); }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool IsExpired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry; negative once expired, +infinity when no
+  /// deadline is set.
+  double RemainingMs() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+  /// The earlier of the two deadlines (overload control clamps a request's
+  /// own deadline against the service's degraded budget with this).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (!a.has_deadline_) return b;
+    if (!b.has_deadline_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Shared cancellation flag. A CancellationSource owns the flag and flips it;
+/// any number of CancellationTokens observe it. Tokens are cheap to copy
+/// (one shared_ptr) and safe to read from any thread; the default-constructed
+/// token never reports cancellation without ever touching shared state.
+class CancellationSource;
+
+class CancellationToken {
+ public:
+  /// Default: never cancelled (no allocation, no atomic load on checks).
+  CancellationToken() = default;
+
+  bool CanBeCancelled() const { return flag_ != nullptr; }
+
+  bool IsCancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  /// Idempotent; safe from any thread. Solvers holding a token observe the
+  /// flag at their next per-iteration check and unwind with best-so-far
+  /// results.
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool IsCancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The stop signal solvers actually check: deadline OR cancellation. One
+/// value threaded down UdaoService -> Udao -> ProgressiveFrontier -> MOGD.
+/// The default token never stops, so code paths without a budget behave
+/// bitwise-identically to code written before deadlines existed
+/// (determinism_test guards this).
+///
+/// ShouldStop() costs one branch when neither mechanism is armed; armed
+/// checks read the steady clock and/or one atomic. Loops amortize further by
+/// checking once per iteration block, never per model evaluation.
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(Deadline deadline, CancellationToken cancel)
+      : deadline_(deadline), cancel_(std::move(cancel)) {}
+  explicit StopToken(Deadline deadline) : deadline_(deadline) {}
+
+  bool CanStop() const {
+    return deadline_.has_deadline() || cancel_.CanBeCancelled();
+  }
+
+  bool ShouldStop() const {
+    return cancel_.IsCancelled() || deadline_.IsExpired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& cancellation() const { return cancel_; }
+
+ private:
+  Deadline deadline_;
+  CancellationToken cancel_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_DEADLINE_H_

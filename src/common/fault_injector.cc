@@ -1,0 +1,65 @@
+#include "common/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace udao {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::FailNext(const std::string& site, Status status,
+                             int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Fault& f = faults_[site];
+  f.status = std::move(status);
+  f.latency_ms = 0;
+  f.remaining = count;
+  armed_.store(static_cast<int>(faults_.size()), std::memory_order_release);
+}
+
+void FaultInjector::DelayNext(const std::string& site, double latency_ms,
+                              int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Fault& f = faults_[site];
+  f.status = Status::Ok();
+  f.latency_ms = latency_ms;
+  f.remaining = count;
+  armed_.store(static_cast<int>(faults_.size()), std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  armed_.store(0, std::memory_order_release);
+}
+
+Status FaultInjector::Traverse(const std::string& site) {
+  if (armed_.load(std::memory_order_acquire) == 0) return Status::Ok();
+  double sleep_ms = 0;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = faults_.find(site);
+    if (it == faults_.end() || it->second.remaining <= 0) return Status::Ok();
+    --it->second.remaining;
+    sleep_ms = it->second.latency_ms;
+    status = it->second.status;
+    if (it->second.remaining == 0) {
+      faults_.erase(it);
+      armed_.store(static_cast<int>(faults_.size()),
+                   std::memory_order_release);
+    }
+  }
+  // Sleep outside the lock so a slow site never serializes other sites.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  return status;
+}
+
+}  // namespace udao

@@ -1,0 +1,66 @@
+#ifndef UDAO_COMMON_FAULT_INJECTOR_H_
+#define UDAO_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace udao {
+
+/// Deterministic fault injection for degradation-path testing. Production
+/// code plants named sites (e.g. "model_server.get_model", "pf.probe");
+/// tests arm a site with an error Status or a latency, exercise the path,
+/// and disarm. Without armed faults a site check is one relaxed atomic load,
+/// cheap enough to leave in hot paths permanently.
+///
+/// Thread-safe: sites may be armed/disarmed while other threads run through
+/// them (race_stress_test exercises this). Faults fire a bounded number of
+/// times (`count`) and then auto-disarm, so a test can inject exactly N
+/// failures without a disarm race at the end.
+class FaultInjector {
+ public:
+  /// Process-wide instance; the serving stack has no plumbing for carrying
+  /// a per-test injector through ModelServer and the solvers, and tests that
+  /// arm faults are serialized by gtest anyway.
+  static FaultInjector& Global();
+
+  /// Arms `site` to return `status` from its next `count` traversals.
+  void FailNext(const std::string& site, Status status, int count = 1);
+
+  /// Arms `site` to sleep `latency_ms` on each of its next `count`
+  /// traversals (simulates a slow model server / solver stall so deadline
+  /// expiry is deterministic in tests).
+  void DelayNext(const std::string& site, double latency_ms, int count = 1);
+
+  /// Clears every armed fault.
+  void Reset();
+
+  /// Production-side check. Returns OK and does nothing when `site` is not
+  /// armed (the common case: one relaxed load). When armed with a delay it
+  /// sleeps; when armed with an error it returns that Status.
+  Status Traverse(const std::string& site);
+
+ private:
+  FaultInjector() = default;
+
+  struct Fault {
+    Status status;        // OK for pure-latency faults
+    double latency_ms = 0;
+    int remaining = 0;
+  };
+
+  std::atomic<int> armed_{0};  ///< Number of armed sites (fast-path gate).
+  std::mutex mu_;
+  std::map<std::string, Fault> faults_;
+};
+
+/// Sugar for the call sites:
+///   if (Status s = FaultInjector::Global().Traverse("x.y"); !s.ok()) ...
+#define UDAO_FAULT_SITE(site) ::udao::FaultInjector::Global().Traverse(site)
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_FAULT_INJECTOR_H_

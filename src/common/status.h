@@ -17,6 +17,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kNumericalError,
   kUnimplemented,
+  kDeadlineExceeded,  ///< The request's time budget expired before an answer.
+  kUnavailable,       ///< Transient overload/shed; retrying later may succeed.
 };
 
 /// Lightweight success/error result for fallible public APIs. UDAO does not
@@ -45,6 +47,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +79,10 @@ class Status {
         return "NumericalError";
       case StatusCode::kUnimplemented:
         return "Unimplemented";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }
@@ -122,5 +134,15 @@ class StatusOr {
 };
 
 }  // namespace udao
+
+/// Aborts when a Status-returning expression is not OK. For call sites whose
+/// inputs are valid by construction (trace generators, tests, benches) after
+/// an API migrated from void-with-CHECK to Status: the caller keeps
+/// crash-on-bug semantics while real services branch on the Status instead.
+#define UDAO_CHECK_OK(expr)                           \
+  do {                                                \
+    const ::udao::Status udao_check_ok_s_ = (expr);   \
+    UDAO_CHECK(udao_check_ok_s_.ok());                \
+  } while (0)
 
 #endif  // UDAO_COMMON_STATUS_H_

@@ -121,7 +121,13 @@ Status LoadModelServerData(const std::string& directory, ModelServer* server) {
         return Status::InvalidArgument("truncated trace file: " +
                                        entry.path().string());
       }
-      server->Ingest(workload, objective, x, y);
+      if (Status s = server->Ingest(workload, objective, x, y); !s.ok()) {
+        // A dimension clash between the file and already-resident traces is
+        // corrupt input, not a programming error.
+        return Status::InvalidArgument("rejected trace in " +
+                                       entry.path().string() + ": " +
+                                       s.ToString());
+      }
     }
   }
   return Status::Ok();

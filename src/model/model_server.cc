@@ -1,8 +1,10 @@
 #include "model/model_server.h"
 
+#include <cmath>
 #include <mutex>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/metrics_registry.h"
 
 namespace udao {
@@ -10,26 +12,45 @@ namespace udao {
 ModelServer::ModelServer(ModelServerConfig config)
     : config_(config), rng_(config.seed) {}
 
-void ModelServer::Ingest(const std::string& workload_id,
-                         const std::string& objective,
-                         const Vector& encoded_conf, double value) {
-  UDAO_CHECK(!encoded_conf.empty());
+Status ModelServer::Ingest(const std::string& workload_id,
+                           const std::string& objective,
+                           const Vector& encoded_conf, double value) {
+  if (encoded_conf.empty()) {
+    return Status::InvalidArgument("empty encoded configuration for " +
+                                   workload_id + "/" + objective);
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("non-finite objective value for " +
+                                   workload_id + "/" + objective);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[{workload_id, objective}];
-  if (!entry.data.x.empty()) {
-    UDAO_CHECK_EQ(entry.data.x.front().size(), encoded_conf.size());
+  if (!entry.data.x.empty() &&
+      entry.data.x.front().size() != encoded_conf.size()) {
+    return Status::InvalidArgument(
+        "configuration dimension mismatch for " + workload_id + "/" +
+        objective + ": got " + std::to_string(encoded_conf.size()) +
+        ", expected " + std::to_string(entry.data.x.front().size()));
   }
   entry.data.x.push_back(encoded_conf);
   entry.data.y.push_back(value);
   ++entry.pending;
   ++generations_[workload_id];
   UDAO_METRIC_COUNTER_ADD("udao.model.ingests", 1);
+  return Status::Ok();
 }
 
-void ModelServer::IngestMetrics(const std::string& workload_id,
-                                const RuntimeMetrics& metrics) {
+Status ModelServer::IngestMetrics(const std::string& workload_id,
+                                  const RuntimeMetrics& metrics) {
+  const Vector v = metrics.ToVector();
   std::lock_guard<std::mutex> lock(mu_);
-  metrics_[workload_id].push_back(metrics.ToVector());
+  std::vector<Vector>& rows = metrics_[workload_id];
+  if (!rows.empty() && rows.front().size() != v.size()) {
+    return Status::InvalidArgument("metrics dimension mismatch for " +
+                                   workload_id);
+  }
+  rows.push_back(v);
+  return Status::Ok();
 }
 
 StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFresh(
@@ -49,6 +70,14 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFresh(
 
 StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     const std::string& workload_id, const std::string& objective) {
+  // Fault-injection site for degradation testing: an armed failure surfaces
+  // exactly like a real model-resolution error (the serving layer's
+  // stale-cache shed path keys off it), an armed delay simulates a slow
+  // model store. Checked outside the lock so injected latency never
+  // serializes unrelated lookups.
+  if (Status fault = UDAO_FAULT_SITE("model_server.get_model"); !fault.ok()) {
+    return fault;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end() || it->second.data.x.empty()) {

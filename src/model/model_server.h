@@ -74,14 +74,19 @@ class ModelServer {
   explicit ModelServer(ModelServerConfig config = ModelServerConfig());
 
   /// Records one observation: the encoded configuration and the value of one
-  /// objective for `workload_id`.
-  void Ingest(const std::string& workload_id, const std::string& objective,
-              const Vector& encoded_conf, double value);
+  /// objective for `workload_id`. InvalidArgument when the configuration is
+  /// empty, its dimension disagrees with earlier traces of the pair, or the
+  /// value is non-finite -- ingestion is a public service boundary, so bad
+  /// telemetry is a recoverable Status for the caller, not a process abort.
+  /// Rejected traces change nothing (no generation bump).
+  Status Ingest(const std::string& workload_id, const std::string& objective,
+                const Vector& encoded_conf, double value);
 
   /// Records the runtime metric vector of one run (used for OtterTune-style
-  /// workload mapping).
-  void IngestMetrics(const std::string& workload_id,
-                     const RuntimeMetrics& metrics);
+  /// workload mapping). InvalidArgument when the vector's dimension
+  /// disagrees with earlier metrics of the workload.
+  Status IngestMetrics(const std::string& workload_id,
+                       const RuntimeMetrics& metrics);
 
   /// Returns the current model, training or updating it first if the policy
   /// calls for it. NotFound if no traces exist for the pair.

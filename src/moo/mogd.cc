@@ -96,27 +96,26 @@ MogdSolver::MogdSolver(MogdConfig config) : config_(config) {
 
 std::optional<CoResult> MogdSolver::SolveCo(const MooProblem& problem,
                                             const CoProblem& co,
-                                            SolvePerf* perf) const {
-  return SolveCoSeeded(problem, co, config_.seed, perf);
+                                            SolvePerf* perf,
+                                            const StopToken& stop) const {
+  return SolveCoSeeded(problem, co, config_.seed, perf, stop);
 }
 
-std::optional<CoResult> MogdSolver::SolveCoSeeded(const MooProblem& problem,
-                                                  const CoProblem& co,
-                                                  uint64_t seed,
-                                                  SolvePerf* perf) const {
+std::optional<CoResult> MogdSolver::SolveCoSeeded(
+    const MooProblem& problem, const CoProblem& co, uint64_t seed,
+    SolvePerf* perf, const StopToken& stop) const {
   const int k = problem.NumObjectives();
   UDAO_CHECK(co.target >= 0 && co.target < k);
   UDAO_CHECK_EQ(static_cast<int>(co.lower.size()), k);
   UDAO_CHECK_EQ(static_cast<int>(co.upper.size()), k);
   for (int j = 0; j < k; ++j) UDAO_CHECK(co.lower[j] <= co.upper[j]);
-  return config_.batched ? SolveCoBatched(problem, co, seed, perf)
-                         : SolveCoScalar(problem, co, seed, perf);
+  return config_.batched ? SolveCoBatched(problem, co, seed, perf, stop)
+                         : SolveCoScalar(problem, co, seed, perf, stop);
 }
 
-std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
-                                                  const CoProblem& co,
-                                                  uint64_t seed,
-                                                  SolvePerf* perf) const {
+std::optional<CoResult> MogdSolver::SolveCoScalar(
+    const MooProblem& problem, const CoProblem& co, uint64_t seed,
+    SolvePerf* perf, const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.solve_co");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
@@ -178,6 +177,11 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
   };
 
   for (int start = 0; start < config_.multistart; ++start) {
+    // Anytime stop (deadline/cancellation), amortized to one check per Adam
+    // iteration. The first iteration of start 0 always runs, so even an
+    // already-expired budget produces one real evaluation and a candidate
+    // for the incumbent.
+    if (start > 0 && stop.ShouldStop()) break;
     Vector x(dim);
     if (start == 0) {
       std::fill(x.begin(), x.end(), 0.5);
@@ -188,6 +192,7 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
     Vector f;
     std::vector<Vector> grads;
     for (int iter = 0; iter < config_.max_iters; ++iter) {
+      if ((start > 0 || iter > 0) && stop.ShouldStop()) break;
       evaluate(x, &f, &grads);
       consider(x, f);
       // Loss gradient per Eq. 3.
@@ -229,10 +234,9 @@ std::optional<CoResult> MogdSolver::SolveCoScalar(const MooProblem& problem,
   return best;
 }
 
-std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
-                                                   const CoProblem& co,
-                                                   uint64_t seed,
-                                                   SolvePerf* perf) const {
+std::optional<CoResult> MogdSolver::SolveCoBatched(
+    const MooProblem& problem, const CoProblem& co, uint64_t seed,
+    SolvePerf* perf, const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.solve_co");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
@@ -318,6 +322,10 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
   Vector loss_grad(dim);
   Vector xs(dim);
   for (int iter = 0; iter < config_.max_iters; ++iter) {
+    // Anytime stop, once per lockstep iteration (= one batched model call
+    // per objective). Iteration 0 always runs; the trailing evaluate +
+    // consider below then turns whatever was reached into the incumbent.
+    if (iter > 0 && stop.ShouldStop()) break;
     evaluate();
     consider();
     for (int s = 0; s < S; ++s) {
@@ -383,7 +391,7 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(const MooProblem& problem,
 
 std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
     const MooProblem& problem, const std::vector<CoProblem>& problems,
-    SolvePerf* perf) const {
+    SolvePerf* perf, const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.solve_batch");
   UDAO_METRIC_COUNTER_ADD("udao.mogd.solve_batches", 1);
   UDAO_METRIC_OBSERVE("udao.mogd.solve_batch_size",
@@ -396,7 +404,7 @@ std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
   auto solve_one = [&](int i) {
     results[i] =
         SolveCoSeeded(problem, problems[i], config_.seed + 1000 * i,
-                      &perfs[i]);
+                      &perfs[i], stop);
   };
   if (config_.pool == nullptr || problems.size() == 1) {
     for (size_t i = 0; i < problems.size(); ++i) {
@@ -412,13 +420,14 @@ std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(
 }
 
 CoResult MogdSolver::Minimize(const MooProblem& problem, int target,
-                              SolvePerf* perf) const {
-  return config_.batched ? MinimizeBatched(problem, target, perf)
-                         : MinimizeScalar(problem, target, perf);
+                              SolvePerf* perf, const StopToken& stop) const {
+  return config_.batched ? MinimizeBatched(problem, target, perf, stop)
+                         : MinimizeScalar(problem, target, perf, stop);
 }
 
 CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
-                                    SolvePerf* perf) const {
+                                    SolvePerf* perf,
+                                    const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.minimize");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
@@ -442,6 +451,9 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
   };
 
   for (int start = 0; start < config_.multistart; ++start) {
+    // Anytime stop. The first iteration of start 0 is unconditional, so the
+    // incumbent below is always finite (the UDAO_CHECK after the loop).
+    if (start > 0 && stop.ShouldStop()) break;
     Vector x(dim);
     if (start == 0) {
       std::fill(x.begin(), x.end(), 0.5);
@@ -450,6 +462,7 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
     }
     Adam adam(dim, AdamConfig{.learning_rate = config_.learning_rate});
     for (int iter = 0; iter < config_.max_iters; ++iter) {
+      if ((start > 0 || iter > 0) && stop.ShouldStop()) break;
       const auto e0 = std::chrono::steady_clock::now();
       Vector grad = problem.Gradient(target, x);
       DCheckFiniteModelOutputs(grad);
@@ -471,7 +484,8 @@ CoResult MogdSolver::MinimizeScalar(const MooProblem& problem, int target,
 }
 
 CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
-                                     SolvePerf* perf) const {
+                                     SolvePerf* perf,
+                                     const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.minimize");
   const auto t0 = std::chrono::steady_clock::now();
   SolvePerf local;
@@ -495,6 +509,10 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
   }
 
   for (int iter = 0; iter < config_.max_iters; ++iter) {
+    // Anytime stop. Iteration 0 always completes (gradient step + value
+    // batch + consider), so at least one per-start incumbent exists and the
+    // finiteness UDAO_CHECK below holds under any budget.
+    if (iter > 0 && stop.ShouldStop()) break;
     const auto g0 = std::chrono::steady_clock::now();
     problem.GradientBatch(target, x, &grads);
     DCheckFiniteModelOutputs(grads);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "moo/problem.h"
 
@@ -105,41 +106,57 @@ class MogdSolver {
   /// the Progressive Frontier treats as "this hyperrectangle is empty".
   /// `perf`, when non-null, accumulates this solve's counters (also reported
   /// even when the solve comes back infeasible).
+  ///
+  /// `stop` makes the solve *anytime*: the descent checks it once per Adam
+  /// iteration (never per model evaluation) and, when it fires, returns the
+  /// current incumbent -- the best feasible point seen so far -- instead of
+  /// running the remaining iterations. The first iteration of the first
+  /// start always runs, so even an already-expired deadline yields a real
+  /// evaluation. The default token never stops; solves without one are
+  /// bitwise-identical to the pre-deadline code.
   std::optional<CoResult> SolveCo(const MooProblem& problem,
                                   const CoProblem& co,
-                                  SolvePerf* perf = nullptr) const;
+                                  SolvePerf* perf = nullptr,
+                                  const StopToken& stop = StopToken()) const;
 
   /// Solves a batch of CO problems on config().pool (inline when null) --
   /// the PF-AP fan-out. Result i corresponds to problems[i] and is
-  /// independent of the pool's thread count.
+  /// independent of the pool's thread count. Each per-problem solve checks
+  /// `stop` per iteration (see SolveCo).
   std::vector<std::optional<CoResult>> SolveBatch(
       const MooProblem& problem, const std::vector<CoProblem>& problems,
-      SolvePerf* perf = nullptr) const;
+      SolvePerf* perf = nullptr, const StopToken& stop = StopToken()) const;
 
   /// Unconstrained single-objective minimization (line 2 of Algorithm 1, used
   /// to find the reference points). Only the box [0,1]^D constrains x.
+  /// Always returns a finite incumbent even when `stop` fires immediately
+  /// (the first iteration is unconditional).
   CoResult Minimize(const MooProblem& problem, int target,
-                    SolvePerf* perf = nullptr) const;
+                    SolvePerf* perf = nullptr,
+                    const StopToken& stop = StopToken()) const;
 
   const MogdConfig& config() const { return config_; }
 
  private:
   std::optional<CoResult> SolveCoSeeded(const MooProblem& problem,
                                         const CoProblem& co, uint64_t seed,
-                                        SolvePerf* perf) const;
+                                        SolvePerf* perf,
+                                        const StopToken& stop) const;
   // One start at a time; the original formulation.
   std::optional<CoResult> SolveCoScalar(const MooProblem& problem,
                                         const CoProblem& co, uint64_t seed,
-                                        SolvePerf* perf) const;
+                                        SolvePerf* perf,
+                                        const StopToken& stop) const;
   // All starts in lockstep, batched model evaluation. Visits exactly the
   // points the scalar path visits (same seeds) and keeps the same best.
   std::optional<CoResult> SolveCoBatched(const MooProblem& problem,
                                          const CoProblem& co, uint64_t seed,
-                                         SolvePerf* perf) const;
+                                         SolvePerf* perf,
+                                         const StopToken& stop) const;
   CoResult MinimizeScalar(const MooProblem& problem, int target,
-                          SolvePerf* perf) const;
+                          SolvePerf* perf, const StopToken& stop) const;
   CoResult MinimizeBatched(const MooProblem& problem, int target,
-                           SolvePerf* perf) const;
+                           SolvePerf* perf, const StopToken& stop) const;
 
   MogdConfig config_;
 };

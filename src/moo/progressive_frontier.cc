@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/metrics_registry.h"
 
 namespace udao {
@@ -27,14 +28,17 @@ ProgressiveFrontier::ProgressiveFrontier(const MooProblem* problem,
   UDAO_CHECK_GE(config_.grid_per_dim, 2);
 }
 
-std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co) {
+std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co,
+                                                   const StopToken& stop) {
+  // The exhaustive reference solver ignores the token: it exists for small
+  // deterministic baselines, not the serving path.
   if (config_.use_exhaustive) return exhaustive_.SolveCo(*problem_, co);
-  return mogd_.SolveCo(*problem_, co, &result_.perf);
+  return mogd_.SolveCo(*problem_, co, &result_.perf, stop);
 }
 
-CoResult ProgressiveFrontier::SolveMin(int target) {
+CoResult ProgressiveFrontier::SolveMin(int target, const StopToken& stop) {
   if (config_.use_exhaustive) return exhaustive_.Minimize(*problem_, target);
-  return mogd_.Minimize(*problem_, target, &result_.perf);
+  return mogd_.Minimize(*problem_, target, &result_.perf, stop);
 }
 
 double ProgressiveFrontier::QueueVolume() const {
@@ -140,7 +144,7 @@ void ProgressiveFrontier::PushSplit(const Vector& u, const Vector& n,
   UDAO_METRIC_COUNTER_ADD("udao.pf.splits", 1);
 }
 
-void ProgressiveFrontier::Initialize() {
+void ProgressiveFrontier::Initialize(const StopToken& stop) {
   UDAO_TRACE_SPAN("pf.initialize");
   UDAO_METRIC_COUNTER_ADD("udao.pf.initializes", 1);
   initialized_ = true;
@@ -148,10 +152,13 @@ void ProgressiveFrontier::Initialize() {
   const auto start = Clock::now();
 
   // Reference points: one single-objective minimization per objective
-  // (line 2 of Algorithm 1).
+  // (line 2 of Algorithm 1). These run even under an expired budget --
+  // Minimize is stop-aware and degrades to one iteration per objective --
+  // because without them there is no box, no frontier seed, and nothing
+  // best-so-far to return.
   std::vector<CoResult> plans;
   plans.reserve(k);
-  for (int i = 0; i < k; ++i) plans.push_back(SolveMin(i));
+  for (int i = 0; i < k; ++i) plans.push_back(SolveMin(i, stop));
 
   Vector utopia(k);
   Vector nadir(k);
@@ -199,14 +206,30 @@ void ProgressiveFrontier::Initialize() {
 }
 
 const PfResult& ProgressiveFrontier::Run(int total_points) {
-  if (!initialized_) Initialize();
+  return Run(total_points, StopToken());
+}
+
+const PfResult& ProgressiveFrontier::Run(int total_points,
+                                         const StopToken& stop) {
+  if (!initialized_) Initialize(stop);
   if (box_empty_) return result_;
   const int k = problem_->NumObjectives();
   int probes_this_call = 0;
 
   while (static_cast<int>(result_.frontier.size()) < total_points &&
          !queue_.empty() && probes_this_call < config_.max_probes) {
+    // Anytime exit (Section III's incremental property made operational):
+    // the queue keeps its remaining rectangles, so a later Run() on the
+    // same instance resumes exactly where this one stopped.
+    if (stop.ShouldStop()) {
+      result_.degraded = true;
+      UDAO_METRIC_COUNTER_ADD("udao.pf.degraded_runs", 1);
+      return result_;
+    }
     UDAO_TRACE_SPAN("pf.probe");
+    // Latency-injection site for deterministic deadline tests (the injected
+    // Status is irrelevant here: PF has no per-probe error channel).
+    (void)UDAO_FAULT_SITE("pf.probe");
     const auto start = Clock::now();
     Rect rect = queue_.top();
     queue_.pop();
@@ -228,7 +251,7 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
       co.target = 0;
       co.lower = rect.utopia;
       co.upper = middle;
-      std::optional<CoResult> found = Solve(co);
+      std::optional<CoResult> found = Solve(co, stop);
       ++result_.probes;
       ++probes_this_call;
       UDAO_METRIC_COUNTER_ADD("udao.pf.probes", 1);
@@ -280,7 +303,7 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
                   }
                   return r;
                 }()
-              : mogd_.SolveBatch(*problem_, cos, &result_.perf);
+              : mogd_.SolveBatch(*problem_, cos, &result_.perf, stop);
       result_.probes += cells;
       ++probes_this_call;
       UDAO_METRIC_COUNTER_ADD("udao.pf.probes", 1);
@@ -300,6 +323,9 @@ const PfResult& ProgressiveFrontier::Run(int total_points) {
     UDAO_METRIC_OBSERVE("udao.pf.probe_ms", probe_s * 1e3);
     Snapshot();
   }
+  // Reaching the point target / exhausting the space / hitting the probe cap
+  // is a normal completion: a previously degraded result is now whole again.
+  result_.degraded = false;
   return result_;
 }
 

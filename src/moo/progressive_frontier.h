@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/deadline.h"
 #include "moo/exhaustive.h"
 #include "moo/mogd.h"
 #include "moo/pareto.h"
@@ -49,6 +50,12 @@ struct PfResult {
   double uncertain_percent = 100.0;  ///< Final uncertain space.
   std::vector<PfSnapshot> history;   ///< Per-probe progress.
   int probes = 0;                    ///< CO problems solved.
+  /// True when the last Run() stopped on a deadline/cancellation before
+  /// reaching its point target: the frontier is valid (mutually
+  /// non-dominated, every point real) but best-so-far rather than complete
+  /// -- the paper's anytime property. A later Run() that finishes normally
+  /// clears it. Serving layers must not cache degraded frontiers.
+  bool degraded = false;
   /// Aggregated MOGD counters over every CO solve of the run (reference
   /// points, probes, and PF-AP grid cells). Zero when use_exhaustive is on.
   SolvePerf perf;
@@ -73,6 +80,15 @@ class ProgressiveFrontier {
   /// up-to-date result; callable repeatedly with growing targets.
   const PfResult& Run(int total_points);
 
+  /// Deadline-aware Run: checks `stop` once per expansion (and the CO
+  /// solves check it once per Adam iteration). When it fires, returns the
+  /// best-so-far frontier with result().degraded == true. Initialization's
+  /// reference-point solves always execute (stop-aware, so they finish in
+  /// one iteration under an expired budget), which is what keeps even a
+  /// zero-budget frontier non-empty whenever the box is feasible. With the
+  /// default token this is bitwise-identical to Run(total_points).
+  const PfResult& Run(int total_points, const StopToken& stop);
+
   const PfResult& result() const { return result_; }
 
  private:
@@ -88,7 +104,7 @@ class ProgressiveFrontier {
     }
   };
 
-  void Initialize();
+  void Initialize(const StopToken& stop);
   // Splits [u, n] at interior point m into its 2^k corner cells and pushes
   // every cell except the masked-out corners (all-lower and/or all-upper).
   void PushSplit(const Vector& u, const Vector& n, const Vector& m,
@@ -101,8 +117,8 @@ class ProgressiveFrontier {
   /// sum against a recomputation.
   double QueueVolume() const;
   // Non-const: both fold their MOGD counters into result_.perf.
-  std::optional<CoResult> Solve(const CoProblem& co);
-  CoResult SolveMin(int target);
+  std::optional<CoResult> Solve(const CoProblem& co, const StopToken& stop);
+  CoResult SolveMin(int target, const StopToken& stop);
 
   const MooProblem* problem_;
   PfConfig config_;

@@ -3,33 +3,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "common/byte_key.h"
 #include "common/check.h"
 #include "common/metrics_registry.h"
 #include "moo/progressive_frontier.h"
 
 namespace udao {
 namespace {
-
-// Cache keys are exact byte serializations, not hashes: a collision would
-// silently serve the wrong frontier, and the keys are small enough (a few
-// hundred bytes) that exactness costs nothing. Fields are separated by a
-// unit separator so variable-length strings cannot alias across field
-// boundaries; numeric fields are appended as raw fixed-width bytes.
-constexpr char kSep = '\x1f';
-
-template <typename T>
-void AppendPod(std::string* out, T value) {
-  const char* bytes = reinterpret_cast<const char*>(&value);
-  out->append(bytes, sizeof(value));
-  out->push_back(kSep);
-}
-
-void AppendString(std::string* out, const std::string& s) {
-  out->append(s);
-  out->push_back(kSep);
-}
 
 double NowMs(const std::chrono::steady_clock::time_point& since) {
   return std::chrono::duration<double, std::milli>(
@@ -45,26 +28,10 @@ UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
       udao_(server, config.udao),
       admission_(config.admission_threads) {
   UDAO_CHECK(server_ != nullptr);
-  // Every field of the solver configuration that can change what step 2
-  // computes (which points PF probes and in what order). The MOGD pool
-  // pointer is excluded on purpose: threading never changes solutions.
-  const UdaoOptions& o = udao_.options();
-  std::string* f = &options_fingerprint_;
-  AppendPod(f, o.pf.parallel);
-  AppendPod(f, o.pf.grid_per_dim);
-  AppendPod(f, o.pf.use_exhaustive);
-  AppendPod(f, o.pf.exhaustive_budget);
-  AppendPod(f, o.pf.max_probes);
-  AppendPod(f, o.pf.fifo_queue);
-  AppendPod(f, o.pf.mogd.multistart);
-  AppendPod(f, o.pf.mogd.max_iters);
-  AppendPod(f, o.pf.mogd.learning_rate);
-  AppendPod(f, o.pf.mogd.alpha);
-  AppendPod(f, o.pf.mogd.batched);
-  AppendPod(f, o.pf.mogd.seed);
-  AppendPod(f, o.frontier_points);
-  AppendPod(f, o.workload_aware);
-  AppendPod(f, o.uncertainty_alpha);
+  // The canonical SolverOptions serialization: every field that can change
+  // what step 2 computes, in one place (tuning/udao.cc) instead of a
+  // hand-maintained field list here.
+  udao_.options().AppendFingerprint(&options_fingerprint_);
 }
 
 std::string UdaoService::CacheKey(const UdaoRequest& request) const {
@@ -116,15 +83,27 @@ bool UdaoService::Lookup(const std::string& key, uint64_t generation,
   if (it == cache_.end()) return false;
   if (it->second.generation != generation) {
     // The workload saw new traces (or a retrain) since this frontier was
-    // computed: the models behind it are no longer the latest available.
-    lru_.erase(it->second.lru_it);
-    cache_.erase(it);
+    // computed: the models behind it are no longer the latest available, so
+    // report a miss and let the caller recompute. The entry itself stays --
+    // LookupAnyGeneration serves it as a last resort under the stale-cache
+    // shed policy, and the recompute's Insert overwrites it with the newer
+    // generation.
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     UDAO_METRIC_COUNTER_ADD("udao.service.invalidations", 1);
-    UDAO_METRIC_GAUGE_SET("udao.service.cache_size",
-                          static_cast<double>(cache_.size()));
     return false;
   }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *problem = it->second.problem;
+  *frontier = it->second.frontier;
+  return true;
+}
+
+bool UdaoService::LookupAnyGeneration(
+    const std::string& key, std::shared_ptr<const MooProblem>* problem,
+    std::shared_ptr<const PfResult>* frontier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   *problem = it->second.problem;
   *frontier = it->second.frontier;
@@ -135,6 +114,10 @@ void UdaoService::Insert(const std::string& key, uint64_t generation,
                          std::shared_ptr<const MooProblem> problem,
                          std::shared_ptr<const PfResult> frontier) {
   if (config_.frontier_cache_capacity <= 0) return;
+  // Never cache a degraded frontier: it is whatever the budget allowed, not
+  // the deterministic function of the key that makes concurrent misses and
+  // later hits interchangeable.
+  UDAO_DCHECK(!frontier->degraded);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -166,18 +149,33 @@ void UdaoService::Insert(const std::string& key, uint64_t generation,
                         static_cast<double>(cache_.size()));
 }
 
-StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request) {
+StatusOr<UdaoRecommendation> UdaoService::ServeStale(
+    const UdaoRequest& request, const std::string& key,
+    double queue_wait_ms) {
+  std::shared_ptr<const MooProblem> problem;
+  std::shared_ptr<const PfResult> frontier;
+  if (!LookupAnyGeneration(key, &problem, &frontier)) {
+    return Status::Unavailable(
+        "overloaded and no cached frontier to degrade to");
+  }
+  UDAO_METRIC_COUNTER_ADD("udao.service.stale_serves", 1);
+  StatusOr<UdaoRecommendation> rec =
+      udao_.Recommend(request, *problem, *frontier);
+  if (!rec.ok()) return rec.status();
+  // The frontier may predate newer traces (any-generation lookup): correct
+  // trade-offs as of some recent past, explicitly marked best-effort.
+  rec->degraded = true;
+  rec->queue_wait_ms = queue_wait_ms;
+  return rec;
+}
+
+StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
+                                                 double queue_wait_ms) {
   UDAO_TRACE_SPAN("service.handle");
   const auto t0 = std::chrono::steady_clock::now();
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  UDAO_METRIC_COUNTER_ADD("udao.service.requests", 1);
 
   Status valid = Udao::Validate(request);
-  if (!valid.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
-    return valid;
-  }
+  if (!valid.ok()) return valid;
 
   // Read the generation BEFORE resolving models: ResolveObjectives may
   // lazily retrain (bumping the generation), and a concurrent Ingest may
@@ -186,6 +184,7 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request) {
   // toward recomputing, never toward serving a stale frontier.
   const uint64_t generation = server_->Generation(request.workload_id);
   const std::string key = CacheKey(request);
+  const StopToken stop = request.Stop();
 
   std::shared_ptr<const MooProblem> problem;
   std::shared_ptr<const PfResult> frontier;
@@ -201,8 +200,14 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request) {
     StatusOr<std::vector<ObjectiveSpec>> objectives =
         udao_.ResolveObjectives(request);
     if (!objectives.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+      // Model resolution failed (server fault, missing traces). Under the
+      // stale-cache shed policy a previously computed frontier -- possibly
+      // for older models -- still beats an error.
+      if (config_.shed_policy == ShedPolicy::kServeStaleCache) {
+        StatusOr<UdaoRecommendation> stale =
+            ServeStale(request, key, queue_wait_ms);
+        if (stale.ok()) return stale;
+      }
       return objectives.status();
     }
     auto owned_problem =
@@ -211,36 +216,128 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request) {
     {
       UDAO_TRACE_SPAN("service.pf");
       ProgressiveFrontier pf(owned_problem.get(), udao_.options().pf);
-      *owned_frontier = pf.Run(udao_.options().frontier_points);
+      *owned_frontier = pf.Run(udao_.options().frontier_points, stop);
     }
     problem = owned_problem;
     frontier = owned_frontier;
-    // Empty (infeasible) frontiers are cached too: re-asking the same
-    // constraints deterministically re-derives the same emptiness.
-    Insert(key, generation, problem, frontier);
+    if (frontier->degraded) {
+      if (frontier->frontier.empty()) {
+        return Status::DeadlineExceeded(
+            "budget expired before any Pareto point was found");
+      }
+      UDAO_METRIC_COUNTER_ADD("udao.service.degraded_solves", 1);
+    } else {
+      // Empty (infeasible) frontiers are cached too: re-asking the same
+      // constraints deterministically re-derives the same emptiness. Only
+      // complete frontiers enter the cache (see Insert).
+      Insert(key, generation, problem, frontier);
+    }
   }
 
   StatusOr<UdaoRecommendation> rec =
       udao_.Recommend(request, *problem, *frontier);
   if (!rec.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
     UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
     return rec.status();
   }
   rec->seconds = NowMs(t0) / 1e3;
+  rec->queue_wait_ms = queue_wait_ms;
   UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
   return rec;
 }
 
+void UdaoService::AccountResponse(
+    const StatusOr<UdaoRecommendation>& response) {
+  if (response.ok()) {
+    if (response->degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      UDAO_METRIC_COUNTER_ADD("udao.service.degraded", 1);
+    }
+    return;
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+  if (response.status().code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.deadline_exceeded", 1);
+  }
+}
+
 void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
   UDAO_CHECK(done != nullptr);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  UDAO_METRIC_COUNTER_ADD("udao.service.requests", 1);
+
+  // Overload control: bound the backlog, shed per policy. kDegrade admits
+  // (flagged); the other policies answer on the calling thread right here.
+  bool degrade_admission = false;
+  if (config_.max_queue_depth > 0 &&
+      queue_depth_.load(std::memory_order_relaxed) >=
+          config_.max_queue_depth) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    UDAO_METRIC_COUNTER_ADD("udao.service.sheds", 1);
+    switch (config_.shed_policy) {
+      case ShedPolicy::kReject: {
+        StatusOr<UdaoRecommendation> rejected =
+            Status::Unavailable("admission queue full (max depth " +
+                                std::to_string(config_.max_queue_depth) +
+                                ")");
+        AccountResponse(rejected);
+        done(std::move(rejected));
+        return;
+      }
+      case ShedPolicy::kServeStaleCache: {
+        // Step-3-only work (microseconds): cheap enough for the caller's
+        // thread, which is the point -- no queue slot consumed.
+        StatusOr<UdaoRecommendation> stale =
+            ServeStale(request, CacheKey(request), /*queue_wait_ms=*/0.0);
+        AccountResponse(stale);
+        done(std::move(stale));
+        return;
+      }
+      case ShedPolicy::kDegrade:
+        degrade_admission = true;
+        break;
+    }
+  }
+
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  UDAO_METRIC_GAUGE_SET(
+      "udao.service.queue_depth",
+      static_cast<double>(queue_depth_.load(std::memory_order_relaxed)));
   const auto enqueued = std::chrono::steady_clock::now();
-  admission_.Submit(
-      [this, request, done = std::move(done), enqueued]() mutable {
-        UDAO_METRIC_OBSERVE("udao.service.queue_wait_ms", NowMs(enqueued));
-        done(Handle(request));
-      });
+  // Init-capture: a plain-copy capture of the const reference parameter
+  // would keep its const, and the degrade clamp below mutates the deadline.
+  admission_.Submit([this, request = request, done = std::move(done), enqueued,
+                     degrade_admission]() mutable {
+    const double queue_wait_ms = NowMs(enqueued);
+    UDAO_METRIC_OBSERVE("udao.service.queue_wait_ms", queue_wait_ms);
+    if (degrade_admission) {
+      // The degraded budget starts when solving starts; a request that also
+      // carries its own (tighter) deadline keeps it.
+      request.deadline = Deadline::Earlier(
+          request.deadline, Deadline::AfterMs(config_.degraded_budget_ms));
+    }
+    StatusOr<UdaoRecommendation> out = [&]() -> StatusOr<UdaoRecommendation> {
+      // Queue-deadline enforcement: a request whose budget died while
+      // queued is never solved -- solving it anyway is exactly the overload
+      // death spiral (all workers busy computing answers nobody is waiting
+      // for) that deadlines exist to prevent.
+      if (request.deadline.IsExpired() || request.cancel.IsCancelled()) {
+        if (config_.shed_policy == ShedPolicy::kServeStaleCache &&
+            !request.cancel.IsCancelled()) {
+          return ServeStale(request, CacheKey(request), queue_wait_ms);
+        }
+        return Status::DeadlineExceeded(
+            "request budget expired after " +
+            std::to_string(queue_wait_ms) + " ms in the admission queue");
+      }
+      return Handle(request, queue_wait_ms);
+    }();
+    AccountResponse(out);
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    done(std::move(out));
+  });
 }
 
 StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
@@ -257,7 +354,14 @@ StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
     cv.notify_one();
   });
   std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return result.has_value(); });
+  // Bounded waits only in the serving layer (udao_lint unbounded-wait): the
+  // predicate re-check makes the timeout purely a liveness backstop -- a
+  // lost-wakeup or stuck-worker bug degrades to 50 ms extra latency and a
+  // re-check instead of a hung client thread.
+  while (!result.has_value()) {
+    cv.wait_for(lock, std::chrono::milliseconds(50),
+                [&] { return result.has_value(); });
+  }
   return std::move(*result);
 }
 
@@ -269,12 +373,19 @@ UdaoServiceStats UdaoService::stats() const {
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   return s;
 }
 
 int UdaoService::CacheSize() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(cache_.size());
+}
+
+int UdaoService::QueueDepth() const {
+  return queue_depth_.load(std::memory_order_relaxed);
 }
 
 }  // namespace udao

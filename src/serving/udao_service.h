@@ -10,17 +10,35 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "tuning/udao.h"
 
 namespace udao {
 
+/// What the service does with a request that arrives while the admission
+/// queue is at max_queue_depth (or whose budget expired while queued).
+enum class ShedPolicy {
+  /// Fail fast with Unavailable. The caller sees backpressure immediately
+  /// and can retry against another replica.
+  kReject,
+  /// Serve the most recent cached frontier for the request's key regardless
+  /// of model generation, tagged degraded. Falls back to Unavailable when
+  /// nothing is cached. Also used when model resolution itself fails
+  /// (stale answer beats no answer for a tuning advisor).
+  kServeStaleCache,
+  /// Admit the request anyway but clamp its budget to degraded_budget_ms,
+  /// so it runs a short anytime solve and returns a degraded frontier
+  /// instead of joining an unbounded backlog at full cost.
+  kDegrade,
+};
+
 /// Serving-layer policy.
 struct UdaoServiceConfig {
-  /// Optimizer policy for the service's internal Udao instance. Fixed for
+  /// Solver policy for the service's internal Udao instance. Fixed for
   /// the service lifetime -- per-request variation enters through
   /// UdaoRequest only, which is what makes cached frontiers reusable.
-  UdaoOptions udao;
+  SolverOptions udao;
   /// Workers admitting requests. This pool is deliberately distinct from the
   /// solver pool (udao.solver_threads): request tasks block in the solver
   /// pool's WaitIdle during PF fan-out, and a worker of a pool must never
@@ -28,6 +46,17 @@ struct UdaoServiceConfig {
   int admission_threads = 4;
   /// Cached frontiers kept (LRU eviction). <= 0 disables caching.
   int frontier_cache_capacity = 64;
+  /// Overload bound: requests queued or running before shedding starts.
+  /// <= 0 means unbounded (the pre-overload-control behavior). The bound is
+  /// approximate under concurrency (check-then-admit is not atomic), which
+  /// is fine: it exists to keep the backlog from growing without limit, not
+  /// to enforce an exact count.
+  int max_queue_depth = 0;
+  ShedPolicy shed_policy = ShedPolicy::kReject;
+  /// Solve budget granted to requests admitted under ShedPolicy::kDegrade,
+  /// measured from the moment a worker dequeues the request (queue wait
+  /// does not eat it). Also bounds their anytime PF run.
+  double degraded_budget_ms = 50.0;
 };
 
 /// Point-in-time request/cache counters (see UdaoService::stats()).
@@ -38,12 +67,17 @@ struct UdaoServiceStats {
   long long invalidations = 0;  ///< Entries dropped for generation staleness.
   long long evictions = 0;      ///< Entries dropped for capacity.
   long long errors = 0;         ///< Requests that returned a non-OK status.
+  long long sheds = 0;          ///< Requests hit by the overload shed policy.
+  long long degraded = 0;       ///< OK responses tagged degraded.
+  /// Requests failed with DeadlineExceeded (budget gone in queue, or solve
+  /// stopped before finding any point).
+  long long deadline_exceeded = 0;
 };
 
 /// Thread-safe serving front-end over Udao + ModelServer (the "within a few
 /// seconds" interactive loop of Fig. 1(a), made multi-tenant).
 ///
-/// Three things distinguish it from calling Udao::Optimize directly:
+/// Four things distinguish it from calling Udao::Optimize directly:
 ///
 ///  - Admission: requests run on a fixed-size ThreadPool, so any number of
 ///    client threads can call Optimize()/OptimizeAsync() concurrently while
@@ -53,13 +87,23 @@ struct UdaoServiceStats {
 ///    options) -- NOT on preference weights or the recommendation policy.
 ///    Computed frontiers are cached under an exact key of those inputs, so a
 ///    request that differs only in weights/policy re-runs just step 3
-///    (microseconds instead of seconds).
+///    (microseconds instead of seconds). Degraded (budget-truncated)
+///    frontiers are never cached: they are whatever the deadline allowed,
+///    not the deterministic function of the key that cache correctness
+///    rests on.
 ///  - Invalidation: every cache entry is tagged with the model server's
 ///    per-workload generation (bumped on Ingest and on lazy retrain /
 ///    fine-tune). The generation is read *before* models are resolved, so an
 ///    entry can only ever be tagged older -- never newer -- than the models
-///    that produced it: a stale frontier is never served, at worst one fresh
-///    frontier is recomputed spuriously.
+///    that produced it: a stale frontier is never served (outside explicit
+///    degraded mode), at worst one fresh frontier is recomputed spuriously.
+///  - Deadlines & overload control: a request may carry a Deadline /
+///    CancellationToken; the solve stack checks them once per iteration
+///    block and returns best-so-far results tagged degraded on expiry.
+///    When the admission queue exceeds max_queue_depth, the shed policy
+///    decides between rejecting, serving stale cache, and degrading. A
+///    request whose budget expired while still queued is never solved:
+///    it sheds per policy (queue-deadline enforcement).
 ///
 /// Two requests missing on the same key concurrently both compute the
 /// frontier (no single-flighting); the computation is deterministic, so both
@@ -67,9 +111,10 @@ struct UdaoServiceStats {
 ///
 /// Lifetime: the caller keeps `server`, request spaces, and any explicit
 /// request models alive for the service's lifetime. The destructor drains
-/// in-flight requests. Callbacks run on admission workers: keep them light
-/// and never call the synchronous Optimize() from inside one (it would wait
-/// for a worker slot while holding one).
+/// in-flight requests. Callbacks run on admission workers (or, for shed
+/// requests, on the calling thread): keep them light and never call the
+/// synchronous Optimize() from inside one (it would wait for a worker slot
+/// while holding one).
 class UdaoService {
  public:
   using Callback = std::function<void(StatusOr<UdaoRecommendation>)>;
@@ -79,11 +124,15 @@ class UdaoService {
 
   /// Admits the request and blocks for the result. Safe to call from any
   /// number of threads concurrently (but not from a Callback, see above).
+  /// The returned recommendation carries queue_wait_ms -- the time the
+  /// request spent waiting for an admission worker -- so callers and load
+  /// generators can tell queueing delay from solve time.
   StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
 
   /// Admits the request and returns immediately; `done` runs on an admission
-  /// worker with the result. The request is copied; the space/model pointers
-  /// inside it must outlive the call.
+  /// worker with the result (on the calling thread when the request was shed
+  /// at admission). The request is copied; the space/model pointers inside
+  /// it must outlive the call.
   void OptimizeAsync(const UdaoRequest& request, Callback done);
 
   /// Counter snapshot (approximate under concurrency: the fields are read
@@ -92,6 +141,10 @@ class UdaoService {
 
   /// Frontiers currently cached.
   int CacheSize() const;
+
+  /// Requests currently queued or running (the value the overload bound
+  /// compares against).
+  int QueueDepth() const;
 
   const UdaoServiceConfig& config() const { return config_; }
 
@@ -109,25 +162,45 @@ class UdaoService {
   /// (knob names/types/bounds/categories, so a recycled address with
   /// different content misses instead of serving the old space's frontier),
   /// per-objective (name, direction, bounds, explicit model identity), plus
-  /// the service's solver-options fingerprint. Preference weights, policy,
-  /// and slope side are deliberately absent -- they only steer step 3.
+  /// the SolverOptions fingerprint. Preference weights, policy, and slope
+  /// side are deliberately absent -- they only steer step 3. The deadline /
+  /// cancellation token are absent too: a budget changes how much of the
+  /// frontier gets computed, not which frontier the key denotes, and
+  /// budget-truncated results are never inserted.
   std::string CacheKey(const UdaoRequest& request) const;
 
-  /// The whole request path; runs on an admission worker.
-  StatusOr<UdaoRecommendation> Handle(const UdaoRequest& request);
+  /// The whole request path; runs on an admission worker. `queue_wait_ms`
+  /// is surfaced in the returned recommendation.
+  StatusOr<UdaoRecommendation> Handle(const UdaoRequest& request,
+                                      double queue_wait_ms);
 
   /// Cache lookup incl. staleness check; fills problem/frontier on a hit.
   bool Lookup(const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem>* problem,
               std::shared_ptr<const PfResult>* frontier);
+  /// Generation-blind lookup for ShedPolicy::kServeStaleCache.
+  bool LookupAnyGeneration(const std::string& key,
+                           std::shared_ptr<const MooProblem>* problem,
+                           std::shared_ptr<const PfResult>* frontier);
   void Insert(const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem> problem,
               std::shared_ptr<const PfResult> frontier);
 
+  /// kServeStaleCache fallback: recommend from whatever is cached under
+  /// `key`, any generation, tagged degraded. Unavailable when nothing is.
+  StatusOr<UdaoRecommendation> ServeStale(const UdaoRequest& request,
+                                          const std::string& key,
+                                          double queue_wait_ms);
+
+  /// Response-side bookkeeping shared by every delivery path (worker,
+  /// shed-at-admission): errors / degraded / deadline_exceeded counters.
+  void AccountResponse(const StatusOr<UdaoRecommendation>& response);
+
   ModelServer* server_;
   UdaoServiceConfig config_;
   Udao udao_;
-  /// Constant over the service lifetime; precomputed CacheKey() suffix.
+  /// Constant over the service lifetime; precomputed CacheKey() suffix
+  /// (the canonical SolverOptions byte serialization).
   std::string options_fingerprint_;
 
   /// Guards lru_ + cache_ only; never held while solving or recommending.
@@ -141,6 +214,11 @@ class UdaoService {
   std::atomic<long long> invalidations_{0};
   std::atomic<long long> evictions_{0};
   std::atomic<long long> errors_{0};
+  std::atomic<long long> sheds_{0};
+  std::atomic<long long> degraded_{0};
+  std::atomic<long long> deadline_exceeded_{0};
+  /// Requests admitted but not yet answered (queued + running).
+  std::atomic<int> queue_depth_{0};
 
   /// MUST be the last member: ~ThreadPool drains queued/in-flight Handle
   /// tasks, which lock mu_ and touch the cache and counters above. Members

@@ -2,11 +2,38 @@
 
 #include <chrono>
 
+#include "common/byte_key.h"
 #include "common/check.h"
 #include "model/analytic_models.h"
 #include "workload/trace_gen.h"
 
 namespace udao {
+
+void SolverOptions::AppendFingerprint(std::string* out) const {
+  AppendPod(out, pf.parallel);
+  AppendPod(out, pf.grid_per_dim);
+  AppendPod(out, pf.use_exhaustive);
+  AppendPod(out, pf.exhaustive_budget);
+  AppendPod(out, pf.max_probes);
+  AppendPod(out, pf.fifo_queue);
+  AppendPod(out, pf.mogd.multistart);
+  AppendPod(out, pf.mogd.max_iters);
+  AppendPod(out, pf.mogd.learning_rate);
+  AppendPod(out, pf.mogd.alpha);
+  AppendPod(out, pf.mogd.batched);
+  AppendPod(out, pf.mogd.seed);
+  AppendPod(out, frontier_points);
+  AppendPod(out, workload_aware);
+  AppendPod(out, uncertainty_alpha);
+}
+
+std::string SolverOptions::Fingerprint() const {
+  std::string out;
+  AppendFingerprint(&out);
+  return out;
+}
+
+std::string SolverOptions::FingerprintHex() const { return ToHex(Fingerprint()); }
 
 Udao::Udao(ModelServer* server, UdaoOptions options)
     : server_(server), options_(options) {
@@ -138,6 +165,7 @@ StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
   }
   rec.frontier = frontier;
   rec.weights_used = weights;
+  rec.degraded = frontier.degraded;
   rec.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -146,13 +174,22 @@ StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
 
 StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  const StopToken stop = request.Stop();
+  if (request.cancel.IsCancelled()) {
+    return Status::DeadlineExceeded("request cancelled before solving");
+  }
   StatusOr<std::vector<ObjectiveSpec>> objectives = ResolveObjectives(request);
   if (!objectives.ok()) return objectives.status();
   MooProblem problem(request.space, std::move(*objectives));
 
-  // Compute the Pareto frontier (step 2).
+  // Compute the Pareto frontier (step 2). With a stop token armed this is
+  // anytime: expiry mid-run yields the best-so-far frontier, degraded.
   ProgressiveFrontier pf(&problem, options_.pf);
-  const PfResult& frontier = pf.Run(options_.frontier_points);
+  const PfResult& frontier = pf.Run(options_.frontier_points, stop);
+  if (frontier.degraded && frontier.frontier.empty()) {
+    return Status::DeadlineExceeded(
+        "budget expired before any Pareto point was found");
+  }
 
   StatusOr<UdaoRecommendation> rec = Recommend(request, problem, frontier);
   if (!rec.ok()) return rec.status();

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "model/model_server.h"
 #include "moo/progressive_frontier.h"
@@ -48,6 +49,21 @@ struct UdaoRequest {
   RecommendPolicy policy = RecommendPolicy::kWun;
   /// Reference anchor for the kKnee / kSlope policies.
   SlopeSide slope_side = SlopeSide::kLeft;
+
+  /// Time budget for the whole request, queue wait included. Default: none.
+  /// On expiry the solve stops at its next amortized check and returns the
+  /// best-so-far frontier tagged `degraded` (PF's anytime property) rather
+  /// than erroring -- unless nothing was computed yet, in which case the
+  /// request fails with DeadlineExceeded. Neither field enters the serving
+  /// cache key: budgets change *how much* of the frontier gets computed, not
+  /// which frontier, and degraded results are never cached.
+  Deadline deadline;
+  /// Cooperative cancellation (e.g. the client disconnected). The default
+  /// token never cancels and costs nothing to check.
+  CancellationToken cancel;
+
+  /// The combined stop signal solvers check.
+  StopToken Stop() const { return StopToken(deadline, cancel); }
 };
 
 /// The optimizer's answer: a configuration plus the frontier that justified
@@ -59,10 +75,24 @@ struct UdaoRecommendation {
   PfResult frontier;             ///< The Pareto frontier used.
   Vector weights_used;           ///< Final (combined) WUN weights.
   double seconds = 0;            ///< End-to-end optimization time.
+  /// True when the answer is best-effort rather than complete: the frontier
+  /// stopped early on a deadline/cancellation, or the serving layer fell
+  /// back to a stale cached frontier under its shed policy. The
+  /// configuration is still real and feasible -- it just came from a
+  /// frontier that explored less of the trade-off space.
+  bool degraded = false;
+  /// Milliseconds the request sat in the serving admission queue before a
+  /// worker picked it up. 0 when Udao is called directly (no queue).
+  double queue_wait_ms = 0;
 };
 
-/// Optimizer policy.
-struct UdaoOptions {
+/// Solver policy: everything that determines what step 2 (Progressive
+/// Frontier) computes plus how step 3 recommends from it. One struct, nested
+/// -- SolverOptions holds the PfConfig which holds the MogdConfig -- with
+/// ONE canonical byte-serialization (AppendFingerprint) consumed by both the
+/// serving cache key and the bench reports' config field, so the two can
+/// never drift apart field-by-field.
+struct SolverOptions {
   PfConfig pf = [] {
     PfConfig cfg;
     cfg.parallel = true;  // PF-AP is the production default (Section IV-C)
@@ -85,7 +115,23 @@ struct UdaoOptions {
   /// call (pf.mogd.pool, when already set by the caller, wins). <= 1 runs
   /// solves inline.
   int solver_threads = 4;
+
+  /// Canonical byte-serialization of every field that can change what the
+  /// solver computes: the full nested PF + MOGD configuration and the
+  /// recommendation-stage policy fields. Deliberately excluded: the MOGD
+  /// pool pointer and solver_threads (threading never changes solutions).
+  /// Append-only framing via common/byte_key.h, so equal fingerprints mean
+  /// equal solver behavior.
+  void AppendFingerprint(std::string* out) const;
+  std::string Fingerprint() const;
+  /// Fingerprint() in lowercase hex, for JSON bench-report config fields.
+  std::string FingerprintHex() const;
 };
+
+/// Historic name from before the options consolidation; the service/bench
+/// layers still spell it both ways (same precedent as MooObjective ->
+/// ObjectiveSpec).
+using UdaoOptions = SolverOptions;
 
 /// UDAO: the Spark-based Unified Data Analytics Optimizer (Fig. 1(a)).
 ///

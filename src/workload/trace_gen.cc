@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "model/gp_model.h"
 
 namespace udao {
@@ -145,15 +146,17 @@ std::vector<TraceRecord> CollectBatchTraces(const SparkEngine& engine,
     traces.push_back(trace);
     if (server != nullptr) {
       const Vector enc = space.Encode(raw);
-      server->Ingest(workload.id, objectives::kLatency, enc,
-                     metrics.latency_s);
-      server->Ingest(workload.id, objectives::kCostCores, enc,
-                     CostInCores(raw));
-      server->Ingest(workload.id, objectives::kCostCpuHour, enc,
-                     CostInCpuHours(metrics.latency_s, raw));
-      server->Ingest(workload.id, objectives::kCost2, enc,
-                     Cost2(metrics.latency_s, metrics, raw));
-      server->IngestMetrics(workload.id, metrics);
+      // Generated traces are well-formed by construction; a rejection here
+      // is a bug in the generator, so crash loudly.
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kLatency, enc,
+                                   metrics.latency_s));
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kCostCores, enc,
+                                   CostInCores(raw)));
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kCostCpuHour, enc,
+                                   CostInCpuHours(metrics.latency_s, raw)));
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kCost2, enc,
+                                   Cost2(metrics.latency_s, metrics, raw)));
+      UDAO_CHECK_OK(server->IngestMetrics(workload.id, metrics));
     }
   }
   return traces;
@@ -171,13 +174,13 @@ std::vector<TraceRecord> CollectStreamTraces(
     traces.push_back(trace);
     if (server != nullptr) {
       const Vector enc = space.Encode(raw);
-      server->Ingest(workload.id, objectives::kLatency, enc,
-                     result.record_latency_s);
-      server->Ingest(workload.id, objectives::kThroughput, enc,
-                     result.throughput_krps);
-      server->Ingest(workload.id, objectives::kCostCores, enc,
-                     StreamConf::FromRaw(raw).TotalCores());
-      server->IngestMetrics(workload.id, result.metrics);
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kLatency, enc,
+                                   result.record_latency_s));
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kThroughput, enc,
+                                   result.throughput_krps));
+      UDAO_CHECK_OK(server->Ingest(workload.id, objectives::kCostCores, enc,
+                                   StreamConf::FromRaw(raw).TotalCores()));
+      UDAO_CHECK_OK(server->IngestMetrics(workload.id, result.metrics));
     }
   }
   return traces;

@@ -6,6 +6,7 @@
 // state or consumed a shared RNG out of order.
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "spark/engine.h"
 #include "tuning/udao.h"
@@ -86,6 +87,29 @@ TEST_F(DeterminismTest, RerunWithSameSeedsIsBitwiseIdentical) {
   const UdaoRecommendation first = OptimizeWithThreads(4);
   const UdaoRecommendation second = OptimizeWithThreads(4);
   ExpectBitwiseEqual(first, second);
+}
+
+TEST_F(DeterminismTest, GenerousDeadlineDoesNotPerturbResults) {
+  // The deadline plumbing must be pure overhead until it fires: a request
+  // carrying a far-future deadline and a live (never-cancelled) token takes
+  // exactly the same path through PF/MOGD as one with the default tokens,
+  // and returns the bitwise-identical recommendation, untagged.
+  const UdaoRecommendation plain = OptimizeWithThreads(4);
+
+  UdaoOptions options;
+  options.pf.mogd.multistart = 4;
+  options.pf.mogd.max_iters = 60;
+  options.solver_threads = 4;
+  options.frontier_points = 10;
+  Udao optimizer(server_.get(), options);
+  UdaoRequest request = Request();
+  CancellationSource source;  // stays un-cancelled for the whole solve
+  request.deadline = Deadline::AfterMs(1e9);
+  request.cancel = source.token();
+  auto budgeted = optimizer.Optimize(request);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  EXPECT_FALSE(budgeted->degraded);
+  ExpectBitwiseEqual(plain, *budgeted);
 }
 
 }  // namespace

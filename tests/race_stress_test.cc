@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics_registry.h"
 #include "common/thread_pool.h"
 #include "json_lite.h"
@@ -400,6 +401,52 @@ TEST(RaceStressTest, ServiceDestructionWithInflightRequests) {
     }  // destructor drains while requests are in flight
     EXPECT_EQ(delivered.load(), kRequests);
   }
+}
+
+// Cancellation racing completion: a batch of async requests shares one
+// CancellationSource, and a separate thread fires Cancel() while they are in
+// every possible state -- queued, mid-solve, already finished. TSan attacks
+// the token's atomic against the solver loops' reads; in any build, every
+// request must resolve exactly once into either a valid frontier or an
+// explicit DeadlineExceeded -- a cancelled request never hangs and never
+// reports success with an empty frontier.
+TEST(RaceStressTest, CancellationRacingCompletion) {
+  ModelServer server;
+  UdaoServiceConfig cfg;
+  cfg.udao.pf.mogd.multistart = 2;
+  cfg.udao.pf.mogd.max_iters = 30;
+  cfg.udao.solver_threads = 2;
+  cfg.udao.frontier_points = 6;
+  cfg.admission_threads = 2;
+  cfg.frontier_cache_capacity = 0;  // every request really runs the solver
+
+  const MooProblem problem = testing_problems::ConvexProblem();
+  constexpr int kRequests = 12;
+  std::atomic<int> delivered{0};
+  std::atomic<int> bad_responses{0};
+  CancellationSource source;
+  {
+    UdaoService service(&server, cfg);
+    for (int i = 0; i < kRequests; ++i) {
+      UdaoRequest request;
+      request.workload_id = "w";
+      request.space = &testing_problems::UnitSpace2();
+      request.objectives = {problem.objective(0), problem.objective(1)};
+      request.objectives[0].upper = 10.0 - 0.25 * i;  // distinct keys
+      request.cancel = source.token();
+      service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
+        const bool valid_success = r.ok() && !r->frontier.frontier.empty();
+        const bool explicit_stop =
+            !r.ok() && r.status().code() == StatusCode::kDeadlineExceeded;
+        if (!valid_success && !explicit_stop) bad_responses.fetch_add(1);
+        delivered.fetch_add(1);
+      });
+    }
+    std::thread canceller([&source] { source.Cancel(); });
+    canceller.join();
+  }  // destructor drains whatever the cancellation did not cut short
+  EXPECT_EQ(delivered.load(), kRequests);
+  EXPECT_EQ(bad_responses.load(), 0);
 }
 
 // --------------------------------------------------------- MetricsRegistry

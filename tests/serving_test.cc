@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/random.h"
 #include "serving/udao_service.h"
 #include "test_problems.h"
@@ -286,6 +287,134 @@ TEST(UdaoServiceTest, DestructorDrainsInflightAsyncRequests) {
   }  // destructor runs with most requests still queued
   EXPECT_EQ(delivered.load(), kRequests);
   EXPECT_EQ(ok.load(), kRequests);
+}
+
+TEST(UdaoServiceTest, ModelFailureUnderStalePolicyServesCachedFrontier) {
+  // Server-resolved models, so the "model_server.get_model" fault site sits
+  // on this request's resolve path.
+  ModelServerConfig cfg;
+  cfg.kind = ModelKind::kGp;
+  cfg.gp.hyper_opt_steps = 5;
+  ModelServer server(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 24; ++i) {
+    const Vector x = {rng.Uniform(), rng.Uniform()};
+    server.Ingest("w", "lat", x, 1.0 + x[0] + x[1]);
+  }
+
+  UdaoServiceConfig config = FastServiceConfig();
+  config.shed_policy = ShedPolicy::kServeStaleCache;
+  UdaoService service(&server, config);
+  UdaoRequest request = ConvexRequest();
+  request.objectives[0] = ObjectiveSpec{.name = "lat"};  // server-resolved
+
+  ASSERT_TRUE(service.Optimize(request).ok());  // miss; resolve trains
+  ASSERT_TRUE(service.Optimize(request).ok());  // spurious miss (gen moved)
+  ASSERT_TRUE(service.Optimize(request).ok());  // hit; cache is current now
+
+  // A new trace bumps the generation, and the model server faults before
+  // the forced recompute can resolve its objectives. The stale policy falls
+  // back to the previous-generation frontier, explicitly tagged degraded,
+  // instead of failing the request.
+  server.Ingest("w", "lat", {0.25, 0.75}, 1.6);
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().FailNext("model_server.get_model",
+                                   Status::Unavailable("injected"), 1);
+  auto stale = service.Optimize(request);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_TRUE(stale->degraded);
+  EXPECT_FALSE(stale->frontier.frontier.empty());
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.degraded, 1);
+  EXPECT_EQ(s.errors, 0);
+
+  // With the fault gone, the next request recomputes against the new
+  // generation and serves a normal (non-degraded) result again.
+  auto recovered = service.Optimize(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->degraded);
+}
+
+TEST(UdaoServiceTest, QueueWaitTimeIsSurfacedInMetadata) {
+  ModelServer server;
+  UdaoServiceConfig config = FastServiceConfig();
+  config.admission_threads = 1;  // one worker: the second request must queue
+  UdaoService service(&server, config);
+
+  // Stall the first request's solve so the second demonstrably waits.
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().DelayNext("pf.probe", 60.0, 1);
+  service.OptimizeAsync(ConvexRequest(), [](StatusOr<UdaoRecommendation>) {});
+  // Distinct key: the waiter cannot ride the first request's cache entry.
+  UdaoRequest second = ConvexRequest();
+  second.objectives[0].upper = 0.9;
+  auto rec = service.Optimize(second);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GT(rec->queue_wait_ms, 5.0);
+  EXPECT_FALSE(rec->degraded);
+}
+
+TEST(UdaoServiceTest, FullQueueWithRejectPolicyShedsExplicitly) {
+  ModelServer server;
+  UdaoServiceConfig config = FastServiceConfig();
+  config.admission_threads = 1;
+  config.max_queue_depth = 1;
+  config.shed_policy = ShedPolicy::kReject;
+  UdaoService service(&server, config);
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().DelayNext("pf.probe", 100.0, 1);
+  std::atomic<int> delivered{0};
+  service.OptimizeAsync(ConvexRequest(), [&](StatusOr<UdaoRecommendation> r) {
+    EXPECT_TRUE(r.ok());
+    delivered.fetch_add(1);
+  });
+  // Depth is already 1 (counted at admission), so this request is shed on
+  // the caller thread with an explicit error -- it never queues.
+  auto shed = service.Optimize(ConvexRequest());
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, 2);
+  EXPECT_EQ(s.sheds, 1);
+  EXPECT_EQ(s.errors, 1);
+
+  // Scope exit drains the stalled request; clear the injector afterwards.
+  FaultInjector::Global().Reset();
+}
+
+TEST(UdaoServiceTest, FullQueueWithDegradePolicyStillAnswers) {
+  ModelServer server;
+  UdaoServiceConfig config = FastServiceConfig();
+  config.admission_threads = 1;
+  config.max_queue_depth = 1;
+  config.shed_policy = ShedPolicy::kDegrade;
+  config.degraded_budget_ms = 1.0;
+  config.frontier_cache_capacity = 0;  // every request really solves
+  UdaoService service(&server, config);
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().DelayNext("pf.probe", 80.0, 1);
+  service.OptimizeAsync(ConvexRequest(), [](StatusOr<UdaoRecommendation>) {});
+  // Overflow request is admitted anyway, but its budget is clamped to
+  // degraded_budget_ms at dequeue: it must come back quickly as either a
+  // valid (possibly truncated) frontier or an explicit deadline error --
+  // never be silently rejected, never run unbounded.
+  auto rec = service.Optimize(ConvexRequest());
+  FaultInjector::Global().Reset();
+  if (rec.ok()) {
+    EXPECT_FALSE(rec->frontier.frontier.empty());
+  } else {
+    EXPECT_EQ(rec.status().code(), StatusCode::kDeadlineExceeded);
+  }
+
+  const UdaoServiceStats s = service.stats();
+  EXPECT_EQ(s.requests, 2);
+  EXPECT_EQ(s.sheds, 1);
 }
 
 TEST(UdaoServiceTest, AsyncCallbackDeliversTheResult) {

@@ -19,6 +19,10 @@
 //      macros' abort path writes to stderr.
 //   5. Include guards named UDAO_<PATH>_H_ after the file's path under src/,
 //      so guards can never collide as files move or get copied.
+//   6. No unbounded waits in src/serving/ -- ThreadPool::WaitIdle and plain
+//      condition_variable::wait can stall a serving thread forever; the
+//      serving layer owes every request a bounded-time answer, so waits
+//      there must use a deadline overload (wait_for / wait_until).
 //
 // Usage: udao_lint <src-dir>
 // Exits nonzero and prints one "file:line: rule: detail" per finding.
@@ -56,6 +60,11 @@ bool IsRandomFile(const std::string& rel) {
 // Designated reporting files: the CHECK macros print before aborting.
 bool IsReportingFile(const std::string& rel) {
   return rel == "common/check.h";
+}
+
+// Scope predicate for rules that only apply under one subtree.
+bool IsServingFile(const std::string& rel) {
+  return rel.rfind("serving/", 0) == 0;
 }
 
 // True if the '"' at `i` opens a raw string literal: it follows an R, uR,
@@ -168,11 +177,14 @@ std::vector<std::string> SplitLines(const std::string& text) {
 }
 
 // One token rule: any regex match on a (comment-stripped) line is a finding.
+// `exempt` skips specific files; `applies` (when set) limits the rule to a
+// subtree -- files where it returns false are never scanned for this rule.
 struct TokenRule {
   std::string name;
   std::regex pattern;
   std::string detail;
   bool (*exempt)(const std::string& rel);
+  bool (*applies)(const std::string& rel) = nullptr;
 };
 
 const std::vector<TokenRule>& Rules() {
@@ -195,6 +207,14 @@ const std::vector<TokenRule>& Rules() {
        "library code reports through udao::Status; stdout/stderr writes "
        "belong to tools/, bench/, and the CHECK abort path",
        &IsReportingFile},
+      // "wait_for"/"wait_until" never match: the regex requires '(' (after
+      // optional spaces) right behind "wait", and '_' is a word character.
+      {"unbounded-wait",
+       std::regex(R"(\bWaitIdle\s*\(|\.\s*wait\s*\()"),
+       "serving code owes every request a bounded-time answer; use a "
+       "deadline overload (wait_for/wait_until, or poll with a budget) so "
+       "an overloaded or wedged dependency cannot wedge a serving thread",
+       nullptr, &IsServingFile},
   };
   return *rules;
 }
@@ -241,6 +261,7 @@ void LintFile(const fs::path& path, const std::string& rel,
 
   for (const TokenRule& rule : Rules()) {
     if (rule.exempt != nullptr && rule.exempt(rel)) continue;
+    if (rule.applies != nullptr && !rule.applies(rel)) continue;
     for (size_t i = 0; i < lines.size(); ++i) {
       // static_assert never matches the assert rule: its regex requires the
       // char before "assert" to be outside [\w.:>], and '_' is a word char.
