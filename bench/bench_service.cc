@@ -14,13 +14,22 @@
 // at p99, and every single response must be either a valid (non-empty,
 // mutually non-dominated) frontier or an explicit DeadlineExceeded /
 // Unavailable error -- never a silent overrun.
+// A third scenario drives multi-tenant traffic: 64 closed-loop clients whose
+// tenants are drawn zipfian, replayed twice on identical schedules -- once
+// with per-request solves, once with cross-request coalescing -- gating both
+// the throughput ratio and bitwise identity of every frontier.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/random.h"
 #include "serving/udao_service.h"
+#include "tuning/udao.h"
 #include "workload/trace_gen.h"
 
 #include "bench_util.h"
@@ -161,7 +170,7 @@ int main(int argc, char** argv) {
     UdaoRequest dreq = request;
     const double wl = 0.1 + 0.8 * i / std::max(1, deadline_requests - 1);
     dreq.preference_weights = {wl, 1.0 - wl};
-    dreq.deadline = Deadline::AfterMs(budget_ms);
+    dreq.options.deadline = Deadline::AfterMs(budget_ms);
     t0 = std::chrono::steady_clock::now();
     auto rec = deadline_service.Optimize(dreq);
     latencies_ms.push_back(MsSince(t0));
@@ -202,6 +211,172 @@ int main(int argc, char** argv) {
                  "deadline overrun: p99 %.1f ms exceeds 1.2x the %.1f ms "
                  "budget\n",
                  p99, budget_ms);
+    return 1;
+  }
+
+  // --- Multi-tenant scenario: zipfian traffic, coalesced vs per-request. ---
+  // 64 closed-loop clients, each issuing its schedule of (tenant, weights)
+  // requests through Submit().Wait(). Tenants share the workload's resolved
+  // objective models (one physical model, many request streams), so their
+  // concurrent CO subproblems are fusable; distinct workload ids still route
+  // to distinct cache shards. The cache is disabled so every request pays a
+  // real solve -- the measured ratio is pure solve throughput. The identical
+  // schedule is replayed against a per-request-solve service and a coalescing
+  // one; every frontier must match bitwise and the coalesced run must clear
+  // the throughput gate.
+  std::printf("\n=== multi-tenant scenario: 64 zipfian clients, coalesced vs "
+              "per-request solves ===\n\n");
+  const int clients = 64;
+  const int per_client = QuickScaled(3, 1);
+  const int tenants = 6;
+
+  UdaoServiceConfig mtcfg;
+  mtcfg.udao = BenchSolverOptions();
+  mtcfg.udao.frontier_points = QuickScaled(10, 5);
+  mtcfg.udao.pf.mogd.max_iters = 60;
+  mtcfg.frontier_cache_capacity = 0;
+  mtcfg.admission_threads = clients;
+  mtcfg.coalesce_max_batch = 64;
+  mtcfg.coalesce_max_wait_us = 300.0;
+
+  // Resolve the workload's objectives once and hand every tenant the same
+  // model instances; tenants are request streams, not separate models.
+  Udao resolver(bp.server.get(), mtcfg.udao);
+  UdaoRequest proto = request;
+  proto.preference_weights = {0.5, 0.5};
+  auto resolved = resolver.ResolveObjectives(proto);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "objective resolution failed: %s\n",
+                 resolved.status().ToString().c_str());
+    return 1;
+  }
+
+  // Each tenant carries its own latency SLO: an upper bound placed inside
+  // the trade-off span learned from one unconstrained pre-pass solve, so
+  // tenants pose genuinely different frontier problems (same models,
+  // different constraint boxes) rather than cosmetic copies of one solve.
+  Udao prepass(bp.server.get(), mtcfg.udao);
+  UdaoRequest span_probe = proto;
+  span_probe.objectives = *resolved;
+  auto span_rec = prepass.Optimize(span_probe);
+  if (!span_rec.ok()) {
+    std::fprintf(stderr, "pre-pass solve failed: %s\n",
+                 span_rec.status().ToString().c_str());
+    return 1;
+  }
+  const double lat_lo = span_rec->frontier.utopia[0];
+  const double lat_hi = span_rec->frontier.nadir[0];
+  std::vector<double> tenant_slo(tenants);
+  for (int t = 0; t < tenants; ++t) {
+    // From a tight-but-feasible 60% of the span up to unconstrained.
+    const double f = 0.6 + 0.4 * t / std::max(1, tenants - 1);
+    tenant_slo[t] = lat_lo + f * (lat_hi - lat_lo);
+  }
+
+  // Zipf(1.1) tenant schedule, fixed up front so both replays see the exact
+  // same traffic.
+  std::vector<double> zipf_cdf(tenants);
+  double zmass = 0.0;
+  for (int t = 0; t < tenants; ++t) {
+    zmass += 1.0 / std::pow(static_cast<double>(t + 1), 1.1);
+    zipf_cdf[t] = zmass;
+  }
+  Rng zrng(9001);
+  std::vector<int> tenant_of(static_cast<size_t>(clients) * per_client);
+  for (int& t : tenant_of) {
+    const double u = zrng.Uniform(0.0, zmass);
+    t = static_cast<int>(std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+                         zipf_cdf.begin());
+  }
+
+  auto replay = [&](bool coalesce, std::vector<UdaoRecommendation>* out,
+                    std::vector<double>* lat_ms, double* wall) -> int {
+    UdaoServiceConfig c = mtcfg;
+    c.coalesce_solves = coalesce;
+    UdaoService mt(bp.server.get(), c);
+    out->assign(tenant_of.size(), UdaoRecommendation{});
+    lat_ms->assign(tenant_of.size(), 0.0);
+    std::vector<int> failures(clients, 0);
+    const auto w0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (int cthread = 0; cthread < clients; ++cthread) {
+      pool.emplace_back([&, cthread] {
+        for (int i = 0; i < per_client; ++i) {
+          const size_t slot = static_cast<size_t>(cthread) * per_client + i;
+          UdaoRequest req;
+          req.workload_id = "tenant" + std::to_string(tenant_of[slot]);
+          req.space = &BatchParamSpace();
+          req.objectives = *resolved;
+          req.objectives[0].upper = tenant_slo[tenant_of[slot]];
+          const double wl = 0.1 + 0.8 * (slot % 9) / 8.0;
+          req.preference_weights = {wl, 1.0 - wl};
+          const auto r0 = std::chrono::steady_clock::now();
+          auto rec = mt.Submit(req).Wait();
+          (*lat_ms)[slot] = MsSince(r0);
+          if (!rec.ok() || rec->degraded || rec->frontier.frontier.empty()) {
+            ++failures[cthread];
+            continue;
+          }
+          (*out)[slot] = std::move(*rec);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    *wall = MsSince(w0);
+    int failed = 0;
+    for (int f : failures) failed += f;
+    return failed;
+  };
+
+  std::vector<UdaoRecommendation> solo_recs, co_recs;
+  std::vector<double> solo_lat, co_lat;
+  double solo_wall = 0.0, co_wall = 0.0;
+  const int solo_failed = replay(false, &solo_recs, &solo_lat, &solo_wall);
+  const int co_failed = replay(true, &co_recs, &co_lat, &co_wall);
+  if (solo_failed != 0 || co_failed != 0) {
+    std::fprintf(stderr, "multi-tenant failures: %d solo, %d coalesced\n",
+                 solo_failed, co_failed);
+    return 1;
+  }
+
+  // Bitwise identity: with no deadline set, coalescing must not change a
+  // single bit of any request's frontier or recommendation.
+  for (size_t i = 0; i < solo_recs.size(); ++i) {
+    const auto& a = solo_recs[i].frontier.frontier;
+    const auto& b = co_recs[i].frontier.frontier;
+    bool same = a.size() == b.size() &&
+                solo_recs[i].conf_raw == co_recs[i].conf_raw;
+    for (size_t p = 0; same && p < a.size(); ++p) {
+      same = a[p].conf_encoded == b[p].conf_encoded &&
+             a[p].objectives == b[p].objectives;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "request %zu: coalesced frontier differs from solo\n", i);
+      return 1;
+    }
+  }
+
+  const size_t total_requests = tenant_of.size();
+  std::vector<double> co_sorted = co_lat;
+  std::sort(co_sorted.begin(), co_sorted.end());
+  const double co_p99 =
+      co_sorted[static_cast<size_t>(0.99 * (co_sorted.size() - 1))];
+  const double ratio = co_wall > 0 ? solo_wall / co_wall : 0.0;
+  std::printf("%zu requests from %d clients over %d tenants:\n",
+              total_requests, clients, tenants);
+  std::printf("  per-request solves: %.0f ms wall (%.1f req/s)\n", solo_wall,
+              1e3 * total_requests / solo_wall);
+  std::printf("  coalesced solves:   %.0f ms wall (%.1f req/s), p99 %.0f ms\n",
+              co_wall, 1e3 * total_requests / co_wall, co_p99);
+  std::printf("  throughput ratio: %.2fx (frontiers bitwise-identical)\n",
+              ratio);
+  const double ratio_floor = o.quick ? 1.2 : 2.0;
+  if (ratio < ratio_floor) {
+    std::fprintf(stderr,
+                 "coalescing throughput ratio %.2fx below the %.1fx floor\n",
+                 ratio, ratio_floor);
     return 1;
   }
   return 0;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace udao {
 
@@ -74,18 +75,36 @@ class CancellationToken {
   /// Default: never cancelled (no allocation, no atomic load on checks).
   CancellationToken() = default;
 
-  bool CanBeCancelled() const { return flag_ != nullptr; }
+  bool CanBeCancelled() const { return !flags_.empty(); }
 
   bool IsCancelled() const {
-    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+    for (const auto& flag : flags_) {
+      if (flag->load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  /// A token cancelled when EITHER input is: the serving ticket API composes
+  /// its per-request CancellationSource with a caller-supplied token this
+  /// way. The result observes the union of both tokens' flags (flattened, so
+  /// nesting Any does not build towers of indirection); combining with a
+  /// default token is the identity.
+  static CancellationToken Any(const CancellationToken& a,
+                               const CancellationToken& b) {
+    if (a.flags_.empty()) return b;
+    if (b.flags_.empty()) return a;
+    CancellationToken out = a;
+    out.flags_.insert(out.flags_.end(), b.flags_.begin(), b.flags_.end());
+    return out;
   }
 
  private:
   friend class CancellationSource;
-  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
-      : flag_(std::move(flag)) {}
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag) {
+    flags_.push_back(std::move(flag));
+  }
 
-  std::shared_ptr<std::atomic<bool>> flag_;
+  std::vector<std::shared_ptr<std::atomic<bool>>> flags_;
 };
 
 class CancellationSource {

@@ -103,7 +103,9 @@ std::shared_ptr<ObjectiveModel> MakeAnalyticBatchLatencyModel(
   return model;
 }
 
-std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
+namespace {
+
+std::shared_ptr<ObjectiveModel> BuildCostCoresModel() {
   const ParamSpace& space = BatchParamSpace();
   const int dim = space.EncodedDim();
   auto fn = [&space](const Vector& x) {
@@ -147,7 +149,7 @@ std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
   return model;
 }
 
-std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
+std::shared_ptr<ObjectiveModel> BuildStreamCostCoresModel() {
   const ParamSpace& space = StreamParamSpace();
   const int dim = space.EncodedDim();
   // Stream space layout: executor instances at knob 4, cores/executor at 5.
@@ -188,6 +190,25 @@ std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
         }
       });
   return model;
+}
+
+}  // namespace
+
+std::shared_ptr<ObjectiveModel> MakeCostCoresModel() {
+  // One process-wide instance: the model is stateless and every request that
+  // asks for cost-in-cores means the same function, so sharing the instance
+  // (a) skips a per-request allocation and (b) gives all such requests the
+  // same FuseIdentity, which is what lets the solve coalescer fuse their CO
+  // subproblems into one batched evaluation stream.
+  static const std::shared_ptr<ObjectiveModel> kShared = BuildCostCoresModel();
+  return kShared;
+}
+
+std::shared_ptr<ObjectiveModel> MakeStreamCostCoresModel() {
+  // Shared for the same reasons as MakeCostCoresModel above.
+  static const std::shared_ptr<ObjectiveModel> kShared =
+      BuildStreamCostCoresModel();
+  return kShared;
 }
 
 std::shared_ptr<ObjectiveModel> MakeCpuHourModel(

@@ -35,7 +35,7 @@ Status ModelServer::Ingest(const std::string& workload_id,
   entry.data.x.push_back(encoded_conf);
   entry.data.y.push_back(value);
   ++entry.pending;
-  ++generations_[workload_id];
+  BumpGeneration(workload_id);
   UDAO_METRIC_COUNTER_ADD("udao.model.ingests", 1);
   return Status::Ok();
 }
@@ -97,7 +97,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     if (!model.ok()) return model.status();
     entry.model = *model;
     entry.pending = 0;
-    ++generations_[workload_id];
+    BumpGeneration(workload_id);
   } else if (entry.pending >= config_.finetune_threshold) {
     UDAO_TRACE_SPAN("model.finetune");
     UDAO_METRIC_COUNTER_ADD("udao.model.finetune", 1);
@@ -119,7 +119,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
       entry.model = *model;
     }
     entry.pending = 0;
-    ++generations_[workload_id];
+    BumpGeneration(workload_id);
   } else {
     // Served straight from the trained snapshot: the cache-hit path that
     // keeps GetModel off the few-seconds MOO budget.
@@ -176,10 +176,23 @@ int ModelServer::NumTraces(const std::string& workload_id,
   return static_cast<int>(it->second.data.x.size());
 }
 
+ModelServer::GenerationShard& ModelServer::GenerationShardFor(
+    const std::string& workload_id) const {
+  const size_t h = std::hash<std::string>{}(workload_id);
+  return generation_shards_[h % kGenerationShards];
+}
+
+void ModelServer::BumpGeneration(const std::string& workload_id) {
+  GenerationShard& shard = GenerationShardFor(workload_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.generations[workload_id];
+}
+
 uint64_t ModelServer::Generation(const std::string& workload_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = generations_.find(workload_id);
-  return it == generations_.end() ? 0 : it->second;
+  GenerationShard& shard = GenerationShardFor(workload_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.generations.find(workload_id);
+  return it == shard.generations.end() ? 0 : it->second;
 }
 
 }  // namespace udao

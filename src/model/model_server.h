@@ -1,7 +1,9 @@
 #ifndef UDAO_MODEL_MODEL_SERVER_H_
 #define UDAO_MODEL_MODEL_SERVER_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -119,6 +121,12 @@ class ModelServer {
   /// were computed under and compare against this to detect staleness in one
   /// cheap map lookup -- no model access, no training. Starts at 0 for
   /// workloads never seen.
+  ///
+  /// Reads take only the workload's generation shard lock, NEVER mu_: the
+  /// serving warm path probes this per request, and making it wait behind a
+  /// training run (which holds mu_ for seconds) would turn every cache hit
+  /// into a cold-path stall. Different workloads hash to different shards,
+  /// so tenants do not contend on each other's staleness probes either.
   uint64_t Generation(const std::string& workload_id) const;
 
   const ModelServerConfig& config() const { return config_; }
@@ -134,14 +142,28 @@ class ModelServer {
   StatusOr<std::shared_ptr<const ObjectiveModel>> TrainFresh(
       const DataSet& data);
 
+  /// Generation counters live outside mu_ in a small sharded map (see
+  /// Generation()). Bumps happen inside mu_ critical sections AFTER the data
+  /// mutation, with lock order mu_ -> shard everywhere, so a concurrent
+  /// reader can observe a generation slightly older than the data but never
+  /// newer -- the conservative direction: a too-old tag makes a serving
+  /// cache revalidate once more, a too-new one would let it serve stale.
+  static constexpr int kGenerationShards = 16;
+  struct GenerationShard {
+    mutable std::mutex mu;
+    std::map<std::string, uint64_t> generations;
+  };
+  GenerationShard& GenerationShardFor(const std::string& workload_id) const;
+  void BumpGeneration(const std::string& workload_id);
+
   ModelServerConfig config_;
-  /// Guards rng_, entries_, and metrics_ (every member below config_).
+  /// Guards rng_, entries_, and metrics_ (every member below config_ except
+  /// generation_shards_, which carries per-shard locks).
   mutable std::mutex mu_;
   Rng rng_;
   std::map<std::pair<std::string, std::string>, Entry> entries_;
   std::map<std::string, std::vector<Vector>> metrics_;
-  /// Per-workload generation counters (see Generation()).
-  std::map<std::string, uint64_t> generations_;
+  mutable std::array<GenerationShard, kGenerationShards> generation_shards_;
 };
 
 }  // namespace udao

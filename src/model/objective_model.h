@@ -58,6 +58,17 @@ class ObjectiveModel {
 
   /// Short description for logs ("gp", "dnn", "analytic-latency", ...).
   virtual std::string Name() const = 0;
+
+  /// Identity for cross-request solve fusion: two models with the same
+  /// FuseIdentity are guaranteed to produce bitwise-identical predictions
+  /// and gradients for identical inputs, so the solve coalescer may
+  /// evaluate both callers' points through either one. The default -- the
+  /// instance itself -- is always safe (it merely forgoes fusion).
+  /// Stateless pass-through wrappers forward to the wrapped model, which is
+  /// what lets per-request NonNegativeModel shells around one shared
+  /// server-side model coalesce. A retrained model is a new instance, so
+  /// generation changes split fuse groups automatically.
+  virtual const void* FuseIdentity() const { return this; }
 };
 
 /// A model defined by arbitrary callables; the adapter used in tests and for
@@ -149,6 +160,9 @@ class NonNegativeModel : public ObjectiveModel {
                                    Vector* stddev) const override;
   int input_dim() const override { return base_->input_dim(); }
   std::string Name() const override { return base_->Name() + "+floor"; }
+  /// The floor is stateless and deterministic, so two shells around one
+  /// model are interchangeable for fusion purposes.
+  const void* FuseIdentity() const override { return base_->FuseIdentity(); }
 
  private:
   std::shared_ptr<const ObjectiveModel> base_;

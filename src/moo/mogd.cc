@@ -238,155 +238,258 @@ std::optional<CoResult> MogdSolver::SolveCoBatched(
     const MooProblem& problem, const CoProblem& co, uint64_t seed,
     SolvePerf* perf, const StopToken& stop) const {
   UDAO_TRACE_SPAN("mogd.solve_co");
+  // The solo batched solve IS a fused solve of one problem. Delegating keeps
+  // "coalesced == solo bitwise" true by construction instead of by keeping
+  // two copies of the lockstep loop in sync.
+  const std::vector<const CoProblem*> cos{&co};
+  const std::vector<uint64_t> seeds{seed};
+  const std::vector<const StopToken*> stops{&stop};
+  std::vector<SolvePerf> perfs;
+  std::vector<std::optional<CoResult>> results =
+      SolveCoFused(problem, cos, seeds, stops, &perfs);
+  if (perf != nullptr) perf->Merge(perfs[0]);
+  return std::move(results[0]);
+}
+
+std::vector<std::optional<CoResult>> MogdSolver::SolveCoFused(
+    const MooProblem& problem, const std::vector<const CoProblem*>& cos,
+    const std::vector<uint64_t>& seeds,
+    const std::vector<const StopToken*>& stops,
+    std::vector<SolvePerf>* perfs) const {
+  UDAO_TRACE_SPAN("mogd.solve_co_fused");
+  UDAO_CHECK(config_.batched);
+  const int K = static_cast<int>(cos.size());
+  UDAO_CHECK_EQ(static_cast<int>(seeds.size()), K);
+  UDAO_CHECK_EQ(static_cast<int>(stops.size()), K);
+  std::vector<std::optional<CoResult>> results(K);
+  if (perfs != nullptr) perfs->resize(K);
+  if (K == 0) return results;
+
   const auto t0 = std::chrono::steady_clock::now();
-  SolvePerf local;
   const int k = problem.NumObjectives();
   const int dim = problem.EncodedDim();
   const int S = config_.multistart;
 
-  Vector spans(k);
-  for (int j = 0; j < k; ++j) {
-    spans[j] = std::max(1e-9, co.upper[j] - co.lower[j]);
+  // Same structural validation SolveCoSeeded performs, per problem.
+  for (int p = 0; p < K; ++p) {
+    const CoProblem& co = *cos[p];
+    UDAO_CHECK(co.target >= 0 && co.target < k);
+    UDAO_CHECK_EQ(static_cast<int>(co.lower.size()), k);
+    UDAO_CHECK_EQ(static_cast<int>(co.upper.size()), k);
+    for (int j = 0; j < k; ++j) UDAO_CHECK(co.lower[j] <= co.upper[j]);
   }
 
-  Rng rng(seed);
-  Matrix x = DrawStarts(S, dim, &rng);
+  // Rows [p*S, (p+1)*S) of x belong to problem p. Every problem draws its
+  // starts from its own seed and keeps its own Adam moments, incumbents and
+  // spans, so its trajectory is byte-for-byte what a solo
+  // SolveCoSeeded(seeds[p]) computes -- batch model evaluation is
+  // row-independent, so co-residency in one fused call changes nothing.
+  Matrix x(K * S, dim);
+  std::vector<Vector> spans(K, Vector(k));
+  std::vector<Adam> adams;
+  adams.reserve(static_cast<size_t>(K) * S);
+  std::vector<StartBest> best(static_cast<size_t>(K) * S);
+  std::vector<SolvePerf> local(K);
+  std::vector<char> active(K, 1);
+  for (int p = 0; p < K; ++p) {
+    const CoProblem& co = *cos[p];
+    for (int j = 0; j < k; ++j) {
+      spans[p][j] = std::max(1e-9, co.upper[j] - co.lower[j]);
+    }
+    Rng rng(seeds[p]);
+    Matrix starts = DrawStarts(S, dim, &rng);
+    std::copy(starts.RowPtr(0), starts.RowPtr(0) + S * dim, x.RowPtr(p * S));
+    for (int s = 0; s < S; ++s) {
+      adams.emplace_back(dim,
+                         AdamConfig{.learning_rate = config_.learning_rate});
+    }
+  }
 
-  // Per-objective values and gradients for the whole lockstep batch:
-  // f[j][s] and grads[j](s, d).
+  // Fused evaluation over the still-participating problems (`parts`): their
+  // rows are packed into xe and every objective is evaluated in ONE batched
+  // model call for the whole group -- the cross-request GEMM share. f[j][r]
+  // and grads[j](r, d) are indexed by packed row r = pi*S + s.
   std::vector<Vector> f(k);
   std::vector<Matrix> grads(k);
   Vector mean;
   Vector stddev;
+  std::vector<int> parts;
+  parts.reserve(K);
+  Matrix xe;
   auto evaluate = [&]() {
+    const int P = static_cast<int>(parts.size());
+    xe = Matrix(P * S, dim);
+    for (int pi = 0; pi < P; ++pi) {
+      const int p = parts[pi];
+      std::copy(x.RowPtr(p * S), x.RowPtr(p * S) + S * dim, xe.RowPtr(pi * S));
+    }
     const auto e0 = std::chrono::steady_clock::now();
     for (int j = 0; j < k; ++j) {
       if (config_.alpha > 0.0) {
         // Values come from the uncertainty-adjusted surface; the descent
         // direction still follows the mean's gradient (as in the scalar
         // path), so the fused values from GradientBatch are discarded.
-        problem.EvaluateWithUncertaintyBatch(j, x, &mean, &stddev);
-        problem.GradientBatch(j, x, &grads[j]);
-        f[j].resize(S);
-        for (int s = 0; s < S; ++s) {
-          f[j][s] = mean[s] + config_.alpha * stddev[s];
+        problem.EvaluateWithUncertaintyBatch(j, xe, &mean, &stddev);
+        problem.GradientBatch(j, xe, &grads[j]);
+        f[j].resize(P * S);
+        for (int r = 0; r < P * S; ++r) {
+          f[j][r] = mean[r] + config_.alpha * stddev[r];
         }
       } else {
-        problem.GradientBatch(j, x, &grads[j], &f[j]);
+        problem.GradientBatch(j, xe, &grads[j], &f[j]);
       }
       DCheckFiniteModelOutputs(f[j]);
       DCheckFiniteModelOutputs(grads[j]);
     }
-    local.model_evals += static_cast<long long>(S) * k;
-    local.batch_calls += k;
-    local.eval_seconds += SecondsSince(e0);
+    // model_evals is exact per problem; batch_calls counts each problem's
+    // logical calls (the physical call is shared); the shared wall time is
+    // split evenly among the participants.
+    const double secs = SecondsSince(e0);
+    for (int pi = 0; pi < P; ++pi) {
+      SolvePerf& lp = local[parts[pi]];
+      lp.model_evals += static_cast<long long>(S) * k;
+      lp.batch_calls += k;
+      lp.eval_seconds += secs / P;
+    }
   };
 
-  std::vector<StartBest> best(S);
   Vector fs(k);
   auto consider = [&]() {
-    for (int s = 0; s < S; ++s) {
-      bool feasible = true;
-      for (int j = 0; j < k && feasible; ++j) {
-        const double fn = (f[j][s] - co.lower[j]) / spans[j];
-        feasible = fn >= -kFeasibilityTol && fn <= 1.0 + kFeasibilityTol;
-      }
-      if (!feasible) continue;
-      if (!co.linear.empty()) {
-        for (int j = 0; j < k; ++j) fs[j] = f[j][s];
-        for (const CoProblem::LinearConstraint& lc : co.linear) {
-          if (Dot(lc.normal, fs) - lc.offset > kFeasibilityTol) {
-            feasible = false;
-            break;
-          }
+    for (int pi = 0; pi < static_cast<int>(parts.size()); ++pi) {
+      const int p = parts[pi];
+      const CoProblem& co = *cos[p];
+      for (int s = 0; s < S; ++s) {
+        const int r = pi * S + s;
+        bool feasible = true;
+        for (int j = 0; j < k && feasible; ++j) {
+          const double fn = (f[j][r] - co.lower[j]) / spans[p][j];
+          feasible = fn >= -kFeasibilityTol && fn <= 1.0 + kFeasibilityTol;
         }
         if (!feasible) continue;
-      }
-      StartBest& b = best[s];
-      if (!b.found || f[co.target][s] < b.target_value) {
-        b.found = true;
-        b.x.assign(x.RowPtr(s), x.RowPtr(s) + dim);
-        b.objectives.resize(k);
-        for (int j = 0; j < k; ++j) b.objectives[j] = f[j][s];
-        b.target_value = f[co.target][s];
+        if (!co.linear.empty()) {
+          for (int j = 0; j < k; ++j) fs[j] = f[j][r];
+          for (const CoProblem::LinearConstraint& lc : co.linear) {
+            if (Dot(lc.normal, fs) - lc.offset > kFeasibilityTol) {
+              feasible = false;
+              break;
+            }
+          }
+          if (!feasible) continue;
+        }
+        StartBest& b = best[p * S + s];
+        if (!b.found || f[co.target][r] < b.target_value) {
+          b.found = true;
+          b.x.assign(xe.RowPtr(r), xe.RowPtr(r) + dim);
+          b.objectives.resize(k);
+          for (int j = 0; j < k; ++j) b.objectives[j] = f[j][r];
+          b.target_value = f[co.target][r];
+        }
       }
     }
   };
 
-  std::vector<Adam> adams;
-  adams.reserve(S);
-  for (int s = 0; s < S; ++s) {
-    adams.emplace_back(dim, AdamConfig{.learning_rate = config_.learning_rate});
-  }
+  // Merge problem p's per-start incumbents in start order (strict < keeps
+  // the earliest, matching the scalar path) and flush its metrics.
+  auto finalize = [&](int p) {
+    std::optional<CoResult> out;
+    for (int s = 0; s < S; ++s) {
+      const StartBest& b = best[p * S + s];
+      if (!b.found) continue;
+      if (!out.has_value() || b.target_value < out->target_value) {
+        CoResult result;
+        result.x = b.x;
+        result.raw = problem.space().Decode(b.x);
+        result.objectives = b.objectives;
+        result.target_value = b.target_value;
+        out = std::move(result);
+      }
+    }
+    local[p].solve_seconds = SecondsSince(t0);
+    FlushSolveMetrics(local[p], config_.multistart, out.has_value());
+    if (out.has_value()) out->perf = local[p];
+    if (perfs != nullptr) (*perfs)[p].Merge(local[p]);
+    results[p] = std::move(out);
+  };
 
   Vector loss_grad(dim);
   Vector xs(dim);
-  for (int iter = 0; iter < config_.max_iters; ++iter) {
-    // Anytime stop, once per lockstep iteration (= one batched model call
-    // per objective). Iteration 0 always runs; the trailing evaluate +
-    // consider below then turns whatever was reached into the incumbent.
-    if (iter > 0 && stop.ShouldStop()) break;
+  std::vector<char> stopping(K, 0);
+  int remaining = K;
+  for (int iter = 0; iter < config_.max_iters && remaining > 0; ++iter) {
+    // Per-problem anytime stop, once per lockstep iteration, exactly the
+    // solo sequence: iteration 0 always runs; a problem whose StopToken
+    // fired gets THIS iteration's evaluate+consider as its trailing pass
+    // (solo runs it after breaking the loop) and then freezes -- no step,
+    // no further participation -- while its batchmates keep descending.
+    parts.clear();
+    for (int p = 0; p < K; ++p) {
+      if (!active[p]) continue;
+      stopping[p] = (iter > 0 && stops[p]->ShouldStop()) ? 1 : 0;
+      parts.push_back(p);
+    }
     evaluate();
     consider();
-    for (int s = 0; s < S; ++s) {
-      // Loss gradient per Eq. 3 for start s.
-      std::fill(loss_grad.begin(), loss_grad.end(), 0.0);
-      for (int j = 0; j < k; ++j) {
-        const double fn = (f[j][s] - co.lower[j]) / spans[j];
-        double coeff = 0.0;
-        if (fn < 0.0 || fn > 1.0) {
-          coeff = 2.0 * (fn - 0.5) / spans[j];
-        } else if (j == co.target) {
-          coeff = 2.0 * fn / spans[j];
-        }
-        if (coeff != 0.0) {
-          const double* g = grads[j].RowPtr(s);
-          for (int d = 0; d < dim; ++d) loss_grad[d] += coeff * g[d];
-        }
+    for (int pi = 0; pi < static_cast<int>(parts.size()); ++pi) {
+      const int p = parts[pi];
+      if (stopping[p]) {
+        active[p] = 0;
+        --remaining;
+        finalize(p);
+        continue;
       }
-      for (const CoProblem::LinearConstraint& lc : co.linear) {
-        for (int j = 0; j < k; ++j) fs[j] = f[j][s];
-        const double g = Dot(lc.normal, fs) - lc.offset;
-        if (g > 0.0) {
-          for (int j = 0; j < k; ++j) {
-            if (lc.normal[j] == 0.0) continue;
-            const double* gj = grads[j].RowPtr(s);
-            for (int d = 0; d < dim; ++d) {
-              loss_grad[d] += 2.0 * g * lc.normal[j] * gj[d];
+      const CoProblem& co = *cos[p];
+      for (int s = 0; s < S; ++s) {
+        const int r = pi * S + s;
+        // Loss gradient per Eq. 3 for problem p, start s.
+        std::fill(loss_grad.begin(), loss_grad.end(), 0.0);
+        for (int j = 0; j < k; ++j) {
+          const double fn = (f[j][r] - co.lower[j]) / spans[p][j];
+          double coeff = 0.0;
+          if (fn < 0.0 || fn > 1.0) {
+            coeff = 2.0 * (fn - 0.5) / spans[p][j];
+          } else if (j == co.target) {
+            coeff = 2.0 * fn / spans[p][j];
+          }
+          if (coeff != 0.0) {
+            const double* g = grads[j].RowPtr(r);
+            for (int d = 0; d < dim; ++d) loss_grad[d] += coeff * g[d];
+          }
+        }
+        for (const CoProblem::LinearConstraint& lc : co.linear) {
+          for (int j = 0; j < k; ++j) fs[j] = f[j][r];
+          const double g = Dot(lc.normal, fs) - lc.offset;
+          if (g > 0.0) {
+            for (int j = 0; j < k; ++j) {
+              if (lc.normal[j] == 0.0) continue;
+              const double* gj = grads[j].RowPtr(r);
+              for (int d = 0; d < dim; ++d) {
+                loss_grad[d] += 2.0 * g * lc.normal[j] * gj[d];
+              }
             }
           }
         }
+        double* row = x.RowPtr(p * S + s);
+        xs.assign(row, row + dim);
+        adams[p * S + s].Step(&xs, loss_grad);
+        std::copy(xs.begin(), xs.end(), row);
+        ClipToUnitBox(row, dim);
+        ++local[p].iterations;
       }
-      xs.assign(x.RowPtr(s), x.RowPtr(s) + dim);
-      adams[s].Step(&xs, loss_grad);
-      std::copy(xs.begin(), xs.end(), x.RowPtr(s));
-      ClipToUnitBox(x.RowPtr(s), dim);
-      ++local.iterations;
     }
   }
-  evaluate();
-  consider();
 
-  // Merge per-start incumbents in start order; strict < keeps the earliest,
-  // matching the scalar path's single global incumbent.
-  std::optional<CoResult> out;
-  for (int s = 0; s < S; ++s) {
-    const StartBest& b = best[s];
-    if (!b.found) continue;
-    if (!out.has_value() || b.target_value < out->target_value) {
-      CoResult result;
-      result.x = b.x;
-      result.raw = problem.space().Decode(b.x);
-      result.objectives = b.objectives;
-      result.target_value = b.target_value;
-      out = std::move(result);
-    }
+  // Trailing evaluate + consider for the problems that ran every iteration
+  // (solo runs it after the loop ends normally).
+  parts.clear();
+  for (int p = 0; p < K; ++p) {
+    if (active[p]) parts.push_back(p);
   }
-  local.solve_seconds = SecondsSince(t0);
-  FlushSolveMetrics(local, config_.multistart, out.has_value());
-  if (out.has_value()) out->perf = local;
-  if (perf != nullptr) perf->Merge(local);
-  return out;
+  if (!parts.empty()) {
+    evaluate();
+    consider();
+    for (int p : parts) finalize(p);
+  }
+  return results;
 }
 
 std::vector<std::optional<CoResult>> MogdSolver::SolveBatch(

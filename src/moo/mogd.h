@@ -83,6 +83,21 @@ struct CoResult {
   SolvePerf perf;     ///< Counters for the solve that produced this result.
 };
 
+/// Pluggable batch-solve surface with MogdSolver::SolveBatch's exact
+/// contract: result i corresponds to problems[i], per-problem results are
+/// independent of scheduling, and problem i is seeded with
+/// `mogd.seed + 1000 * i` so any implementation returns bitwise-identical
+/// solutions. ProgressiveFrontier routes its CO batches through this when
+/// PfConfig::co_solver is set -- the hook the cross-request SolveCoalescer
+/// plugs into so concurrent requests share fused GEMM streams.
+class CoBatchSolver {
+ public:
+  virtual ~CoBatchSolver() = default;
+  virtual std::vector<std::optional<CoResult>> SolveBatch(
+      const MooProblem& problem, const std::vector<CoProblem>& problems,
+      SolvePerf* perf, const StopToken& stop) = 0;
+};
+
 /// Multi-Objective Gradient Descent solver. Uses the carefully-crafted loss
 /// of Eq. 3 to drive Adam toward the constrained minimum of one objective:
 ///
@@ -135,13 +150,41 @@ class MogdSolver {
                     SolvePerf* perf = nullptr,
                     const StopToken& stop = StopToken()) const;
 
-  const MogdConfig& config() const { return config_; }
-
- private:
+  /// SolveCo with an explicit RNG seed -- the primitive SolveBatch builds on
+  /// (`config().seed + 1000 * i` for slot i) and the one batch-submission
+  /// queues must call to keep coalesced solves bitwise-identical to solo
+  /// ones: a problem's solution depends only on (problem, co, seed), never
+  /// on which batch it rode in.
   std::optional<CoResult> SolveCoSeeded(const MooProblem& problem,
                                         const CoProblem& co, uint64_t seed,
                                         SolvePerf* perf,
                                         const StopToken& stop) const;
+
+  /// Solves several CO problems of the SAME MooProblem in one fused lockstep
+  /// descent: all problems' multistarts are stacked into a single
+  /// [problems * multistart, dim] batch, so each Adam iteration issues ONE
+  /// batched model call per objective for the whole group (one GEMM stream
+  /// for N requests, not N). Per-problem results are bitwise-identical to
+  /// SolveCoSeeded(problem, *cos[i], seeds[i], ...): model batch evaluation
+  /// is row-independent, each problem keeps its own seed, Adam state, and
+  /// incumbents, and a problem whose `stops[i]` fires is frozen (final
+  /// evaluate+consider, then excluded from stepping) without stalling the
+  /// rest of the group -- exactly the solo early-exit sequence.
+  ///
+  /// Counter attribution: model_evals/iterations are exact per problem;
+  /// batch_calls counts each problem's logical batched calls (the physical
+  /// fused call is shared by the group), and the shared evaluation wall time
+  /// is split evenly across the problems that participated.
+  ///
+  /// Requires config().batched; callers with the scalar configuration should
+  /// fall back to per-problem SolveCoSeeded.
+  std::vector<std::optional<CoResult>> SolveCoFused(
+      const MooProblem& problem, const std::vector<const CoProblem*>& cos,
+      const std::vector<uint64_t>& seeds,
+      const std::vector<const StopToken*>& stops,
+      std::vector<SolvePerf>* perfs) const;
+
+ private:
   // One start at a time; the original formulation.
   std::optional<CoResult> SolveCoScalar(const MooProblem& problem,
                                         const CoProblem& co, uint64_t seed,

@@ -33,6 +33,15 @@ std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co,
   // The exhaustive reference solver ignores the token: it exists for small
   // deterministic baselines, not the serving path.
   if (config_.use_exhaustive) return exhaustive_.SolveCo(*problem_, co);
+  if (config_.co_solver != nullptr) {
+    // A 1-problem batch carries seed `mogd.seed + 1000*0`, the same seed
+    // SolveCo uses, so routing PF-AS probes through the coalescer keeps
+    // them bitwise-identical to the direct call.
+    std::vector<std::optional<CoResult>> solved =
+        config_.co_solver->SolveBatch(*problem_, {co}, &result_.perf, stop);
+    UDAO_CHECK_EQ(static_cast<int>(solved.size()), 1);
+    return std::move(solved[0]);
+  }
   return mogd_.SolveCo(*problem_, co, &result_.perf, stop);
 }
 
@@ -303,6 +312,9 @@ const PfResult& ProgressiveFrontier::Run(int total_points,
                   }
                   return r;
                 }()
+          : config_.co_solver != nullptr
+              ? config_.co_solver->SolveBatch(*problem_, cos, &result_.perf,
+                                              stop)
               : mogd_.SolveBatch(*problem_, cos, &result_.perf, stop);
       result_.probes += cells;
       ++probes_this_call;

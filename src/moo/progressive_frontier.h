@@ -32,6 +32,16 @@ struct PfConfig {
   /// Ablation switch: explore hyperrectangles in FIFO order instead of
   /// largest-volume-first, disabling the paper's uncertainty-aware property.
   bool fifo_queue = false;
+  /// When set (and use_exhaustive is off), every CO batch -- the PF-AP grid
+  /// fan-out and the PF-AS single probe alike -- is routed through this
+  /// solver instead of the private MogdSolver. Non-owning; the serving layer
+  /// points it at its cross-request SolveCoalescer so concurrent requests
+  /// share fused GEMM streams. The CoBatchSolver contract (mogd.h) pins
+  /// per-problem seeds, so routing never changes solutions -- like the MOGD
+  /// pool pointer, it is deliberately excluded from the options fingerprint.
+  /// Reference-point minimizations (SolveMin) stay on the private solver:
+  /// they are unconstrained Minimize calls, not CO problems.
+  CoBatchSolver* co_solver = nullptr;
 };
 
 /// One timed measurement of frontier progress, used to draw the paper's

@@ -1,0 +1,194 @@
+#ifndef UDAO_MOO_SOLVE_COALESCER_H_
+#define UDAO_MOO_SOLVE_COALESCER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "moo/mogd.h"
+
+namespace udao {
+
+/// Tuning for the cross-request solve coalescer.
+struct SolveCoalescerConfig {
+  /// Flush the window as soon as this many CO problems are pending across
+  /// submissions. One fused descent over ~max_batch problems is the target
+  /// GEMM shape; larger windows add queueing latency for little extra
+  /// arithmetic intensity.
+  int max_batch = 32;
+  /// ... or as soon as the oldest pending submission has waited this long.
+  /// This bounds the latency a lone request pays for the chance to share its
+  /// GEMM stream with a neighbor; it is the only latency the coalescer ever
+  /// adds.
+  double max_wait_us = 200.0;
+  /// Solver settings. MUST equal the MogdConfig of the ProgressiveFrontier
+  /// instances that route through this coalescer (same seed, iterations,
+  /// learning rate, alpha, pool): the coalescer re-derives each problem's
+  /// seed from `mogd.seed` exactly as MogdSolver::SolveBatch would, which is
+  /// what keeps coalesced solves bitwise-identical to solo ones.
+  MogdConfig mogd;
+  /// Capacity of the solved-subproblem memo (identical-subproblem coalescing
+  /// across windows). A solve's bits are a pure function of (problem
+  /// identity, CoProblem, seed); concurrent tenants replaying the same
+  /// deterministic probe sequence hit the memo instead of re-descending.
+  /// Entries whose stop token fired mid-solve are never inserted, and
+  /// deadline-armed submissions bypass the memo entirely so anytime
+  /// semantics stay exact. 0 disables the memo (in-window dedup remains).
+  int memo_capacity = 512;
+};
+
+/// Funnels MOGD constrained-optimization batches from concurrent requests
+/// into shared fused solves: submissions arriving within a small time/size
+/// window (`max_batch` problems / `max_wait_us`) are grouped by *fuse key*
+/// -- parameter space + per-objective model identity + orientation, i.e.
+/// "these problems evaluate through the same functions" -- and each group
+/// runs as MogdSolver::SolveCoFused chunks on the shared compute pool. One
+/// hundred concurrent tenants asking for frontiers drive one GEMM stream per
+/// chunk instead of one hundred interleaved ones.
+///
+/// Determinism: a problem's solution depends only on (problem, CoProblem,
+/// seed), and the coalescer assigns slot i of a submission the seed
+/// `mogd.seed + 1000*i` -- the MogdSolver::SolveBatch contract -- so results
+/// are bitwise-identical to solo solves no matter how submissions happen to
+/// share windows, groups, or chunks (coalescer_test pins this).
+///
+/// Cancellation: each fused problem carries its own submitter's StopToken,
+/// checked per lockstep iteration inside SolveCoFused. A cancelled or
+/// deadline-expired request freezes with its best-so-far incumbent while its
+/// batchmates keep descending -- one doomed request never stalls the window.
+///
+/// Identical-subproblem coalescing: that same determinism means two units
+/// with identical (problem identity + structural space, CoProblem bytes,
+/// slot seed) would compute identical bits, so the coalescer solves one and
+/// shares the result -- via a singleflight registry (an identical unit
+/// arriving while its twin is still descending, in this window or a later
+/// one, attaches as a waiter to the pending solve) and a bounded LRU memo of
+/// completed subproblems (pinning the objective models so a recycled model
+/// address can never alias a stale entry). Concurrent tenants replaying the
+/// same probe stream -- the thundering-herd shape the frontier cache cannot
+/// absorb because every stampeding request misses before the first insert --
+/// collapse to one descent stream. Deadline-armed submissions opt out of
+/// both (their anytime truncation semantics stay exactly solo); a dedupable
+/// slot descends under a never-stopping token, because a twin may attach at
+/// any point mid-descent and must not receive bits truncated by the
+/// representative's own cancellation (cancellation is still honored between
+/// probes, at the frontier layer). A result is only memoized when its
+/// governing stop never fired.
+///
+/// Threading: SolveBatch blocks the calling (admission) thread until its
+/// results are ready, so callers use it exactly like MogdSolver::SolveBatch.
+/// A dedicated single-thread flusher owns the window clock; fused chunks run
+/// on `mogd.pool` via Submit (never ParallelFor, whose WaitIdle would convoy
+/// on unrelated work), sized so a lone submission still spreads over the
+/// pool like today's per-problem fan-out.
+class SolveCoalescer : public CoBatchSolver {
+ public:
+  explicit SolveCoalescer(SolveCoalescerConfig config);
+  /// Drains: flushes every pending submission, then waits (bounded polls)
+  /// for in-flight fused chunks on the shared pool to deliver. Callers must
+  /// destroy the coalescer before the compute pool.
+  ~SolveCoalescer() override;
+
+  SolveCoalescer(const SolveCoalescer&) = delete;
+  SolveCoalescer& operator=(const SolveCoalescer&) = delete;
+
+  /// CoBatchSolver surface: blocks until every problem in `problems` is
+  /// solved, possibly fused with concurrent submissions. Falls back to an
+  /// inline MogdSolver::SolveBatch when batching is off in the config or the
+  /// coalescer is shutting down.
+  std::vector<std::optional<CoResult>> SolveBatch(
+      const MooProblem& problem, const std::vector<CoProblem>& problems,
+      SolvePerf* perf, const StopToken& stop) override;
+
+  /// Monotonic counters, for stats endpoints and the fusion tests.
+  struct Stats {
+    long long submissions = 0;      ///< SolveBatch calls that enqueued.
+    long long problems = 0;         ///< CO problems across submissions.
+    long long flushes = 0;          ///< Windows flushed.
+    long long fuse_groups = 0;      ///< Fuse-key groups across flushes.
+    long long fused_chunks = 0;     ///< SolveCoFused calls dispatched.
+    long long fused_problems = 0;   ///< Problems that shared a chunk with a
+                                    ///< problem of ANOTHER submission.
+    long long inline_fallbacks = 0; ///< SolveBatch calls served inline.
+    long long dedup_hits = 0;       ///< Problems served by joining an
+                                    ///< identical in-flight representative
+                                    ///< (singleflight, same or later window).
+    long long memo_hits = 0;        ///< Problems served from the memo.
+  };
+  Stats stats() const;
+
+  const SolveCoalescerConfig& config() const { return config_; }
+
+ private:
+  struct Submission;
+
+  /// One memoized subproblem solve. `pins` keeps the objective models alive
+  /// so the model-identity pointers baked into the key cannot be recycled
+  /// into a different model while the entry is resident (same argument as
+  /// the serving cache's explicit-model keying).
+  struct MemoEntry {
+    std::optional<CoResult> result;
+    std::vector<std::shared_ptr<const ObjectiveModel>> pins;
+    std::list<std::string>::iterator lru;
+  };
+
+  /// Singleflight state for one in-flight dedupable solve. Later flushes
+  /// that meet the same dedup key attach (sub, index) waiters here instead
+  /// of re-solving; the representative's delivery fans its bits out to every
+  /// waiter and retires the registry entry. Guarded by mu_.
+  struct SharedSlot {
+    std::vector<std::pair<Submission*, int>> waiters;
+  };
+
+  /// Body of the long-lived flusher task (runs on flusher_).
+  void FlusherLoop();
+  /// Groups `batch` by fuse key (deduplicating identical subproblems against
+  /// the memo and within the window), chunks each group, and dispatches the
+  /// chunks. Called by the flusher with mu_ NOT held.
+  void Flush(std::vector<Submission*> batch);
+  /// Inserts a solved subproblem into the memo, evicting LRU entries past
+  /// capacity. Caller holds mu_. Keeps the incumbent on key collision (two
+  /// in-flight flushes can race to solve the same key; the bits agree).
+  void MemoInsertLocked(std::string key, std::optional<CoResult> result,
+                        std::vector<std::shared_ptr<const ObjectiveModel>> pins);
+
+  const SolveCoalescerConfig config_;
+  /// Solver all fused chunks run on; shares config_.mogd (and its pool
+  /// pointer, though chunks never use it -- they ARE the parallelism).
+  const MogdSolver solver_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flush_cv_;  ///< Wakes the flusher (arrival/shutdown).
+  std::condition_variable done_cv_;   ///< Wakes blocked submitters.
+  std::vector<Submission*> pending_;  ///< Guarded by mu_; oldest first.
+  int pending_problems_ = 0;
+  int inflight_chunks_ = 0;
+  bool shutdown_ = false;
+  Stats stats_;
+  /// Solved-subproblem memo (guarded by mu_): key -> entry, with recency
+  /// order in memo_lru_ (front = coldest).
+  std::unordered_map<std::string, MemoEntry> memo_;
+  std::list<std::string> memo_lru_;
+  /// Singleflight registry (guarded by mu_): dedup key -> in-flight slot.
+  /// Entries live from unit creation to delivery, so any identical unit --
+  /// same flush or a later one -- joins the pending solve instead of
+  /// launching a redundant descent.
+  std::unordered_map<std::string, std::shared_ptr<SharedSlot>> inflight_;
+
+  /// One worker dedicated to the window clock. Owned last-constructed /
+  /// first-destroyed is irrelevant here; the destructor explicitly drains it
+  /// before waiting out inflight chunks.
+  std::unique_ptr<ThreadPool> flusher_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_SOLVE_COALESCER_H_

@@ -1,8 +1,8 @@
 #include "serving/udao_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
-#include <optional>
 #include <string>
 #include <utility>
 
@@ -20,7 +20,55 @@ double NowMs(const std::chrono::steady_clock::time_point& since) {
       .count();
 }
 
+// Per-shard metric names are built at construction time, so they cannot go
+// through the UDAO_METRIC_* macros (which require literal names); they hit
+// the registry directly, compiled out with the rest of the instrumentation.
+void EmitShardCounter(const std::string& name) {
+#if UDAO_METRICS_ENABLED
+  MetricsRegistry::Global().AddCounter(name, 1);
+#else
+  (void)name;
+#endif
+}
+
 }  // namespace
+
+/// Shared result slot behind every copy of one ticket. The service-side
+/// delivery callback holds a shared_ptr, so the state outlives both an
+/// early-destroyed ticket and an early-destroyed service request.
+struct RequestTicket::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<StatusOr<UdaoRecommendation>> result;
+  /// Fired by RequestTicket::Cancel; composed (CancellationToken::Any) with
+  /// any token the request itself carried.
+  CancellationSource cancel;
+};
+
+StatusOr<UdaoRecommendation> RequestTicket::Wait() {
+  UDAO_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  // Bounded waits only in the serving layer (udao_lint unbounded-wait): the
+  // predicate re-check makes the timeout purely a liveness backstop -- a
+  // lost-wakeup or stuck-worker bug degrades to 50 ms extra latency and a
+  // re-check instead of a hung client thread.
+  while (!state_->result.has_value()) {
+    state_->cv.wait_for(lock, std::chrono::milliseconds(50),
+                        [&] { return state_->result.has_value(); });
+  }
+  return *state_->result;
+}
+
+std::optional<StatusOr<UdaoRecommendation>> RequestTicket::TryGet() {
+  UDAO_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result;
+}
+
+void RequestTicket::Cancel() {
+  UDAO_CHECK(state_ != nullptr);
+  state_->cancel.Cancel();
+}
 
 UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
     : server_(server),
@@ -32,6 +80,36 @@ UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
   // what step 2 computes, in one place (tuning/udao.cc) instead of a
   // hand-maintained field list here.
   udao_.options().AppendFingerprint(&options_fingerprint_);
+
+  const int num_shards = std::max(1, config_.cache_shards);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<CacheShard>();
+    const std::string prefix = "udao.service.shard" + std::to_string(i) + ".";
+    shard->hits_metric = prefix + "cache_hits";
+    shard->misses_metric = prefix + "cache_misses";
+    shard->invalidations_metric = prefix + "invalidations";
+    shard->evictions_metric = prefix + "evictions";
+    shards_.push_back(std::move(shard));
+  }
+  per_shard_capacity_ =
+      config_.frontier_cache_capacity > 0
+          ? std::max(1, config_.frontier_cache_capacity / num_shards)
+          : 0;
+
+  // The coalescer shares the solver's exact MogdConfig (seed, iterations,
+  // pool) -- the bitwise-determinism contract -- and the PF instances built
+  // per request route their CO subproblems through it via pf_config_.
+  if (config_.coalesce_solves && udao_.options().pf.mogd.batched) {
+    SolveCoalescerConfig cc;
+    cc.max_batch = config_.coalesce_max_batch;
+    cc.max_wait_us = config_.coalesce_max_wait_us;
+    cc.memo_capacity = config_.coalesce_memo_capacity;
+    cc.mogd = udao_.options().pf.mogd;
+    coalescer_ = std::make_unique<SolveCoalescer>(cc);
+  }
+  pf_config_ = udao_.options().pf;
+  pf_config_.co_solver = coalescer_.get();
 }
 
 std::string UdaoService::CacheKey(const UdaoRequest& request) const {
@@ -75,12 +153,30 @@ std::string UdaoService::CacheKey(const UdaoRequest& request) const {
   return key;
 }
 
-bool UdaoService::Lookup(const std::string& key, uint64_t generation,
+UdaoService::CacheShard& UdaoService::ShardFor(
+    const std::string& workload_id) const {
+  return *shards_[std::hash<std::string>{}(workload_id) % shards_.size()];
+}
+
+int UdaoService::ShardOf(const std::string& workload_id) const {
+  return static_cast<int>(std::hash<std::string>{}(workload_id) %
+                          shards_.size());
+}
+
+bool UdaoService::Lookup(CacheShard& shard, const std::string& key,
+                         uint64_t generation,
                          std::shared_ptr<const MooProblem>* problem,
-                         std::shared_ptr<const PfResult>* frontier) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
+                         std::shared_ptr<const PfResult>* frontier,
+                         bool emit) {
+  // Warm path: probe the shard's last published snapshot, no lock. The
+  // snapshot mirrors the live map after every mutation, so the only race is
+  // with a concurrent Insert -- which degrades to a spurious miss, and
+  // deterministic recomputation makes concurrent misses interchangeable.
+  const std::shared_ptr<const Snapshot> snap =
+      shard.snapshot.load(std::memory_order_acquire);
+  if (snap == nullptr) return false;
+  const auto it = snap->find(key);
+  if (it == snap->end()) return false;
   if (it->second.generation != generation) {
     // The workload saw new traces (or a retrain) since this frontier was
     // computed: the models behind it are no longer the latest available, so
@@ -88,65 +184,97 @@ bool UdaoService::Lookup(const std::string& key, uint64_t generation,
     // LookupAnyGeneration serves it as a last resort under the stale-cache
     // shed policy, and the recompute's Insert overwrites it with the newer
     // generation.
-    invalidations_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.invalidations", 1);
+    shard.invalidations.fetch_add(1, std::memory_order_relaxed);
+    if (emit) {
+      UDAO_METRIC_COUNTER_ADD("udao.service.invalidations", 1);
+      EmitShardCounter(shard.invalidations_metric);
+    }
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  // Recency refresh: the tick cell is shared between the live map and every
+  // snapshot of it, so eviction sees hits made through old snapshots too.
+  it->second.tick->store(lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
   *problem = it->second.problem;
   *frontier = it->second.frontier;
   return true;
 }
 
 bool UdaoService::LookupAnyGeneration(
-    const std::string& key, std::shared_ptr<const MooProblem>* problem,
+    CacheShard& shard, const std::string& key,
+    std::shared_ptr<const MooProblem>* problem,
     std::shared_ptr<const PfResult>* frontier) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  const std::shared_ptr<const Snapshot> snap =
+      shard.snapshot.load(std::memory_order_acquire);
+  if (snap == nullptr) return false;
+  const auto it = snap->find(key);
+  if (it == snap->end()) return false;
+  it->second.tick->store(lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
   *problem = it->second.problem;
   *frontier = it->second.frontier;
   return true;
 }
 
-void UdaoService::Insert(const std::string& key, uint64_t generation,
+void UdaoService::Insert(CacheShard& shard, const std::string& key,
+                         uint64_t generation,
                          std::shared_ptr<const MooProblem> problem,
                          std::shared_ptr<const PfResult> frontier) {
-  if (config_.frontier_cache_capacity <= 0) return;
+  if (per_shard_capacity_ <= 0) return;
   // Never cache a degraded frontier: it is whatever the budget allowed, not
   // the deterministic function of the key that makes concurrent misses and
   // later hits interchangeable.
   UDAO_DCHECK(!frontier->degraded);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const uint64_t tick = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto it = shard.cache.find(key);
+  if (it != shard.cache.end()) {
     // A concurrent miss on the same key got here first. Deterministic
     // computation means both entries are identical; keep the newer tag in
     // case the other racer observed an older generation.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.tick->store(tick, std::memory_order_relaxed);
     if (generation > it->second.generation) {
       it->second.problem = std::move(problem);
       it->second.frontier = std::move(frontier);
       it->second.generation = generation;
+      shard.snapshot.store(std::make_shared<const Snapshot>(shard.cache),
+                           std::memory_order_release);
     }
+    // A recency-only touch needs no republish: tick cells are shared with
+    // already-published snapshots.
     return;
   }
-  lru_.push_front(key);
   CacheEntry entry;
   entry.problem = std::move(problem);
   entry.frontier = std::move(frontier);
   entry.generation = generation;
-  entry.lru_it = lru_.begin();
-  cache_.emplace(key, std::move(entry));
-  while (static_cast<int>(cache_.size()) > config_.frontier_cache_capacity) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  entry.tick = std::make_shared<std::atomic<uint64_t>>(tick);
+  shard.cache.emplace(key, std::move(entry));
+  while (static_cast<int>(shard.cache.size()) > per_shard_capacity_) {
+    // Tick-based LRU: evict the least recently touched entry. A linear scan
+    // over at most per_shard_capacity_+1 entries, only on insert overflow.
+    auto victim = shard.cache.begin();
+    uint64_t victim_tick =
+        victim->second.tick->load(std::memory_order_relaxed);
+    for (auto i = std::next(shard.cache.begin()); i != shard.cache.end();
+         ++i) {
+      const uint64_t t = i->second.tick->load(std::memory_order_relaxed);
+      if (t < victim_tick) {
+        victim = i;
+        victim_tick = t;
+      }
+    }
+    shard.cache.erase(victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
     UDAO_METRIC_COUNTER_ADD("udao.service.evictions", 1);
+    EmitShardCounter(shard.evictions_metric);
   }
-  UDAO_METRIC_GAUGE_SET("udao.service.cache_size",
-                        static_cast<double>(cache_.size()));
+  shard.snapshot.store(std::make_shared<const Snapshot>(shard.cache),
+                       std::memory_order_release);
+  cache_entries_.store(CountEntries(), std::memory_order_relaxed);
+  UDAO_METRIC_GAUGE_SET(
+      "udao.service.cache_size",
+      static_cast<double>(cache_entries_.load(std::memory_order_relaxed)));
 }
 
 StatusOr<UdaoRecommendation> UdaoService::ServeStale(
@@ -154,11 +282,14 @@ StatusOr<UdaoRecommendation> UdaoService::ServeStale(
     double queue_wait_ms) {
   std::shared_ptr<const MooProblem> problem;
   std::shared_ptr<const PfResult> frontier;
-  if (!LookupAnyGeneration(key, &problem, &frontier)) {
+  CacheShard& shard = ShardFor(request.workload_id);
+  if (!LookupAnyGeneration(shard, key, &problem, &frontier)) {
     return Status::Unavailable(
         "overloaded and no cached frontier to degrade to");
   }
-  UDAO_METRIC_COUNTER_ADD("udao.service.stale_serves", 1);
+  if (request.options.metrics) {
+    UDAO_METRIC_COUNTER_ADD("udao.service.stale_serves", 1);
+  }
   StatusOr<UdaoRecommendation> rec =
       udao_.Recommend(request, *problem, *frontier);
   if (!rec.ok()) return rec.status();
@@ -173,6 +304,7 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
                                                  double queue_wait_ms) {
   UDAO_TRACE_SPAN("service.handle");
   const auto t0 = std::chrono::steady_clock::now();
+  const bool emit = request.options.metrics;
 
   Status valid = Udao::Validate(request);
   if (!valid.ok()) return valid;
@@ -185,25 +317,34 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
   const uint64_t generation = server_->Generation(request.workload_id);
   const std::string key = CacheKey(request);
   const StopToken stop = request.Stop();
+  CacheShard& shard = ShardFor(request.workload_id);
 
   std::shared_ptr<const MooProblem> problem;
   std::shared_ptr<const PfResult> frontier;
   const bool hit =
       config_.frontier_cache_capacity > 0 &&
-      Lookup(key, generation, &problem, &frontier);
+      Lookup(shard, key, generation, &problem, &frontier, emit);
   if (hit) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.cache_hits", 1);
+    shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (emit) {
+      UDAO_METRIC_COUNTER_ADD("udao.service.cache_hits", 1);
+      EmitShardCounter(shard.hits_metric);
+    }
   } else {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.cache_misses", 1);
+    shard.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    if (emit) {
+      UDAO_METRIC_COUNTER_ADD("udao.service.cache_misses", 1);
+      EmitShardCounter(shard.misses_metric);
+    }
     StatusOr<std::vector<ObjectiveSpec>> objectives =
         udao_.ResolveObjectives(request);
     if (!objectives.ok()) {
       // Model resolution failed (server fault, missing traces). Under the
       // stale-cache shed policy a previously computed frontier -- possibly
       // for older models -- still beats an error.
-      if (config_.shed_policy == ShedPolicy::kServeStaleCache) {
+      const ShedPolicy shed =
+          request.options.shed_policy.value_or(config_.shed_policy);
+      if (shed == ShedPolicy::kServeStaleCache) {
         StatusOr<UdaoRecommendation> stale =
             ServeStale(request, key, queue_wait_ms);
         if (stale.ok()) return stale;
@@ -215,7 +356,11 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
     auto owned_frontier = std::make_shared<PfResult>();
     {
       UDAO_TRACE_SPAN("service.pf");
-      ProgressiveFrontier pf(owned_problem.get(), udao_.options().pf);
+      // pf_config_ = the service's solver options with co_solver pointed at
+      // the cross-request coalescer, so this request's CO subproblems may
+      // share fused descents with concurrent requests' (bitwise-identical
+      // results either way).
+      ProgressiveFrontier pf(owned_problem.get(), pf_config_);
       *owned_frontier = pf.Run(udao_.options().frontier_points, stop);
     }
     problem = owned_problem;
@@ -225,64 +370,70 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
         return Status::DeadlineExceeded(
             "budget expired before any Pareto point was found");
       }
-      UDAO_METRIC_COUNTER_ADD("udao.service.degraded_solves", 1);
+      if (emit) {
+        UDAO_METRIC_COUNTER_ADD("udao.service.degraded_solves", 1);
+      }
     } else {
       // Empty (infeasible) frontiers are cached too: re-asking the same
       // constraints deterministically re-derives the same emptiness. Only
       // complete frontiers enter the cache (see Insert).
-      Insert(key, generation, problem, frontier);
+      Insert(shard, key, generation, problem, frontier);
     }
   }
 
   StatusOr<UdaoRecommendation> rec =
       udao_.Recommend(request, *problem, *frontier);
   if (!rec.ok()) {
-    UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
+    if (emit) UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
     return rec.status();
   }
   rec->seconds = NowMs(t0) / 1e3;
   rec->queue_wait_ms = queue_wait_ms;
-  UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
+  if (emit) UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
   return rec;
 }
 
 void UdaoService::AccountResponse(
-    const StatusOr<UdaoRecommendation>& response) {
+    const StatusOr<UdaoRecommendation>& response, bool emit) {
   if (response.ok()) {
     if (response->degraded) {
       degraded_.fetch_add(1, std::memory_order_relaxed);
-      UDAO_METRIC_COUNTER_ADD("udao.service.degraded", 1);
+      if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.degraded", 1);
     }
     return;
   }
   errors_.fetch_add(1, std::memory_order_relaxed);
-  UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
+  if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.errors", 1);
   if (response.status().code() == StatusCode::kDeadlineExceeded) {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.deadline_exceeded", 1);
+    if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.deadline_exceeded", 1);
   }
 }
 
-void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
+void UdaoService::SubmitInternal(const UdaoRequest& request, Callback done) {
   UDAO_CHECK(done != nullptr);
+  const bool emit = request.options.metrics;
   requests_.fetch_add(1, std::memory_order_relaxed);
-  UDAO_METRIC_COUNTER_ADD("udao.service.requests", 1);
+  if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.requests", 1);
+  const ShedPolicy shed =
+      request.options.shed_policy.value_or(config_.shed_policy);
 
-  // Overload control: bound the backlog, shed per policy. kDegrade admits
-  // (flagged); the other policies answer on the calling thread right here.
+  // Overload control: bound the backlog, shed per policy (the request's own
+  // override wins over the service default). kDegrade admits (flagged); the
+  // other policies answer on the calling thread right here.
   bool degrade_admission = false;
   if (config_.max_queue_depth > 0 &&
       queue_depth_.load(std::memory_order_relaxed) >=
           config_.max_queue_depth) {
     sheds_.fetch_add(1, std::memory_order_relaxed);
-    UDAO_METRIC_COUNTER_ADD("udao.service.sheds", 1);
-    switch (config_.shed_policy) {
+    if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.sheds", 1);
+    switch (shed) {
       case ShedPolicy::kReject: {
         StatusOr<UdaoRecommendation> rejected =
             Status::Unavailable("admission queue full (max depth " +
                                 std::to_string(config_.max_queue_depth) +
                                 ")");
-        AccountResponse(rejected);
+        AccountResponse(rejected, emit);
         done(std::move(rejected));
         return;
       }
@@ -291,7 +442,7 @@ void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
         // thread, which is the point -- no queue slot consumed.
         StatusOr<UdaoRecommendation> stale =
             ServeStale(request, CacheKey(request), /*queue_wait_ms=*/0.0);
-        AccountResponse(stale);
+        AccountResponse(stale, emit);
         done(std::move(stale));
         return;
       }
@@ -309,23 +460,27 @@ void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
   // Init-capture: a plain-copy capture of the const reference parameter
   // would keep its const, and the degrade clamp below mutates the deadline.
   admission_.Submit([this, request = request, done = std::move(done), enqueued,
-                     degrade_admission]() mutable {
+                     degrade_admission, shed, emit]() mutable {
     const double queue_wait_ms = NowMs(enqueued);
-    UDAO_METRIC_OBSERVE("udao.service.queue_wait_ms", queue_wait_ms);
+    if (emit) {
+      UDAO_METRIC_OBSERVE("udao.service.queue_wait_ms", queue_wait_ms);
+    }
     if (degrade_admission) {
       // The degraded budget starts when solving starts; a request that also
       // carries its own (tighter) deadline keeps it.
-      request.deadline = Deadline::Earlier(
-          request.deadline, Deadline::AfterMs(config_.degraded_budget_ms));
+      request.options.deadline =
+          Deadline::Earlier(request.options.deadline,
+                            Deadline::AfterMs(config_.degraded_budget_ms));
     }
     StatusOr<UdaoRecommendation> out = [&]() -> StatusOr<UdaoRecommendation> {
       // Queue-deadline enforcement: a request whose budget died while
       // queued is never solved -- solving it anyway is exactly the overload
       // death spiral (all workers busy computing answers nobody is waiting
       // for) that deadlines exist to prevent.
-      if (request.deadline.IsExpired() || request.cancel.IsCancelled()) {
-        if (config_.shed_policy == ShedPolicy::kServeStaleCache &&
-            !request.cancel.IsCancelled()) {
+      if (request.options.deadline.IsExpired() ||
+          request.options.cancel.IsCancelled()) {
+        if (shed == ShedPolicy::kServeStaleCache &&
+            !request.options.cancel.IsCancelled()) {
           return ServeStale(request, CacheKey(request), queue_wait_ms);
         }
         return Status::DeadlineExceeded(
@@ -334,55 +489,75 @@ void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
       }
       return Handle(request, queue_wait_ms);
     }();
-    AccountResponse(out);
+    AccountResponse(out, emit);
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     done(std::move(out));
   });
 }
 
-StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
-  std::mutex m;
-  std::condition_variable cv;
-  std::optional<StatusOr<UdaoRecommendation>> result;
-  OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
-    // Notify while holding the lock: the waiter owns `m`/`cv` on its stack,
-    // and may destroy them the moment it observes `result`. Signaling under
-    // the lock guarantees it cannot wake and return before this worker is
-    // completely done touching them.
-    std::lock_guard<std::mutex> lock(m);
-    result.emplace(std::move(r));
-    cv.notify_one();
+RequestTicket UdaoService::Submit(const UdaoRequest& request) {
+  RequestTicket ticket;
+  ticket.state_ = std::make_shared<RequestTicket::State>();
+  std::shared_ptr<RequestTicket::State> state = ticket.state_;
+  UdaoRequest composed = request;
+  // Either source firing -- the caller's own token or the ticket's Cancel()
+  // -- stops this request's solve; composing here keeps the solve stack
+  // single-token.
+  composed.options.cancel = CancellationToken::Any(
+      request.options.cancel, state->cancel.token());
+  SubmitInternal(composed, [state](StatusOr<UdaoRecommendation> r) {
+    // Notify while holding the lock: a Wait()er may otherwise observe the
+    // result and destroy the last ticket copy before notify_all touches cv.
+    // The delivery lambda's own shared_ptr keeps the state alive regardless.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result.emplace(std::move(r));
+    state->cv.notify_all();
   });
-  std::unique_lock<std::mutex> lock(m);
-  // Bounded waits only in the serving layer (udao_lint unbounded-wait): the
-  // predicate re-check makes the timeout purely a liveness backstop -- a
-  // lost-wakeup or stuck-worker bug degrades to 50 ms extra latency and a
-  // re-check instead of a hung client thread.
-  while (!result.has_value()) {
-    cv.wait_for(lock, std::chrono::milliseconds(50),
-                [&] { return result.has_value(); });
-  }
-  return std::move(*result);
+  return ticket;
+}
+
+StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
+  return Submit(request).Wait();
+}
+
+void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
+  SubmitInternal(request, std::move(done));
 }
 
 UdaoServiceStats UdaoService::stats() const {
   UdaoServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.sheds = sheds_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.shards.reserve(shards_.size());
+  for (const std::unique_ptr<CacheShard>& shard : shards_) {
+    UdaoServiceShardStats ss;
+    ss.cache_hits = shard->cache_hits.load(std::memory_order_relaxed);
+    ss.cache_misses = shard->cache_misses.load(std::memory_order_relaxed);
+    ss.invalidations = shard->invalidations.load(std::memory_order_relaxed);
+    ss.evictions = shard->evictions.load(std::memory_order_relaxed);
+    s.cache_hits += ss.cache_hits;
+    s.cache_misses += ss.cache_misses;
+    s.invalidations += ss.invalidations;
+    s.evictions += ss.evictions;
+    s.shards.push_back(ss);
+  }
   return s;
 }
 
-int UdaoService::CacheSize() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(cache_.size());
+int UdaoService::CountEntries() const {
+  int total = 0;
+  for (const std::unique_ptr<CacheShard>& shard : shards_) {
+    const std::shared_ptr<const Snapshot> snap =
+        shard->snapshot.load(std::memory_order_acquire);
+    if (snap != nullptr) total += static_cast<int>(snap->size());
+  }
+  return total;
 }
+
+int UdaoService::CacheSize() const { return CountEntries(); }
 
 int UdaoService::QueueDepth() const {
   return queue_depth_.load(std::memory_order_relaxed);

@@ -4,34 +4,24 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/thread_pool.h"
+#include "moo/solve_coalescer.h"
 #include "tuning/udao.h"
 
 namespace udao {
 
-/// What the service does with a request that arrives while the admission
-/// queue is at max_queue_depth (or whose budget expired while queued).
-enum class ShedPolicy {
-  /// Fail fast with Unavailable. The caller sees backpressure immediately
-  /// and can retry against another replica.
-  kReject,
-  /// Serve the most recent cached frontier for the request's key regardless
-  /// of model generation, tagged degraded. Falls back to Unavailable when
-  /// nothing is cached. Also used when model resolution itself fails
-  /// (stale answer beats no answer for a tuning advisor).
-  kServeStaleCache,
-  /// Admit the request anyway but clamp its budget to degraded_budget_ms,
-  /// so it runs a short anytime solve and returns a degraded frontier
-  /// instead of joining an unbounded backlog at full cost.
-  kDegrade,
-};
+// ShedPolicy and the per-request RequestOptions knobs (deadline, cancel,
+// shed-policy override, recommendation policy, metrics opt-out) live in
+// tuning/udao.h next to UdaoRequest; this header re-exports them via that
+// include so serving-layer callers keep compiling unchanged.
 
 /// Serving-layer policy.
 struct UdaoServiceConfig {
@@ -44,14 +34,36 @@ struct UdaoServiceConfig {
   /// pool's WaitIdle during PF fan-out, and a worker of a pool must never
   /// wait for that same pool to drain.
   int admission_threads = 4;
-  /// Cached frontiers kept (LRU eviction). <= 0 disables caching.
+  /// Cached frontiers kept across all shards. The budget is divided evenly:
+  /// each shard holds up to max(1, capacity / cache_shards) entries with
+  /// independent recency-based eviction, so one tenant's churn cannot evict
+  /// the whole service's working set. <= 0 disables caching.
   int frontier_cache_capacity = 64;
+  /// Cache/stat shards. Requests route by hash(workload_id), so one tenant's
+  /// entries and counters live in one shard and tenants do not contend on a
+  /// shared lock. Clamped to >= 1.
+  int cache_shards = 8;
+  /// Funnel the MOGD constrained-optimization subproblems of concurrent
+  /// requests into shared fused solves (see SolveCoalescer): N tenants
+  /// asking for frontiers drive a few big GEMM streams instead of N small
+  /// interleaved ones. Results stay bitwise-identical to solo solves; the
+  /// only cost is up to coalesce_max_wait_us added latency per solve round.
+  /// Ignored (no coalescer built) when the solver config is not batched.
+  bool coalesce_solves = true;
+  int coalesce_max_batch = 32;
+  double coalesce_max_wait_us = 200.0;
+  /// Capacity of the coalescer's solved-subproblem memo (identical CO
+  /// subproblems from concurrent requests are solved once and the bits
+  /// shared; see SolveCoalescerConfig::memo_capacity). 0 disables it.
+  int coalesce_memo_capacity = 512;
   /// Overload bound: requests queued or running before shedding starts.
   /// <= 0 means unbounded (the pre-overload-control behavior). The bound is
   /// approximate under concurrency (check-then-admit is not atomic), which
   /// is fine: it exists to keep the backlog from growing without limit, not
   /// to enforce an exact count.
   int max_queue_depth = 0;
+  /// Default shed policy; a request may override it for itself via
+  /// UdaoRequest::options.shed_policy.
   ShedPolicy shed_policy = ShedPolicy::kReject;
   /// Solve budget granted to requests admitted under ShedPolicy::kDegrade,
   /// measured from the moment a worker dequeues the request (queue wait
@@ -59,7 +71,18 @@ struct UdaoServiceConfig {
   double degraded_budget_ms = 50.0;
 };
 
-/// Point-in-time request/cache counters (see UdaoService::stats()).
+/// Per-shard slice of the cache counters (see UdaoServiceStats::shards).
+struct UdaoServiceShardStats {
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long invalidations = 0;  ///< Generation-stale lookups in this shard.
+  long long evictions = 0;      ///< Capacity evictions in this shard.
+};
+
+/// Point-in-time request/cache counters (see UdaoService::stats()). The
+/// cache fields are aggregates over `shards`; the same split is exported to
+/// the metrics registry as `udao.service.shard<i>.*` counters next to the
+/// service-wide `udao.service.*` ones.
 struct UdaoServiceStats {
   long long requests = 0;
   long long cache_hits = 0;
@@ -72,25 +95,68 @@ struct UdaoServiceStats {
   /// Requests failed with DeadlineExceeded (budget gone in queue, or solve
   /// stopped before finding any point).
   long long deadline_exceeded = 0;
+  std::vector<UdaoServiceShardStats> shards;  ///< One entry per cache shard.
+};
+
+/// Handle to one submitted request (see UdaoService::Submit). Cheap to copy
+/// (all copies share one result slot) and safe to destroy before the request
+/// completes -- the service keeps the shared state alive until delivery.
+///
+/// A default-constructed ticket is empty (Valid() == false); Wait/TryGet/
+/// Cancel on it abort, so tickets always originate from Submit().
+class RequestTicket {
+ public:
+  RequestTicket() = default;
+
+  /// True when the ticket came from Submit() (default-constructed tickets
+  /// are inert placeholders).
+  bool Valid() const { return state_ != nullptr; }
+
+  /// Blocks until the result is ready and returns a copy of it. Idempotent:
+  /// repeat calls (from any thread) return the same result again.
+  StatusOr<UdaoRecommendation> Wait();
+
+  /// Non-blocking probe: the result if it is already delivered, nullopt
+  /// otherwise.
+  std::optional<StatusOr<UdaoRecommendation>> TryGet();
+
+  /// Requests cancellation of this submission. Composes with any token the
+  /// request itself carried (either source firing cancels the solve); the
+  /// solve stack notices at its next per-iteration check and delivers a
+  /// best-so-far degraded frontier or Cancelled per the anytime contract.
+  /// Idempotent; a no-op once the result is delivered.
+  void Cancel();
+
+ private:
+  friend class UdaoService;
+  struct State;
+  std::shared_ptr<State> state_;
 };
 
 /// Thread-safe serving front-end over Udao + ModelServer (the "within a few
 /// seconds" interactive loop of Fig. 1(a), made multi-tenant).
 ///
-/// Four things distinguish it from calling Udao::Optimize directly:
+/// Five things distinguish it from calling Udao::Optimize directly:
 ///
 ///  - Admission: requests run on a fixed-size ThreadPool, so any number of
-///    client threads can call Optimize()/OptimizeAsync() concurrently while
-///    solver parallelism stays bounded.
+///    client threads can call Submit() concurrently while solver parallelism
+///    stays bounded.
+///  - Solve coalescing: the MOGD subproblems of concurrently admitted
+///    requests are funneled through one SolveCoalescer, which fuses
+///    same-shaped problems from different requests into shared batched
+///    descents (one GEMM stream for the window instead of one per request)
+///    without changing any request's results bitwise.
 ///  - Frontier caching: step 2 (Progressive Frontier) dominates end-to-end
 ///    latency but depends only on (workload, objectives, constraints, solver
 ///    options) -- NOT on preference weights or the recommendation policy.
 ///    Computed frontiers are cached under an exact key of those inputs, so a
 ///    request that differs only in weights/policy re-runs just step 3
-///    (microseconds instead of seconds). Degraded (budget-truncated)
-///    frontiers are never cached: they are whatever the deadline allowed,
-///    not the deterministic function of the key that cache correctness
-///    rests on.
+///    (microseconds instead of seconds). The cache is sharded by
+///    hash(workload_id): mutations take only their shard's lock, and warm-
+///    path lookups probe an atomically published immutable snapshot without
+///    locking at all. Degraded (budget-truncated) frontiers are never
+///    cached: they are whatever the deadline allowed, not the deterministic
+///    function of the key that cache correctness rests on.
 ///  - Invalidation: every cache entry is tagged with the model server's
 ///    per-workload generation (bumped on Ingest and on lazy retrain /
 ///    fine-tune). The generation is read *before* models are resolved, so an
@@ -98,9 +164,10 @@ struct UdaoServiceStats {
 ///    that produced it: a stale frontier is never served (outside explicit
 ///    degraded mode), at worst one fresh frontier is recomputed spuriously.
 ///  - Deadlines & overload control: a request may carry a Deadline /
-///    CancellationToken; the solve stack checks them once per iteration
-///    block and returns best-so-far results tagged degraded on expiry.
-///    When the admission queue exceeds max_queue_depth, the shed policy
+///    CancellationToken (UdaoRequest::options); the solve stack checks them
+///    once per iteration block and returns best-so-far results tagged
+///    degraded on expiry. When the admission queue exceeds max_queue_depth,
+///    the shed policy (service default, or the request's own override)
 ///    decides between rejecting, serving stale cache, and degrading. A
 ///    request whose budget expired while still queued is never solved:
 ///    it sheds per policy (queue-deadline enforcement).
@@ -112,9 +179,9 @@ struct UdaoServiceStats {
 /// Lifetime: the caller keeps `server`, request spaces, and any explicit
 /// request models alive for the service's lifetime. The destructor drains
 /// in-flight requests. Callbacks run on admission workers (or, for shed
-/// requests, on the calling thread): keep them light and never call the
-/// synchronous Optimize() from inside one (it would wait for a worker slot
-/// while holding one).
+/// requests, on the calling thread): keep them light and never block on
+/// another ticket or call the synchronous Optimize() from inside one (it
+/// would wait for a worker slot while holding one).
 class UdaoService {
  public:
   using Callback = std::function<void(StatusOr<UdaoRecommendation>)>;
@@ -122,29 +189,41 @@ class UdaoService {
   explicit UdaoService(ModelServer* server,
                        UdaoServiceConfig config = UdaoServiceConfig());
 
-  /// Admits the request and blocks for the result. Safe to call from any
-  /// number of threads concurrently (but not from a Callback, see above).
-  /// The returned recommendation carries queue_wait_ms -- the time the
-  /// request spent waiting for an admission worker -- so callers and load
-  /// generators can tell queueing delay from solve time.
+  /// Admits the request and returns a ticket immediately. The unified entry
+  /// point: Wait() on the ticket for synchronous use, poll TryGet() for
+  /// async use, Cancel() to abandon the solve early. The request is copied;
+  /// the space/model pointers inside it must outlive the call. Safe from any
+  /// number of threads concurrently. The returned recommendation carries
+  /// queue_wait_ms -- the time the request spent waiting for an admission
+  /// worker -- so callers and load generators can tell queueing delay from
+  /// solve time.
+  RequestTicket Submit(const UdaoRequest& request);
+
+  /// Deprecated: Submit(request).Wait() behind the pre-ticket signature.
+  /// Kept as a thin wrapper for existing call sites; new code uses Submit.
   StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
 
-  /// Admits the request and returns immediately; `done` runs on an admission
-  /// worker with the result (on the calling thread when the request was shed
-  /// at admission). The request is copied; the space/model pointers inside
-  /// it must outlive the call.
+  /// Deprecated: callback-flavored admission from before RequestTicket; the
+  /// ticket API composes cancellation and waiting without callback-lifetime
+  /// pitfalls. Kept as a thin wrapper: `done` runs on an admission worker
+  /// with the result (on the calling thread when the request was shed at
+  /// admission).
   void OptimizeAsync(const UdaoRequest& request, Callback done);
 
   /// Counter snapshot (approximate under concurrency: the fields are read
-  /// individually, not atomically as a group).
+  /// individually, not atomically as a group). Includes the per-shard split.
   UdaoServiceStats stats() const;
 
-  /// Frontiers currently cached.
+  /// Frontiers currently cached (summed over shards).
   int CacheSize() const;
 
   /// Requests currently queued or running (the value the overload bound
   /// compares against).
   int QueueDepth() const;
+
+  /// Which cache shard `workload_id` routes to (stable for the service
+  /// lifetime; exposed for tests and shard-level monitoring).
+  int ShardOf(const std::string& workload_id) const;
 
   const UdaoServiceConfig& config() const { return config_; }
 
@@ -154,8 +233,33 @@ class UdaoService {
     std::shared_ptr<const PfResult> frontier;
     /// ModelServer::Generation(workload) observed before resolving models.
     uint64_t generation = 0;
-    /// Position in lru_ (front = most recently used).
-    std::list<std::string>::iterator lru_it;
+    /// Recency stamp (global lru_tick_ value of the last touch). Shared
+    /// between the live map and every published snapshot of it, so a
+    /// lock-free snapshot hit still refreshes recency for eviction.
+    std::shared_ptr<std::atomic<uint64_t>> tick;
+  };
+
+  /// Immutable point-in-time copy of one shard's map, republished after
+  /// every mutation; the warm path probes it without taking the shard lock.
+  using Snapshot = std::unordered_map<std::string, CacheEntry>;
+
+  struct CacheShard {
+    /// Guards `cache` (mutations and snapshot republish only; reads go
+    /// through `snapshot`).
+    mutable std::mutex mu;
+    Snapshot cache;
+    std::atomic<std::shared_ptr<const Snapshot>> snapshot;
+    std::atomic<long long> cache_hits{0};
+    std::atomic<long long> cache_misses{0};
+    std::atomic<long long> invalidations{0};
+    std::atomic<long long> evictions{0};
+    /// Precomputed `udao.service.shard<i>.*` metric names (the UDAO_METRIC_*
+    /// macros need literals; dynamic names go through the registry
+    /// directly).
+    std::string hits_metric;
+    std::string misses_metric;
+    std::string invalidations_metric;
+    std::string evictions_metric;
   };
 
   /// Exact byte-serialized cache key: workload, space identity AND structure
@@ -169,22 +273,35 @@ class UdaoService {
   /// budget-truncated results are never inserted.
   std::string CacheKey(const UdaoRequest& request) const;
 
+  /// Core admission path shared by Submit and the deprecated wrappers.
+  void SubmitInternal(const UdaoRequest& request, Callback done);
+
   /// The whole request path; runs on an admission worker. `queue_wait_ms`
   /// is surfaced in the returned recommendation.
   StatusOr<UdaoRecommendation> Handle(const UdaoRequest& request,
                                       double queue_wait_ms);
 
-  /// Cache lookup incl. staleness check; fills problem/frontier on a hit.
-  bool Lookup(const std::string& key, uint64_t generation,
+  /// Lock-free cache lookup incl. staleness check; fills problem/frontier on
+  /// a hit and counts hit/miss/invalidation against `shard`. `emit` gates
+  /// registry emission (per-request metrics opt-out); shard-local atomics
+  /// always count.
+  bool Lookup(CacheShard& shard, const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem>* problem,
-              std::shared_ptr<const PfResult>* frontier);
-  /// Generation-blind lookup for ShedPolicy::kServeStaleCache.
-  bool LookupAnyGeneration(const std::string& key,
+              std::shared_ptr<const PfResult>* frontier, bool emit);
+  /// Generation-blind lookup for ShedPolicy::kServeStaleCache; does not
+  /// count hits or misses (the request already counted its real lookup).
+  bool LookupAnyGeneration(CacheShard& shard, const std::string& key,
                            std::shared_ptr<const MooProblem>* problem,
                            std::shared_ptr<const PfResult>* frontier);
-  void Insert(const std::string& key, uint64_t generation,
+  void Insert(CacheShard& shard, const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem> problem,
               std::shared_ptr<const PfResult> frontier);
+
+  CacheShard& ShardFor(const std::string& workload_id) const;
+
+  /// Total entries across shards, read via the published snapshots (no shard
+  /// locks taken; exact between mutations).
+  int CountEntries() const;
 
   /// kServeStaleCache fallback: recommend from whatever is cached under
   /// `key`, any generation, tagged degraded. Unavailable when nothing is.
@@ -194,7 +311,9 @@ class UdaoService {
 
   /// Response-side bookkeeping shared by every delivery path (worker,
   /// shed-at-admission): errors / degraded / deadline_exceeded counters.
-  void AccountResponse(const StatusOr<UdaoRecommendation>& response);
+  /// `emit` gates registry emission per the request's metrics opt-out.
+  void AccountResponse(const StatusOr<UdaoRecommendation>& response,
+                       bool emit);
 
   ModelServer* server_;
   UdaoServiceConfig config_;
@@ -203,16 +322,29 @@ class UdaoService {
   /// (the canonical SolverOptions byte serialization).
   std::string options_fingerprint_;
 
-  /// Guards lru_ + cache_ only; never held while solving or recommending.
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;
-  std::unordered_map<std::string, CacheEntry> cache_;
+  /// Cross-request solve coalescer (null when coalescing is off or the
+  /// solver config is not batched). Declared after udao_ so it is destroyed
+  /// FIRST: its destructor waits out fused chunks running on udao_'s solver
+  /// pool, which must still be alive at that point.
+  std::unique_ptr<SolveCoalescer> coalescer_;
+  /// udao_.options().pf with co_solver pointed at coalescer_; what Handle
+  /// actually constructs ProgressiveFrontier with. co_solver is excluded
+  /// from the options fingerprint (threading/routing never changes
+  /// solutions), so cache keys are identical with coalescing on or off.
+  PfConfig pf_config_;
+
+  /// Cache shards, fixed at construction. unique_ptr because CacheShard
+  /// carries a mutex and atomics (immovable) and vector needs movability.
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  int per_shard_capacity_ = 0;
+  /// Global recency clock for tick-based per-shard eviction (monotone;
+  /// higher = more recently used).
+  mutable std::atomic<uint64_t> lru_tick_{0};
+  /// Entries across shards as of the last Insert (feeds the cache_size
+  /// gauge without re-walking shards on reads).
+  mutable std::atomic<int> cache_entries_{0};
 
   std::atomic<long long> requests_{0};
-  std::atomic<long long> cache_hits_{0};
-  std::atomic<long long> cache_misses_{0};
-  std::atomic<long long> invalidations_{0};
-  std::atomic<long long> evictions_{0};
   std::atomic<long long> errors_{0};
   std::atomic<long long> sheds_{0};
   std::atomic<long long> degraded_{0};
@@ -221,11 +353,11 @@ class UdaoService {
   std::atomic<int> queue_depth_{0};
 
   /// MUST be the last member: ~ThreadPool drains queued/in-flight Handle
-  /// tasks, which lock mu_ and touch the cache and counters above. Members
-  /// destroy in reverse declaration order, so declaring the pool last keeps
-  /// everything a draining task needs alive until the drain completes
-  /// (race_stress_test.ServiceDestructionWithInflightRequests regresses
-  /// under TSan if this moves).
+  /// tasks, which touch the coalescer, the cache shards, and the counters
+  /// above. Members destroy in reverse declaration order, so declaring the
+  /// pool last keeps everything a draining task needs alive until the drain
+  /// completes (race_stress_test.ServiceDestructionWithInflightRequests
+  /// regresses under TSan if this moves).
   ThreadPool admission_;
 };
 

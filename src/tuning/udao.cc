@@ -136,14 +136,16 @@ StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
     }
   }
   std::optional<MooPoint> choice;
-  switch (request.policy) {
+  switch (request.options.policy) {
     case RecommendPolicy::kWun:
       break;  // the fallback below is the WUN pick
     case RecommendPolicy::kKnee:
-      if (k == 2) choice = KneePoint(ranked, request.slope_side);
+      if (k == 2) choice = KneePoint(ranked, request.options.slope_side);
       break;
     case RecommendPolicy::kSlope:
-      if (k == 2) choice = SlopeMaximization(ranked, request.slope_side);
+      if (k == 2) {
+        choice = SlopeMaximization(ranked, request.options.slope_side);
+      }
       break;
   }
   if (!choice.has_value()) {
@@ -175,7 +177,7 @@ StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
 StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
   const StopToken stop = request.Stop();
-  if (request.cancel.IsCancelled()) {
+  if (request.options.cancel.IsCancelled()) {
     return Status::DeadlineExceeded("request cancelled before solving");
   }
   StatusOr<std::vector<ObjectiveSpec>> objectives = ResolveObjectives(request);

@@ -2,6 +2,7 @@
 #define UDAO_TUNING_UDAO_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,61 @@ namespace udao {
 /// change from a cached frontier.
 enum class RecommendPolicy { kWun, kKnee, kSlope };
 
+/// What a serving layer does with a request that arrives while its admission
+/// queue is at capacity (or whose budget expired while queued). Defined here
+/// rather than in src/serving because requests can carry a per-request
+/// override (RequestOptions::shed_policy) and the request types live at this
+/// layer.
+enum class ShedPolicy {
+  /// Fail fast with Unavailable. The caller sees backpressure immediately
+  /// and can retry against another replica.
+  kReject,
+  /// Serve the most recent cached frontier for the request's key regardless
+  /// of model generation, tagged degraded. Falls back to Unavailable when
+  /// nothing is cached. Also used when model resolution itself fails
+  /// (stale answer beats no answer for a tuning advisor).
+  kServeStaleCache,
+  /// Admit the request anyway but clamp its budget to the service's degraded
+  /// budget, so it runs a short anytime solve and returns a degraded
+  /// frontier instead of joining an unbounded backlog at full cost.
+  kDegrade,
+};
+
+/// Per-request knobs, collected in one place so UdaoRequest stays "what to
+/// optimize" and this stays "how to treat this particular request". None of
+/// these fields enters the serving cache key: they steer step 3, budgets,
+/// and bookkeeping -- never which frontier step 2 computes.
+struct RequestOptions {
+  /// Recommendation (step 3) strategy. Requests that differ only in
+  /// preference weights, `policy`, or `slope_side` share the same frontier
+  /// and are served from UdaoService's cache without re-running PF.
+  RecommendPolicy policy = RecommendPolicy::kWun;
+  /// Reference anchor for the kKnee / kSlope policies.
+  SlopeSide slope_side = SlopeSide::kLeft;
+
+  /// Time budget for the whole request, queue wait included. Default: none.
+  /// On expiry the solve stops at its next amortized check and returns the
+  /// best-so-far frontier tagged `degraded` (PF's anytime property) rather
+  /// than erroring -- unless nothing was computed yet, in which case the
+  /// request fails with DeadlineExceeded. Budgets change *how much* of the
+  /// frontier gets computed, not which frontier, and degraded results are
+  /// never cached.
+  Deadline deadline;
+  /// Cooperative cancellation (e.g. the client disconnected). The default
+  /// token never cancels and costs nothing to check.
+  CancellationToken cancel;
+
+  /// Per-request override of the service-wide shed policy; nullopt uses
+  /// UdaoServiceConfig::shed_policy. A latency-critical caller can demand
+  /// kReject while the service default degrades, and vice versa.
+  std::optional<ShedPolicy> shed_policy;
+  /// False opts this request out of per-request MetricsRegistry emissions
+  /// (counters/histograms on the serving path). Aggregate stats() counters
+  /// are always maintained; this only silences the registry for callers that
+  /// do their own accounting (load generators, replayed traffic).
+  bool metrics = true;
+};
+
 /// One optimization request (Fig. 1(a)): a workload (standing in for its
 /// dataflow program, whose models live in the model server), the chosen
 /// objectives, optional value constraints, and optional preference weights.
@@ -43,27 +99,14 @@ struct UdaoRequest {
   /// means uniform. They need not be normalized.
   Vector preference_weights;
 
-  /// Recommendation (step 3) strategy. Requests that differ only in
-  /// `preference_weights`, `policy`, or `slope_side` share the same frontier
-  /// and are served from UdaoService's cache without re-running PF.
-  RecommendPolicy policy = RecommendPolicy::kWun;
-  /// Reference anchor for the kKnee / kSlope policies.
-  SlopeSide slope_side = SlopeSide::kLeft;
-
-  /// Time budget for the whole request, queue wait included. Default: none.
-  /// On expiry the solve stops at its next amortized check and returns the
-  /// best-so-far frontier tagged `degraded` (PF's anytime property) rather
-  /// than erroring -- unless nothing was computed yet, in which case the
-  /// request fails with DeadlineExceeded. Neither field enters the serving
-  /// cache key: budgets change *how much* of the frontier gets computed, not
-  /// which frontier, and degraded results are never cached.
-  Deadline deadline;
-  /// Cooperative cancellation (e.g. the client disconnected). The default
-  /// token never cancels and costs nothing to check.
-  CancellationToken cancel;
+  /// Per-request knobs (policy, deadline, cancellation, shed override,
+  /// metrics opt-out). See RequestOptions.
+  RequestOptions options;
 
   /// The combined stop signal solvers check.
-  StopToken Stop() const { return StopToken(deadline, cancel); }
+  StopToken Stop() const {
+    return StopToken(options.deadline, options.cancel);
+  }
 };
 
 /// The optimizer's answer: a configuration plus the frontier that justified

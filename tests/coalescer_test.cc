@@ -1,0 +1,494 @@
+// SolveCoalescer: fusing the CO subproblems of concurrent requests into
+// shared batched descents must be invisible in the results -- every problem
+// solves bitwise-identically to a solo run with the same seed, no matter how
+// submissions share windows, fuse groups, or chunks -- and visible only in
+// the counters (fused chunks, cross-request problems) and the wall clock.
+// Also covers the serving layer's RequestTicket/Submit surface and shard
+// routing, which exist to feed the coalescer concurrent traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/random.h"
+#include "moo/solve_coalescer.h"
+#include "serving/udao_service.h"
+#include "test_problems.h"
+
+namespace udao {
+namespace {
+
+using testing_problems::ConvexProblem;
+using testing_problems::UnitSpace2;
+
+MogdConfig FastMogd() {
+  MogdConfig cfg;
+  cfg.multistart = 4;
+  cfg.max_iters = 40;
+  return cfg;
+}
+
+std::vector<CoProblem> ProbeLadder(int n) {
+  std::vector<CoProblem> problems;
+  for (int i = 0; i < n; ++i) {
+    CoProblem co;
+    co.target = i % 2;
+    co.lower = {i * 0.1, 0.0};
+    co.upper = {i * 0.1 + 0.3, 1.5};
+    problems.push_back(co);
+  }
+  return problems;
+}
+
+void ExpectBitwiseEqual(const std::optional<CoResult>& a,
+                        const std::optional<CoResult>& b, int i) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << "problem " << i;
+  if (!a.has_value()) return;
+  EXPECT_EQ(a->x, b->x) << "problem " << i;
+  EXPECT_EQ(a->raw, b->raw) << "problem " << i;
+  EXPECT_EQ(a->objectives, b->objectives) << "problem " << i;
+  EXPECT_EQ(a->target_value, b->target_value) << "problem " << i;
+}
+
+// The fused kernel itself: one SolveCoFused call over K problems must equal
+// K seeded solo solves bit for bit (same seeds, same trajectories).
+TEST(SolveCoalescerTest, FusedSolveMatchesSeededSoloSolvesBitwise) {
+  const MooProblem problem = ConvexProblem();
+  const MogdConfig cfg = FastMogd();
+  MogdSolver solver(cfg);
+  const std::vector<CoProblem> problems = ProbeLadder(5);
+
+  std::vector<const CoProblem*> cos;
+  std::vector<uint64_t> seeds;
+  const StopToken none;
+  std::vector<const StopToken*> stops;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    cos.push_back(&problems[i]);
+    seeds.push_back(cfg.seed + 17 * i);  // any seeds; solo uses the same
+    stops.push_back(&none);
+  }
+  std::vector<SolvePerf> perfs;
+  const auto fused = solver.SolveCoFused(problem, cos, seeds, stops, &perfs);
+
+  ASSERT_EQ(fused.size(), problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    const auto solo =
+        solver.SolveCoSeeded(problem, problems[i], seeds[i], nullptr, none);
+    ExpectBitwiseEqual(fused[i], solo, static_cast<int>(i));
+  }
+}
+
+// The full coalescer path for one submission must reproduce
+// MogdSolver::SolveBatch bitwise: same per-slot seed contract, same results,
+// whether or not anyone shared the window.
+TEST(SolveCoalescerTest, SingleSubmissionMatchesSolveBatchBitwise) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 64;
+  cc.max_wait_us = 0.0;  // flush immediately; no idle latency in tests
+  SolveCoalescer coalescer(cc);
+  const std::vector<CoProblem> problems = ProbeLadder(6);
+
+  const auto coalesced =
+      coalescer.SolveBatch(problem, problems, nullptr, StopToken());
+  MogdSolver solo(cc.mogd);
+  const auto reference = solo.SolveBatch(problem, problems);
+
+  ASSERT_EQ(coalesced.size(), reference.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    ExpectBitwiseEqual(coalesced[i], reference[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(coalescer.stats().submissions, 1);
+  EXPECT_GE(coalescer.stats().fused_chunks, 1);
+}
+
+// Two concurrent submissions against the same problem shapes: the window is
+// sized so the flusher only fires once both are pending, which forces them
+// into one fuse group and (with no pool, one chunk) one fused descent. Both
+// callers must still get exactly their solo-solve results.
+TEST(SolveCoalescerTest, ConcurrentSubmissionsFuseAndStayBitwiseIdentical) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 2;          // exactly the two submissions below
+  cc.max_wait_us = 2e6;      // far longer than the test: flush on fullness
+  SolveCoalescer coalescer(cc);
+
+  const std::vector<CoProblem> pa = {ProbeLadder(3)[0]};
+  const std::vector<CoProblem> pb = {ProbeLadder(3)[2]};
+  std::vector<std::optional<CoResult>> ra, rb;
+  std::thread ta([&] {
+    ra = coalescer.SolveBatch(problem, pa, nullptr, StopToken());
+  });
+  std::thread tb([&] {
+    rb = coalescer.SolveBatch(problem, pb, nullptr, StopToken());
+  });
+  ta.join();
+  tb.join();
+
+  MogdSolver solo(cc.mogd);
+  ExpectBitwiseEqual(ra[0], solo.SolveBatch(problem, pa)[0], 0);
+  ExpectBitwiseEqual(rb[0], solo.SolveBatch(problem, pb)[0], 1);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.submissions, 2);
+  EXPECT_EQ(stats.flushes, 1);
+  // One fuse group (same problem identity), one chunk, both problems of it
+  // from different submissions: certified cross-request fusion.
+  EXPECT_EQ(stats.fuse_groups, 1);
+  EXPECT_EQ(stats.fused_chunks, 1);
+  EXPECT_EQ(stats.fused_problems, 2);
+}
+
+// A cancelled batchmate never perturbs (or stalls) its windowmates: the
+// surviving submission's result must remain bitwise identical to its solo
+// solve, and the doomed one still delivers. (A cancel-only submission is
+// dedup-eligible, so its descent runs under the never-stop token -- a twin
+// could join it mid-flight -- and cancellation lands between probes at the
+// frontier layer instead; deadline-armed submissions keep per-iteration
+// freezing, covered by the deadline tests.)
+TEST(SolveCoalescerTest, CancelledSubmissionDoesNotPerturbBatchmates) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 2;
+  cc.max_wait_us = 2e6;
+  SolveCoalescer coalescer(cc);
+
+  CancellationSource source;
+  source.Cancel();  // doomed from the start: freezes at the first stop check
+  const StopToken doomed(Deadline(), source.token());
+
+  const std::vector<CoProblem> pa = {ProbeLadder(3)[0]};
+  const std::vector<CoProblem> pb = {ProbeLadder(3)[2]};
+  std::vector<std::optional<CoResult>> ra, rb;
+  std::thread ta(
+      [&] { ra = coalescer.SolveBatch(problem, pa, nullptr, doomed); });
+  std::thread tb([&] {
+    rb = coalescer.SolveBatch(problem, pb, nullptr, StopToken());
+  });
+  ta.join();
+  tb.join();
+
+  // The survivor is untouched by its batchmate's cancellation.
+  MogdSolver solo(cc.mogd);
+  ExpectBitwiseEqual(rb[0], solo.SolveBatch(problem, pb)[0], 1);
+  // The doomed submission still delivered instead of hanging its caller or
+  // the window.
+  ASSERT_EQ(ra.size(), 1u);
+  EXPECT_EQ(coalescer.stats().fused_problems, 2);
+}
+
+// Identical subproblems submitted concurrently collapse to one descent: the
+// second submission joins the first's in-flight slot (singleflight) and
+// receives the same bits a solo solve would have produced.
+TEST(SolveCoalescerTest, IdenticalConcurrentSubmissionsShareOneDescent) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 2;
+  cc.max_wait_us = 2e6;
+  SolveCoalescer coalescer(cc);
+
+  const std::vector<CoProblem> shared = {ProbeLadder(3)[0]};
+  std::vector<std::optional<CoResult>> ra, rb;
+  std::thread ta([&] {
+    ra = coalescer.SolveBatch(problem, shared, nullptr, StopToken());
+  });
+  std::thread tb([&] {
+    rb = coalescer.SolveBatch(problem, shared, nullptr, StopToken());
+  });
+  ta.join();
+  tb.join();
+
+  MogdSolver solo(cc.mogd);
+  const auto reference = solo.SolveBatch(problem, shared);
+  ExpectBitwiseEqual(ra[0], reference[0], 0);
+  ExpectBitwiseEqual(rb[0], reference[0], 1);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.dedup_hits, 1);   // one twin joined, one descent ran
+  EXPECT_EQ(stats.fused_chunks, 1);
+}
+
+// A resubmitted subproblem after its twin completed is served from the memo:
+// no new descent, bitwise-identical bits.
+TEST(SolveCoalescerTest, RepeatedSubmissionHitsTheMemo) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 64;
+  cc.max_wait_us = 0.0;
+  SolveCoalescer coalescer(cc);
+  const std::vector<CoProblem> problems = ProbeLadder(3);
+
+  const auto first =
+      coalescer.SolveBatch(problem, problems, nullptr, StopToken());
+  const long long chunks_after_first = coalescer.stats().fused_chunks;
+  const auto second =
+      coalescer.SolveBatch(problem, problems, nullptr, StopToken());
+
+  for (size_t i = 0; i < problems.size(); ++i) {
+    ExpectBitwiseEqual(second[i], first[i], static_cast<int>(i));
+  }
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.memo_hits, static_cast<long long>(problems.size()));
+  EXPECT_EQ(stats.fused_chunks, chunks_after_first);  // nothing re-descended
+}
+
+// memo_capacity = 0 turns cross-window sharing off: the repeat really
+// re-solves (and, being deterministic, still matches bitwise).
+TEST(SolveCoalescerTest, MemoCapacityZeroDisablesCrossWindowSharing) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 64;
+  cc.max_wait_us = 0.0;
+  cc.memo_capacity = 0;
+  SolveCoalescer coalescer(cc);
+  const std::vector<CoProblem> problems = ProbeLadder(3);
+
+  const auto first =
+      coalescer.SolveBatch(problem, problems, nullptr, StopToken());
+  const long long chunks_after_first = coalescer.stats().fused_chunks;
+  const auto second =
+      coalescer.SolveBatch(problem, problems, nullptr, StopToken());
+
+  for (size_t i = 0; i < problems.size(); ++i) {
+    ExpectBitwiseEqual(second[i], first[i], static_cast<int>(i));
+  }
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.memo_hits, 0);
+  EXPECT_GT(stats.fused_chunks, chunks_after_first);
+}
+
+// Deadline-armed submissions bypass dedup and memo entirely: their anytime
+// truncation semantics must stay exactly solo, so identical repeats under a
+// deadline never share bits with anyone.
+TEST(SolveCoalescerTest, DeadlineArmedSubmissionsBypassDedupAndMemo) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  cc.max_batch = 64;
+  cc.max_wait_us = 0.0;
+  SolveCoalescer coalescer(cc);
+  const std::vector<CoProblem> problems = ProbeLadder(2);
+  const StopToken armed(Deadline::AfterMs(3600e3));  // far future: never fires
+
+  (void)coalescer.SolveBatch(problem, problems, nullptr, armed);
+  (void)coalescer.SolveBatch(problem, problems, nullptr, armed);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.dedup_hits, 0);
+  EXPECT_EQ(stats.memo_hits, 0);
+}
+
+// ------------------------------------------------------------ serving layer
+
+UdaoServiceConfig FastServiceConfig() {
+  UdaoServiceConfig config;
+  config.udao.pf.mogd.multistart = 4;
+  config.udao.pf.mogd.max_iters = 40;
+  config.udao.solver_threads = 2;
+  config.udao.frontier_points = 8;
+  config.admission_threads = 2;
+  return config;
+}
+
+UdaoRequest ConvexRequest() {
+  static const MooProblem& problem = *new MooProblem(ConvexProblem());
+  UdaoRequest request;
+  request.workload_id = "w";
+  request.space = &UnitSpace2();
+  request.objectives = {problem.objective(0), problem.objective(1)};
+  return request;
+}
+
+// Submit/Wait is the synchronous path now; the ticket must deliver the same
+// result repeatedly (Wait idempotence) and expose it to TryGet once done.
+TEST(RequestTicketTest, SubmitWaitAndTryGetDeliverTheResult) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+
+  RequestTicket ticket = service.Submit(ConvexRequest());
+  ASSERT_TRUE(ticket.Valid());
+  const auto first = ticket.Wait();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->frontier.frontier.empty());
+
+  // Idempotent: a second Wait and a TryGet see the same delivered result.
+  const auto again = ticket.Wait();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first->conf_encoded, again->conf_encoded);
+  const auto polled = ticket.TryGet();
+  ASSERT_TRUE(polled.has_value());
+  ASSERT_TRUE(polled->ok());
+  EXPECT_EQ(first->conf_encoded, (*polled)->conf_encoded);
+
+  EXPECT_FALSE(RequestTicket().Valid());
+}
+
+// Ticket cancellation composes with queue-deadline enforcement: a request
+// cancelled while still queued is never solved and resolves to an explicit
+// DeadlineExceeded, not a hang and not a silent drop.
+TEST(RequestTicketTest, CancelWhileQueuedResolvesExplicitly) {
+  ModelServer server;
+  UdaoServiceConfig config = FastServiceConfig();
+  config.admission_threads = 1;  // one worker, deliberately busy below
+  UdaoService service(&server, config);
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().DelayNext("pf.probe", 60.0, 1);
+  RequestTicket blocker = service.Submit(ConvexRequest());
+
+  UdaoRequest queued = ConvexRequest();
+  queued.objectives[0].upper = 0.9;  // distinct key: cannot ride the cache
+  RequestTicket ticket = service.Submit(queued);
+  EXPECT_FALSE(ticket.TryGet().has_value());  // still queued behind blocker
+  ticket.Cancel();
+
+  const auto result = ticket.Wait();
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(blocker.Wait().ok());
+}
+
+// Shard routing is a pure function of the workload id, and the per-shard
+// stats split carries exactly the traffic routed there (aggregate view stays
+// schema-compatible with the pre-sharding counters).
+TEST(UdaoServiceShardingTest, ShardRoutingIsStableAndStatsSplitPerShard) {
+  ModelServer server;
+  UdaoService service(&server, FastServiceConfig());
+
+  const int shard = service.ShardOf("w");
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(service.ShardOf("w"), shard);
+  ASSERT_GE(shard, 0);
+  ASSERT_LT(shard, service.config().cache_shards);
+
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());  // miss
+  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());  // hit
+
+  const UdaoServiceStats s = service.stats();
+  ASSERT_EQ(static_cast<int>(s.shards.size()), service.config().cache_shards);
+  EXPECT_EQ(s.shards[shard].cache_misses, 1);
+  EXPECT_EQ(s.shards[shard].cache_hits, 1);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.cache_hits, 1);
+  for (int i = 0; i < static_cast<int>(s.shards.size()); ++i) {
+    if (i == shard) continue;
+    EXPECT_EQ(s.shards[i].cache_hits + s.shards[i].cache_misses, 0)
+        << "traffic leaked into shard " << i;
+  }
+}
+
+// Coalesced serving must stay bitwise-identical to the coalescing-off
+// service AND the plain optimizer -- the tentpole determinism guarantee at
+// the API boundary, under genuinely concurrent submissions.
+TEST(UdaoServiceCoalescingTest, ConcurrentSubmissionsMatchSoloBitwise) {
+  ModelServer server;
+  Udao direct(&server, FastServiceConfig().udao);
+
+  UdaoServiceConfig off = FastServiceConfig();
+  off.coalesce_solves = false;
+  off.frontier_cache_capacity = 0;  // force every request to really solve
+  UdaoServiceConfig on = FastServiceConfig();
+  on.coalesce_solves = true;
+  on.frontier_cache_capacity = 0;
+  on.admission_threads = 4;
+  on.coalesce_max_wait_us = 2000.0;  // wide window: maximize actual fusion
+
+  constexpr int kVariants = 6;
+  auto variant = [](int i) {
+    UdaoRequest request = ConvexRequest();
+    request.objectives[0].upper = 1.6 - 0.1 * i;  // distinct cache keys
+    return request;
+  };
+
+  std::vector<StatusOr<UdaoRecommendation>> baseline;
+  for (int i = 0; i < kVariants; ++i) {
+    baseline.push_back(direct.Optimize(variant(i)));
+    ASSERT_TRUE(baseline.back().ok()) << baseline.back().status().ToString();
+  }
+
+  for (const UdaoServiceConfig& cfg : {off, on}) {
+    UdaoService service(&server, cfg);
+    std::vector<RequestTicket> tickets(kVariants);
+    for (int i = 0; i < kVariants; ++i) {
+      tickets[i] = service.Submit(variant(i));
+    }
+    for (int i = 0; i < kVariants; ++i) {
+      const auto got = tickets[i].Wait();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->conf_encoded, baseline[i]->conf_encoded) << i;
+      EXPECT_EQ(got->predicted_objectives, baseline[i]->predicted_objectives)
+          << i;
+      ASSERT_EQ(got->frontier.frontier.size(),
+                baseline[i]->frontier.frontier.size())
+          << i;
+      for (size_t p = 0; p < got->frontier.frontier.size(); ++p) {
+        EXPECT_EQ(got->frontier.frontier[p].conf_encoded,
+                  baseline[i]->frontier.frontier[p].conf_encoded)
+            << i << "/" << p;
+        EXPECT_EQ(got->frontier.frontier[p].objectives,
+                  baseline[i]->frontier.frontier[p].objectives)
+            << i << "/" << p;
+      }
+    }
+  }
+}
+
+// One batched request's model resolution failing must not poison its
+// concurrent batchmate: exactly the faulted request errors, the other
+// completes with a full frontier.
+TEST(UdaoServiceCoalescingTest, ModelFaultHitsOnlyTheFaultedRequest) {
+  ModelServerConfig cfg;
+  cfg.kind = ModelKind::kGp;
+  cfg.gp.hyper_opt_steps = 5;
+  ModelServer server(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 24; ++i) {
+    const Vector x = {rng.Uniform(), rng.Uniform()};
+    server.Ingest("wa", "lat", x, 1.0 + x[0] + x[1]);
+    server.Ingest("wb", "lat", x, 2.0 + x[0] - 0.5 * x[1]);
+  }
+
+  UdaoServiceConfig config = FastServiceConfig();
+  config.frontier_cache_capacity = 0;
+  UdaoService service(&server, config);
+
+  auto request_for = [](const std::string& workload) {
+    UdaoRequest request = ConvexRequest();
+    request.workload_id = workload;
+    request.objectives[0] = ObjectiveSpec{.name = "lat"};  // server-resolved
+    return request;
+  };
+  // Warm both models so the faulted run below fails at resolve, not train.
+  ASSERT_TRUE(service.Optimize(request_for("wa")).ok());
+  ASSERT_TRUE(service.Optimize(request_for("wb")).ok());
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().FailNext("model_server.get_model",
+                                   Status::Unavailable("injected"), 1);
+  RequestTicket ta = service.Submit(request_for("wa"));
+  RequestTicket tb = service.Submit(request_for("wb"));
+  const auto ra = ta.Wait();
+  const auto rb = tb.Wait();
+  FaultInjector::Global().Reset();
+
+  // Exactly one request absorbed the injected fault (whichever resolved
+  // first); its batchmate is untouched.
+  const int failures = (ra.ok() ? 0 : 1) + (rb.ok() ? 0 : 1);
+  EXPECT_EQ(failures, 1);
+  const auto& survivor = ra.ok() ? ra : rb;
+  EXPECT_FALSE(survivor->frontier.frontier.empty());
+  const auto& victim = ra.ok() ? rb : ra;
+  EXPECT_EQ(victim.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace udao

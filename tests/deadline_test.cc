@@ -238,7 +238,7 @@ TEST(DeadlineSolveTest, CancelledBeforeSolvingFailsWithDeadlineExceeded) {
   UdaoRequest request = ConvexRequest();
   CancellationSource source;
   source.Cancel();
-  request.cancel = source.token();
+  request.options.cancel = source.token();
   const auto rec = optimizer.Optimize(request);
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kDeadlineExceeded);
@@ -248,7 +248,7 @@ TEST(DeadlineSolveTest, ZeroBudgetOptimizeAnswersDegraded) {
   ModelServer server;
   Udao optimizer(&server, FastOptions());
   UdaoRequest request = ConvexRequest();
-  request.deadline = Deadline::AfterMs(0.0);
+  request.options.deadline = Deadline::AfterMs(0.0);
   const auto rec = optimizer.Optimize(request);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_TRUE(rec->degraded);
@@ -267,7 +267,7 @@ TEST(DeadlineServiceTest, ExpiredBudgetNeverReachesTheSolver) {
   UdaoService service(&server, config);
 
   UdaoRequest zero = ConvexRequest();
-  zero.deadline = Deadline::AfterMs(0.0);
+  zero.options.deadline = Deadline::AfterMs(0.0);
   const auto rec = service.Optimize(zero);
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kDeadlineExceeded);
@@ -290,7 +290,7 @@ TEST(DeadlineServiceTest, DegradedFrontiersAreNeverCached) {
   // a 500 ms stall injected into the first PF probe -- guaranteed dead
   // before the frontier completes: the solve runs and comes back truncated.
   UdaoRequest budgeted = ConvexRequest();
-  budgeted.deadline = Deadline::AfterMs(250.0);
+  budgeted.options.deadline = Deadline::AfterMs(250.0);
   FaultInjector::Global().Reset();
   FaultInjector::Global().DelayNext("pf.probe", 500.0, 1);
   const auto degraded = service.Optimize(budgeted);

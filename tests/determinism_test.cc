@@ -104,8 +104,8 @@ TEST_F(DeterminismTest, GenerousDeadlineDoesNotPerturbResults) {
   Udao optimizer(server_.get(), options);
   UdaoRequest request = Request();
   CancellationSource source;  // stays un-cancelled for the whole solve
-  request.deadline = Deadline::AfterMs(1e9);
-  request.cancel = source.token();
+  request.options.deadline = Deadline::AfterMs(1e9);
+  request.options.cancel = source.token();
   auto budgeted = optimizer.Optimize(request);
   ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
   EXPECT_FALSE(budgeted->degraded);

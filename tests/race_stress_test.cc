@@ -433,7 +433,7 @@ TEST(RaceStressTest, CancellationRacingCompletion) {
       request.space = &testing_problems::UnitSpace2();
       request.objectives = {problem.objective(0), problem.objective(1)};
       request.objectives[0].upper = 10.0 - 0.25 * i;  // distinct keys
-      request.cancel = source.token();
+      request.options.cancel = source.token();
       service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
         const bool valid_success = r.ok() && !r->frontier.frontier.empty();
         const bool explicit_stop =
@@ -446,6 +446,68 @@ TEST(RaceStressTest, CancellationRacingCompletion) {
     canceller.join();
   }  // destructor drains whatever the cancellation did not cut short
   EXPECT_EQ(delivered.load(), kRequests);
+  EXPECT_EQ(bad_responses.load(), 0);
+}
+
+// The unified Submit() surface under fire: client threads submit tickets
+// (some through the coalescer's fused path, some cancelled mid-flight via
+// RequestTicket::Cancel) while an ingest thread churns the workload's
+// generation, forcing invalidation/recompute races in the sharded cache.
+// TSan attacks the lock-free snapshot reads, the coalescer window, and the
+// ticket state; in any build every ticket must resolve exactly once into a
+// valid frontier or an explicit DeadlineExceeded.
+TEST(RaceStressTest, ConcurrentSubmitCancelAndIngest) {
+  ModelServer server;
+  UdaoServiceConfig cfg;
+  cfg.udao.pf.mogd.multistart = 2;
+  cfg.udao.pf.mogd.max_iters = 30;
+  cfg.udao.solver_threads = 2;
+  cfg.udao.frontier_points = 6;
+  cfg.admission_threads = 3;
+  cfg.coalesce_max_wait_us = 500.0;  // wide-ish window: force real fusion
+
+  const MooProblem problem = testing_problems::ConvexProblem();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::atomic<int> bad_responses{0};
+  std::atomic<bool> stop_ingest{false};
+  {
+    UdaoService service(&server, cfg);
+    std::thread ingester([&] {
+      int i = 0;
+      while (!stop_ingest.load(std::memory_order_acquire)) {
+        const double v = 0.25 + 0.5 * ((i % 3) / 2.0);
+        (void)server.Ingest("w", "f1", {v, 1.0 - v}, 1.0 + v);
+        ++i;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          UdaoRequest request;
+          request.workload_id = "w";
+          request.space = &testing_problems::UnitSpace2();
+          request.objectives = {problem.objective(0), problem.objective(1)};
+          // Few distinct keys across clients: hits, misses, invalidations,
+          // and coalesced recomputes all genuinely interleave.
+          request.objectives[0].upper = 10.0 - 0.5 * (i % 3);
+          RequestTicket ticket = service.Submit(request);
+          if ((c + i) % 3 == 0) ticket.Cancel();
+          const auto r = ticket.Wait();
+          const bool valid_success = r.ok() && !r->frontier.frontier.empty();
+          const bool explicit_stop =
+              !r.ok() &&
+              r.status().code() == StatusCode::kDeadlineExceeded;
+          if (!valid_success && !explicit_stop) bad_responses.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    stop_ingest.store(true, std::memory_order_release);
+    ingester.join();
+  }
   EXPECT_EQ(bad_responses.load(), 0);
 }
 

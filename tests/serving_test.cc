@@ -113,7 +113,7 @@ TEST(UdaoServiceTest, WeightAndPolicyOnlyVariationsShareOneFrontier) {
   // Different recommendation policy: also weight-only as far as step 2 is
   // concerned.
   UdaoRequest knee = ConvexRequest();
-  knee.policy = RecommendPolicy::kKnee;
+  knee.options.policy = RecommendPolicy::kKnee;
   auto knee_cached = service.Optimize(knee);
   ASSERT_TRUE(knee_cached.ok());
   auto knee_cold = direct.Optimize(knee);

@@ -35,8 +35,9 @@ echo "== sanitizers: TSan build + tests =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build build-tsan -j
 # TSAN_OPTIONS makes any report fail the run even if the test binary would
-# otherwise exit 0.
-TSAN_OPTIONS="halt_on_error=1" \
+# otherwise exit 0; the suppression file mutes a known libstdc++
+# atomic<shared_ptr> false positive (see tools/tsan.supp).
+TSAN_OPTIONS="halt_on_error=1 suppressions=$repo_root/tools/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure -j
 
 echo "== clang-tidy =="

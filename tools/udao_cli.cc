@@ -15,25 +15,30 @@
 //   udao_cli serve-sim --job N [--requests R] [--clients C]
 //       [--ingest-every K] [--traces DIR] [--deadline-ms B]
 //       [--max-queue-depth D] [--shed-policy reject|stale|degrade]
-//       Closed-loop driver for the UdaoService serving layer: R concurrent
-//       requests with varying preference weights against one workload,
-//       optionally ingesting fresh traces every K requests to exercise
-//       cache invalidation. --deadline-ms gives every request a time budget
-//       (anytime solves return degraded frontiers on expiry); together with
-//       --max-queue-depth and --shed-policy it exercises overload control.
-//       Prints cache, shed, degradation, and queue-wait counters.
+//       [--tenants T] [--zipf S]
+//       Closed-loop driver for the UdaoService serving layer: R requests
+//       submitted through the ticketed Submit() surface with varying
+//       preference weights, optionally ingesting fresh traces every K
+//       requests to exercise cache invalidation. --deadline-ms gives every
+//       request a time budget (anytime solves return degraded frontiers on
+//       expiry); together with --max-queue-depth and --shed-policy it
+//       exercises overload control. --tenants spreads traffic over T
+//       synthetic tenants under a zipf(S) popularity law to drive the
+//       cross-request solve coalescer. Prints cache, shed, degradation, and
+//       queue-wait counters.
 //
 // Every command accepts --metrics-json PATH: after the command runs, the
 // process-wide MetricsRegistry snapshot (counters, gauges, histograms,
 // recent solve traces) is written there as JSON.
+#include <algorithm>
 #include <chrono>
-#include <condition_variable>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -62,12 +67,15 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         const std::string key = arg.substr(2);
+        // insert_or_assign with an explicit std::string sidesteps a GCC 12
+        // -Wrestrict false positive in string::operator=(const char*) that
+        // -Werror would otherwise promote.
         if (key == "set" && i + 1 < argc) {
           sets_.push_back(argv[++i]);
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          values_[key] = argv[++i];
+          values_.insert_or_assign(key, std::string(argv[++i]));
         } else {
-          values_[key] = "1";
+          values_.insert_or_assign(key, std::string("1"));
         }
       } else {
         positional_.push_back(std::move(arg));
@@ -110,7 +118,8 @@ int Usage() {
                "  optimize  --job N [--wl W --wc W] [--traces DIR]\n"
                "  serve-sim --job N [--requests R] [--clients C] "
                "[--ingest-every K] [--traces DIR] [--deadline-ms B] "
-               "[--max-queue-depth D] [--shed-policy reject|stale|degrade]\n"
+               "[--max-queue-depth D] [--shed-policy reject|stale|degrade] "
+               "[--tenants T] [--zipf S]\n"
                "all commands: [--metrics-json PATH] writes the "
                "MetricsRegistry snapshot after the run\n");
   return 2;
@@ -344,11 +353,15 @@ int CmdOptimize(const Args& args) {
   return 0;
 }
 
-// Closed-loop simulated request driver against the serving layer: issues
-// --requests asynchronous optimizations (preference weights sweeping the
-// trade-off curve, so after the first cold solve the rest are weight-only
-// cache hits), optionally ingesting fresh simulator traces every
-// --ingest-every requests to force generation-based invalidations.
+// Closed-loop simulated request driver against the serving layer: submits
+// --requests optimizations through the ticketed Submit() surface (preference
+// weights sweeping the trade-off curve, so after the first cold solve the
+// rest are weight-only cache hits), optionally ingesting fresh simulator
+// traces every --ingest-every requests to force generation-based
+// invalidations. With --tenants > 1, traffic spreads over synthetic tenants
+// under a zipf(--zipf) popularity law -- all sharing the job's models but
+// carrying distinct workload ids -- which drives the cross-request solve
+// coalescer the way concurrent multi-tenant traffic does in production.
 int CmdServeSim(const Args& args) {
   const int job = args.GetInt("job", 0);
   if (job < 1 || job > kNumTpcxbbWorkloads) return Usage();
@@ -376,47 +389,70 @@ int CmdServeSim(const Args& args) {
   const int requests = args.GetInt("requests", 32);
   const int ingest_every = args.GetInt("ingest-every", 0);
   const double deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  const int tenants = args.GetInt("tenants", 1);
+  const double zipf = args.GetDouble("zipf", 1.1);
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)) + 1);
 
-  std::mutex m;
-  std::condition_variable cv;
-  int outstanding = 0;
+  // Multi-tenant mode: tenants share the job's trained models (resolved once
+  // up front, passed through as explicit models) under distinct workload ids,
+  // with popularity following a zipf law -- hot tenants collapse into the
+  // coalescer's dedup/memo path, the tail exercises cold solves.
+  std::vector<ObjectiveSpec> resolved_objectives;
+  std::vector<double> tenant_cdf;
+  if (tenants > 1) {
+    Udao resolver(server.get(), cfg.udao);
+    UdaoRequest proto;
+    proto.workload_id = workload.id;
+    proto.space = &BatchParamSpace();
+    proto.objectives = {{.name = objectives::kLatency},
+                        {.name = objectives::kCostCores}};
+    proto.preference_weights = {0.5, 0.5};
+    auto resolved = resolver.ResolveObjectives(proto);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
+      return 1;
+    }
+    resolved_objectives = std::move(*resolved);
+    double mass = 0.0;
+    for (int t = 0; t < tenants; ++t) {
+      mass += 1.0 / std::pow(static_cast<double>(t + 1), zipf);
+      tenant_cdf.push_back(mass);
+    }
+    for (double& c : tenant_cdf) c /= mass;
+  }
+
   int failed = 0;
   int degraded = 0;
   double service_seconds = 0;
   double queue_wait_ms = 0;
 
   const auto t0 = std::chrono::steady_clock::now();
+  std::vector<RequestTicket> tickets;
+  tickets.reserve(requests);
   for (int i = 0; i < requests; ++i) {
     UdaoRequest request;
     request.workload_id = workload.id;
     request.space = &BatchParamSpace();
-    request.objectives = {{.name = objectives::kLatency},
-                          {.name = objectives::kCostCores}};
+    if (tenants > 1) {
+      const double u = rng.Uniform();
+      const int t = static_cast<int>(
+          std::lower_bound(tenant_cdf.begin(), tenant_cdf.end(), u) -
+          tenant_cdf.begin());
+      request.workload_id += "#t" + std::to_string(std::min(t, tenants - 1));
+      request.objectives = resolved_objectives;
+    } else {
+      request.objectives = {{.name = objectives::kLatency},
+                            {.name = objectives::kCostCores}};
+    }
     const double wl = 0.1 + 0.8 * (i % 9) / 8.0;
     request.preference_weights = {wl, 1.0 - wl};
     if (deadline_ms > 0) {
       // Each request's budget starts at submission: queue wait eats it,
       // which is exactly what makes the queue-deadline shed path fire
       // under overload.
-      request.deadline = Deadline::AfterMs(deadline_ms);
+      request.options.deadline = Deadline::AfterMs(deadline_ms);
     }
-    {
-      std::lock_guard<std::mutex> lock(m);
-      ++outstanding;
-    }
-    service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> rec) {
-      std::lock_guard<std::mutex> lock(m);
-      if (rec.ok()) {
-        service_seconds += rec->seconds;
-        queue_wait_ms += rec->queue_wait_ms;
-        if (rec->degraded) ++degraded;
-      } else {
-        ++failed;
-      }
-      --outstanding;
-      cv.notify_one();
-    });
+    tickets.push_back(service.Submit(request));
     if (ingest_every > 0 && (i + 1) % ingest_every == 0) {
       // A fresh run lands while requests are in flight: run the simulator on
       // a sampled configuration and ingest its traces (bumps the workload
@@ -425,9 +461,15 @@ int CmdServeSim(const Args& args) {
       CollectBatchTraces(engine, workload, configs, server.get());
     }
   }
-  {
-    std::unique_lock<std::mutex> lock(m);
-    cv.wait(lock, [&] { return outstanding == 0; });
+  for (RequestTicket& ticket : tickets) {
+    const auto rec = ticket.Wait();
+    if (rec.ok()) {
+      service_seconds += rec->seconds;
+      queue_wait_ms += rec->queue_wait_ms;
+      if (rec->degraded) ++degraded;
+    } else {
+      ++failed;
+    }
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
