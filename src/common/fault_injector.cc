@@ -13,7 +13,7 @@ FaultInjector& FaultInjector::Global() {
 
 void FaultInjector::FailNext(const std::string& site, Status status,
                              int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Fault& f = faults_[site];
   f.status = std::move(status);
   f.latency_ms = 0;
@@ -23,7 +23,7 @@ void FaultInjector::FailNext(const std::string& site, Status status,
 
 void FaultInjector::DelayNext(const std::string& site, double latency_ms,
                               int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Fault& f = faults_[site];
   f.status = Status::Ok();
   f.latency_ms = latency_ms;
@@ -32,7 +32,7 @@ void FaultInjector::DelayNext(const std::string& site, double latency_ms,
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   faults_.clear();
   armed_.store(0, std::memory_order_release);
 }
@@ -42,7 +42,7 @@ Status FaultInjector::Traverse(const std::string& site) {
   double sleep_ms = 0;
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = faults_.find(site);
     if (it == faults_.end() || it->second.remaining <= 0) return Status::Ok();
     --it->second.remaining;

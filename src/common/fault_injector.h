@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace udao {
 
@@ -53,8 +53,8 @@ class FaultInjector {
   };
 
   std::atomic<int> armed_{0};  ///< Number of armed sites (fast-path gate).
-  std::mutex mu_;
-  std::map<std::string, Fault> faults_;
+  Mutex mu_;
+  std::map<std::string, Fault> faults_ UDAO_GUARDED_BY(mu_);
 };
 
 /// Sugar for the call sites:

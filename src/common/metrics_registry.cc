@@ -106,19 +106,19 @@ const MetricsRegistry::Stripe& MetricsRegistry::StripeFor(
 
 void MetricsRegistry::AddCounter(const std::string& name, long long delta) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   stripe.counters[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   stripe.gauges[name] = value;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   Histogram& h = stripe.histograms[name];
   if (h.count == 0 || value < h.min) h.min = value;
   if (h.count == 0 || value > h.max) h.max = value;
@@ -129,21 +129,21 @@ void MetricsRegistry::Observe(const std::string& name, double value) {
 
 void MetricsRegistry::RecordTrace(std::vector<SpanNode> nodes) {
   if (nodes.empty()) return;
-  std::lock_guard<std::mutex> lock(traces_mu_);
+  MutexLock lock(traces_mu_);
   traces_.push_back(std::move(nodes));
   while (traces_.size() > kMaxTraces) traces_.pop_front();
 }
 
 long long MetricsRegistry::CounterValue(const std::string& name) const {
   const Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.counters.find(name);
   return it == stripe.counters.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
   const Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.gauges.find(name);
   return it == stripe.gauges.end() ? 0.0 : it->second;
 }
@@ -153,7 +153,7 @@ HistogramSnapshot MetricsRegistry::HistogramValue(
   HistogramSnapshot snap;
   snap.buckets.assign(kNumBuckets, 0);
   const Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.histograms.find(name);
   if (it == stripe.histograms.end()) return snap;
   const Histogram& h = it->second;
@@ -168,7 +168,7 @@ HistogramSnapshot MetricsRegistry::HistogramValue(
 std::map<std::string, long long> MetricsRegistry::Counters() const {
   std::map<std::string, long long> out;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     for (const auto& [name, value] : stripe.counters) out[name] = value;
   }
   return out;
@@ -182,13 +182,13 @@ std::string MetricsRegistry::SnapshotJson() const {
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram> histograms;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     for (const auto& [name, value] : stripe.gauges) gauges[name] = value;
     for (const auto& [name, h] : stripe.histograms) histograms[name] = h;
   }
   std::deque<std::vector<SpanNode>> traces;
   {
-    std::lock_guard<std::mutex> lock(traces_mu_);
+    MutexLock lock(traces_mu_);
     traces = traces_;
   }
 
@@ -266,12 +266,12 @@ std::string MetricsRegistry::SnapshotJson() const {
 
 void MetricsRegistry::Reset() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.counters.clear();
     stripe.gauges.clear();
     stripe.histograms.clear();
   }
-  std::lock_guard<std::mutex> lock(traces_mu_);
+  MutexLock lock(traces_mu_);
   traces_.clear();
 }
 

@@ -21,9 +21,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 #ifndef UDAO_METRICS_ENABLED
 #define UDAO_METRICS_ENABLED 1
@@ -115,18 +116,18 @@ class MetricsRegistry {
   };
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::map<std::string, long long> counters;
-    std::map<std::string, double> gauges;
-    std::map<std::string, Histogram> histograms;
+    mutable Mutex mu;
+    std::map<std::string, long long> counters UDAO_GUARDED_BY(mu);
+    std::map<std::string, double> gauges UDAO_GUARDED_BY(mu);
+    std::map<std::string, Histogram> histograms UDAO_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(const std::string& name);
   const Stripe& StripeFor(const std::string& name) const;
 
   std::array<Stripe, kStripes> stripes_;
-  mutable std::mutex traces_mu_;
-  std::deque<std::vector<SpanNode>> traces_;
+  mutable Mutex traces_mu_;
+  std::deque<std::vector<SpanNode>> traces_ UDAO_GUARDED_BY(traces_mu_);
 };
 
 /// Scoped timer recording one node in the current thread's span tree. The

@@ -1,0 +1,212 @@
+#ifndef UDAO_COMMON_SYNC_H_
+#define UDAO_COMMON_SYNC_H_
+
+// Annotated synchronization wrappers: the one place in the library where raw
+// std::mutex / std::condition_variable appear (udao_lint's raw-sync rule
+// enforces this). Every other component declares udao::Mutex /
+// udao::SharedMutex members, tags the state they protect with
+// UDAO_GUARDED_BY, and tags helpers that assume a held lock with
+// UDAO_REQUIRES.
+//
+// The point of the wrappers is Clang Thread Safety Analysis: under clang with
+// -Wthread-safety (the -DUDAO_THREAD_SAFETY=ON build, see tools/check.sh and
+// the thread-safety CI job) the lock/data relationships below are *proved at
+// compile time* -- an unguarded read of a guarded member, a REQUIRES helper
+// called without the lock, or a double acquire is a build error, not a TSan
+// report that depends on an interleaving actually executing.
+// tests/thread_safety_fixtures/ pins that the analysis really rejects each
+// seeded violation class. On GCC (the default container toolchain) every
+// annotation macro expands to nothing and the wrappers are zero-cost
+// forwarding shims over the std primitives.
+//
+// Conventions (see DESIGN.md "Static analysis & lock discipline"):
+//  * declare the Mutex before the members it guards;
+//  * every Mutex member either has at least one UDAO_GUARDED_BY sibling or a
+//    `// lint: standalone-mutex` tag explaining why not (udao_lint's
+//    standalone-mutex rule);
+//  * private helpers whose contract is "caller holds the lock" are named
+//    *Locked() and annotated UDAO_REQUIRES(mu);
+//  * condition waits are explicit `while (!cond) cv.Wait(mu);` loops --
+//    predicate-lambda overloads are deliberately absent because the analysis
+//    cannot see a capability held across a lambda boundary.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute spellings per the Clang Thread Safety Analysis documentation
+// (mutex.h reference header). GCC ignores unknown __attribute__ spellings
+// only with a warning, so non-clang compilers get empty expansions instead.
+#if defined(__clang__)
+#define UDAO_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define UDAO_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+#define UDAO_CAPABILITY(x) UDAO_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define UDAO_SCOPED_CAPABILITY \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#define UDAO_GUARDED_BY(x) UDAO_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#define UDAO_PT_GUARDED_BY(x) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#define UDAO_ACQUIRED_BEFORE(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define UDAO_ACQUIRED_AFTER(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#define UDAO_REQUIRES(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define UDAO_REQUIRES_SHARED(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#define UDAO_ACQUIRE(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define UDAO_ACQUIRE_SHARED(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define UDAO_RELEASE(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define UDAO_RELEASE_SHARED(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define UDAO_TRY_ACQUIRE(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define UDAO_EXCLUDES(...) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define UDAO_ASSERT_CAPABILITY(x) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define UDAO_RETURN_CAPABILITY(x) \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#define UDAO_NO_THREAD_SAFETY_ANALYSIS \
+  UDAO_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace udao {
+
+/// Exclusive mutex carrying the "mutex" capability. Same cost and semantics
+/// as std::mutex; the annotations exist so the analysis can connect it to
+/// the UDAO_GUARDED_BY members it protects.
+class UDAO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UDAO_ACQUIRE() { mu_.lock(); }
+  void Unlock() UDAO_RELEASE() { mu_.unlock(); }
+  bool TryLock() UDAO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex. LockShared establishes the shared capability, so a
+/// UDAO_GUARDED_BY member may be read (not written) under it.
+class UDAO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() UDAO_ACQUIRE() { mu_.lock(); }
+  void Unlock() UDAO_RELEASE() { mu_.unlock(); }
+  bool TryLock() UDAO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() UDAO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() UDAO_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() UDAO_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the std::lock_guard idiom, as a scoped
+/// capability so the analysis tracks the critical section's extent).
+class UDAO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) UDAO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() UDAO_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class UDAO_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) UDAO_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() UDAO_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class UDAO_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) UDAO_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() UDAO_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to udao::Mutex. Every Wait* overload REQUIRES
+/// the mutex: the caller holds it on entry and holds it again on return (the
+/// wait releases and reacquires internally, which the analysis -- like any
+/// condvar protocol -- treats as the lock never leaving the caller's hands).
+///
+/// There are deliberately no predicate overloads: a predicate lambda is a
+/// separate function to the analysis, so its guarded-member reads could not
+/// be proven. Call sites spell the loop out:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Unbounded wait for a notification. Forbidden in src/serving/ (udao_lint
+  /// unbounded-wait): serving threads owe bounded-time answers, so they use
+  /// WaitFor in a re-check loop instead.
+  void Wait(Mutex& mu) UDAO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  /// Bounded wait: returns false on timeout, true when notified. Either way
+  /// the mutex is held again on return; callers re-check their condition.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      UDAO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace udao
+
+#endif  // UDAO_COMMON_SYNC_H_

@@ -16,29 +16,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   UDAO_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Accepted even when shutdown has begun: the submitter is then a task
     // already running on a worker (the destructor joins before external
     // callers could legally touch the pool), and that worker drains the
     // queue — including this submission — before it exits.
     queue_.push(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -53,9 +53,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -63,9 +62,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,12 @@
 #ifndef UDAO_COMMON_THREAD_POOL_H_
 #define UDAO_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace udao {
 
@@ -42,13 +42,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Immutable after the constructor returns (workers join only in the
+  /// destructor, after every worker has exited its loop), so reads like
+  /// num_threads() need no lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  int active_ = 0;
-  bool shutdown_ = false;
+
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ UDAO_GUARDED_BY(mu_);
+  int active_ UDAO_GUARDED_BY(mu_) = 0;
+  bool shutdown_ UDAO_GUARDED_BY(mu_) = false;
+  CondVar work_available_;
+  CondVar idle_;
 };
 
 }  // namespace udao

@@ -1,7 +1,6 @@
 #include "model/model_server.h"
 
 #include <cmath>
-#include <mutex>
 
 #include "common/check.h"
 #include "common/fault_injector.h"
@@ -23,7 +22,7 @@ Status ModelServer::Ingest(const std::string& workload_id,
     return Status::InvalidArgument("non-finite objective value for " +
                                    workload_id + "/" + objective);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[{workload_id, objective}];
   if (!entry.data.x.empty() &&
       entry.data.x.front().size() != encoded_conf.size()) {
@@ -43,7 +42,7 @@ Status ModelServer::Ingest(const std::string& workload_id,
 Status ModelServer::IngestMetrics(const std::string& workload_id,
                                   const RuntimeMetrics& metrics) {
   const Vector v = metrics.ToVector();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Vector>& rows = metrics_[workload_id];
   if (!rows.empty() && rows.front().size() != v.size()) {
     return Status::InvalidArgument("metrics dimension mismatch for " +
@@ -53,7 +52,7 @@ Status ModelServer::IngestMetrics(const std::string& workload_id,
   return Status::Ok();
 }
 
-StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFresh(
+StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::TrainFreshLocked(
     const DataSet& data) {
   Matrix x = Matrix::FromRows(data.x);
   if (config_.kind == ModelKind::kGp) {
@@ -78,7 +77,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
   if (Status fault = UDAO_FAULT_SITE("model_server.get_model"); !fault.ok()) {
     return fault;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end() || it->second.data.x.empty()) {
     return Status::NotFound("no traces for workload " + workload_id +
@@ -93,7 +92,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     UDAO_METRIC_OBSERVE("udao.model.train_traces",
                         static_cast<double>(entry.data.x.size()));
     StatusOr<std::shared_ptr<const ObjectiveModel>> model =
-        TrainFresh(entry.data);
+        TrainFreshLocked(entry.data);
     if (!model.ok()) return model.status();
     entry.model = *model;
     entry.pending = 0;
@@ -114,7 +113,7 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
     } else {
       // GPs have no incremental path; refit on all data.
       StatusOr<std::shared_ptr<const ObjectiveModel>> model =
-          TrainFresh(entry.data);
+          TrainFreshLocked(entry.data);
       if (!model.ok()) return model.status();
       entry.model = *model;
     }
@@ -130,14 +129,14 @@ StatusOr<std::shared_ptr<const ObjectiveModel>> ModelServer::GetModel(
 
 bool ModelServer::HasTraces(const std::string& workload_id,
                             const std::string& objective) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find({workload_id, objective});
   return it != entries_.end() && !it->second.data.x.empty();
 }
 
 StatusOr<ModelServer::DataSet> ModelServer::GetData(
     const std::string& workload_id, const std::string& objective) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) {
     return Status::NotFound("no traces for workload " + workload_id);
@@ -147,7 +146,7 @@ StatusOr<ModelServer::DataSet> ModelServer::GetData(
 
 StatusOr<Vector> ModelServer::MeanMetrics(
     const std::string& workload_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(workload_id);
   if (it == metrics_.end() || it->second.empty()) {
     return Status::NotFound("no metrics for workload " + workload_id);
@@ -161,7 +160,7 @@ StatusOr<Vector> ModelServer::MeanMetrics(
 }
 
 std::vector<std::string> ModelServer::WorkloadsWithMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(metrics_.size());
   for (const auto& [id, unused] : metrics_) out.push_back(id);
@@ -170,7 +169,7 @@ std::vector<std::string> ModelServer::WorkloadsWithMetrics() const {
 
 int ModelServer::NumTraces(const std::string& workload_id,
                            const std::string& objective) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find({workload_id, objective});
   if (it == entries_.end()) return 0;
   return static_cast<int>(it->second.data.x.size());
@@ -184,13 +183,13 @@ ModelServer::GenerationShard& ModelServer::GenerationShardFor(
 
 void ModelServer::BumpGeneration(const std::string& workload_id) {
   GenerationShard& shard = GenerationShardFor(workload_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.generations[workload_id];
 }
 
 uint64_t ModelServer::Generation(const std::string& workload_id) const {
   GenerationShard& shard = GenerationShardFor(workload_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.generations.find(workload_id);
   return it == shard.generations.end() ? 0 : it->second;
 }

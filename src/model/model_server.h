@@ -6,7 +6,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "common/matrix.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "model/gp_model.h"
 #include "model/mlp_model.h"
 #include "model/objective_model.h"
@@ -139,8 +139,12 @@ class ModelServer {
     int pending = 0;
   };
 
-  StatusOr<std::shared_ptr<const ObjectiveModel>> TrainFresh(
-      const DataSet& data);
+  /// Trains a model on `data` with this server's config. Requires mu_: it
+  /// draws from rng_, and the deterministic-training story (same ingest
+  /// order -> same model bits) depends on those draws being serialized with
+  /// the ingest/retrain sequence.
+  StatusOr<std::shared_ptr<const ObjectiveModel>> TrainFreshLocked(
+      const DataSet& data) UDAO_REQUIRES(mu_);
 
   /// Generation counters live outside mu_ in a small sharded map (see
   /// Generation()). Bumps happen inside mu_ critical sections AFTER the data
@@ -150,8 +154,8 @@ class ModelServer {
   /// cache revalidate once more, a too-new one would let it serve stale.
   static constexpr int kGenerationShards = 16;
   struct GenerationShard {
-    mutable std::mutex mu;
-    std::map<std::string, uint64_t> generations;
+    mutable Mutex mu;
+    std::map<std::string, uint64_t> generations UDAO_GUARDED_BY(mu);
   };
   GenerationShard& GenerationShardFor(const std::string& workload_id) const;
   void BumpGeneration(const std::string& workload_id);
@@ -159,10 +163,11 @@ class ModelServer {
   ModelServerConfig config_;
   /// Guards rng_, entries_, and metrics_ (every member below config_ except
   /// generation_shards_, which carries per-shard locks).
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::map<std::pair<std::string, std::string>, Entry> entries_;
-  std::map<std::string, std::vector<Vector>> metrics_;
+  mutable Mutex mu_;
+  Rng rng_ UDAO_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, Entry> entries_
+      UDAO_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<Vector>> metrics_ UDAO_GUARDED_BY(mu_);
   mutable std::array<GenerationShard, kGenerationShards> generation_shards_;
 };
 

@@ -94,10 +94,10 @@ SolveCoalescer::SolveCoalescer(SolveCoalescerConfig config)
 
 SolveCoalescer::~SolveCoalescer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   // The flusher observes shutdown_, force-flushes whatever is pending, and
   // returns; WaitIdle + reset join it.
   flusher_->WaitIdle();
@@ -105,9 +105,9 @@ SolveCoalescer::~SolveCoalescer() {
   // Fused chunks already dispatched run on the shared compute pool, which
   // this coalescer does not own; wait them out (bounded polls) so no task
   // touches this object after destruction.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (inflight_chunks_ > 0) {
-    done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    done_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
   }
 }
 
@@ -115,15 +115,9 @@ std::vector<std::optional<CoResult>> SolveCoalescer::SolveBatch(
     const MooProblem& problem, const std::vector<CoProblem>& problems,
     SolvePerf* perf, const StopToken& stop) {
   if (problems.empty()) return {};
-  if (!config_.mogd.batched) {
-    // The scalar-descent configuration has no fused path; serve inline with
-    // the stock per-problem fan-out.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.inline_fallbacks;
-    }
-    return solver_.SolveBatch(problem, problems, perf, stop);
-  }
+  // Inline (non-coalesced) service for the scalar-descent configuration,
+  // which has no fused path, and for submissions racing shutdown.
+  bool inline_solve = !config_.mogd.batched;
 
   Submission sub;
   sub.problem = &problem;
@@ -133,28 +127,31 @@ std::vector<std::optional<CoResult>> SolveCoalescer::SolveBatch(
   sub.perfs.resize(problems.size());
   sub.remaining = static_cast<int>(problems.size());
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (shutdown_) {
+    MutexLock lock(mu_);
+    if (inline_solve || shutdown_) {
+      inline_solve = true;
       ++stats_.inline_fallbacks;
-      lock.unlock();
-      return solver_.SolveBatch(problem, problems, perf, stop);
+    } else {
+      sub.enqueued = Clock::now();
+      pending_.push_back(&sub);
+      pending_problems_ += static_cast<int>(problems.size());
+      ++stats_.submissions;
+      stats_.problems += static_cast<long long>(problems.size());
     }
-    sub.enqueued = Clock::now();
-    pending_.push_back(&sub);
-    pending_problems_ += static_cast<int>(problems.size());
-    ++stats_.submissions;
-    stats_.problems += static_cast<long long>(problems.size());
   }
-  flush_cv_.notify_one();
+  if (inline_solve) {
+    return solver_.SolveBatch(problem, problems, perf, stop);
+  }
+  flush_cv_.NotifyOne();
   UDAO_METRIC_COUNTER_ADD("udao.coalescer.submissions", 1);
 
   // Block until every slot is delivered. Bounded re-check period (the
   // notify makes the common case prompt; the bound makes a lost wakeup a
   // latency blip, never a hang).
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (!sub.done) {
-      done_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      done_cv_.WaitFor(mu_, std::chrono::milliseconds(10));
     }
   }
   if (perf != nullptr) {
@@ -164,35 +161,36 @@ std::vector<std::optional<CoResult>> SolveCoalescer::SolveBatch(
 }
 
 void SolveCoalescer::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    if (pending_.empty()) {
-      if (shutdown_) return;
-      flush_cv_.wait_for(lock, std::chrono::milliseconds(1));
-      continue;
-    }
-    const double oldest_us = std::chrono::duration<double, std::micro>(
-                                 Clock::now() - pending_.front()->enqueued)
-                                 .count();
-    const bool full = pending_problems_ >= config_.max_batch;
-    if (!full && !shutdown_ && oldest_us < config_.max_wait_us) {
-      // Sleep out the remainder of the window; an arrival that fills the
-      // batch (or shutdown) notifies and re-evaluates early.
-      flush_cv_.wait_for(lock, std::chrono::duration<double, std::micro>(
-                                   config_.max_wait_us - oldest_us));
-      continue;
-    }
     std::vector<Submission*> batch;
-    batch.swap(pending_);
-    const int batch_problems = pending_problems_;
-    pending_problems_ = 0;
-    ++stats_.flushes;
-    lock.unlock();
+    int batch_problems = 0;
+    {
+      MutexLock lock(mu_);
+      if (pending_.empty()) {
+        if (shutdown_) return;
+        flush_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
+        continue;
+      }
+      const double oldest_us = std::chrono::duration<double, std::micro>(
+                                   Clock::now() - pending_.front()->enqueued)
+                                   .count();
+      const bool full = pending_problems_ >= config_.max_batch;
+      if (!full && !shutdown_ && oldest_us < config_.max_wait_us) {
+        // Sleep out the remainder of the window; an arrival that fills the
+        // batch (or shutdown) notifies and re-evaluates early.
+        flush_cv_.WaitFor(mu_, std::chrono::duration<double, std::micro>(
+                                   config_.max_wait_us - oldest_us));
+        continue;
+      }
+      batch.swap(pending_);
+      batch_problems = pending_problems_;
+      pending_problems_ = 0;
+      ++stats_.flushes;
+    }
     UDAO_METRIC_COUNTER_ADD("udao.coalescer.flushes", 1);
     UDAO_METRIC_OBSERVE("udao.coalescer.flush_problems",
                         static_cast<double>(batch_problems));
     Flush(std::move(batch));
-    lock.lock();
   }
 }
 
@@ -236,7 +234,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
         AppendPod(&dkey, i);
         AppendCo(&dkey, (*sub->cos)[i]);
         bool served = false;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (config_.memo_capacity > 0) {
           auto mit = memo_.find(dkey);
           if (mit != memo_.end()) {
@@ -244,7 +242,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
             sub->results[i] = mit->second.result;
             if (--sub->remaining == 0) {
               sub->done = true;
-              done_cv_.notify_all();
+              done_cv_.NotifyAll();
             }
             ++stats_.memo_hits;
             ++memo_hits;
@@ -286,7 +284,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
   }
   if (total == 0) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.fuse_groups += static_cast<long long>(groups.size());
   }
 
@@ -310,7 +308,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
         }
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++inflight_chunks_;
         ++stats_.fused_chunks;
         if (cross_request) {
@@ -347,7 +345,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
         std::vector<std::optional<CoResult>> results =
             solver_.SolveCoFused(problem, cos, seeds, stops, &perfs);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           for (size_t i = 0; i < chunk.size(); ++i) {
             Unit& u = chunk[i];
             if (u.slot != nullptr) {
@@ -374,7 +372,7 @@ void SolveCoalescer::Flush(std::vector<Submission*> batch) {
           // notify outside the lock could then touch a destroyed condvar.
           // Same for submitters, whose stack-owned Submission dies when
           // SolveBatch returns.
-          done_cv_.notify_all();
+          done_cv_.NotifyAll();
         }
       };
       if (config_.mogd.pool != nullptr) {
@@ -406,7 +404,7 @@ void SolveCoalescer::MemoInsertLocked(
 }
 
 SolveCoalescer::Stats SolveCoalescer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -2,16 +2,15 @@
 #define UDAO_MOO_SOLVE_COALESCER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "moo/mogd.h"
 
@@ -155,33 +154,38 @@ class SolveCoalescer : public CoBatchSolver {
   /// chunks. Called by the flusher with mu_ NOT held.
   void Flush(std::vector<Submission*> batch);
   /// Inserts a solved subproblem into the memo, evicting LRU entries past
-  /// capacity. Caller holds mu_. Keeps the incumbent on key collision (two
-  /// in-flight flushes can race to solve the same key; the bits agree).
+  /// capacity. Keeps the incumbent on key collision (two in-flight flushes
+  /// can race to solve the same key; the bits agree).
   void MemoInsertLocked(std::string key, std::optional<CoResult> result,
-                        std::vector<std::shared_ptr<const ObjectiveModel>> pins);
+                        std::vector<std::shared_ptr<const ObjectiveModel>> pins)
+      UDAO_REQUIRES(mu_);
 
   const SolveCoalescerConfig config_;
   /// Solver all fused chunks run on; shares config_.mogd (and its pool
   /// pointer, though chunks never use it -- they ARE the parallelism).
   const MogdSolver solver_;
 
-  mutable std::mutex mu_;
-  std::condition_variable flush_cv_;  ///< Wakes the flusher (arrival/shutdown).
-  std::condition_variable done_cv_;   ///< Wakes blocked submitters.
-  std::vector<Submission*> pending_;  ///< Guarded by mu_; oldest first.
-  int pending_problems_ = 0;
-  int inflight_chunks_ = 0;
-  bool shutdown_ = false;
-  Stats stats_;
-  /// Solved-subproblem memo (guarded by mu_): key -> entry, with recency
-  /// order in memo_lru_ (front = coldest).
-  std::unordered_map<std::string, MemoEntry> memo_;
-  std::list<std::string> memo_lru_;
-  /// Singleflight registry (guarded by mu_): dedup key -> in-flight slot.
-  /// Entries live from unit creation to delivery, so any identical unit --
-  /// same flush or a later one -- joins the pending solve instead of
-  /// launching a redundant descent.
-  std::unordered_map<std::string, std::shared_ptr<SharedSlot>> inflight_;
+  mutable Mutex mu_;
+  CondVar flush_cv_;  ///< Wakes the flusher (arrival/shutdown).
+  CondVar done_cv_;   ///< Wakes blocked submitters.
+  /// Pending submissions, oldest first. The pointed-to Submissions' result
+  /// slots / remaining / done are mu_-guarded too (stated on the struct;
+  /// guarded_by cannot name another object's mutex).
+  std::vector<Submission*> pending_ UDAO_GUARDED_BY(mu_);
+  int pending_problems_ UDAO_GUARDED_BY(mu_) = 0;
+  int inflight_chunks_ UDAO_GUARDED_BY(mu_) = 0;
+  bool shutdown_ UDAO_GUARDED_BY(mu_) = false;
+  Stats stats_ UDAO_GUARDED_BY(mu_);
+  /// Solved-subproblem memo: key -> entry, with recency order in memo_lru_
+  /// (front = coldest).
+  std::unordered_map<std::string, MemoEntry> memo_ UDAO_GUARDED_BY(mu_);
+  std::list<std::string> memo_lru_ UDAO_GUARDED_BY(mu_);
+  /// Singleflight registry: dedup key -> in-flight slot. Entries live from
+  /// unit creation to delivery, so any identical unit -- same flush or a
+  /// later one -- joins the pending solve instead of launching a redundant
+  /// descent.
+  std::unordered_map<std::string, std::shared_ptr<SharedSlot>> inflight_
+      UDAO_GUARDED_BY(mu_);
 
   /// One worker dedicated to the window clock. Owned last-constructed /
   /// first-destroyed is irrelevant here; the destructor explicitly drains it

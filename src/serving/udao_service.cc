@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <string>
 #include <utility>
 
@@ -37,9 +36,9 @@ void EmitShardCounter(const std::string& name) {
 /// delivery callback holds a shared_ptr, so the state outlives both an
 /// early-destroyed ticket and an early-destroyed service request.
 struct RequestTicket::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::optional<StatusOr<UdaoRecommendation>> result;
+  Mutex mu;
+  CondVar cv;
+  std::optional<StatusOr<UdaoRecommendation>> result UDAO_GUARDED_BY(mu);
   /// Fired by RequestTicket::Cancel; composed (CancellationToken::Any) with
   /// any token the request itself carried.
   CancellationSource cancel;
@@ -47,22 +46,26 @@ struct RequestTicket::State {
 
 StatusOr<UdaoRecommendation> RequestTicket::Wait() {
   UDAO_CHECK(state_ != nullptr);
-  std::unique_lock<std::mutex> lock(state_->mu);
+  // Raw pointer rather than the shared_ptr: thread-safety analysis resolves
+  // capability expressions through plain pointers, not smart-pointer
+  // operator->.
+  State* s = state_.get();
+  MutexLock lock(s->mu);
   // Bounded waits only in the serving layer (udao_lint unbounded-wait): the
-  // predicate re-check makes the timeout purely a liveness backstop -- a
+  // re-check loop makes the timeout purely a liveness backstop -- a
   // lost-wakeup or stuck-worker bug degrades to 50 ms extra latency and a
   // re-check instead of a hung client thread.
-  while (!state_->result.has_value()) {
-    state_->cv.wait_for(lock, std::chrono::milliseconds(50),
-                        [&] { return state_->result.has_value(); });
+  while (!s->result.has_value()) {
+    s->cv.WaitFor(s->mu, std::chrono::milliseconds(50));
   }
-  return *state_->result;
+  return *s->result;
 }
 
 std::optional<StatusOr<UdaoRecommendation>> RequestTicket::TryGet() {
   UDAO_CHECK(state_ != nullptr);
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->result;
+  State* s = state_.get();
+  MutexLock lock(s->mu);
+  return s->result;
 }
 
 void RequestTicket::Cancel() {
@@ -225,7 +228,7 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
   // the deterministic function of the key that makes concurrent misses and
   // later hits interchangeable.
   UDAO_DCHECK(!frontier->degraded);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const uint64_t tick = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto it = shard.cache.find(key);
   if (it != shard.cache.end()) {
@@ -237,8 +240,7 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
       it->second.problem = std::move(problem);
       it->second.frontier = std::move(frontier);
       it->second.generation = generation;
-      shard.snapshot.store(std::make_shared<const Snapshot>(shard.cache),
-                           std::memory_order_release);
+      RepublishLocked(shard);
     }
     // A recency-only touch needs no republish: tick cells are shared with
     // already-published snapshots.
@@ -250,6 +252,15 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
   entry.generation = generation;
   entry.tick = std::make_shared<std::atomic<uint64_t>>(tick);
   shard.cache.emplace(key, std::move(entry));
+  EvictOverflowLocked(shard);
+  RepublishLocked(shard);
+  cache_entries_.store(CountEntries(), std::memory_order_relaxed);
+  UDAO_METRIC_GAUGE_SET(
+      "udao.service.cache_size",
+      static_cast<double>(cache_entries_.load(std::memory_order_relaxed)));
+}
+
+void UdaoService::EvictOverflowLocked(CacheShard& shard) {
   while (static_cast<int>(shard.cache.size()) > per_shard_capacity_) {
     // Tick-based LRU: evict the least recently touched entry. A linear scan
     // over at most per_shard_capacity_+1 entries, only on insert overflow.
@@ -269,12 +280,11 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
     UDAO_METRIC_COUNTER_ADD("udao.service.evictions", 1);
     EmitShardCounter(shard.evictions_metric);
   }
+}
+
+void UdaoService::RepublishLocked(CacheShard& shard) {
   shard.snapshot.store(std::make_shared<const Snapshot>(shard.cache),
                        std::memory_order_release);
-  cache_entries_.store(CountEntries(), std::memory_order_relaxed);
-  UDAO_METRIC_GAUGE_SET(
-      "udao.service.cache_size",
-      static_cast<double>(cache_entries_.load(std::memory_order_relaxed)));
 }
 
 StatusOr<UdaoRecommendation> UdaoService::ServeStale(
@@ -507,11 +517,12 @@ RequestTicket UdaoService::Submit(const UdaoRequest& request) {
       request.options.cancel, state->cancel.token());
   SubmitInternal(composed, [state](StatusOr<UdaoRecommendation> r) {
     // Notify while holding the lock: a Wait()er may otherwise observe the
-    // result and destroy the last ticket copy before notify_all touches cv.
+    // result and destroy the last ticket copy before NotifyAll touches cv.
     // The delivery lambda's own shared_ptr keeps the state alive regardless.
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->result.emplace(std::move(r));
-    state->cv.notify_all();
+    RequestTicket::State* s = state.get();
+    MutexLock lock(s->mu);
+    s->result.emplace(std::move(r));
+    s->cv.NotifyAll();
   });
   return ticket;
 }

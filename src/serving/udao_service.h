@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "moo/solve_coalescer.h"
 #include "tuning/udao.h"
@@ -246,8 +246,8 @@ class UdaoService {
   struct CacheShard {
     /// Guards `cache` (mutations and snapshot republish only; reads go
     /// through `snapshot`).
-    mutable std::mutex mu;
-    Snapshot cache;
+    mutable Mutex mu;
+    Snapshot cache UDAO_GUARDED_BY(mu);
     std::atomic<std::shared_ptr<const Snapshot>> snapshot;
     std::atomic<long long> cache_hits{0};
     std::atomic<long long> cache_misses{0};
@@ -296,6 +296,12 @@ class UdaoService {
   void Insert(CacheShard& shard, const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem> problem,
               std::shared_ptr<const PfResult> frontier);
+  /// Evicts least-recently-touched entries until `shard.cache` fits
+  /// per_shard_capacity_ (tick-based LRU; linear scan, insert-overflow only).
+  void EvictOverflowLocked(CacheShard& shard) UDAO_REQUIRES(shard.mu);
+  /// Publishes an immutable copy of `shard.cache` for lock-free lookups.
+  /// Every mutation of the map must republish before the lock drops.
+  void RepublishLocked(CacheShard& shard) UDAO_REQUIRES(shard.mu);
 
   CacheShard& ShardFor(const std::string& workload_id) const;
 

@@ -1,0 +1,7 @@
+// Seeded assert violation (line 6): NDEBUG-dependent invariant.
+
+#include <cassert>
+
+void Check(int v) {
+  assert(v > 0);
+}

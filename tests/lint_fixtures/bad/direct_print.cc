@@ -1,0 +1,7 @@
+// Seeded direct-print violation (line 6): stdout write in library code.
+
+#include <cstdio>
+
+void Report() {
+  printf("done\n");
+}

@@ -1,0 +1,6 @@
+// Seeded include-guard violation (line 3): guard does not match the path.
+
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#endif  // WRONG_GUARD_H

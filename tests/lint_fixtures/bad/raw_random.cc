@@ -1,0 +1,8 @@
+// Seeded raw-random violation (line 6): raw engine construction.
+
+#include <random>
+
+unsigned Draw() {
+  std::mt19937 gen(42);
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,7 @@
+// Seeded raw-sync violation (line 6): std::mutex outside common/sync.h.
+
+#include <mutex>
+
+namespace example {
+std::mutex global_mu;
+}  // namespace example

@@ -1,0 +1,8 @@
+// Seeded raw-thread violation (line 6): parallelism outside the pool.
+
+#include <thread>
+
+void Spawn() {
+  std::thread t([] {});
+  t.join();
+}

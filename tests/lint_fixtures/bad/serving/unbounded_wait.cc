@@ -1,0 +1,9 @@
+// Seeded unbounded-wait violation (line 8): plain .wait() in serving scope.
+
+struct Waiter {
+  void wait() {}
+};
+
+void Drain(Waiter& w) {
+  w.wait();
+}

@@ -1,0 +1,16 @@
+#ifndef UDAO_STANDALONE_MUTEX_H_
+#define UDAO_STANDALONE_MUTEX_H_
+
+// Seeded standalone-mutex violation (line 12): a udao::Mutex member with no
+// UDAO_GUARDED_BY sibling naming it and no "lint: standalone-mutex" tag.
+
+class Widget {
+ public:
+  void Touch();
+
+ private:
+  udao::Mutex mu_;
+  int value_ = 0;
+};
+
+#endif  // UDAO_STANDALONE_MUTEX_H_

@@ -1,0 +1,19 @@
+#ifndef UDAO_CLEAN_H_
+#define UDAO_CLEAN_H_
+
+// Clean fixture: exercises the patterns the udao_lint rules allow --
+// correct include guard, annotated sync wrappers with a guarded member, and
+// a tagged pure-serialization mutex. Zero findings expected.
+
+class Coordinator {
+ public:
+  void Touch();
+
+ private:
+  mutable udao::Mutex mu_;
+  int value_ UDAO_GUARDED_BY(mu_) = 0;
+  // Serializes Touch() calls without guarding data of its own.
+  udao::Mutex phase_mu_;  // lint: standalone-mutex
+};
+
+#endif  // UDAO_CLEAN_H_

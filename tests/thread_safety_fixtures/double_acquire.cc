@@ -1,0 +1,28 @@
+// Seeded violation: acquiring a non-reentrant udao::Mutex twice in one
+// scope (self-deadlock at runtime). The thread-safety gate must reject this
+// file.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    udao::MutexLock lock(mu_);
+    udao::MutexLock again(mu_);  // already held: guaranteed diagnostic
+    value_ += d;
+  }
+
+ private:
+  udao::Mutex mu_;
+  int value_ UDAO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

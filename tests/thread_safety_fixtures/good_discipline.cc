@@ -1,0 +1,52 @@
+// Control fixture: correct lock discipline over udao::Mutex / CondVar /
+// MutexLock must compile cleanly under -Werror=thread-safety. Exercises the
+// exact patterns the production code uses: GUARDED_BY members, a *Locked()
+// helper with UDAO_REQUIRES, a condvar wait loop, and scoped locking.
+
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    {
+      udao::MutexLock lock(mu_);
+      PushLocked(v);
+    }
+    cv_.NotifyOne();
+  }
+
+  int Pop() {
+    udao::MutexLock lock(mu_);
+    while (size_ == 0) {
+      cv_.Wait(mu_);
+    }
+    --size_;
+    return last_;
+  }
+
+  int Size() const {
+    udao::MutexLock lock(mu_);
+    return size_;
+  }
+
+ private:
+  void PushLocked(int v) UDAO_REQUIRES(mu_) {
+    last_ = v;
+    ++size_;
+  }
+
+  mutable udao::Mutex mu_;
+  udao::CondVar cv_;
+  int last_ UDAO_GUARDED_BY(mu_) = 0;
+  int size_ UDAO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  return q.Pop() == 1 && q.Size() == 0 ? 0 : 1;
+}

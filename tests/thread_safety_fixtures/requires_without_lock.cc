@@ -1,0 +1,27 @@
+// Seeded violation: calling an UDAO_REQUIRES helper without holding the
+// required mutex. The thread-safety gate must reject this file.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    AddLocked(d);  // mu_ not held: guaranteed diagnostic
+  }
+
+ private:
+  void AddLocked(int d) UDAO_REQUIRES(mu_) { value_ += d; }
+
+  udao::Mutex mu_;
+  int value_ UDAO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

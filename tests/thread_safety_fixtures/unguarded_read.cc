@@ -1,0 +1,31 @@
+// Seeded violation: reading a GUARDED_BY member with its mutex not held.
+// The thread-safety gate must reject this file (the fixture test asserts a
+// -Wthread-safety diagnostic).
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    udao::MutexLock lock(mu_);
+    value_ += d;
+  }
+
+  int Racy() const {
+    return value_;  // no lock: guaranteed diagnostic
+  }
+
+ private:
+  mutable udao::Mutex mu_;
+  int value_ UDAO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Racy();
+}

@@ -1,16 +1,36 @@
 #!/usr/bin/env bash
 # Repo verification pipeline:
-#   1. tier 1      -- default (Release) configure/build/ctest, which also
-#                     runs udao_lint over src/
-#   2. ASan+UBSan  -- the suite under -DCMAKE_BUILD_TYPE=Asan
-#   3. TSan        -- the suite under -DCMAKE_BUILD_TYPE=Tsan (includes
-#                     race_stress_test, which hammers ThreadPool, concurrent
-#                     SolveBatch, and concurrent ModelServer lookups)
-#   4. clang-tidy  -- tools/tidy.sh (skipped automatically when clang-tidy
-#                     is not installed)
+#   1. tier 1         -- default (Release) configure/build/ctest, which also
+#                        runs udao_lint over src/
+#   2. ASan+UBSan     -- the suite under -DCMAKE_BUILD_TYPE=Asan
+#   3. TSan           -- the suite under -DCMAKE_BUILD_TYPE=Tsan (includes
+#                        race_stress_test, which hammers ThreadPool,
+#                        concurrent SolveBatch, and concurrent ModelServer
+#                        lookups)
+#   4. UBSan (strict) -- the suite under -DCMAKE_BUILD_TYPE=Ubsan:
+#                        -fsanitize=undefined,float-divide-by-zero with
+#                        -fno-sanitize-recover=all, so the first report
+#                        aborts the test. Stricter than the Asan combo
+#                        (float-divide-by-zero is not on there, and reports
+#                        there recover). Also run nightly.
+#   5. thread-safety  -- clang build of src/ with -Werror=thread-safety
+#                        (-DUDAO_THREAD_SAFETY=ON) checking every
+#                        GUARDED_BY / REQUIRES annotation in
+#                        src/common/sync.h users, plus the compile-failure
+#                        fixtures (tests/thread_safety_fixtures/) proving
+#                        the gate can fire. Skipped with a notice when
+#                        clang++ is not installed (GCC has no such
+#                        analysis); CI always runs it.
+#   6. clang-tidy     -- tools/tidy.sh (skipped automatically when
+#                        clang-tidy is not installed)
 #
-# Usage: tools/check.sh [--tier1-only]
+# Usage: tools/check.sh [--tier1-only | --help]
 set -euo pipefail
+
+if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
+  sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+  exit 0
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
@@ -39,6 +59,25 @@ cmake --build build-tsan -j
 # atomic<shared_ptr> false positive (see tools/tsan.supp).
 TSAN_OPTIONS="halt_on_error=1 suppressions=$repo_root/tools/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure -j
+
+echo "== sanitizers: strict UBSan build + tests =="
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Ubsan
+cmake --build build-ubsan -j
+ctest --test-dir build-ubsan --output-on-failure -j
+
+echo "== thread-safety: clang -Werror=thread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-thread-safety -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DUDAO_THREAD_SAFETY=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build-thread-safety -j
+  # The fixture tests assert that seeded violations are rejected; the build
+  # above asserts that real sources are not.
+  ctest --test-dir build-thread-safety -R '^tsa_fixture_' \
+    --output-on-failure -j
+else
+  echo "tools/check.sh: clang++ not found on PATH; skipping thread-safety" \
+       "analysis (GCC has none -- install LLVM or rely on the CI job)"
+fi
 
 echo "== clang-tidy =="
 tools/tidy.sh

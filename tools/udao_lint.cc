@@ -23,6 +23,16 @@
 //      condition_variable::wait can stall a serving thread forever; the
 //      serving layer owes every request a bounded-time answer, so waits
 //      there must use a deadline overload (wait_for / wait_until).
+//   7. No raw std::mutex / std::shared_mutex / std::condition_variable (or
+//      std lock helpers) outside src/common/sync.h -- all locking goes
+//      through the annotated udao::Mutex/CondVar/MutexLock wrappers so clang
+//      thread-safety analysis sees every acquisition.
+//   8. Every udao::Mutex / udao::SharedMutex member must guard something: at
+//      least one sibling member tagged UDAO_GUARDED_BY / UDAO_PT_GUARDED_BY
+//      with that mutex, or an explicit "// lint: standalone-mutex" tag on
+//      the declaration line acknowledging a pure-serialization mutex. An
+//      unguarded mutex is usually an annotation hole the analysis silently
+//      ignores.
 //
 // Usage: udao_lint <src-dir>
 // Exits nonzero and prints one "file:line: rule: detail" per finding.
@@ -66,6 +76,9 @@ bool IsReportingFile(const std::string& rel) {
 bool IsServingFile(const std::string& rel) {
   return rel.rfind("serving/", 0) == 0;
 }
+
+// The annotated wrapper layer itself is built on the std primitives.
+bool IsSyncFile(const std::string& rel) { return rel == "common/sync.h"; }
 
 // True if the '"' at `i` opens a raw string literal: it follows an R, uR,
 // UR, LR, or u8R prefix that is itself not the tail of a longer identifier
@@ -215,8 +228,53 @@ const std::vector<TokenRule>& Rules() {
        "deadline overload (wait_for/wait_until, or poll with a budget) so "
        "an overloaded or wedged dependency cannot wedge a serving thread",
        nullptr, &IsServingFile},
+      {"raw-sync",
+       std::regex(
+           R"(std\s*::\s*(recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|mutex|condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\b)"),
+       "use the annotated udao::Mutex/SharedMutex/CondVar/MutexLock wrappers "
+       "(src/common/sync.h); raw std primitives are invisible to clang "
+       "thread-safety analysis, so locks taken through them go unchecked",
+       &IsSyncFile},
   };
   return *rules;
+}
+
+// Rule 8: a udao::Mutex/SharedMutex member that guards nothing. Scans
+// (comment-stripped) member declarations; a mutex passes if any line of the
+// file names it in UDAO_GUARDED_BY / UDAO_PT_GUARDED_BY, or if its raw
+// declaration line carries the "lint: standalone-mutex" acknowledgment tag
+// (tags live in comments, so the raw line is consulted for that).
+void CheckStandaloneMutex(const std::string& rel,
+                          const std::vector<std::string>& lines,
+                          const std::vector<std::string>& raw_lines,
+                          std::vector<Finding>* findings) {
+  static const std::regex member_re(
+      R"(^\s*(?:mutable\s+)?(?:udao\s*::\s*)?(?:Mutex|SharedMutex)\s+(\w+)\s*;)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, member_re)) continue;
+    const std::string name = m[1].str();
+    const std::regex guarded_re("UDAO(_PT)?_GUARDED_BY\\s*\\(\\s*" + name +
+                                "\\s*\\)");
+    bool guards_something = false;
+    for (const std::string& line : lines) {
+      if (std::regex_search(line, guarded_re)) {
+        guards_something = true;
+        break;
+      }
+    }
+    if (guards_something) continue;
+    if (i < raw_lines.size() &&
+        raw_lines[i].find("lint: standalone-mutex") != std::string::npos) {
+      continue;
+    }
+    findings->push_back(
+        {rel, static_cast<int>(i) + 1, "standalone-mutex",
+         "mutex member '" + name +
+             "' has no UDAO_GUARDED_BY sibling; annotate what it guards, or "
+             "tag the declaration '// lint: standalone-mutex' if it only "
+             "serializes"});
+  }
 }
 
 std::string ExpectedGuard(const std::string& rel) {
@@ -256,6 +314,7 @@ void LintFile(const fs::path& path, const std::string& rel,
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string raw = buf.str();
+  const std::vector<std::string> raw_lines = SplitLines(raw);
   const std::vector<std::string> lines =
       SplitLines(StripCommentsAndStrings(raw));
 
@@ -271,8 +330,9 @@ void LintFile(const fs::path& path, const std::string& rel,
       }
     }
   }
+  CheckStandaloneMutex(rel, lines, raw_lines, findings);
   if (path.extension() == ".h") {
-    CheckIncludeGuard(rel, SplitLines(raw), findings);
+    CheckIncludeGuard(rel, raw_lines, findings);
   }
 }
 
