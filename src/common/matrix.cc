@@ -2,6 +2,15 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
+// The dense products below route through the runtime-dispatched kernel table
+// (nn/kernels.h). The scalar backend replicates this file's original loops
+// bitwise; the avx2 backend vectorizes them. Every consumer -- GP algebra,
+// MLP training, the scalar and batched solver paths -- shifts backend
+// together, which is what keeps the codebase's batch-vs-scalar exact-equality
+// contracts intact in either mode.
+
 namespace udao {
 
 Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
@@ -36,31 +45,24 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   UDAO_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both inputs.
-  for (int i = 0; i < rows_; ++i) {
-    double* out_row = out.RowPtr(i);
-    const double* a_row = RowPtr(i);
-    for (int k = 0; k < cols_; ++k) {
-      const double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = other.RowPtr(k);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a_ik * b_row[j];
-    }
-  }
+  // i-k-j order with zero-coefficient skips, delegated to the kernel table's
+  // gemm_nn (which owns zeroing the output rows).
+  kernels::GemmNn(data_.data(), rows_, cols_, other.data_.data(), other.cols_,
+                  out.data_.data());
   return out;
 }
 
 Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
   UDAO_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
+  const kernels::KernelTable* t = kernels::ActiveTable();
   for (int i = 0; i < rows_; ++i) {
     const double* a_row = RowPtr(i);
     double* out_row = out.RowPtr(i);
     for (int j = 0; j < other.rows_; ++j) {
       const double* b_row = other.RowPtr(j);
-      double acc = 0.0;
-      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
+      out_row[j] = cols_ == 128 ? t->dot128(a_row, b_row)
+                                : t->dot(a_row, b_row, cols_);
     }
   }
   return out;
@@ -69,11 +71,11 @@ Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
 Vector Matrix::Apply(const Vector& v) const {
   UDAO_CHECK_EQ(static_cast<int>(v.size()), cols_);
   Vector out(rows_, 0.0);
+  const kernels::KernelTable* t = kernels::ActiveTable();
   for (int r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) acc += row[c] * v[c];
-    out[r] = acc;
+    out[r] = cols_ == 128 ? t->dot128(row, v.data())
+                          : t->dot(row, v.data(), cols_);
   }
   return out;
 }
@@ -81,11 +83,11 @@ Vector Matrix::Apply(const Vector& v) const {
 Vector Matrix::ApplyTranspose(const Vector& v) const {
   UDAO_CHECK_EQ(static_cast<int>(v.size()), rows_);
   Vector out(cols_, 0.0);
+  const kernels::KernelTable* t = kernels::ActiveTable();
   for (int r = 0; r < rows_; ++r) {
-    const double* row = RowPtr(r);
     const double vr = v[r];
     if (vr == 0.0) continue;
-    for (int c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+    t->axpy(out.data(), RowPtr(r), vr, cols_);
   }
   return out;
 }
@@ -93,7 +95,8 @@ Vector Matrix::ApplyTranspose(const Vector& v) const {
 void Matrix::AddScaled(const Matrix& other, double scale) {
   UDAO_CHECK_EQ(rows_, other.rows_);
   UDAO_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  kernels::Axpy(data_.data(), other.data_.data(), scale,
+                static_cast<int>(data_.size()));
 }
 
 StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
@@ -153,9 +156,7 @@ StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b) {
 
 double Dot(const Vector& a, const Vector& b) {
   UDAO_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Dot(a.data(), b.data(), static_cast<int>(a.size()));
 }
 
 double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }

@@ -32,6 +32,18 @@ class Matrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
+  /// Reshapes to rows x cols, reusing the existing allocation when capacity
+  /// allows (std::vector never shrinks its capacity here). Contents are
+  /// unspecified afterwards -- callers that need zeros must fill. This is
+  /// what lets per-iteration solver temporaries stop hitting the heap.
+  void Resize(int rows, int cols) {
+    UDAO_CHECK_GE(rows, 0);
+    UDAO_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
   double& operator()(int r, int c) {
     UDAO_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];

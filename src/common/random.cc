@@ -42,16 +42,17 @@ double HaltonValue(int index, int base) {
 
 }  // namespace
 
-std::vector<std::vector<double>> HaltonSequence(int n, int dim) {
-  UDAO_CHECK_GT(n, 0);
+void HaltonPoint(int i, int dim, double* out) {
+  UDAO_CHECK_GE(i, 0);
   UDAO_CHECK_GT(dim, 0);
   UDAO_CHECK_LE(dim, static_cast<int>(sizeof(kPrimes) / sizeof(kPrimes[0])));
+  for (int d = 0; d < dim; ++d) out[d] = HaltonValue(i + 1, kPrimes[d]);
+}
+
+std::vector<std::vector<double>> HaltonSequence(int n, int dim) {
+  UDAO_CHECK_GT(n, 0);
   std::vector<std::vector<double>> points(n, std::vector<double>(dim));
-  for (int i = 0; i < n; ++i) {
-    for (int d = 0; d < dim; ++d) {
-      points[i][d] = HaltonValue(i + 1, kPrimes[d]);
-    }
-  }
+  for (int i = 0; i < n; ++i) HaltonPoint(i, dim, points[i].data());
   return points;
 }
 

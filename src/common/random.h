@@ -60,6 +60,11 @@ std::vector<std::vector<double>> LatinHypercube(int n, int dim, Rng* rng);
 /// baselines and exhaustive-solver seeding.
 std::vector<std::vector<double>> HaltonSequence(int n, int dim);
 
+/// Writes point `i` (0-based; equals HaltonSequence(n, dim)[i]) into
+/// out[0..dim). Allocation-free form for enumeration sweeps that stream
+/// hundreds of thousands of points through a fixed buffer.
+void HaltonPoint(int i, int dim, double* out);
+
 }  // namespace udao
 
 #endif  // UDAO_COMMON_RANDOM_H_

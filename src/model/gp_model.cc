@@ -242,12 +242,12 @@ Vector GpModel::InputGradient(const Vector& x) const {
 
 void GpModel::PredictBatch(const Matrix& x, Vector* out) const {
   const Matrix k = KernelMatrix(x);
+  // Apply uses the same dispatched dot kernel as the scalar Predict path, so
+  // batch and scalar predictions stay bitwise-equal in every backend.
+  const Vector acc = k.Apply(alpha_);
   out->resize(x.rows());
   for (int i = 0; i < x.rows(); ++i) {
-    double acc = 0.0;
-    const double* row = k.RowPtr(i);
-    for (int j = 0; j < x_.rows(); ++j) acc += row[j] * alpha_[j];
-    const double t = acc * y_std_ + y_mean_;
+    const double t = acc[i] * y_std_ + y_mean_;
     (*out)[i] = log_targets_ ? std::exp(t) : t;
     UDAO_DCHECK_FINITE((*out)[i]);
   }
@@ -256,7 +256,10 @@ void GpModel::PredictBatch(const Matrix& x, Vector* out) const {
 void GpModel::GradientBatch(const Matrix& x, Matrix* grads,
                             Vector* values) const {
   const Matrix k = KernelMatrix(x);
-  *grads = Matrix(x.rows(), x_.cols());
+  // Same dispatched dot as the scalar path; see PredictBatch.
+  const Vector acc = k.Apply(alpha_);
+  grads->Resize(x.rows(), x_.cols());
+  std::fill(grads->data().begin(), grads->data().end(), 0.0);
   if (values != nullptr) values->resize(x.rows());
   for (int i = 0; i < x.rows(); ++i) {
     const double* krow = k.RowPtr(i);
@@ -270,9 +273,7 @@ void GpModel::GradientBatch(const Matrix& x, Matrix* grads,
                    (lengthscales_[d] * lengthscales_[d]);
       }
     }
-    double mean_acc = 0.0;
-    for (int j = 0; j < x_.rows(); ++j) mean_acc += krow[j] * alpha_[j];
-    const double t = mean_acc * y_std_ + y_mean_;
+    const double t = acc[i] * y_std_ + y_mean_;
     double scale = y_std_;
     if (log_targets_) scale *= std::exp(t);
     for (int d = 0; d < x_.cols(); ++d) {

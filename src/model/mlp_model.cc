@@ -145,8 +145,11 @@ void MlpModel::GradientBatch(const Matrix& x, Matrix* grads,
   UDAO_METRIC_COUNTER_ADD("udao.model.mlp.batch_evals", x.rows());
   UDAO_METRIC_OBSERVE("udao.model.mlp.batch_size",
                       static_cast<double>(x.rows()));
-  Vector raw;
-  *grads = mlp_->InputGradientBatch(x, &raw);
+  // Raw-prediction scratch persists across solver iterations; the gradient
+  // matrix itself is Resize()d in place by InputGradientBatch, so the steady
+  // state of the MOGD loop allocates nothing here.
+  thread_local Vector raw;
+  mlp_->InputGradientBatch(x, grads, &raw);
   for (int i = 0; i < grads->rows(); ++i) {
     double scale = y_std_;
     if (config_.log_transform_targets) {

@@ -31,7 +31,9 @@ void ObjectiveModel::PredictBatch(const Matrix& x, Vector* out) const {
 void ObjectiveModel::GradientBatch(const Matrix& x, Matrix* grads,
                                    Vector* values) const {
   UDAO_CHECK_EQ(x.cols(), input_dim());
-  *grads = Matrix(x.rows(), input_dim());
+  // Resize (not reconstruct) so a caller-held matrix keeps its allocation
+  // across solver iterations; every row is fully overwritten below.
+  grads->Resize(x.rows(), input_dim());
   if (values != nullptr) values->resize(x.rows());
   for (int i = 0; i < x.rows(); ++i) {
     const Vector point = x.Row(i);
@@ -90,7 +92,10 @@ void CallableModel::GradientBatch(const Matrix& x, Matrix* grads,
     return;
   }
   UDAO_CHECK_EQ(x.cols(), dim_);
-  *grads = Matrix(x.rows(), dim_);
+  // The callback contract hands user code a zeroed gradient matrix, so the
+  // Resize is followed by an explicit fill.
+  grads->Resize(x.rows(), dim_);
+  std::fill(grads->data().begin(), grads->data().end(), 0.0);
   if (values != nullptr) values->resize(x.rows());
   batch_grad_(x, grads, values);
 }

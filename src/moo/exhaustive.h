@@ -1,6 +1,7 @@
 #ifndef UDAO_MOO_EXHAUSTIVE_H_
 #define UDAO_MOO_EXHAUSTIVE_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -36,7 +37,14 @@ class ExhaustiveSolver {
   int budget() const { return budget_; }
 
  private:
-  std::vector<Vector> EnumerateEncoded(const MooProblem& problem) const;
+  // Runs the enumeration in fixed-size chunks through the problem's batched
+  // evaluation surface (one GEMM per objective per chunk for DNN models) and
+  // hands each chunk's candidates plus per-objective values to `visit`;
+  // f[j][r] is objective j at row r of xb, with `rows` valid rows.
+  void SweepBatched(
+      const MooProblem& problem,
+      const std::function<void(const Matrix& xb, const std::vector<Vector>& f,
+                               int rows)>& visit) const;
 
   int budget_;
 };

@@ -318,7 +318,9 @@ std::vector<std::optional<CoResult>> MogdSolver::SolveCoFused(
   Matrix xe;
   auto evaluate = [&]() {
     const int P = static_cast<int>(parts.size());
-    xe = Matrix(P * S, dim);
+    // Resize reuses xe's allocation as participants drop out; every row is
+    // overwritten by the packing copies below.
+    xe.Resize(P * S, dim);
     for (int pi = 0; pi < P; ++pi) {
       const int p = parts[pi];
       std::copy(x.RowPtr(p * S), x.RowPtr(p * S) + S * dim, xe.RowPtr(pi * S));
@@ -605,6 +607,7 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
   Matrix grads;
   Vector values;
   Vector xs(dim);
+  Vector grad(dim);
   std::vector<Adam> adams;
   adams.reserve(S);
   for (int s = 0; s < S; ++s) {
@@ -624,7 +627,7 @@ CoResult MogdSolver::MinimizeBatched(const MooProblem& problem, int target,
     local.eval_seconds += SecondsSince(g0);
     for (int s = 0; s < S; ++s) {
       xs.assign(x.RowPtr(s), x.RowPtr(s) + dim);
-      Vector grad(grads.RowPtr(s), grads.RowPtr(s) + dim);
+      grad.assign(grads.RowPtr(s), grads.RowPtr(s) + dim);
       adams[s].Step(&xs, grad);
       std::copy(xs.begin(), xs.end(), x.RowPtr(s));
       ClipToUnitBox(x.RowPtr(s), dim);

@@ -1,0 +1,196 @@
+#ifndef UDAO_NN_KERNELS_H_
+#define UDAO_NN_KERNELS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace udao {
+namespace kernels {
+
+/// The dense-kernel backends. Exactly one is active per process; it is chosen
+/// once at startup (see ActiveTable) and every dense primitive in the
+/// codebase -- Matrix products, the MLP forward/backward GEMMs, Adam's axpy
+/// updates -- routes through it. Within one backend, batched and scalar
+/// entry points share the same primitives, so batch-vs-scalar results stay
+/// bitwise equal; across backends results may differ in the last bits (the
+/// tolerance contract pinned by kernel_parity_test and DESIGN.md).
+enum class Backend {
+  /// Portable reference kernels: bitwise-identical to the plain loops the
+  /// Matrix/Mlp code used before the kernel layer existed. Elementwise axpy
+  /// is `#pragma omp simd` vectorized (exact -- no reassociation); dot
+  /// products stay a single sequential accumulation chain.
+  kScalar,
+  /// AVX2+FMA intrinsics (x86-64 only): 4-accumulator dot products, fused
+  /// multiply-add axpy, and a fully-unrolled 128-wide dot for the paper's
+  /// 4x128 ReLU topology. Requires CpuSupportsAvx2().
+  kAvx2,
+};
+
+/// Fusion applied by the layer-forward kernel after each output dot product.
+enum class Fused {
+  /// out = in * W^T + bias (the output layer, and tanh layers whose
+  /// activation is applied by the caller).
+  kBias,
+  /// out = relu(in * W^T + bias) -- the hidden-layer hot path.
+  kBiasRelu,
+};
+
+/// One backend's kernel set. All pointers are non-null. Rows are contiguous
+/// (row-major) and operands never alias.
+struct KernelTable {
+  Backend backend;
+  const char* name;
+  /// Generic dot product (no 128-specialization dispatch; use kernels::Dot
+  /// for the dispatched form).
+  double (*dot)(const double* a, const double* b, int n);
+  /// Fully-unrolled dot for n == 128, the hidden width of the paper's
+  /// largest model. Bitwise-identical to dot(a, b, 128) of the same backend
+  /// by construction (same accumulator structure and reduction order);
+  /// kernel_parity_test pins that equality.
+  double (*dot128)(const double* a, const double* b);
+  /// dst[i] += scale * src[i] for i in [0, n).
+  void (*axpy)(double* dst, const double* src, double scale, int n);
+  /// Fused dense layer: for each of `rows` input rows,
+  ///   out[r][c] = fuse(dot(in_row, w_row_c) + bias[c])
+  /// with w in [out_dim, in_dim] row-major ([fan_out, fan_in] weights).
+  /// Uses the backend's dot (dot128 when in_dim == 128 -- the specialized
+  /// 4x128 path is selected here whenever the model shape matches).
+  void (*layer_forward)(const double* in, int rows, int in_dim,
+                        const double* w, const double* bias, int out_dim,
+                        Fused fuse, double* out);
+  /// out[rows, cols] = a[rows, k] * b[k, cols]. Zeroes out first, then
+  /// accumulates via axpy in k order, skipping a[i][kk] == 0.0 terms -- the
+  /// exact semantics (and, per element, the exact operation order) of the
+  /// pre-kernel Matrix::Multiply / ApplyTranspose loops, which is what keeps
+  /// batched backprop bitwise-equal to the scalar path within a backend.
+  void (*gemm_nn)(const double* a, int rows, int k, const double* b, int cols,
+                  double* out);
+};
+
+/// True when the CPU executes AVX2+FMA (always false off x86-64).
+bool CpuSupportsAvx2();
+
+/// The process-wide active kernel table. Chosen once, on first use, from the
+/// UDAO_KERNEL environment variable:
+///   unset / "native"  best supported backend (avx2 when available)
+///   "scalar"          force the portable reference kernels
+///   "avx2"            force AVX2; aborts loudly if the CPU lacks it, so a
+///                     CI matrix leg can never silently test the wrong code
+/// Any other value aborts. Reads are lock-free (acquire load of an atomic
+/// pointer), so concurrent PredictBatch callers share the table safely.
+const KernelTable* ActiveTable();
+
+/// Backend of ActiveTable().
+Backend ActiveBackend();
+
+/// The table for one backend; aborts if the backend is unsupported here.
+const KernelTable* TableForBackend(Backend backend);
+
+/// Swaps the active table (release store). Testing/bench only: the parity
+/// suite and bench_kernels flip backends in-process to compare them.
+void SetBackendForTesting(Backend backend);
+
+/// RAII backend override that restores the previous backend on destruction.
+class ScopedBackendForTesting {
+ public:
+  explicit ScopedBackendForTesting(Backend backend) : prev_(ActiveBackend()) {
+    SetBackendForTesting(backend);
+  }
+  ~ScopedBackendForTesting() { SetBackendForTesting(prev_); }
+  ScopedBackendForTesting(const ScopedBackendForTesting&) = delete;
+  ScopedBackendForTesting& operator=(const ScopedBackendForTesting&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+/// Dispatched conveniences over ActiveTable(). Hot loops that issue many
+/// calls should hoist `const KernelTable* t = ActiveTable()` instead.
+inline double Dot(const double* a, const double* b, int n) {
+  const KernelTable* t = ActiveTable();
+  return n == 128 ? t->dot128(a, b) : t->dot(a, b, n);
+}
+
+inline void Axpy(double* dst, const double* src, double scale, int n) {
+  ActiveTable()->axpy(dst, src, scale, n);
+}
+
+inline void LayerForward(const double* in, int rows, int in_dim,
+                         const double* w, const double* bias, int out_dim,
+                         Fused fuse, double* out) {
+  ActiveTable()->layer_forward(in, rows, in_dim, w, bias, out_dim, fuse, out);
+}
+
+inline void GemmNn(const double* a, int rows, int k, const double* b,
+                   int cols, double* out) {
+  ActiveTable()->gemm_nn(a, rows, k, b, cols, out);
+}
+
+/// Bump allocator for the per-solve activation/gradient temporaries of the
+/// batched MLP paths. The MOGD descent loop calls PredictBatch/GradientBatch
+/// every Adam iteration; routing their temporaries through a thread-local
+/// arena turns thousands of Matrix heap allocations per solve into pointer
+/// bumps over memory acquired during the first iteration (warmup). Growth
+/// events -- the only times the arena touches the heap -- are counted
+/// (grow_count) and reported via the udao.nn.arena_bytes counter, which is
+/// how tests assert zero allocations per iteration after warmup.
+///
+/// Not thread-safe; use ThreadLocal() (one arena per thread) or confine an
+/// instance to one thread. Blocks are released in LIFO order by Scope.
+class KernelArena {
+ public:
+  KernelArena() = default;
+  KernelArena(const KernelArena&) = delete;
+  KernelArena& operator=(const KernelArena&) = delete;
+
+  /// Returns an uninitialized block of n doubles, valid until the enclosing
+  /// Scope unwinds past the current position.
+  double* Alloc(size_t n);
+
+  /// Number of slab acquisitions (heap allocations) so far.
+  size_t grow_count() const { return grow_count_; }
+
+  /// Total heap bytes this arena holds.
+  size_t reserved_bytes() const { return reserved_ * sizeof(double); }
+
+  /// The calling thread's arena.
+  static KernelArena& ThreadLocal();
+
+  /// Rewinds the arena to its construction-time position, releasing every
+  /// allocation made inside the scope (capacity is retained).
+  class Scope {
+   public:
+    explicit Scope(KernelArena* arena)
+        : arena_(arena), slab_(arena->slab_), used_(arena->used_) {}
+    ~Scope() {
+      arena_->slab_ = slab_;
+      arena_->used_ = used_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    KernelArena* arena_;
+    size_t slab_;
+    size_t used_;
+  };
+
+ private:
+  struct Slab {
+    std::unique_ptr<double[]> data;
+    size_t size = 0;
+  };
+
+  std::vector<Slab> slabs_;
+  size_t slab_ = 0;  ///< Index of the slab currently bumped into.
+  size_t used_ = 0;  ///< Doubles consumed in slabs_[slab_].
+  size_t grow_count_ = 0;
+  size_t reserved_ = 0;  ///< Total doubles across all slabs.
+};
+
+}  // namespace kernels
+}  // namespace udao
+
+#endif  // UDAO_NN_KERNELS_H_

@@ -1,6 +1,8 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -70,77 +72,126 @@ Vector Mlp::ForwardCached(const Vector& x, std::vector<Vector>* pre,
   return cur;
 }
 
-Matrix Mlp::ForwardCachedBatch(const Matrix& x, std::vector<Matrix>* pre,
-                               std::vector<Matrix>* post) const {
+const double* Mlp::ForwardArena(const Matrix& x, kernels::KernelArena* arena,
+                                std::vector<const double*>* post) const {
   UDAO_CHECK_EQ(x.cols(), input_dim());
-  Matrix cur = x;
+  const int rows = x.rows();
+  const double* cur = x.data().data();
   const int num_layers = static_cast<int>(layers_.size());
+  // One table load for the whole pass: every layer of a forward runs on the
+  // same backend even if a concurrent test flips the dispatch mid-call.
+  const kernels::KernelTable* t = kernels::ActiveTable();
   for (int l = 0; l < num_layers; ++l) {
-    // z = cur * W^T + b: one GEMM for the whole batch. Accumulation order
-    // per output element matches the scalar Apply path, so batched and
-    // scalar predictions agree exactly.
-    Matrix z = cur.MultiplyTransposed(layers_[l].w);
-    const Vector& b = layers_[l].b;
-    for (int i = 0; i < z.rows(); ++i) {
-      double* row = z.RowPtr(i);
-      for (int j = 0; j < z.cols(); ++j) row[j] += b[j];
-    }
-    if (pre != nullptr) pre->push_back(z);
+    // out = fuse(cur * W^T + bias): one fused layer kernel for the whole
+    // batch. Per output element the kernel performs dot, then + bias, then
+    // the activation -- the exact operation sequence of the scalar Apply
+    // path -- so batched and scalar predictions agree bitwise within a
+    // kernel backend. The kernel picks the fully-unrolled 128-wide dot
+    // whenever fan_in == 128 (the paper's 4x128 topology).
+    const Layer& layer = layers_[l];
+    const int fan_in = layer.w.cols();
+    const int fan_out = layer.w.rows();
+    double* out =
+        arena->Alloc(static_cast<size_t>(rows) * fan_out);
     const bool is_output = (l == num_layers - 1);
-    if (!is_output) {
-      for (double& v : z.data()) v = Act(v);
+    const bool fuse_relu =
+        !is_output && config_.activation == Activation::kRelu;
+    t->layer_forward(cur, rows, fan_in, layer.w.data().data(),
+                     layer.b.data(), fan_out,
+                     fuse_relu ? kernels::Fused::kBiasRelu
+                               : kernels::Fused::kBias,
+                     out);
+    if (!is_output && config_.activation == Activation::kTanh) {
+      // tanh stays a scalar per-element call in every backend, matching
+      // Act() exactly (libm's tanh is the dominant cost either way).
+      const size_t count = static_cast<size_t>(rows) * fan_out;
+      for (size_t i = 0; i < count; ++i) out[i] = std::tanh(out[i]);
     }
-    if (post != nullptr) post->push_back(z);
-    cur = std::move(z);
+    if (post != nullptr) post->push_back(out);
+    cur = out;
   }
   return cur;
 }
 
 Matrix Mlp::ForwardBatch(const Matrix& x) const {
-  return ForwardCachedBatch(x, nullptr, nullptr);
+  kernels::KernelArena& arena = kernels::KernelArena::ThreadLocal();
+  kernels::KernelArena::Scope scope(&arena);
+  const double* out = ForwardArena(x, &arena, nullptr);
+  Matrix y(x.rows(), output_dim());
+  std::copy(out, out + static_cast<size_t>(x.rows()) * output_dim(),
+            y.data().begin());
+  return y;
 }
 
 void Mlp::PredictBatch(const Matrix& x, Vector* out) const {
   UDAO_CHECK_EQ(output_dim(), 1);
-  const Matrix y = ForwardBatch(x);
-  out->resize(y.rows());
-  for (int i = 0; i < y.rows(); ++i) {
-    (*out)[i] = y(i, 0);
+  kernels::KernelArena& arena = kernels::KernelArena::ThreadLocal();
+  kernels::KernelArena::Scope scope(&arena);
+  const double* y = ForwardArena(x, &arena, nullptr);
+  out->resize(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    (*out)[i] = y[i];
     UDAO_DCHECK_FINITE((*out)[i]);
   }
 }
 
-Matrix Mlp::InputGradientBatch(const Matrix& x, Vector* values) const {
+void Mlp::InputGradientBatch(const Matrix& x, Matrix* grad,
+                             Vector* values) const {
   UDAO_CHECK_EQ(output_dim(), 1);
-  std::vector<Matrix> pre;
-  std::vector<Matrix> post;
-  const Matrix out = ForwardCachedBatch(x, &pre, &post);
+  const int rows = x.rows();
+  kernels::KernelArena& arena = kernels::KernelArena::ThreadLocal();
+  kernels::KernelArena::Scope scope(&arena);
+  std::vector<const double*> post;
+  ForwardArena(x, &arena, &post);
+  const double* out = post.back();
   if (values != nullptr) {
-    values->resize(out.rows());
-    for (int i = 0; i < out.rows(); ++i) {
-      (*values)[i] = out(i, 0);
+    values->resize(rows);
+    for (int i = 0; i < rows; ++i) {
+      (*values)[i] = out[i];
       UDAO_DCHECK_FINITE((*values)[i]);
     }
   }
   const int num_layers = static_cast<int>(layers_.size());
+  // Widest delta the backward pass produces (layer_sizes minus the input,
+  // whose deltas land directly in *grad).
+  size_t max_width = 1;
+  for (int l = 1; l < static_cast<int>(config_.layer_sizes.size()); ++l) {
+    max_width = std::max(max_width,
+                         static_cast<size_t>(config_.layer_sizes[l]));
+  }
   // Seed every row with d(out)/d(out) = 1 and back-propagate all points at
-  // once; delta * W replicates the per-point ApplyTranspose exactly.
-  Matrix delta(x.rows(), 1, 1.0);
+  // once; gemm_nn's axpy accumulation replicates the per-point
+  // ApplyTranspose exactly (same order, same zero skips). Two arena buffers
+  // ping-pong the deltas; the final product is written straight into *grad.
+  double* delta = arena.Alloc(static_cast<size_t>(rows) * max_width);
+  double* scratch = arena.Alloc(static_cast<size_t>(rows) * max_width);
+  std::fill(delta, delta + rows, 1.0);
+  int width = 1;
+  grad->Resize(rows, input_dim());
   for (int l = num_layers - 1; l >= 0; --l) {
     if (l != num_layers - 1) {
-      for (int i = 0; i < delta.rows(); ++i) {
-        double* row = delta.RowPtr(i);
-        for (int j = 0; j < delta.cols(); ++j) {
-          row[j] *= ActGrad(pre[l](i, j), post[l](i, j));
-        }
+      // Elementwise activation-gradient scaling stays plain (non-kernel)
+      // code: it must not be FMA-contracted, or the batched path would drift
+      // from the scalar ActGrad computation within one backend.
+      const double* p = post[l];
+      const size_t count = static_cast<size_t>(rows) * width;
+      if (config_.activation == Activation::kRelu) {
+        // post > 0 iff pre > 0 for relu, so ActGrad needs no pre-activation.
+        for (size_t i = 0; i < count; ++i) delta[i] *= p[i] > 0.0 ? 1.0 : 0.0;
+      } else {
+        for (size_t i = 0; i < count; ++i) delta[i] *= 1.0 - p[i] * p[i];
       }
     }
-    delta = delta.Multiply(layers_[l].w);
+    const Layer& layer = layers_[l];
+    double* out_buf = l == 0 ? grad->RowPtr(0) : scratch;
+    kernels::GemmNn(delta, rows, width, layer.w.data().data(), layer.w.cols(),
+                    out_buf);
+    width = layer.w.cols();
+    std::swap(delta, scratch);
   }
   // A non-finite entry here means the forward pass overflowed; fail loudly
   // before the solver averages NaN gradients into Adam's moments.
-  for (const double g : delta.data()) UDAO_DCHECK_FINITE(g);
-  return delta;
+  for (const double g : grad->data()) UDAO_DCHECK_FINITE(g);
 }
 
 Vector Mlp::Forward(const Vector& x) const {
@@ -264,8 +315,7 @@ double Mlp::ForwardBackwardMulti(const Matrix& x, const Matrix& y,
       for (int r = 0; r < g.dw.rows(); ++r) {
         const double d = delta[r];
         if (d == 0.0) continue;
-        double* row = g.dw.RowPtr(r);
-        for (int c = 0; c < g.dw.cols(); ++c) row[c] += d * in[c];
+        kernels::Axpy(g.dw.RowPtr(r), in.data(), d, g.dw.cols());
         g.db[r] += d;
       }
       delta = layers_[l].w.ApplyTranspose(delta);

@@ -5,6 +5,7 @@
 
 #include "common/matrix.h"
 #include "common/random.h"
+#include "nn/kernels.h"
 
 namespace udao {
 
@@ -62,18 +63,23 @@ class Mlp {
   Vector InputGradient(const Vector& x) const;
 
   /// Batched deterministic forward: rows of `x` are inputs, rows of the
-  /// result are outputs. One GEMM per layer instead of a matrix-vector
-  /// product per point -- the kernel behind ObjectiveModel::PredictBatch.
+  /// result are outputs. One fused layer kernel per layer (dispatched GEMM +
+  /// bias + ReLU, see nn/kernels.h) instead of a matrix-vector product per
+  /// point -- the kernel behind ObjectiveModel::PredictBatch. Activation and
+  /// gradient temporaries live on the thread-local KernelArena, so steady-
+  /// state batched calls perform no heap allocation.
   Matrix ForwardBatch(const Matrix& x) const;
 
   /// Batched scalar prediction for 1-output networks.
   void PredictBatch(const Matrix& x, Vector* out) const;
 
-  /// Batched input gradients: row i of the result is InputGradient of row i
-  /// of `x`. When `values` is non-null it receives the predictions from the
-  /// same forward pass, so the MOGD hot path pays for one forward per Adam
-  /// iteration instead of two.
-  Matrix InputGradientBatch(const Matrix& x, Vector* values = nullptr) const;
+  /// Batched input gradients: row i of `*grad` becomes InputGradient of row
+  /// i of `x` (grad is Resize()d in place, so a caller-held matrix is reused
+  /// across solver iterations without reallocating). When `values` is
+  /// non-null it receives the predictions from the same forward pass, so the
+  /// MOGD hot path pays for one forward per Adam iteration instead of two.
+  void InputGradientBatch(const Matrix& x, Matrix* grad,
+                          Vector* values = nullptr) const;
 
   /// MC-dropout estimate: runs `samples` stochastic forward passes and
   /// reports mean and standard deviation of the scalar output.
@@ -117,9 +123,13 @@ class Mlp {
   Vector ForwardCached(const Vector& x, std::vector<Vector>* pre,
                        std::vector<Vector>* post,
                        const std::vector<Vector>* dropout_masks) const;
-  // Batched forward caching per-layer pre/post activation matrices.
-  Matrix ForwardCachedBatch(const Matrix& x, std::vector<Matrix>* pre,
-                            std::vector<Matrix>* post) const;
+  // Batched forward over arena-owned buffers. Returns the final layer's
+  // output buffer [x.rows() x output_dim]; when `post` is non-null it
+  // receives each layer's post-activation buffer (the backward pass needs
+  // only post-activations: relu's gradient is post > 0, tanh's 1 - post^2).
+  // Buffers live until the caller's KernelArena::Scope unwinds.
+  const double* ForwardArena(const Matrix& x, kernels::KernelArena* arena,
+                             std::vector<const double*>* post) const;
 
   MlpConfig config_;
   std::vector<Layer> layers_;

@@ -39,15 +39,20 @@ StatusOr<int> ParamSpace::IndexOf(const std::string& name) const {
 
 Vector ParamSpace::Encode(const Vector& raw) const {
   UDAO_CHECK_EQ(static_cast<int>(raw.size()), NumParams());
-  Vector enc;
-  enc.reserve(encoded_dim_);
+  Vector enc(encoded_dim_);
+  EncodeTo(raw.data(), enc.data());
+  return enc;
+}
+
+void ParamSpace::EncodeTo(const double* raw, double* enc) const {
+  int pos = 0;
   for (int i = 0; i < NumParams(); ++i) {
     const ParamSpec& s = specs_[i];
     if (s.type == ParamType::kCategorical) {
       const int cat = static_cast<int>(std::lround(raw[i]));
       UDAO_CHECK(cat >= 0 && cat < s.NumCategories());
       for (int c = 0; c < s.NumCategories(); ++c) {
-        enc.push_back(c == cat ? 1.0 : 0.0);
+        enc[pos++] = c == cat ? 1.0 : 0.0;
       }
     } else {
       // Clamp into [lo, hi] before normalizing: MOGD's seeded/warm-start
@@ -55,11 +60,10 @@ Vector ParamSpace::Encode(const Vector& raw) const {
       // only guards the descent path), so an out-of-range raw must not
       // produce an encoding outside [0, 1].
       const double span = s.hi - s.lo;
-      enc.push_back(span > 0 ? (Clamp(raw[i], s.lo, s.hi) - s.lo) / span
-                             : 0.0);
+      enc[pos++] = span > 0 ? (Clamp(raw[i], s.lo, s.hi) - s.lo) / span : 0.0;
     }
   }
-  return enc;
+  UDAO_DCHECK(pos == encoded_dim_);
 }
 
 Vector ParamSpace::Decode(const Vector& encoded) const {
@@ -114,6 +118,11 @@ Vector ParamSpace::Sample(Rng* rng) const {
 Vector ParamSpace::FromUnit(const Vector& unit) const {
   UDAO_CHECK_EQ(static_cast<int>(unit.size()), NumParams());
   Vector raw(NumParams());
+  FromUnitTo(unit.data(), raw.data());
+  return raw;
+}
+
+void ParamSpace::FromUnitTo(const double* unit, double* raw) const {
   for (int i = 0; i < NumParams(); ++i) {
     const ParamSpec& s = specs_[i];
     const double u = Clamp(unit[i], 0.0, 1.0);
@@ -133,7 +142,6 @@ Vector ParamSpace::FromUnit(const Vector& unit) const {
         break;
     }
   }
-  return raw;
 }
 
 Status ParamSpace::Validate(const Vector& raw) const {

@@ -72,6 +72,13 @@ class ParamSpace {
   /// raw configuration; used by Latin-hypercube / Halton samplers.
   Vector FromUnit(const Vector& unit) const;
 
+  /// Allocation-free forms of FromUnit and Encode for enumeration sweeps
+  /// that stream many points through fixed buffers: `unit` and `raw` hold
+  /// NumParams() values, `enc` EncodedDim() values. Semantics (including
+  /// clamping) are identical to the Vector-returning forms.
+  void FromUnitTo(const double* unit, double* raw) const;
+  void EncodeTo(const double* raw, double* enc) const;
+
   /// Validates that `raw` is in range and well-typed.
   Status Validate(const Vector& raw) const;
 

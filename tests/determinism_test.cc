@@ -8,6 +8,7 @@
 
 #include "common/deadline.h"
 #include "common/random.h"
+#include "nn/kernels.h"
 #include "spark/engine.h"
 #include "tuning/udao.h"
 #include "workload/tpcxbb.h"
@@ -87,6 +88,25 @@ TEST_F(DeterminismTest, RerunWithSameSeedsIsBitwiseIdentical) {
   const UdaoRecommendation first = OptimizeWithThreads(4);
   const UdaoRecommendation second = OptimizeWithThreads(4);
   ExpectBitwiseEqual(first, second);
+}
+
+TEST_F(DeterminismTest, ThreadInvarianceHoldsWithinEachKernelBackend) {
+  // Thread-count invariance is a per-backend property: within one kernel
+  // dispatch mode every dense primitive is deterministic, so 2-thread and
+  // 8-thread solves must stay bitwise identical whether the scalar or the
+  // AVX2 kernels are active. (Cross-backend results may differ in the last
+  // bits; kernel_parity_test pins that tolerance.)
+  std::vector<kernels::Backend> backends{kernels::Backend::kScalar};
+  if (kernels::CpuSupportsAvx2()) {
+    backends.push_back(kernels::Backend::kAvx2);
+  }
+  for (const kernels::Backend backend : backends) {
+    kernels::ScopedBackendForTesting scoped(backend);
+    const UdaoRecommendation two = OptimizeWithThreads(2);
+    const UdaoRecommendation eight = OptimizeWithThreads(8);
+    ASSERT_GE(two.frontier.frontier.size(), 3u);
+    ExpectBitwiseEqual(two, eight);
+  }
 }
 
 TEST_F(DeterminismTest, GenerousDeadlineDoesNotPerturbResults) {

@@ -1,0 +1,6 @@
+// Seeded raw-intrinsic violation (line 6): inline AVX intrinsic call
+// outside the kernel layer.
+
+double FirstLane(const double* a);
+
+double FirstLaneImpl(const double* a) { return _mm_cvtsd_f64(_mm_load_pd(a)); }

@@ -61,6 +61,7 @@ TEST(UdaoLintTest, BadFixturesReportExactFindings) {
       "assert_use.cc:6:assert",
       "direct_print.cc:6:direct-print",
       "include_guard.h:3:include-guard",
+      "raw_intrinsic.cc:6:raw-intrinsic",
       "raw_random.cc:6:raw-random",
       "raw_sync.cc:6:raw-sync",
       "raw_thread.cc:6:raw-thread",

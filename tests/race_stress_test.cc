@@ -16,9 +16,12 @@
 
 #include "common/deadline.h"
 #include "common/metrics_registry.h"
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "json_lite.h"
 #include "model/model_server.h"
+#include "nn/kernels.h"
+#include "nn/mlp.h"
 #include "moo/mogd.h"
 #include "serving/udao_service.h"
 #include "spark/metrics.h"
@@ -593,6 +596,77 @@ TEST(RaceStressTest, TraceSpansOnRacingThreads) {
             200);
   MetricsRegistry::Global().Reset();
 #endif
+}
+
+// ---------------------------------------------------------- kernel dispatch
+
+TEST(RaceStressTest, ConcurrentPredictBatchWhileBackendFlips) {
+  // The kernel table is one atomic pointer shared by every dense op in the
+  // process. Attack it from both sides: reader threads hammer PredictBatch /
+  // InputGradientBatch (each call acquires the table once per primitive and
+  // bumps its thread-local arena) while a flipper thread swaps the backend.
+  // Every observed result must match one of the two backends' single-thread
+  // answers -- a torn table, a half-switched call, or cross-thread arena
+  // sharing would produce values matching neither.
+  MlpConfig config;
+  config.layer_sizes = {6, 128, 128, 1};
+  Rng rng(21);
+  const Mlp mlp(config, &rng);
+  Matrix x(16, 6);
+  for (double& v : x.data()) v = rng.Uniform();
+
+  std::vector<Vector> expected;
+  {
+    kernels::ScopedBackendForTesting scoped(kernels::Backend::kScalar);
+    Vector out;
+    mlp.PredictBatch(x, &out);
+    expected.push_back(std::move(out));
+  }
+  if (kernels::CpuSupportsAvx2()) {
+    kernels::ScopedBackendForTesting scoped(kernels::Backend::kAvx2);
+    Vector out;
+    mlp.PredictBatch(x, &out);
+    expected.push_back(std::move(out));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> attackers;
+  for (int t = 0; t < 4; ++t) {
+    attackers.emplace_back([&] {
+      Vector out;
+      Matrix grads;
+      for (int i = 0; i < 300; ++i) {
+        mlp.PredictBatch(x, &out);
+        bool matched = false;
+        for (const Vector& want : expected) {
+          if (out == want) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) mismatches.fetch_add(1, std::memory_order_relaxed);
+        mlp.InputGradientBatch(x, &grads);
+      }
+    });
+  }
+  std::thread flipper([&] {
+    int flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool avx = kernels::CpuSupportsAvx2() && (flips % 2 == 0);
+      kernels::SetBackendForTesting(avx ? kernels::Backend::kAvx2
+                                        : kernels::Backend::kScalar);
+      ++flips;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : attackers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  kernels::SetBackendForTesting(kernels::CpuSupportsAvx2()
+                                    ? kernels::Backend::kAvx2
+                                    : kernels::Backend::kScalar);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

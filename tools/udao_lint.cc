@@ -33,6 +33,11 @@
 //      the declaration line acknowledging a pure-serialization mutex. An
 //      unguarded mutex is usually an annotation hole the analysis silently
 //      ignores.
+//   9. No raw SIMD intrinsics (_mm*/__m128/__m256/__m512, <immintrin.h>) or
+//      `#pragma omp simd` outside src/nn/kernels.* -- vector code lives
+//      behind the runtime-dispatched kernel table so every consumer honors
+//      UDAO_KERNEL and the scalar/vector parity contracts, and so a machine
+//      without AVX2 runs correct fallbacks everywhere.
 //
 // Usage: udao_lint <src-dir>
 // Exits nonzero and prints one "file:line: rule: detail" per finding.
@@ -79,6 +84,11 @@ bool IsServingFile(const std::string& rel) {
 
 // The annotated wrapper layer itself is built on the std primitives.
 bool IsSyncFile(const std::string& rel) { return rel == "common/sync.h"; }
+
+// The quarantine zone for vector code: the dispatched kernel layer.
+bool IsKernelFile(const std::string& rel) {
+  return rel == "nn/kernels.h" || rel == "nn/kernels.cc";
+}
 
 // True if the '"' at `i` opens a raw string literal: it follows an R, uR,
 // UR, LR, or u8R prefix that is itself not the tail of a longer identifier
@@ -235,6 +245,13 @@ const std::vector<TokenRule>& Rules() {
        "(src/common/sync.h); raw std primitives are invisible to clang "
        "thread-safety analysis, so locks taken through them go unchecked",
        &IsSyncFile},
+      {"raw-intrinsic",
+       std::regex(
+           R"(\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[di]?\b|\bimmintrin\.h\b|#\s*pragma\s+omp\s+simd\b)"),
+       "SIMD code belongs in src/nn/kernels.* behind the dispatched kernel "
+       "table; inline intrinsics elsewhere bypass UDAO_KERNEL dispatch and "
+       "the scalar/vector parity contracts the CI matrix enforces",
+       &IsKernelFile},
   };
   return *rules;
 }
