@@ -140,6 +140,40 @@ void MlpModel::PredictBatch(const Matrix& x, Vector* out) const {
   for (double& v : *out) v = FromTarget(v * y_std_ + y_mean_);
 }
 
+void MlpModel::PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                           Vector* stddev) const {
+  if (config_.dropout <= 0.0 || config_.mc_samples < 2) {
+    PredictBatch(x, mean);
+    stddev->assign(x.rows(), 0.0);
+    return;
+  }
+  std::vector<Rng> rngs;
+  rngs.reserve(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    rngs.emplace_back(SeedFromPoint(x.Row(r)));
+  }
+  UDAO_METRIC_COUNTER_ADD("udao.model.mlp.batch_evals", x.rows());
+  UDAO_METRIC_OBSERVE("udao.model.mlp.batch_size",
+                      static_cast<double>(x.rows()));
+  Vector zm;
+  Vector zs;
+  mlp_->PredictWithUncertaintyBatch(x, config_.mc_samples, &rngs, &zm, &zs);
+  mean->resize(x.rows());
+  stddev->resize(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    const double t_mean = zm[r] * y_std_ + y_mean_;
+    const double t_std = zs[r] * y_std_;
+    if (config_.log_transform_targets) {
+      // Delta method around the log-space mean.
+      (*mean)[r] = std::exp(t_mean);
+      (*stddev)[r] = (*mean)[r] * t_std;
+    } else {
+      (*mean)[r] = t_mean;
+      (*stddev)[r] = t_std;
+    }
+  }
+}
+
 void MlpModel::GradientBatch(const Matrix& x, Matrix* grads,
                              Vector* values) const {
   UDAO_METRIC_COUNTER_ADD("udao.model.mlp.batch_evals", x.rows());

@@ -52,9 +52,13 @@ class MlpModel : public ObjectiveModel {
                               double* stddev) const override;
   Vector InputGradient(const Vector& x) const override;
   // Batched inference rides the GEMM forward/backward in nn/mlp.cc; MOGD's
-  // lockstep multistart loop enters here. MC-dropout uncertainty stays a
-  // per-point loop (the seed is derived from each query point).
+  // lockstep multistart loop enters here. Batched MC-dropout keeps the
+  // per-point seed contract (row r is seeded from row r's coordinates) while
+  // running each stochastic pass as one fused kernel over all rows, so it is
+  // bitwise-interchangeable with the scalar PredictWithUncertainty per row.
   void PredictBatch(const Matrix& x, Vector* out) const override;
+  void PredictWithUncertaintyBatch(const Matrix& x, Vector* mean,
+                                   Vector* stddev) const override;
   void GradientBatch(const Matrix& x, Matrix* grads,
                      Vector* values = nullptr) const override;
   int input_dim() const override { return mlp_->input_dim(); }

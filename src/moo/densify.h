@@ -1,0 +1,74 @@
+#ifndef UDAO_MOO_DENSIFY_H_
+#define UDAO_MOO_DENSIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/deadline.h"
+#include "moo/pareto.h"
+#include "moo/problem.h"
+
+namespace udao {
+
+/// Tuning for sampling-based frontier densification (the SPREAD-style
+/// refinement stage): how many perturbed candidates to draw around each
+/// incumbent, how far, and the near-duplicate tolerance of the merge.
+struct DensifyConfig {
+  /// Candidates sampled around each incumbent frontier point. <= 0 disables
+  /// densification (DensifyFrontier returns its input).
+  int samples_per_point = 16;
+  /// Gaussian perturbation stddev per encoded dimension. Samples are clamped
+  /// back into the [0,1]^D encoded box.
+  double radius = 0.05;
+  /// Cap on total candidates per call. When incumbents * samples_per_point
+  /// exceeds it, the per-incumbent budget shrinks (deterministically) so
+  /// every incumbent still gets an equal share.
+  int max_candidates = 4096;
+  /// Relative near-duplicate tolerance of the merge, matching
+  /// ProgressiveFrontier::AddPoint's dedup: a candidate within this relative
+  /// distance of a resident point (in every objective) is dropped.
+  double dedup_tolerance = 1e-6;
+  /// Base RNG seed. Incumbent i draws from seed + 1000*i -- the same
+  /// slot-seed convention as MogdSolver::SolveBatch -- so the candidate
+  /// stream is a pure function of (config, incumbent index), independent of
+  /// threading or call history.
+  uint64_t seed = 17;
+};
+
+/// Counters for one DensifyFrontier call.
+struct DensifyStats {
+  int candidates = 0;  ///< Perturbed points generated and evaluated.
+  int added = 0;       ///< Candidates merged into the returned frontier.
+  int evicted = 0;     ///< Input points replaced by a dominating candidate.
+  bool stopped = false;  ///< Stop fired mid-call; input returned unchanged.
+};
+
+/// Thickens a sparse Pareto frontier by *sampling* instead of re-solving:
+/// perturbs each incumbent's encoded configuration (deterministic Gaussian
+/// jitter, seed contract above), batch-evaluates all candidates through the
+/// model's PredictBatch surface (one GEMM per objective on the kernel path,
+/// temporaries bump-allocated in a KernelArena scope), then merges the
+/// candidates that are user-constraint-feasible (Problem III.1 value bounds,
+/// minimization orientation) and not dominated or near-duplicated by the
+/// resident set. Residents dominated by an accepted candidate are evicted,
+/// so the returned set is mutually non-dominated and weakly dominates the
+/// input frontier point-for-point.
+///
+/// Anytime contract: `stop` is checked between sampling and each objective's
+/// batch evaluation. If it fires, the *input* frontier is returned unchanged
+/// (densification is transactional -- never a partial merge), with
+/// stats->stopped set; callers keep whatever degradation state the input
+/// already had.
+///
+/// Determinism: the result is a pure function of (problem, frontier, config)
+/// -- bitwise-identical across runs and thread counts within one kernel
+/// backend, and within the kernel parity envelope (1e-12) across backends.
+std::vector<MooPoint> DensifyFrontier(const MooProblem& problem,
+                                      const std::vector<MooPoint>& frontier,
+                                      const DensifyConfig& config,
+                                      const StopToken& stop = StopToken(),
+                                      DensifyStats* stats = nullptr);
+
+}  // namespace udao
+
+#endif  // UDAO_MOO_DENSIFY_H_

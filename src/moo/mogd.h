@@ -96,6 +96,15 @@ class CoBatchSolver {
   virtual std::vector<std::optional<CoResult>> SolveBatch(
       const MooProblem& problem, const std::vector<CoProblem>& problems,
       SolvePerf* perf, const StopToken& stop) = 0;
+
+  /// Unconstrained single-objective minimization with
+  /// MogdSolver::Minimize's exact contract (same seed, same bits). PF's
+  /// Initialize routes its per-objective reference-point solves through this
+  /// so implementations can dedupe them across concurrent requests -- the
+  /// solves are unconstrained, so their bits are independent of any
+  /// per-tenant value bounds and safe to share between tenants.
+  virtual CoResult Minimize(const MooProblem& problem, int target,
+                            SolvePerf* perf, const StopToken& stop) = 0;
 };
 
 /// Multi-Objective Gradient Descent solver. Uses the carefully-crafted loss

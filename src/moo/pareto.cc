@@ -171,6 +171,23 @@ double DominatedHypervolume(const std::vector<Vector>& points,
   }
 }
 
+double BoxHypervolume(const std::vector<MooPoint>& frontier,
+                      const Vector& utopia, const Vector& nadir) {
+  if (frontier.empty() || HyperrectVolume(utopia, nadir) <= 0.0) return 0.0;
+  const size_t k = utopia.size();
+  std::vector<Vector> clamped;
+  clamped.reserve(frontier.size());
+  for (const MooPoint& p : frontier) {
+    UDAO_CHECK_EQ(p.objectives.size(), k);
+    Vector c(k);
+    for (size_t d = 0; d < k; ++d) {
+      c[d] = std::min(nadir[d], std::max(utopia[d], p.objectives[d]));
+    }
+    clamped.push_back(std::move(c));
+  }
+  return DominatedHypervolume(clamped, nadir);
+}
+
 double UncertainSpacePercent(const std::vector<MooPoint>& frontier,
                              const Vector& utopia, const Vector& nadir) {
   const double total = HyperrectVolume(utopia, nadir);

@@ -41,6 +41,14 @@ double HyperrectVolume(const Vector& lo, const Vector& hi);
 double DominatedHypervolume(const std::vector<Vector>& points,
                             const Vector& ref);
 
+/// Hypervolume the frontier dominates within the [utopia, nadir] box, with
+/// the nadir as reference point (points are clamped into the box first, as
+/// in UncertainSpacePercent). The frontier-quality measure the densification
+/// gates compare: adding any non-dominated, non-duplicate point inside the
+/// box strictly increases it. 0 for an empty frontier or a degenerate box.
+double BoxHypervolume(const std::vector<MooPoint>& frontier,
+                      const Vector& utopia, const Vector& nadir);
+
 /// The paper's uncertain-space measure as a percentage of the Utopia-Nadir
 /// box: the volume not yet proven to be dominated by the frontier nor
 /// impossible (i.e. dominating the frontier). 100 for an empty frontier, and

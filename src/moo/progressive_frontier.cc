@@ -47,6 +47,12 @@ std::optional<CoResult> ProgressiveFrontier::Solve(const CoProblem& co,
 
 CoResult ProgressiveFrontier::SolveMin(int target, const StopToken& stop) {
   if (config_.use_exhaustive) return exhaustive_.Minimize(*problem_, target);
+  if (config_.co_solver != nullptr) {
+    // Reference-point solves share bits across requests: Minimize is
+    // unconstrained (user value bounds never enter it), so the coalescer's
+    // singleflight can serve every hot-tenant request from one descent.
+    return config_.co_solver->Minimize(*problem_, target, &result_.perf, stop);
+  }
   return mogd_.Minimize(*problem_, target, &result_.perf, stop);
 }
 

@@ -39,8 +39,9 @@ struct PfConfig {
   /// share fused GEMM streams. The CoBatchSolver contract (mogd.h) pins
   /// per-problem seeds, so routing never changes solutions -- like the MOGD
   /// pool pointer, it is deliberately excluded from the options fingerprint.
-  /// Reference-point minimizations (SolveMin) stay on the private solver:
-  /// they are unconstrained Minimize calls, not CO problems.
+  /// Reference-point minimizations (SolveMin) route through it too: they are
+  /// unconstrained, so the coalescer's Minimize singleflight can serve every
+  /// hot-tenant request's Initialize from one shared descent.
   CoBatchSolver* co_solver = nullptr;
 };
 

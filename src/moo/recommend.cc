@@ -37,6 +37,29 @@ double SlopeBetween(const Vector& a, const Vector& b) {
   return std::abs((b[1] - a[1]) / dx);
 }
 
+// Strict lexicographic order on objective vectors: the deterministic,
+// frontier-order-independent tie-break shared by the recommendation
+// policies. Two distinct frontier points never share an objective vector
+// (ParetoFilter / PF's AddPoint dedup), so ties in a policy score resolve
+// totally regardless of iteration order.
+bool LexLess(const Vector& a, const Vector& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Knee ratio num/den over slopes in [0, +inf], totally ordered so that
+// axis-aligned frontier segments compare instead of being skipped: an
+// infinite numerator or zero denominator is maximally knee-like (+inf), a
+// zero numerator or infinite denominator minimally (0), and the doubly
+// degenerate combinations carry no signal and rank neutral (1).
+double SlopeRatio(double num, double den) {
+  const bool num_inf = std::isinf(num);
+  const bool den_inf = std::isinf(den);
+  if ((num_inf && den_inf) || (num == 0.0 && den == 0.0)) return 1.0;
+  if (num_inf || den == 0.0) return std::numeric_limits<double>::infinity();
+  if (den_inf || num == 0.0) return 0.0;
+  return num / den;
+}
+
 }  // namespace
 
 std::optional<MooPoint> UtopiaNearest(const std::vector<MooPoint>& frontier,
@@ -61,7 +84,11 @@ std::optional<MooPoint> WeightedUtopiaNearest(
       const double term = weights[j] * n[j];
       dist += term * term;
     }
-    if (dist < best_dist) {
+    // Total, order-independent selection: distance first, lexicographic
+    // objectives on exact ties -- so permuting (or densifying) the frontier
+    // can never flip the recommendation between equal-distance points.
+    if (best == nullptr || dist < best_dist ||
+        (dist == best_dist && LexLess(p.objectives, best->objectives))) {
       best_dist = dist;
       best = &p;
     }
@@ -104,7 +131,11 @@ std::optional<MooPoint> SlopeMaximization(
   for (const MooPoint& p : frontier) {
     if (&p == ref) continue;
     const double s = SlopeBetween(ref->objectives, p.objectives);
-    if (std::isfinite(s) && s > best_slope) {
+    // Infinite slope (a vertical segment off the anchor) is the steepest
+    // possible and must win; ties -- including inf vs inf -- break by
+    // lexicographic objectives so the pick is frontier-order-independent.
+    if (best == nullptr || s > best_slope ||
+        (s == best_slope && LexLess(p.objectives, best->objectives))) {
       best_slope = s;
       best = &p;
     }
@@ -125,12 +156,13 @@ std::optional<MooPoint> KneePoint(const std::vector<MooPoint>& frontier,
     if (&p == left || &p == right) continue;
     const double s_left = SlopeBetween(left->objectives, p.objectives);
     const double s_right = SlopeBetween(right->objectives, p.objectives);
-    if (!std::isfinite(s_left) || !std::isfinite(s_right) || s_right <= 0) {
-      continue;
-    }
-    const double ratio =
-        (side == SlopeSide::kLeft) ? s_left / s_right : s_right / s_left;
-    if (ratio > best_ratio) {
+    // SlopeRatio totalizes the degenerate cases, so points on axis-aligned
+    // segments compete instead of being silently excluded.
+    const double ratio = (side == SlopeSide::kLeft)
+                             ? SlopeRatio(s_left, s_right)
+                             : SlopeRatio(s_right, s_left);
+    if (best == nullptr || ratio > best_ratio ||
+        (ratio == best_ratio && LexLess(p.objectives, best->objectives))) {
       best_ratio = ratio;
       best = &p;
     }

@@ -160,6 +160,92 @@ std::vector<std::optional<CoResult>> SolveCoalescer::SolveBatch(
   return std::move(sub.results);
 }
 
+CoResult SolveCoalescer::Minimize(const MooProblem& problem, int target,
+                                  SolvePerf* perf, const StopToken& stop) {
+  // Deadline carriers keep exactly-solo anytime truncation (the same opt-out
+  // SolveBatch's dedup applies); pure cancellation still dedups, honored
+  // between probes at the frontier layer.
+  if (stop.deadline().has_deadline()) {
+    return solver_.Minimize(problem, target, perf, stop);
+  }
+  // Key = problem identity + structural space + target. User value bounds
+  // are deliberately absent: Minimize never reads them, so requests that
+  // differ only in per-tenant SLOs share one descent. The "min|" tag keeps
+  // the namespace disjoint from CO dedup keys in the shared memo.
+  std::string key("min|");
+  key += FuseKey(problem);
+  AppendSpaceStructure(&key, problem.space());
+  AppendPod(&key, target);
+
+  std::shared_ptr<MinFlight> flight;
+  bool representative = false;
+  bool inline_solve = false;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      ++stats_.inline_fallbacks;
+      inline_solve = true;
+    } else {
+      ++stats_.min_solves;
+      if (config_.memo_capacity > 0) {
+        auto mit = memo_.find(key);
+        if (mit != memo_.end()) {
+          memo_lru_.splice(memo_lru_.end(), memo_lru_, mit->second.lru);
+          ++stats_.min_memo_hits;
+          UDAO_CHECK(mit->second.result.has_value());
+          return *mit->second.result;
+        }
+      }
+      auto iit = min_inflight_.find(key);
+      if (iit != min_inflight_.end()) {
+        flight = iit->second;
+        ++stats_.min_dedup_hits;
+      } else {
+        flight = std::make_shared<MinFlight>();
+        min_inflight_.emplace(key, flight);
+        representative = true;
+      }
+    }
+  }
+  if (inline_solve) {
+    return solver_.Minimize(problem, target, perf, stop);
+  }
+  if (!representative) {
+    // Join the in-flight twin. Like CO singleflight waiters, joiners get no
+    // perf contribution -- the representative's caller owns the counters of
+    // the one descent that actually ran.
+    UDAO_METRIC_COUNTER_ADD("udao.coalescer.min_dedup_hits", 1);
+    MutexLock lock(mu_);
+    while (!flight->done) {
+      done_cv_.WaitFor(mu_, std::chrono::milliseconds(10));
+    }
+    return flight->result;
+  }
+  // Descend under a never-stopping token: a twin may attach at any point
+  // before delivery and must not receive bits truncated by this caller's
+  // cancellation. Minimize is cheap and bounded (max_iters), so the overrun
+  // a cancelled representative pays is one solve, not a frontier.
+  static const StopToken kNeverStop;
+  SolvePerf local;
+  CoResult result = solver_.Minimize(problem, target, &local, kNeverStop);
+  {
+    MutexLock lock(mu_);
+    min_inflight_.erase(key);
+    flight->result = result;
+    flight->done = true;
+    std::vector<std::shared_ptr<const ObjectiveModel>> pins;
+    pins.reserve(problem.NumObjectives());
+    for (int j = 0; j < problem.NumObjectives(); ++j) {
+      pins.push_back(problem.objective(j).model);
+    }
+    // Never-stopped bits equal an unstopped solo run -- safe to memoize.
+    MemoInsertLocked(std::move(key), result, std::move(pins));
+    done_cv_.NotifyAll();
+  }
+  if (perf != nullptr) perf->Merge(local);
+  return result;
+}
+
 void SolveCoalescer::FlusherLoop() {
   while (true) {
     std::vector<Submission*> batch;

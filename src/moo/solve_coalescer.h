@@ -107,6 +107,20 @@ class SolveCoalescer : public CoBatchSolver {
       const MooProblem& problem, const std::vector<CoProblem>& problems,
       SolvePerf* perf, const StopToken& stop) override;
 
+  /// Minimize-keyed singleflight (dedup only, no fusion): unconstrained
+  /// reference-point solves keyed by (problem identity + structural space +
+  /// target) -- user value bounds are deliberately absent from the key
+  /// because Minimize never sees them, so tenants with different SLOs share
+  /// one descent. A call that finds its key in flight blocks on the
+  /// representative's result; completed solves land in the same bounded LRU
+  /// memo as CO subproblems. Deadline-armed callers bypass both and solve
+  /// solo inline (exact anytime semantics); the representative descends
+  /// under a never-stopping token so a twin attaching mid-descent cannot
+  /// receive truncated bits. Bits always equal a solo
+  /// MogdSolver::Minimize with the shared config.
+  CoResult Minimize(const MooProblem& problem, int target, SolvePerf* perf,
+                    const StopToken& stop) override;
+
   /// Monotonic counters, for stats endpoints and the fusion tests.
   struct Stats {
     long long submissions = 0;      ///< SolveBatch calls that enqueued.
@@ -121,6 +135,11 @@ class SolveCoalescer : public CoBatchSolver {
                                     ///< identical in-flight representative
                                     ///< (singleflight, same or later window).
     long long memo_hits = 0;        ///< Problems served from the memo.
+    long long min_solves = 0;       ///< Minimize calls admitted to the
+                                    ///< singleflight path (all outcomes).
+    long long min_dedup_hits = 0;   ///< Minimize calls served by joining an
+                                    ///< in-flight identical solve.
+    long long min_memo_hits = 0;    ///< Minimize calls served from the memo.
   };
   Stats stats() const;
 
@@ -145,6 +164,16 @@ class SolveCoalescer : public CoBatchSolver {
   /// waiter and retires the registry entry. Guarded by mu_.
   struct SharedSlot {
     std::vector<std::pair<Submission*, int>> waiters;
+  };
+
+  /// Singleflight state for one in-flight Minimize solve. Waiters block on
+  /// done_cv_ until the representative publishes `result`; the shared_ptr
+  /// keeps the state alive for waiters that wake after the registry entry
+  /// was retired. Fields are guarded by mu_ (stated here; guarded_by cannot
+  /// name another object's mutex).
+  struct MinFlight {
+    bool done = false;
+    CoResult result;
   };
 
   /// Body of the long-lived flusher task (runs on flusher_).
@@ -185,6 +214,10 @@ class SolveCoalescer : public CoBatchSolver {
   /// later one -- joins the pending solve instead of launching a redundant
   /// descent.
   std::unordered_map<std::string, std::shared_ptr<SharedSlot>> inflight_
+      UDAO_GUARDED_BY(mu_);
+  /// Minimize singleflight registry: key -> in-flight solve. Same lifetime
+  /// discipline as inflight_ (insert at admission, erase at delivery).
+  std::unordered_map<std::string, std::shared_ptr<MinFlight>> min_inflight_
       UDAO_GUARDED_BY(mu_);
 
   /// One worker dedicated to the window clock. Owned last-constructed /

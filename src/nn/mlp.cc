@@ -256,6 +256,87 @@ void Mlp::PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
   UDAO_DCHECK_FINITE(*stddev);
 }
 
+void Mlp::PredictWithUncertaintyBatch(const Matrix& x, int samples,
+                                      std::vector<Rng>* rngs, Vector* mean,
+                                      Vector* stddev) const {
+  UDAO_CHECK_EQ(output_dim(), 1);
+  UDAO_CHECK_GT(samples, 0);
+  UDAO_CHECK_EQ(rngs->size(), static_cast<size_t>(x.rows()));
+  const int rows = x.rows();
+  const int num_layers = static_cast<int>(layers_.size());
+  const int num_hidden = num_layers - 1;
+  const double keep = 1.0 - config_.dropout;
+  Vector sum(rows, 0.0);
+  Vector sum_sq(rows, 0.0);
+  kernels::KernelArena& arena = kernels::KernelArena::ThreadLocal();
+  kernels::KernelArena::Scope outer(&arena);
+  // Per-layer mask buffers ([rows x fan_out] each), refilled every sample.
+  std::vector<double*> masks(num_hidden);
+  for (int l = 0; l < num_hidden; ++l) {
+    masks[l] = arena.Alloc(static_cast<size_t>(rows) * layers_[l].b.size());
+  }
+  const kernels::KernelTable* t = kernels::ActiveTable();
+  for (int s = 0; s < samples; ++s) {
+    // Row r's generator emits this sample's masks layer by layer, unit by
+    // unit -- the exact stream PredictWithUncertainty consumes, which is
+    // what keeps the two entry points bitwise-interchangeable.
+    for (int r = 0; r < rows; ++r) {
+      Rng& rng = (*rngs)[r];
+      for (int l = 0; l < num_hidden; ++l) {
+        const size_t width = layers_[l].b.size();
+        double* m = masks[l] + static_cast<size_t>(r) * width;
+        for (size_t i = 0; i < width; ++i) {
+          // Inverted dropout keeps the expected activation unchanged.
+          m[i] = rng.Bernoulli(keep) ? 1.0 / keep : 0.0;
+        }
+      }
+    }
+    kernels::KernelArena::Scope pass(&arena);
+    const double* cur = x.data().data();
+    for (int l = 0; l < num_layers; ++l) {
+      const Layer& layer = layers_[l];
+      const int fan_out = layer.w.rows();
+      double* out = arena.Alloc(static_cast<size_t>(rows) * fan_out);
+      const bool is_output = (l == num_layers - 1);
+      const bool fuse_relu =
+          !is_output && config_.activation == Activation::kRelu;
+      t->layer_forward(cur, rows, layer.w.cols(), layer.w.data().data(),
+                       layer.b.data(), fan_out,
+                       fuse_relu ? kernels::Fused::kBiasRelu
+                                 : kernels::Fused::kBias,
+                       out);
+      if (!is_output) {
+        const size_t count = static_cast<size_t>(rows) * fan_out;
+        if (config_.activation == Activation::kTanh) {
+          for (size_t i = 0; i < count; ++i) out[i] = std::tanh(out[i]);
+        }
+        // Mask after activation, as ForwardCached does.
+        const double* m = masks[l];
+        for (size_t i = 0; i < count; ++i) out[i] *= m[i];
+      }
+      cur = out;
+    }
+    for (int r = 0; r < rows; ++r) {
+      const double y = cur[r];
+      sum[r] += y;
+      sum_sq[r] += y * y;
+    }
+  }
+  mean->resize(rows);
+  stddev->resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    (*mean)[r] = sum[r] / samples;
+    const double var =
+        samples > 1
+            ? std::max(0.0, (sum_sq[r] - sum[r] * sum[r] / samples) /
+                                (samples - 1))
+            : 0.0;
+    (*stddev)[r] = std::sqrt(var);
+    UDAO_DCHECK_FINITE((*mean)[r]);
+    UDAO_DCHECK_FINITE((*stddev)[r]);
+  }
+}
+
 std::vector<Mlp::LayerGrad> Mlp::ZeroGrads() const {
   std::vector<LayerGrad> grads;
   grads.reserve(layers_.size());

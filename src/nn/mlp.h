@@ -86,6 +86,18 @@ class Mlp {
   void PredictWithUncertainty(const Vector& x, int samples, Rng* rng,
                               double* mean, double* stddev) const;
 
+  /// Batched MC-dropout: row r of mean/stddev reproduces
+  /// PredictWithUncertainty(x.Row(r), samples, &(*rngs)[r], ...) bitwise
+  /// within a kernel backend. Each row's masks are drawn from its own Rng in
+  /// the scalar path's (sample, layer, unit) order, and each stochastic pass
+  /// runs as one fused layer kernel per layer over all rows -- so ranking a
+  /// frontier under uncertainty costs `samples` batched forwards instead of
+  /// rows x samples scalar ones. `rngs` must hold one generator per row and
+  /// is advanced exactly as the scalar calls would advance it.
+  void PredictWithUncertaintyBatch(const Matrix& x, int samples,
+                                   std::vector<Rng>* rngs, Vector* mean,
+                                   Vector* stddev) const;
+
   /// Mini-batch forward+backward: accumulates into `grads` (pre-sized via
   /// ZeroGrads) the gradient of the mean-squared-error over the batch (plus L2
   /// on the weights), and returns that loss. Rows of `x` are inputs, `y` holds

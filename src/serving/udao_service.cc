@@ -8,6 +8,7 @@
 #include "common/byte_key.h"
 #include "common/check.h"
 #include "common/metrics_registry.h"
+#include "moo/densify.h"
 #include "moo/progressive_frontier.h"
 
 namespace udao {
@@ -170,7 +171,7 @@ bool UdaoService::Lookup(CacheShard& shard, const std::string& key,
                          uint64_t generation,
                          std::shared_ptr<const MooProblem>* problem,
                          std::shared_ptr<const PfResult>* frontier,
-                         bool emit) {
+                         std::shared_ptr<RecommendMemo>* memo, bool emit) {
   // Warm path: probe the shard's last published snapshot, no lock. The
   // snapshot mirrors the live map after every mutation, so the only race is
   // with a concurrent Insert -- which degrades to a spurious miss, and
@@ -200,6 +201,7 @@ bool UdaoService::Lookup(CacheShard& shard, const std::string& key,
                          std::memory_order_relaxed);
   *problem = it->second.problem;
   *frontier = it->second.frontier;
+  *memo = it->second.memo;
   return true;
 }
 
@@ -222,7 +224,8 @@ bool UdaoService::LookupAnyGeneration(
 void UdaoService::Insert(CacheShard& shard, const std::string& key,
                          uint64_t generation,
                          std::shared_ptr<const MooProblem> problem,
-                         std::shared_ptr<const PfResult> frontier) {
+                         std::shared_ptr<const PfResult> frontier,
+                         std::shared_ptr<RecommendMemo> memo) {
   if (per_shard_capacity_ <= 0) return;
   // Never cache a degraded frontier: it is whatever the budget allowed, not
   // the deterministic function of the key that makes concurrent misses and
@@ -239,6 +242,11 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
     if (generation > it->second.generation) {
       it->second.problem = std::move(problem);
       it->second.frontier = std::move(frontier);
+      // The memo describes the frontier it was computed from; it travels
+      // with it. (Equal-generation overwrites keep the incumbent entry AND
+      // its memo: deterministic recomputation makes them interchangeable,
+      // and the incumbent's memo may already be warm.)
+      it->second.memo = std::move(memo);
       it->second.generation = generation;
       RepublishLocked(shard);
     }
@@ -249,6 +257,7 @@ void UdaoService::Insert(CacheShard& shard, const std::string& key,
   CacheEntry entry;
   entry.problem = std::move(problem);
   entry.frontier = std::move(frontier);
+  entry.memo = std::move(memo);
   entry.generation = generation;
   entry.tick = std::make_shared<std::atomic<uint64_t>>(tick);
   shard.cache.emplace(key, std::move(entry));
@@ -331,9 +340,13 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
 
   std::shared_ptr<const MooProblem> problem;
   std::shared_ptr<const PfResult> frontier;
+  // The entry's recommendation memo: non-null exactly when `frontier` is (or
+  // is about to become) a cached entry's frontier. Degraded and cache-off
+  // paths leave it null and compute their re-rank inline, as before.
+  std::shared_ptr<RecommendMemo> memo;
   const bool hit =
       config_.frontier_cache_capacity > 0 &&
-      Lookup(shard, key, generation, &problem, &frontier, emit);
+      Lookup(shard, key, generation, &problem, &frontier, &memo, emit);
   if (hit) {
     shard.cache_hits.fetch_add(1, std::memory_order_relaxed);
     if (emit) {
@@ -386,13 +399,98 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
     } else {
       // Empty (infeasible) frontiers are cached too: re-asking the same
       // constraints deterministically re-derives the same emptiness. Only
-      // complete frontiers enter the cache (see Insert).
-      Insert(shard, key, generation, problem, frontier);
+      // complete frontiers enter the cache (see Insert). The fresh memo is
+      // seeded below with this request's own conservative re-rank, so the
+      // first warm hit already skips the MC-dropout pass.
+      memo = std::make_shared<RecommendMemo>();
+      Insert(shard, key, generation, problem, frontier, memo);
+    }
+  }
+
+  // Frontier densification (between steps 2 and 3): a cache hit means this
+  // request paid no solve, so some of the saved budget can buy a thicker
+  // frontier -- deadline-aware through the request's own token. A degraded
+  // deadline-hit frontier is thickened post-hoc instead: its token already
+  // fired (that is what degraded means), and densification is bounded,
+  // solve-free sampling, so it runs under a never-stopping token. Both paths
+  // operate on a private copy; cached entries stay immutable. The densified
+  // variant and its conservative re-rank are pure functions of the entry and
+  // the (samples, radius) knobs, so cache hits memoize them in the entry's
+  // RecommendMemo keyed by those knobs -- warm repeats serve the memo
+  // instead of re-sampling and re-paying MC-dropout. A variant whose
+  // densification was stopped by the deadline is served but never memoized
+  // (it is whatever the budget allowed, not the pure-function value).
+  // Degraded frontiers have no entry and no memo. Cold complete solves are
+  // served as computed.
+  //
+  // `ranked` is the conservative (uncertainty-adjusted) companion of
+  // whatever `frontier` ends up being; Recommend skips its own re-rank when
+  // it is supplied.
+  std::shared_ptr<const std::vector<MooPoint>> ranked;
+  if (request.options.densify_samples > 0 && !frontier->frontier.empty() &&
+      (hit || frontier->degraded)) {
+    UDAO_TRACE_SPAN("service.densify");
+    const std::pair<int, double> vkey{request.options.densify_samples,
+                                      request.options.densify_radius};
+    if (memo != nullptr) {
+      MutexLock lock(memo->mu);
+      auto it = memo->variants.find(vkey);
+      if (it != memo->variants.end()) {
+        frontier = it->second.frontier;
+        ranked = it->second.ranked;
+        if (emit) UDAO_METRIC_COUNTER_ADD("udao.densify.memo_hits", 1);
+      }
+    }
+    if (ranked == nullptr) {
+      const auto d0 = std::chrono::steady_clock::now();
+      DensifyConfig dc;
+      dc.samples_per_point = request.options.densify_samples;
+      dc.radius = request.options.densify_radius;
+      dc.seed = pf_config_.mogd.seed;
+      DensifyStats dstats;
+      auto densified = std::make_shared<PfResult>(*frontier);
+      densified->frontier =
+          DensifyFrontier(*problem, frontier->frontier, dc,
+                          frontier->degraded ? StopToken() : stop, &dstats);
+      auto densified_ranked =
+          std::make_shared<const std::vector<MooPoint>>(
+              udao_.ConservativeRank(*problem, densified->frontier));
+      if (memo != nullptr && !dstats.stopped) {
+        MutexLock lock(memo->mu);
+        memo->variants[vkey] = DensifiedVariant{densified, densified_ranked};
+      }
+      frontier = std::move(densified);
+      ranked = std::move(densified_ranked);
+      if (emit) {
+        UDAO_METRIC_COUNTER_ADD("udao.densify.runs", 1);
+        if (dstats.stopped) {
+          UDAO_METRIC_COUNTER_ADD("udao.densify.stopped", 1);
+        }
+        UDAO_METRIC_OBSERVE("udao.densify.ms", NowMs(d0));
+      }
+    }
+  }
+
+  // Undensified serve: reuse (or lazily seed) the entry's memoized base
+  // re-rank; paths without an entry -- degraded solves, caching disabled --
+  // compute it inline exactly as Recommend itself would.
+  if (ranked == nullptr) {
+    if (memo != nullptr) {
+      MutexLock lock(memo->mu);
+      ranked = memo->base_ranked;
+    }
+    if (ranked == nullptr) {
+      ranked = std::make_shared<const std::vector<MooPoint>>(
+          udao_.ConservativeRank(*problem, frontier->frontier));
+      if (memo != nullptr) {
+        MutexLock lock(memo->mu);
+        memo->base_ranked = ranked;
+      }
     }
   }
 
   StatusOr<UdaoRecommendation> rec =
-      udao_.Recommend(request, *problem, *frontier);
+      udao_.Recommend(request, *problem, *frontier, ranked.get());
   if (!rec.ok()) {
     if (emit) UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
     return rec.status();

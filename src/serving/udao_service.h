@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -157,6 +159,16 @@ class RequestTicket {
 ///    locking at all. Degraded (budget-truncated) frontiers are never
 ///    cached: they are whatever the deadline allowed, not the deterministic
 ///    function of the key that cache correctness rests on.
+///  - Frontier densification: when a request opts in
+///    (RequestOptions::densify_samples > 0), cache-hit frontiers are
+///    thickened by sampling (src/moo/densify.h) before step 3 -- the solve
+///    they skipped pays for a denser menu of trade-offs -- and degraded
+///    deadline-hit frontiers are thickened post-hoc. Both on private
+///    copies; cached entries stay immutable. Because a densified variant
+///    (and its conservative re-rank) is a pure function of the entry and the
+///    densify knobs, it is memoized beside the entry (RecommendMemo) and
+///    dies with it; degraded frontiers, which are not pure functions of the
+///    key, are never cached or memoized.
 ///  - Invalidation: every cache entry is tagged with the model server's
 ///    per-workload generation (bumped on Ingest and on lazy retrain /
 ///    fine-tune). The generation is read *before* models are resolved, so an
@@ -228,9 +240,38 @@ class UdaoService {
   const UdaoServiceConfig& config() const { return config_; }
 
  private:
+  /// One memoized densified variant of a cached frontier: the thickened
+  /// frontier plus its conservative (uncertainty-ranked) companion, both
+  /// pure functions of (entry, densify knobs).
+  struct DensifiedVariant {
+    std::shared_ptr<const PfResult> frontier;
+    std::shared_ptr<const std::vector<MooPoint>> ranked;
+  };
+
+  /// Per-entry recommendation memo. The conservative re-rank (MC-dropout,
+  /// Udao::ConservativeRank) and the densified variants are deterministic
+  /// functions of the immutable entry, so warm repeats reuse them instead of
+  /// re-paying mc_samples forward passes per frontier point per request.
+  /// Shared (like `tick`) between the live map and every published snapshot;
+  /// dies with the entry, so generation invalidation covers it for free.
+  /// Concurrent fills race benignly: both compute identical values and the
+  /// second store overwrites with equal bits (the documented double-compute
+  /// semantics of the cache itself).
+  struct RecommendMemo {
+    Mutex mu;
+    /// Conservative companion of the entry's own frontier, index-aligned.
+    std::shared_ptr<const std::vector<MooPoint>> base_ranked
+        UDAO_GUARDED_BY(mu);
+    /// Densified variants keyed by (densify_samples, densify_radius).
+    std::map<std::pair<int, double>, DensifiedVariant> variants
+        UDAO_GUARDED_BY(mu);
+  };
+
   struct CacheEntry {
     std::shared_ptr<const MooProblem> problem;
     std::shared_ptr<const PfResult> frontier;
+    /// Lazily filled recommendation memo (see RecommendMemo).
+    std::shared_ptr<RecommendMemo> memo;
     /// ModelServer::Generation(workload) observed before resolving models.
     uint64_t generation = 0;
     /// Recency stamp (global lru_tick_ value of the last touch). Shared
@@ -281,21 +322,27 @@ class UdaoService {
   StatusOr<UdaoRecommendation> Handle(const UdaoRequest& request,
                                       double queue_wait_ms);
 
-  /// Lock-free cache lookup incl. staleness check; fills problem/frontier on
-  /// a hit and counts hit/miss/invalidation against `shard`. `emit` gates
-  /// registry emission (per-request metrics opt-out); shard-local atomics
-  /// always count.
+  /// Lock-free cache lookup incl. staleness check; fills problem/frontier
+  /// (and the entry's recommendation memo) on a hit and counts
+  /// hit/miss/invalidation against `shard`. `emit` gates registry emission
+  /// (per-request metrics opt-out); shard-local atomics always count.
   bool Lookup(CacheShard& shard, const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem>* problem,
-              std::shared_ptr<const PfResult>* frontier, bool emit);
+              std::shared_ptr<const PfResult>* frontier,
+              std::shared_ptr<RecommendMemo>* memo, bool emit);
   /// Generation-blind lookup for ShedPolicy::kServeStaleCache; does not
   /// count hits or misses (the request already counted its real lookup).
   bool LookupAnyGeneration(CacheShard& shard, const std::string& key,
                            std::shared_ptr<const MooProblem>* problem,
                            std::shared_ptr<const PfResult>* frontier);
+  /// `memo` is the new entry's recommendation memo (typically pre-seeded
+  /// with the base frontier's conservative re-rank by the inserting
+  /// request); on a same-key newer-generation overwrite it replaces the old
+  /// entry's memo along with the frontier it described.
   void Insert(CacheShard& shard, const std::string& key, uint64_t generation,
               std::shared_ptr<const MooProblem> problem,
-              std::shared_ptr<const PfResult> frontier);
+              std::shared_ptr<const PfResult> frontier,
+              std::shared_ptr<RecommendMemo> memo);
   /// Evicts least-recently-touched entries until `shard.cache` fits
   /// per_shard_capacity_ (tick-based LRU; linear scan, insert-overflow only).
   void EvictOverflowLocked(CacheShard& shard) UDAO_REQUIRES(shard.mu);

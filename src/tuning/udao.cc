@@ -87,9 +87,38 @@ StatusOr<std::vector<ObjectiveSpec>> Udao::ResolveObjectives(
   return objectives;
 }
 
-StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
-                                             const MooProblem& problem,
-                                             const PfResult& frontier) const {
+std::vector<MooPoint> Udao::ConservativeRank(
+    const MooProblem& problem, const std::vector<MooPoint>& points) const {
+  std::vector<MooPoint> ranked = points;
+  if (options_.uncertainty_alpha <= 0.0 || ranked.empty()) return ranked;
+  // Batched re-rank: one PredictWithUncertaintyBatch per objective instead
+  // of a scalar MC-dropout per point, so ranking a frontier -- a densified
+  // one in particular -- runs one fused forward stream per stochastic
+  // sample. Bitwise-identical to a per-point loop (the batch surface keeps
+  // the per-point seed contract).
+  const int k = problem.NumObjectives();
+  const int dim = static_cast<int>(ranked.front().conf_encoded.size());
+  Matrix x(static_cast<int>(ranked.size()), dim);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    for (int d = 0; d < dim; ++d) {
+      x(static_cast<int>(i), d) = ranked[i].conf_encoded[d];
+    }
+  }
+  Vector mean;
+  Vector stddev;
+  for (int j = 0; j < k; ++j) {
+    problem.EvaluateWithUncertaintyBatch(j, x, &mean, &stddev);
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      ranked[i].objectives[j] =
+          mean[i] + options_.uncertainty_alpha * stddev[i];
+    }
+  }
+  return ranked;
+}
+
+StatusOr<UdaoRecommendation> Udao::Recommend(
+    const UdaoRequest& request, const MooProblem& problem,
+    const PfResult& frontier, const std::vector<MooPoint>* ranked_in) const {
   Status valid = Validate(request);
   if (!valid.ok()) return valid;
   if (frontier.frontier.empty()) {
@@ -124,17 +153,10 @@ StatusOr<UdaoRecommendation> Udao::Recommend(const UdaoRequest& request,
   // point at F~ = E[F] + alpha * std[F] (minimization orientation) before
   // choosing, which demotes points whose predicted appeal sits on sparse
   // training coverage.
-  std::vector<MooPoint> ranked = frontier.frontier;
-  if (options_.uncertainty_alpha > 0.0) {
-    for (MooPoint& p : ranked) {
-      for (int j = 0; j < k; ++j) {
-        double mean = 0.0;
-        double stddev = 0.0;
-        problem.EvaluateWithUncertainty(j, p.conf_encoded, &mean, &stddev);
-        p.objectives[j] = mean + options_.uncertainty_alpha * stddev;
-      }
-    }
-  }
+  const std::vector<MooPoint> ranked =
+      ranked_in != nullptr ? *ranked_in
+                           : ConservativeRank(problem, frontier.frontier);
+  UDAO_CHECK_EQ(ranked.size(), frontier.frontier.size());
   std::optional<MooPoint> choice;
   switch (request.options.policy) {
     case RecommendPolicy::kWun:

@@ -56,6 +56,20 @@ struct RequestOptions {
   /// Reference anchor for the kKnee / kSlope policies.
   SlopeSide slope_side = SlopeSide::kLeft;
 
+  /// Sampling-based frontier densification (src/moo/densify.h) before the
+  /// recommendation step: > 0 enables it, drawing this many perturbed
+  /// candidates per frontier point. UdaoService applies it to cache-hit
+  /// frontiers on weight/policy-only repeats (deadline-aware via the
+  /// request's StopToken) and post-hoc to degraded deadline-hit frontiers.
+  /// The cached entry itself is immutable; the densified variant -- a pure
+  /// function of the entry and these knobs -- is memoized beside the entry
+  /// (and dies with it), so warm repeats reuse it instead of re-sampling.
+  /// 0 (the default) serves exactly what PF produced.
+  int densify_samples = 0;
+  /// Gaussian jitter stddev, per encoded knob dimension in [0,1], used by
+  /// densification sampling.
+  double densify_radius = 0.05;
+
   /// Time budget for the whole request, queue wait included. Default: none.
   /// On expiry the solve stops at its next amortized check and returns the
   /// best-so-far frontier tagged `degraded` (PF's anytime property) rather
@@ -216,9 +230,25 @@ class Udao {
   /// computed with). This is the serving layer's cache-hit path; it touches
   /// no solver state and is safe to call concurrently. The returned
   /// `seconds` covers only this call.
-  StatusOr<UdaoRecommendation> Recommend(const UdaoRequest& request,
-                                         const MooProblem& problem,
-                                         const PfResult& frontier) const;
+  ///
+  /// `ranked`, when non-null, supplies the conservative (uncertainty-
+  /// adjusted) companion of `frontier.frontier` -- the exact vector
+  /// ConservativeRank returns for it -- and skips the MC-dropout re-rank.
+  /// The serving layer memoizes that companion per cache entry so warm
+  /// repeats do not re-pay `mc_samples` forward passes per frontier point.
+  StatusOr<UdaoRecommendation> Recommend(
+      const UdaoRequest& request, const MooProblem& problem,
+      const PfResult& frontier,
+      const std::vector<MooPoint>* ranked = nullptr) const;
+
+  /// The conservative re-ranking Recommend applies before choosing: each
+  /// point's objectives replaced by F~ = E[F] + uncertainty_alpha * std[F]
+  /// (batched MC-dropout, one PredictWithUncertaintyBatch per objective).
+  /// With uncertainty_alpha == 0 (or an empty input) this is the identity.
+  /// Deterministic -- the per-point seed contract makes it a pure function
+  /// of (problem, points) -- which is what makes it cacheable.
+  std::vector<MooPoint> ConservativeRank(
+      const MooProblem& problem, const std::vector<MooPoint>& points) const;
 
   const UdaoOptions& options() const { return options_; }
 

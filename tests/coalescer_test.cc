@@ -14,6 +14,7 @@
 
 #include "common/fault_injector.h"
 #include "common/random.h"
+#include "moo/progressive_frontier.h"
 #include "moo/solve_coalescer.h"
 #include "serving/udao_service.h"
 #include "test_problems.h"
@@ -285,6 +286,127 @@ TEST(SolveCoalescerTest, DeadlineArmedSubmissionsBypassDedupAndMemo) {
   const SolveCoalescer::Stats stats = coalescer.stats();
   EXPECT_EQ(stats.dedup_hits, 0);
   EXPECT_EQ(stats.memo_hits, 0);
+}
+
+void ExpectBitwiseEqual(const CoResult& a, const CoResult& b) {
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.raw, b.raw);
+  EXPECT_EQ(a.objectives, b.objectives);
+  EXPECT_EQ(a.target_value, b.target_value);
+}
+
+// Two identical Minimize calls that provably overlap collapse to one
+// descent. The gate: each thread bumps `entered` before calling, and the
+// target objective's model spins until both have, so the representative
+// cannot finish before the second call is issued -- the second is then
+// served either by joining the in-flight solve (dedup) or, if it lost the
+// race to the representative's completion, by the memo. Never by a second
+// descent.
+TEST(SolveCoalescerTest, ConcurrentIdenticalMinimizesShareOneDescent) {
+  std::atomic<int> entered{0};
+  auto f1 = std::make_shared<CallableModel>(
+      "g1", 2, [&entered](const Vector& x) {
+        while (entered.load() < 2) std::this_thread::yield();
+        return x[0] + x[1];
+      });
+  auto f2 = std::make_shared<CallableModel>("g2", 2, [](const Vector& x) {
+    return (1.0 - x[0]) * (1.0 - x[0]) + x[1];
+  });
+  const MooProblem problem(&testing_problems::UnitSpace2(),
+                           {MooObjective{"g1", f1}, MooObjective{"g2", f2}});
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  SolveCoalescer coalescer(cc);
+
+  CoResult ra, rb;
+  std::thread ta([&] {
+    entered.fetch_add(1);
+    ra = coalescer.Minimize(problem, 0, nullptr, StopToken());
+  });
+  std::thread tb([&] {
+    entered.fetch_add(1);
+    rb = coalescer.Minimize(problem, 0, nullptr, StopToken());
+  });
+  ta.join();
+  tb.join();
+
+  MogdSolver solo(cc.mogd);
+  const CoResult reference = solo.Minimize(problem, 0);
+  ExpectBitwiseEqual(ra, reference);
+  ExpectBitwiseEqual(rb, reference);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.min_solves, 2);
+  EXPECT_EQ(stats.min_dedup_hits + stats.min_memo_hits, 1);
+}
+
+// A sequential repeat of the same Minimize is served from the memo:
+// no new descent, same bits as a solo MogdSolver::Minimize.
+TEST(SolveCoalescerTest, RepeatedMinimizeHitsTheMemo) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  SolveCoalescer coalescer(cc);
+
+  const CoResult first = coalescer.Minimize(problem, 1, nullptr, StopToken());
+  const CoResult second = coalescer.Minimize(problem, 1, nullptr, StopToken());
+  MogdSolver solo(cc.mogd);
+  const CoResult reference = solo.Minimize(problem, 1);
+  ExpectBitwiseEqual(first, reference);
+  ExpectBitwiseEqual(second, reference);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.min_solves, 2);
+  EXPECT_EQ(stats.min_dedup_hits, 0);
+  EXPECT_EQ(stats.min_memo_hits, 1);
+}
+
+// Deadline-armed Minimize calls stay exactly solo: no registration, no
+// memo -- the same anytime opt-out SolveBatch's dedup applies.
+TEST(SolveCoalescerTest, DeadlineArmedMinimizeBypassesDedupAndMemo) {
+  const MooProblem problem = ConvexProblem();
+  SolveCoalescerConfig cc;
+  cc.mogd = FastMogd();
+  SolveCoalescer coalescer(cc);
+  const StopToken armed(Deadline::AfterMs(3600e3));  // far future: never fires
+
+  (void)coalescer.Minimize(problem, 0, nullptr, armed);
+  (void)coalescer.Minimize(problem, 0, nullptr, armed);
+
+  const SolveCoalescer::Stats stats = coalescer.stats();
+  EXPECT_EQ(stats.min_solves, 0);
+  EXPECT_EQ(stats.min_dedup_hits, 0);
+  EXPECT_EQ(stats.min_memo_hits, 0);
+}
+
+// PF's Initialize now routes its per-objective reference-point solves
+// through the CoBatchSolver: the coalescer sees one Minimize per objective,
+// and the frontier stays bitwise-identical to the unrouted run.
+TEST(SolveCoalescerTest, PfInitializeRoutesMinimizeThroughCoalescer) {
+  const MooProblem problem = ConvexProblem();
+  PfConfig base;
+  base.mogd = FastMogd();
+  ProgressiveFrontier solo_pf(&problem, base);
+  const PfResult solo = solo_pf.Run(6);
+
+  SolveCoalescerConfig cc;
+  cc.mogd = base.mogd;
+  cc.max_batch = 64;
+  cc.max_wait_us = 0.0;
+  SolveCoalescer coalescer(cc);
+  PfConfig routed = base;
+  routed.co_solver = &coalescer;
+  ProgressiveFrontier routed_pf(&problem, routed);
+  const PfResult result = routed_pf.Run(6);
+
+  ASSERT_EQ(result.frontier.size(), solo.frontier.size());
+  for (size_t i = 0; i < result.frontier.size(); ++i) {
+    EXPECT_EQ(result.frontier[i].objectives, solo.frontier[i].objectives);
+    EXPECT_EQ(result.frontier[i].conf_encoded, solo.frontier[i].conf_encoded);
+  }
+  EXPECT_EQ(result.utopia, solo.utopia);
+  EXPECT_EQ(result.nadir, solo.nadir);
+  EXPECT_EQ(coalescer.stats().min_solves, 2);  // one per objective
 }
 
 // ------------------------------------------------------------ serving layer

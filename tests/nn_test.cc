@@ -143,6 +143,41 @@ TEST(MlpTest, DropoutUncertaintyIsNonNegativeAndMeanReasonable) {
   EXPECT_NEAR(mean, mlp.Predict(x), 5.0 * (stddev + 0.05));
 }
 
+// The batched MC-dropout surface must be bitwise-interchangeable with the
+// scalar one per row (same per-row Rng stream, same fused kernels): the
+// recommendation re-ranker switched to the batch entry point on exactly
+// this contract, for both activations.
+TEST(MlpTest, BatchedUncertaintyMatchesScalarBitwise) {
+  for (const Activation act : {Activation::kRelu, Activation::kTanh}) {
+    Rng rng(7);
+    MlpConfig cfg = SmallConfig(act);
+    cfg.dropout = 0.2;
+    Mlp mlp(cfg, &rng);
+    const int rows = 5;
+    const int samples = 16;
+    Matrix x(rows, 3);
+    Rng points(11);
+    for (int r = 0; r < rows; ++r) {
+      for (int d = 0; d < 3; ++d) x(r, d) = points.Uniform();
+    }
+    std::vector<Rng> rngs;
+    for (int r = 0; r < rows; ++r) rngs.emplace_back(100 + r);
+    Vector mean;
+    Vector stddev;
+    mlp.PredictWithUncertaintyBatch(x, samples, &rngs, &mean, &stddev);
+    ASSERT_EQ(mean.size(), static_cast<size_t>(rows));
+    ASSERT_EQ(stddev.size(), static_cast<size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      Rng mc(100 + r);
+      double m = 0.0;
+      double s = 0.0;
+      mlp.PredictWithUncertainty(x.Row(r), samples, &mc, &m, &s);
+      EXPECT_EQ(mean[r], m) << "row " << r;
+      EXPECT_EQ(stddev[r], s) << "row " << r;
+    }
+  }
+}
+
 TEST(MlpTest, ZeroDropoutGivesZeroUncertainty) {
   Rng rng(6);
   MlpConfig cfg = SmallConfig();

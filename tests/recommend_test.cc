@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "moo/recommend.h"
 
 namespace udao {
@@ -98,6 +101,67 @@ TEST(RecommendTest, EmptyFrontiersAreSafeEverywhere) {
   EXPECT_FALSE(WeightedUtopiaNearest({}, {0, 0}, {1, 1}, {0.5, 0.5}));
   EXPECT_FALSE(SlopeMaximization({}, SlopeSide::kLeft));
   EXPECT_FALSE(KneePoint({}, SlopeSide::kRight));
+}
+
+// Regression: a vertical segment off the anchor (dx below SlopeBetween's
+// 1e-12 threshold, as densification can produce) has infinite slope -- the
+// steepest possible -- and must be selected, not skipped as non-finite.
+TEST(SlopeMaximizationTest, VerticalSegmentIsSteepestAndSelected) {
+  const std::vector<MooPoint> frontier = {
+      P({100, 24}), P({100 + 5e-13, 20}), P({150, 16})};
+  auto best = SlopeMaximization(frontier, SlopeSide::kLeft);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->objectives, (Vector{100 + 5e-13, 20}));
+}
+
+// Equal slopes resolve by lexicographic objectives, independent of frontier
+// order: anchor (0,10); both (1,8) and (2,6) have |slope| = 2.
+TEST(SlopeMaximizationTest, SlopeTiesBreakLexicographically) {
+  std::vector<MooPoint> frontier = {P({0, 10}), P({1, 8}), P({2, 6})};
+  auto best = SlopeMaximization(frontier, SlopeSide::kLeft);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->objectives, (Vector{1, 8}));
+  std::swap(frontier[1], frontier[2]);
+  best = SlopeMaximization(frontier, SlopeSide::kLeft);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->objectives, (Vector{1, 8}));
+}
+
+// Regression: an interior point forming an axis-aligned segment with an
+// anchor used to be silently excluded (non-finite / zero slope skip). From
+// the right anchor it is maximally knee-like and must win; from the left it
+// still competes instead of forfeiting to the anchor fallback.
+TEST(KneePointTest, AxisAlignedSegmentsCompete) {
+  const std::vector<MooPoint> frontier = {
+      P({0, 10}), P({10, 5}), P({10 + 5e-13, 1})};
+  auto right = KneePoint(frontier, SlopeSide::kRight);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->objectives, (Vector{10, 5}));
+  auto left = KneePoint(frontier, SlopeSide::kLeft);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(left->objectives, (Vector{10, 5}));
+}
+
+// Regression: equal-distance WUN candidates used to be resolved by frontier
+// iteration order, so densification (or a cache merge) reordering the
+// frontier could flip the recommendation. The tie-break is now total --
+// distance, then lexicographic objectives -- hence permutation-invariant.
+TEST(WeightedUtopiaNearestTest, DistanceTiesArePermutationInvariant) {
+  // (0.2,0.8) and (0.8,0.2) normalize to mirrored coordinates: identical
+  // distance under equal weights. The lexicographically smaller one wins.
+  const std::vector<MooPoint> base = {P({0.8, 0.2}), P({0.2, 0.8}),
+                                      P({0.05, 0.95}), P({0.95, 0.05})};
+  std::vector<size_t> idx(base.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end());
+  do {
+    std::vector<MooPoint> frontier;
+    for (const size_t i : idx) frontier.push_back(base[i]);
+    auto best =
+        WeightedUtopiaNearest(frontier, {0, 0}, {1, 1}, {0.5, 0.5});
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->objectives, (Vector{0.2, 0.8}));
+  } while (std::next_permutation(idx.begin(), idx.end()));
 }
 
 }  // namespace
