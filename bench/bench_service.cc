@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   request.preference_weights = {0.5, 0.5};
 
   auto t0 = std::chrono::steady_clock::now();
-  auto cold = service.Optimize(request);
+  auto cold = service.Submit(request).Wait();
   const double cold_ms = MsSince(t0);
   if (!cold.ok()) {
     std::fprintf(stderr, "cold solve failed: %s\n",
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < repeats; ++i) {
     const double wl = 0.1 + 0.8 * i / std::max(1, repeats - 1);
     request.preference_weights = {wl, 1.0 - wl};
-    auto rec = service.Optimize(request);
+    auto rec = service.Submit(request).Wait();
     if (!rec.ok()) {
       std::fprintf(stderr, "warm request failed: %s\n",
                    rec.status().ToString().c_str());
@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
   // loop is already steady: the cold miss seeded its memoized re-rank).
   request.options.densify_samples = QuickScaled(16, 8);
   request.options.densify_radius = 0.05;
-  auto primed = service.Optimize(request);
+  auto primed = service.Submit(request).Wait();
   if (!primed.ok()) {
     std::fprintf(stderr, "densify priming request failed: %s\n",
                  primed.status().ToString().c_str());
@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < repeats; ++i) {
     const double wl = 0.1 + 0.8 * i / std::max(1, repeats - 1);
     request.preference_weights = {wl, 1.0 - wl};
-    auto rec = service.Optimize(request);
+    auto rec = service.Submit(request).Wait();
     if (!rec.ok()) {
       std::fprintf(stderr, "densified warm request failed: %s\n",
                    rec.status().ToString().c_str());
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
   }
   request.preference_weights = {0.5, 0.5};
   t0 = std::chrono::steady_clock::now();
-  auto after = service.Optimize(request);
+  auto after = service.Submit(request).Wait();
   const double invalidated_ms = MsSince(t0);
   if (!after.ok()) {
     std::fprintf(stderr, "post-ingest request failed: %s\n",
@@ -238,7 +238,7 @@ int main(int argc, char** argv) {
     dreq.preference_weights = {wl, 1.0 - wl};
     dreq.options.deadline = Deadline::AfterMs(budget_ms);
     t0 = std::chrono::steady_clock::now();
-    auto rec = deadline_service.Optimize(dreq);
+    auto rec = deadline_service.Submit(dreq).Wait();
     latencies_ms.push_back(MsSince(t0));
     if (rec.ok()) {
       if (rec->degraded) ++deadline_degraded;

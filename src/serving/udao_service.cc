@@ -114,6 +114,26 @@ UdaoService::UdaoService(ModelServer* server, UdaoServiceConfig config)
   }
   pf_config_ = udao_.options().pf;
   pf_config_.co_solver = coalescer_.get();
+
+  // Stage-level solver: per-stage Minimize calls route through the same
+  // coalescer as the frontier solves, so boundary re-solves from concurrent
+  // requests coalesce with everything else in flight.
+  if (config_.engine != nullptr) {
+    HierarchicalConfig hc;
+    hc.co_solver = coalescer_.get();
+    hierarchical_ = std::make_unique<HierarchicalMoo>(config_.engine, hc);
+  }
+}
+
+StatusOr<StageConfOverlay> UdaoService::ResolveStages(
+    const Vector& base_raw, const std::vector<StageProfile>& stages,
+    int first_stage, WorkloadClass wclass, const StopToken& stop) const {
+  if (hierarchical_ == nullptr) {
+    return Status::FailedPrecondition(
+        "stage-level tuning requires UdaoServiceConfig::engine");
+  }
+  return hierarchical_->ResolveStages(base_raw, stages, first_stage, wclass,
+                                      stop);
 }
 
 std::string UdaoService::CacheKey(const UdaoRequest& request) const {
@@ -495,6 +515,38 @@ StatusOr<UdaoRecommendation> UdaoService::Handle(const UdaoRequest& request,
     if (emit) UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
     return rec.status();
   }
+  // Stage-level refinement (step 4, for kStage requests): per-stage knobs
+  // solved around the chosen point. Runs at recommend time, never cached:
+  // the chosen point depends on the request's preference weights, which the
+  // frontier cache key deliberately excludes. Failure -- budget, invalid
+  // space, solver error -- keeps the flat recommendation (stage-level tuning
+  // is advice on top of a complete answer, so it degrades, never errors).
+  if (request.options.adaptive.granularity == AdaptiveGranularity::kStage &&
+      request.flow != nullptr && hierarchical_ != nullptr) {
+    const auto a0 = std::chrono::steady_clock::now();
+    const std::vector<StageProfile> stages = config_.engine->PlanStages(
+        *request.flow, rec->conf_raw, /*planner_estimates=*/true);
+    // The per-boundary budget scales to a whole-overlay budget here: this is
+    // the one place every stage is solved at once.
+    const Deadline budget =
+        Deadline::AfterMs(request.options.adaptive.resolve_budget_ms *
+                          std::max<std::size_t>(1, stages.size()));
+    const StopToken refine_stop(budget, request.options.cancel);
+    StatusOr<StageConfOverlay> overlay = hierarchical_->ResolveStages(
+        rec->conf_raw, stages, /*first_stage=*/0,
+        request.flow->workload_class(), refine_stop);
+    if (overlay.ok()) {
+      rec->stage_overlay = std::move(overlay).value();
+      rec->stage_confs.reserve(stages.size());
+      for (int s = 0; s < static_cast<int>(stages.size()); ++s) {
+        rec->stage_confs.push_back(rec->stage_overlay.Resolve(s, rec->conf_raw));
+      }
+      if (emit) UDAO_METRIC_COUNTER_ADD("udao.service.stage_refines", 1);
+    } else if (emit) {
+      UDAO_METRIC_COUNTER_ADD("udao.service.stage_refine_fallbacks", 1);
+    }
+    if (emit) UDAO_METRIC_OBSERVE("udao.service.stage_refine_ms", NowMs(a0));
+  }
   rec->seconds = NowMs(t0) / 1e3;
   rec->queue_wait_ms = queue_wait_ms;
   if (emit) UDAO_METRIC_OBSERVE("udao.service.e2e_ms", NowMs(t0));
@@ -623,14 +675,6 @@ RequestTicket UdaoService::Submit(const UdaoRequest& request) {
     s->cv.NotifyAll();
   });
   return ticket;
-}
-
-StatusOr<UdaoRecommendation> UdaoService::Optimize(const UdaoRequest& request) {
-  return Submit(request).Wait();
-}
-
-void UdaoService::OptimizeAsync(const UdaoRequest& request, Callback done) {
-  SubmitInternal(request, std::move(done));
 }
 
 UdaoServiceStats UdaoService::stats() const {

@@ -15,6 +15,7 @@
 #include "common/deadline.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "moo/hierarchical.h"
 #include "moo/solve_coalescer.h"
 #include "tuning/udao.h"
 
@@ -71,6 +72,12 @@ struct UdaoServiceConfig {
   /// measured from the moment a worker dequeues the request (queue wait
   /// does not eat it). Also bounds their anytime PF run.
   double degraded_budget_ms = 50.0;
+  /// Stage cost model for stage-level adaptive requests
+  /// (RequestOptions::adaptive.granularity == kStage) and boundary
+  /// re-solves (ResolveStages). Non-owning; must outlive the service. Null
+  /// disables stage-level tuning: kStage requests are served job-level (the
+  /// overlay stays empty), ResolveStages fails FailedPrecondition.
+  const SparkEngine* engine = nullptr;
 };
 
 /// Per-shard slice of the cache counters (see UdaoServiceStats::shards).
@@ -211,16 +218,20 @@ class UdaoService {
   /// solve time.
   RequestTicket Submit(const UdaoRequest& request);
 
-  /// Deprecated: Submit(request).Wait() behind the pre-ticket signature.
-  /// Kept as a thin wrapper for existing call sites; new code uses Submit.
-  StatusOr<UdaoRecommendation> Optimize(const UdaoRequest& request);
-
-  /// Deprecated: callback-flavored admission from before RequestTicket; the
-  /// ticket API composes cancellation and waiting without callback-lifetime
-  /// pitfalls. Kept as a thin wrapper: `done` runs on an admission worker
-  /// with the result (on the calling thread when the request was shed at
-  /// admission).
-  void OptimizeAsync(const UdaoRequest& request, Callback done);
+  /// AQE-style boundary re-solve entry: per-stage knobs for stages
+  /// [first_stage, stages.size()) with context and plan-time knobs fixed by
+  /// `base_raw`. Deployments wire this into SparkEngine::RunAdaptive's
+  /// BoundaryResolver with *observed* stage profiles; the per-stage
+  /// subproblems route through the service's SolveCoalescer, so boundary
+  /// re-solves from concurrent requests coalesce with each other and with
+  /// frontier solves. Fails -- never returns a half-tuned overlay -- when
+  /// `stop` fires mid-resolve, so callers keep their incumbent config.
+  /// FailedPrecondition unless UdaoServiceConfig::engine is set.
+  StatusOr<StageConfOverlay> ResolveStages(const Vector& base_raw,
+                                           const std::vector<StageProfile>& stages,
+                                           int first_stage,
+                                           WorkloadClass wclass,
+                                           const StopToken& stop) const;
 
   /// Counter snapshot (approximate under concurrency: the fields are read
   /// individually, not atomically as a group). Includes the per-shard split.
@@ -385,6 +396,10 @@ class UdaoService {
   /// from the options fingerprint (threading/routing never changes
   /// solutions), so cache keys are identical with coalescing on or off.
   PfConfig pf_config_;
+  /// Stage-level solver (null without config_.engine). Its per-stage
+  /// Minimize calls route through coalescer_; declared after it so it is
+  /// destroyed first and never holds a dangling solver pointer.
+  std::unique_ptr<HierarchicalMoo> hierarchical_;
 
   /// Cache shards, fixed at construction. unique_ptr because CacheShard
   /// carries a mutex and atomics (immovable) and vector needs movability.

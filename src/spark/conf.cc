@@ -170,6 +170,67 @@ Status ParamSpace::Validate(const Vector& raw) const {
   return Status::Ok();
 }
 
+void StageConfOverlay::Set(int stage, int knob, double raw_value) {
+  overrides[stage][knob] = raw_value;
+}
+
+Vector StageConfOverlay::Resolve(int stage, const Vector& base_raw) const {
+  auto it = overrides.find(stage);
+  if (it == overrides.end()) return base_raw;
+  Vector raw = base_raw;
+  for (const auto& [knob, value] : it->second) {
+    UDAO_CHECK(knob >= 0 && knob < static_cast<int>(raw.size()));
+    raw[knob] = value;
+  }
+  return raw;
+}
+
+void StageConfOverlay::MergeFrom(const StageConfOverlay& other) {
+  for (const auto& [stage, knobs] : other.overrides) {
+    for (const auto& [knob, value] : knobs) overrides[stage][knob] = value;
+  }
+}
+
+Status StageConfOverlay::Validate(const ParamSpace& space,
+                                  const Vector& base_raw) const {
+  Status base_ok = space.Validate(base_raw);
+  if (!base_ok.ok()) return base_ok;
+  for (const auto& [stage, knobs] : overrides) {
+    if (stage < 0) {
+      return Status::InvalidArgument("overlay has negative stage id");
+    }
+    for (const auto& [knob, value] : knobs) {
+      (void)value;
+      if (knob < 0 || knob >= space.NumParams()) {
+        return Status::InvalidArgument("overlay knob index out of range");
+      }
+    }
+    Status st = space.Validate(Resolve(stage, base_raw));
+    if (!st.ok()) {
+      return Status::InvalidArgument("overlay for stage " +
+                                     std::to_string(stage) +
+                                     " resolves invalid: " + st.message());
+    }
+  }
+  return Status::Ok();
+}
+
+const std::vector<int>& BatchContextKnobs() {
+  // executor.instances, executor.cores, executor.memory.
+  static const std::vector<int>& knobs = *new std::vector<int>{1, 2, 3};
+  return knobs;
+}
+
+const std::vector<int>& BatchStageKnobs() {
+  // parallelism, maxSizeInFlight, bypassMergeThreshold, shuffle.compress,
+  // memory.fraction, shuffle.partitions -- the knobs the stage-costing model
+  // actually reads per stage. Indices 8/9/10 (columnar batch size,
+  // maxPartitionBytes, broadcast threshold) only act during the plan walk.
+  static const std::vector<int>& knobs = *new std::vector<int>{0, 4, 5, 6, 7,
+                                                               11};
+  return knobs;
+}
+
 Vector SparkConf::ToRaw() const {
   return {parallelism,
           executor_instances,

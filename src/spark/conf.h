@@ -1,6 +1,7 @@
 #ifndef UDAO_SPARK_CONF_H_
 #define UDAO_SPARK_CONF_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,54 @@ class ParamSpace {
   std::vector<ParamSpec> specs_;
   int encoded_dim_ = 0;
 };
+
+/// Sparse per-stage knob overrides over a shared base configuration -- the
+/// theta_c (context) / theta_p (per-stage) split of the paper's successor
+/// ("A Spark Optimizer for Adaptive, Fine-Grained Parameter Tuning",
+/// arXiv 2403.00995). Stage ids are the engine's plan-walk stage indices;
+/// knob ids are ParamSpace indices into the SAME space as the base conf.
+/// Stages without an entry run the base conf untouched.
+///
+/// Overlays never change stage STRUCTURE: boundary placement (and the other
+/// plan-time decisions -- broadcast-vs-shuffle joins, input splits, scan
+/// batch sizing) is resolved once from the base conf; overrides change how
+/// each stage is costed/executed.
+struct StageConfOverlay {
+  /// stage id -> (knob index -> raw value). Ordered maps keep iteration --
+  /// and therefore serialization and noise-seed mixing -- deterministic.
+  std::map<int, std::map<int, double>> overrides;
+
+  bool empty() const { return overrides.empty(); }
+
+  /// Records one override (replacing any previous value for that knob).
+  void Set(int stage, int knob, double raw_value);
+
+  /// Effective conf for `stage`: `base_raw` with this stage's overrides
+  /// applied. Stages without overrides return `base_raw` unchanged.
+  Vector Resolve(int stage, const Vector& base_raw) const;
+
+  /// Adopts every entry of `other` (winning over this overlay on conflicts).
+  void MergeFrom(const StageConfOverlay& other);
+
+  /// Every knob index valid for `space` and every stage's resolved conf
+  /// in range / well-typed. Stage ids are not bounded here: entries for
+  /// stages a plan does not have are inert, which is what lets one overlay
+  /// outlive re-planning.
+  Status Validate(const ParamSpace& space, const Vector& base_raw) const;
+};
+
+/// ParamSpace indices of the BatchParamSpace() knobs that form the shared
+/// context (theta_c): resource allocation, chosen once per job and never
+/// re-tuned mid-query (executor instances / cores / memory).
+const std::vector<int>& BatchContextKnobs();
+
+/// ParamSpace indices of the per-stage re-tunable set (theta_p): knobs that
+/// change how a stage is costed at runtime (parallelism, maxSizeInFlight,
+/// bypass-merge threshold, shuffle compression, memory fraction, shuffle
+/// partitions). Knobs in neither list (columnar batch size,
+/// maxPartitionBytes, broadcast threshold) act only at plan time and stay
+/// with the context.
+const std::vector<int>& BatchStageKnobs();
 
 /// Named accessor view over a raw configuration vector for the batch knob set;
 /// mirrors the 12 most important Spark parameters the paper selects

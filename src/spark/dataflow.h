@@ -38,8 +38,15 @@ struct Operator {
   double scan_rows = 0;
   /// kScan: bytes per row of the scanned table.
   double scan_row_bytes = 100;
-  /// kFilter/kHashAggregate/kJoin: output-to-input row ratio.
+  /// kFilter/kHashAggregate/kJoin: output-to-input row ratio, as the
+  /// *planner estimates* it.
   double selectivity = 1.0;
+  /// Runtime-true row ratio when the planner's estimate is wrong (the
+  /// cardinality misestimation that motivates adaptive stage-level tuning).
+  /// Negative (the default) means the estimate is exact. Execution -- and
+  /// the observed sizes reported at stage boundaries -- uses this value;
+  /// plan-time estimates use `selectivity`.
+  double actual_selectivity = -1.0;
   /// kProject: output-to-input byte ratio (column pruning).
   double width_ratio = 1.0;
   /// Relative CPU work per input row (1.0 = a cheap relational op;

@@ -1,8 +1,10 @@
 #include "spark/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -12,19 +14,6 @@
 namespace udao {
 
 namespace {
-
-// Per-stage accumulation produced by the plan walk.
-struct StageWork {
-  double cpu_ops = 0;             // row-op equivalents
-  double input_read_mb = 0;       // storage reads
-  double shuffle_read_mb = 0;     // raw (pre-compression) shuffle input
-  double shuffle_write_mb = 0;    // raw shuffle output
-  double working_set_mb = 0;      // bytes held by memory-intensive ops
-  double network_extra_mb = 0;    // broadcasts etc.
-  bool memory_intensive = false;
-  // >0 when the stage's task count is fixed by input splits (scan stages).
-  int split_tasks = 0;
-};
 
 // Data-size annotation of one operator's output.
 struct OpOutput {
@@ -53,37 +42,73 @@ uint64_t NoiseSeed(const std::string& name, const Vector& conf) {
   return h;
 }
 
-}  // namespace
+// Continues the FNV-1a stream over the overlay entries that the plan can
+// actually execute (deterministic: the overlay's maps iterate in key
+// order), so overlaid runs draw noise independent of the flat run while an
+// overlay with no in-plan entries reproduces it exactly -- out-of-plan
+// stage ids are inert everywhere, the seed included.
+uint64_t MixOverlaySeed(uint64_t h, const StageConfOverlay& overlay,
+                        int num_stages) {
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& [stage, knobs] : overlay.overrides) {
+    if (stage < 0 || stage >= num_stages) continue;
+    mix(static_cast<uint64_t>(stage));
+    for (const auto& [knob, value] : knobs) {
+      mix(static_cast<uint64_t>(knob));
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(value));
+      __builtin_memcpy(&bits, &value, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
 
-SparkEngine::SparkEngine(EngineOptions options) : options_(options) {}
+// Executors packed onto nodes, derived from the (effective) conf.
+struct Resources {
+  int cores_per_exec = 1;
+  int executors = 1;
+  int total_cores = 1;
+  int nodes_used = 1;
+};
 
-RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
-                                const Vector& conf_raw) const {
-  UDAO_CHECK(flow.Validate().ok());
-  UDAO_CHECK(BatchParamSpace().Validate(conf_raw).ok());
-  const SparkConf conf = SparkConf::FromRaw(conf_raw);
-  const ClusterSpec& cluster = options_.cluster;
-
-  // ---- Resource derivation: executors packed onto nodes.
-  const int cores_per_exec = static_cast<int>(conf.executor_cores);
+Resources DeriveResources(const SparkConf& conf, const ClusterSpec& cluster) {
+  Resources r;
+  r.cores_per_exec = static_cast<int>(conf.executor_cores);
   const double mem_per_exec_gb = conf.executor_memory_gb;
   const int max_exec_per_node = std::max(
-      1, std::min(cluster.cores_per_node / std::max(1, cores_per_exec),
+      1, std::min(cluster.cores_per_node / std::max(1, r.cores_per_exec),
                   static_cast<int>(cluster.memory_per_node_gb /
                                    std::max(1.0, mem_per_exec_gb))));
-  const int executors =
-      std::min(static_cast<int>(conf.executor_instances),
-               cluster.num_nodes * max_exec_per_node);
-  const int total_cores = std::max(1, executors * cores_per_exec);
-  const int nodes_used =
-      std::max(1, std::min(cluster.num_nodes, executors));
+  r.executors = std::min(static_cast<int>(conf.executor_instances),
+                         cluster.num_nodes * max_exec_per_node);
+  r.total_cores = std::max(1, r.executors * r.cores_per_exec);
+  r.nodes_used = std::max(1, std::min(cluster.num_nodes, r.executors));
+  return r;
+}
 
-  // ---- Plan walk: assign operators to stages and accumulate stage work.
-  std::vector<StageWork> stages;
+// The row ratio an executed run observes (vs the planner's estimate).
+double RuntimeSelectivity(const Operator& op) {
+  return op.actual_selectivity >= 0 ? op.actual_selectivity : op.selectivity;
+}
+
+// Plan walk: assigns operators to stages at shuffle boundaries and
+// accumulates each stage's work profile. Structure and the plan-time knob
+// effects (input splits, scan batch sizing, broadcast decisions) come from
+// `conf`; `planner_estimates` picks estimated vs runtime-true selectivities.
+std::vector<StageProfile> WalkPlan(const Dataflow& flow, const SparkConf& conf,
+                                   int executors, bool planner_estimates) {
+  std::vector<StageProfile> stages;
   std::vector<OpOutput> outs(flow.ops().size());
   auto new_stage = [&stages]() {
     stages.emplace_back();
     return static_cast<int>(stages.size()) - 1;
+  };
+  auto sel = [planner_estimates](const Operator& op) {
+    return planner_estimates ? op.selectivity : RuntimeSelectivity(op);
   };
 
   for (size_t i = 0; i < flow.ops().size(); ++i) {
@@ -94,7 +119,7 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
         out.stage = new_stage();
         out.rows = op.scan_rows;
         out.mb = MbOf(op.scan_rows, op.scan_row_bytes);
-        StageWork& sw = stages[out.stage];
+        StageProfile& sw = stages[out.stage];
         sw.input_read_mb += out.mb;
         // Scan decode cost scales mildly with the columnar batch size's
         // distance from its sweet spot (vectorization vs footprint).
@@ -110,8 +135,8 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
       case OpType::kFilter: {
         const OpOutput& in = outs[op.inputs[0]];
         out.stage = in.stage;
-        out.rows = in.rows * op.selectivity;
-        out.mb = in.mb * op.selectivity;
+        out.rows = in.rows * sel(op);
+        out.mb = in.mb * sel(op);
         stages[out.stage].cpu_ops += in.rows * op.cpu_per_row * 0.2;
         break;
       }
@@ -138,7 +163,7 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
         out.rows = in.rows;
         out.mb = in.mb;
         const double log_n = std::log2(std::max(2.0, in.rows));
-        StageWork& sw = stages[out.stage];
+        StageProfile& sw = stages[out.stage];
         sw.cpu_ops += in.rows * 0.25 * log_n * op.cpu_per_row;
         sw.memory_intensive = true;
         sw.working_set_mb = std::max(sw.working_set_mb, in.mb);
@@ -147,9 +172,9 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
       case OpType::kHashAggregate: {
         const OpOutput& in = outs[op.inputs[0]];
         out.stage = in.stage;
-        out.rows = in.rows * op.selectivity;
-        out.mb = in.mb * op.selectivity;
-        StageWork& sw = stages[out.stage];
+        out.rows = in.rows * sel(op);
+        out.mb = in.mb * sel(op);
+        StageProfile& sw = stages[out.stage];
         sw.cpu_ops += in.rows * op.cpu_per_row;
         sw.memory_intensive = true;
         sw.working_set_mb = std::max(sw.working_set_mb, out.mb * 1.5);
@@ -160,13 +185,13 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
         const OpOutput& b = outs[op.inputs[1]];
         const OpOutput& build = (a.mb <= b.mb) ? a : b;
         const OpOutput& probe = (a.mb <= b.mb) ? b : a;
-        out.rows = std::max(a.rows, b.rows) * op.selectivity;
-        out.mb = std::max(a.mb, b.mb) * op.selectivity;
+        out.rows = std::max(a.rows, b.rows) * sel(op);
+        out.mb = std::max(a.mb, b.mb) * sel(op);
         if (build.mb <= conf.broadcast_threshold_mb) {
           // Broadcast hash join: build side shipped to every executor, probe
           // side streams in place. No stage boundary.
           out.stage = probe.stage;
-          StageWork& sw = stages[out.stage];
+          StageProfile& sw = stages[out.stage];
           sw.cpu_ops += (probe.rows + build.rows * 2.0) * op.cpu_per_row;
           sw.network_extra_mb += build.mb * executors;
           sw.working_set_mb = std::max(sw.working_set_mb, build.mb * 2.0);
@@ -176,7 +201,7 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
           stages[a.stage].shuffle_write_mb += a.mb;
           stages[b.stage].shuffle_write_mb += b.mb;
           out.stage = new_stage();
-          StageWork& sw = stages[out.stage];
+          StageProfile& sw = stages[out.stage];
           sw.shuffle_read_mb += a.mb + b.mb;
           sw.cpu_ops += (a.rows + b.rows) * op.cpu_per_row;
           sw.memory_intensive = true;
@@ -187,8 +212,8 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
       case OpType::kScriptTransform: {
         const OpOutput& in = outs[op.inputs[0]];
         out.stage = in.stage;
-        out.rows = in.rows * op.selectivity;
-        out.mb = in.mb * op.selectivity;
+        out.rows = in.rows * sel(op);
+        out.mb = in.mb * sel(op);
         // UDFs pay pipe + interpreter overhead per row; dominated by CPU.
         stages[out.stage].cpu_ops += in.rows * op.cpu_per_row;
         break;
@@ -201,7 +226,7 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
         out.stage = new_stage();
         out.rows = in.rows;
         out.mb = in.mb;
-        StageWork& sw = stages[out.stage];
+        StageProfile& sw = stages[out.stage];
         sw.shuffle_read_mb += in.mb;
         sw.cpu_ops += in.rows * op.cpu_per_row * op.iterations;
         sw.shuffle_write_mb += 8.0 * op.iterations;
@@ -218,21 +243,53 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
       }
     }
   }
+  return stages;
+}
 
-  // ---- Stage costing.
-  const bool sql_sizing = flow.workload_class() != WorkloadClass::kMl;
+// Every per-stage cost term Run accumulates, from one stage's profile and
+// its effective conf. `relaxed` keeps task/wave counts continuous for
+// gradient-based per-stage solvers; the quantized path reproduces the
+// original arithmetic bit for bit.
+struct StageCost {
+  double tasks = 1;
+  double waves = 1;
+  double concurrent = 1;
+  double cpu_s = 0;
+  double gc_s = 0;
+  double fetch_wait_s = 0;
+  double spill_mb = 0;
+  double working_mb = 0;
+  double write_mb_eff = 0;
+  double read_mb_eff = 0;
+  double stage_io_s = 0;
+  double stage_net_s = 0;
+  double total_net_mb = 0;
+  double per_task_s = 0;
+  double sched_s = 0;
+  double stage_s = 0;
+  double io_s = 0;
+};
+
+StageCost CostStage(const StageProfile& sw, const SparkConf& conf,
+                    const EngineOptions& options, const Resources& res,
+                    bool sql_sizing, bool relaxed) {
+  const ClusterSpec& cluster = options.cluster;
   const double compress =
-      conf.shuffle_compress >= 0.5 ? options_.compress_ratio : 1.0;
+      conf.shuffle_compress >= 0.5 ? options.compress_ratio : 1.0;
   const double mem_per_task_mb = conf.executor_memory_gb * 1024.0 *
                                  conf.memory_fraction /
-                                 std::max(1, cores_per_exec);
+                                 std::max(1, res.cores_per_exec);
 
-  RuntimeMetrics m;
-  m.num_stages = static_cast<double>(stages.size());
-  double latency = options_.job_overhead_s;
-  double busy_core_seconds = 0;
-
-  for (const StageWork& sw : stages) {
+  StageCost c;
+  if (relaxed) {
+    const double sized =
+        sw.split_tasks > 0
+            ? sw.split_tasks
+            : (sql_sizing ? conf.shuffle_partitions : conf.parallelism);
+    c.tasks = std::max(1.0, sized);
+    c.waves = std::max(1.0, c.tasks / res.total_cores);
+    c.concurrent = std::min(c.tasks, static_cast<double>(res.total_cores));
+  } else {
     int tasks;
     if (sw.split_tasks > 0) {
       tasks = sw.split_tasks;
@@ -242,100 +299,242 @@ RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
       tasks = static_cast<int>(conf.parallelism);
     }
     tasks = std::max(1, tasks);
-    const int waves = (tasks + total_cores - 1) / total_cores;
-    const int concurrent = std::min(tasks, total_cores);
-    // Disk and network are shared per node: a stage cannot move bytes faster
-    // than the aggregate bandwidth of the nodes it runs on, no matter how
-    // many cores it holds. These terms are therefore costed at stage
-    // granularity rather than wave-quantized.
-    const double agg_disk_bw = nodes_used * cluster.disk_bw_mb_per_s;
-    const double agg_net_bw = nodes_used * cluster.network_bw_mb_per_s;
+    c.tasks = tasks;
+    c.waves = (tasks + res.total_cores - 1) / res.total_cores;
+    c.concurrent = std::min(tasks, res.total_cores);
+  }
+  const double tasks = c.tasks;
+  // Disk and network are shared per node: a stage cannot move bytes faster
+  // than the aggregate bandwidth of the nodes it runs on, no matter how
+  // many cores it holds. These terms are therefore costed at stage
+  // granularity rather than wave-quantized.
+  const double agg_disk_bw = res.nodes_used * cluster.disk_bw_mb_per_s;
+  const double agg_net_bw = res.nodes_used * cluster.network_bw_mb_per_s;
 
-    // CPU: base ops plus compression work on shuffled bytes.
-    double cpu_ops = sw.cpu_ops;
-    if (compress < 1.0) {
-      cpu_ops += (sw.shuffle_write_mb + sw.shuffle_read_mb) *
-                 options_.compress_ops_per_mb;
+  // CPU: base ops plus compression work on shuffled bytes.
+  double cpu_ops = sw.cpu_ops;
+  if (compress < 1.0) {
+    cpu_ops += (sw.shuffle_write_mb + sw.shuffle_read_mb) *
+               options.compress_ops_per_mb;
+  }
+  c.cpu_s =
+      cpu_ops / tasks / (options.ops_per_core_per_s * cluster.core_speed);
+
+  // Memory pressure: spill when the per-task working set exceeds the
+  // execution-memory share; GC pressure when heap occupancy runs high.
+  c.working_mb = (sw.memory_intensive
+                      ? std::max(sw.working_set_mb,
+                                 (sw.input_read_mb + sw.shuffle_read_mb))
+                      : (sw.input_read_mb + sw.shuffle_read_mb)) /
+                 tasks * options.memory_expansion;
+  if (sw.memory_intensive && c.working_mb > mem_per_task_mb) {
+    c.spill_mb = (c.working_mb - mem_per_task_mb) * 2.0;  // write + re-read
+  }
+  const double heap_mb = conf.executor_memory_gb * 1024.0;
+  const double occupancy =
+      c.working_mb * res.cores_per_exec / std::max(1.0, heap_mb);
+  const double gc_frac = 0.02 + 0.4 * std::max(0.0, occupancy - 0.75);
+  c.gc_s = c.cpu_s * gc_frac;
+
+  // Disk IO: input reads, shuffle writes (with bypass-merge discount when
+  // the partition count is small enough to skip the merge sort), spill.
+  c.write_mb_eff = sw.shuffle_write_mb * compress;
+  c.read_mb_eff = sw.shuffle_read_mb * compress;
+  const double bypass =
+      conf.shuffle_partitions <= conf.bypass_merge_threshold ? 0.7 : 1.0;
+  const double total_io_mb =
+      sw.input_read_mb + c.write_mb_eff * bypass + c.spill_mb * tasks;
+  c.stage_io_s = total_io_mb / agg_disk_bw;
+
+  // Network: shuffle fetches plus broadcasts; fetch-wait from the number of
+  // in-flight windows needed to pull one task's shuffle input.
+  c.total_net_mb = c.read_mb_eff + sw.network_extra_mb;
+  c.stage_net_s = c.total_net_mb / agg_net_bw;
+  const double rounds =
+      (c.read_mb_eff / tasks) / std::max(1.0, conf.max_size_in_flight_mb);
+  c.fetch_wait_s = std::max(0.0, rounds - 1.0) * 0.01;
+
+  c.per_task_s = c.cpu_s + c.gc_s + c.fetch_wait_s + options.task_overhead_s;
+  c.sched_s = tasks / options.scheduler_tasks_per_s;
+  c.stage_s = c.waves * c.per_task_s + c.stage_io_s + c.stage_net_s + c.sched_s;
+  c.io_s = c.stage_io_s * c.concurrent / tasks;
+  return c;
+}
+
+// Folds one costed stage into the running job totals.
+void Accumulate(const StageProfile& sw, const StageCost& c, RuntimeMetrics* m,
+                double* latency, double* busy_core_seconds) {
+  *latency += c.stage_s;
+  *busy_core_seconds +=
+      c.per_task_s * c.tasks +
+      (c.stage_io_s + c.stage_net_s) * std::min(c.tasks, c.concurrent);
+  m->cpu_time_s += (c.cpu_s + c.gc_s) * c.tasks;
+  m->bytes_read_mb += sw.input_read_mb;
+  m->bytes_written_mb += c.write_mb_eff + c.spill_mb * c.tasks / 2.0;
+  m->shuffle_write_mb += c.write_mb_eff;
+  m->shuffle_read_mb += c.read_mb_eff;
+  m->fetch_wait_s += c.fetch_wait_s * c.tasks;
+  m->gc_time_s += c.gc_s * c.tasks;
+  m->spill_mb += c.spill_mb * c.tasks;
+  m->peak_task_memory_mb = std::max(m->peak_task_memory_mb, c.working_mb);
+  m->num_tasks += c.tasks;
+  m->scheduling_delay_s += c.sched_s;
+  m->io_wait_s += c.io_s * c.tasks;
+  m->network_mb += c.total_net_mb;
+}
+
+}  // namespace
+
+SparkEngine::SparkEngine(EngineOptions options) : options_(options) {}
+
+RuntimeMetrics SparkEngine::Run(const Dataflow& flow,
+                                const Vector& conf_raw) const {
+  static const StageConfOverlay& empty = *new StageConfOverlay();
+  return RunInternal(flow, conf_raw, empty, nullptr, nullptr);
+}
+
+RuntimeMetrics SparkEngine::RunWithOverlay(
+    const Dataflow& flow, const Vector& conf_raw,
+    const StageConfOverlay& overlay) const {
+  UDAO_CHECK(overlay.Validate(BatchParamSpace(), conf_raw).ok());
+  return RunInternal(flow, conf_raw, overlay, nullptr, nullptr);
+}
+
+AdaptiveRunResult SparkEngine::RunAdaptive(
+    const Dataflow& flow, const Vector& conf_raw,
+    const AdaptiveRunOptions& options) const {
+  UDAO_CHECK(options.overlay.Validate(BatchParamSpace(), conf_raw).ok());
+  AdaptiveRunResult result;
+  result.metrics =
+      RunInternal(flow, conf_raw, options.overlay, &options, &result);
+  return result;
+}
+
+RuntimeMetrics SparkEngine::RunInternal(const Dataflow& flow,
+                                        const Vector& conf_raw,
+                                        const StageConfOverlay& overlay,
+                                        const AdaptiveRunOptions* adaptive,
+                                        AdaptiveRunResult* adaptive_out) const {
+  UDAO_CHECK(flow.Validate().ok());
+  UDAO_CHECK(BatchParamSpace().Validate(conf_raw).ok());
+  const SparkConf conf = SparkConf::FromRaw(conf_raw);
+  const Resources base_res = DeriveResources(conf, options_.cluster);
+
+  // Structure comes from the base conf; an executed run observes the
+  // runtime-true selectivities.
+  const std::vector<StageProfile> stages =
+      WalkPlan(flow, conf, base_res.executors, /*planner_estimates=*/false);
+  const int num_stages = static_cast<int>(stages.size());
+  const bool sql_sizing = flow.workload_class() != WorkloadClass::kMl;
+
+  // The overlay actually executed; adaptive boundaries refine it in place.
+  StageConfOverlay live = overlay;
+
+  RuntimeMetrics m;
+  m.num_stages = num_stages;
+  double latency = options_.job_overhead_s;
+  double busy_core_seconds = 0;
+
+  for (int s = 0; s < num_stages; ++s) {
+    if (adaptive != nullptr && s > 0 && adaptive->resolver &&
+        adaptive_out->boundaries < adaptive->max_boundaries) {
+      RuntimeObservation obs;
+      obs.next_stage = s;
+      obs.num_stages = num_stages;
+      obs.elapsed_s = latency;
+      obs.completed.assign(stages.begin(), stages.begin() + s);
+      obs.remaining.assign(stages.begin() + s, stages.end());
+      const Deadline budget = Deadline::AfterMs(adaptive->resolve_budget_ms);
+      const auto t0 = std::chrono::steady_clock::now();
+      StatusOr<StageConfOverlay> resolved = adaptive->resolver(obs, budget);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      ++adaptive_out->boundaries;
+      adaptive_out->resolve_ms.push_back(ms);
+      UDAO_METRIC_COUNTER_ADD("udao.engine.stage_resolves", 1);
+      UDAO_METRIC_OBSERVE("udao.engine.stage_resolve_ms", ms);
+      const bool usable =
+          resolved.ok() && !budget.IsExpired() &&
+          resolved.value().Validate(BatchParamSpace(), conf_raw).ok();
+      if (!usable) {
+        // Safe-online-tuning contract: a failed, late, or invalid re-solve
+        // keeps the incumbent config; the stage runs regardless.
+        ++adaptive_out->fallbacks;
+        UDAO_METRIC_COUNTER_ADD("udao.engine.stage_resolve_fallbacks", 1);
+      } else {
+        // Completed stages are immutable: adopt entries for the rest only.
+        for (const auto& [stage_id, knobs] : resolved.value().overrides) {
+          if (stage_id < s) continue;
+          for (const auto& [knob, value] : knobs) {
+            live.Set(stage_id, knob, value);
+          }
+        }
+        ++adaptive_out->applied;
+        UDAO_METRIC_COUNTER_ADD("udao.engine.stage_resolve_applied", 1);
+      }
     }
-    double cpu_s = cpu_ops / tasks /
-                   (options_.ops_per_core_per_s * cluster.core_speed);
 
-    // Memory pressure: spill when the per-task working set exceeds the
-    // execution-memory share; GC pressure when heap occupancy runs high.
-    const double working_mb =
-        (sw.memory_intensive
-             ? std::max(sw.working_set_mb,
-                        (sw.input_read_mb + sw.shuffle_read_mb))
-             : (sw.input_read_mb + sw.shuffle_read_mb)) /
-        tasks * options_.memory_expansion;
-    double spill_mb = 0;
-    if (sw.memory_intensive && working_mb > mem_per_task_mb) {
-      spill_mb = (working_mb - mem_per_task_mb) * 2.0;  // write + re-read
+    const StageProfile& sw = stages[s];
+    StageCost c;
+    if (live.overrides.find(s) != live.overrides.end()) {
+      const SparkConf sconf = SparkConf::FromRaw(live.Resolve(s, conf_raw));
+      const Resources sres = DeriveResources(sconf, options_.cluster);
+      c = CostStage(sw, sconf, options_, sres, sql_sizing, /*relaxed=*/false);
+    } else {
+      c = CostStage(sw, conf, options_, base_res, sql_sizing,
+                    /*relaxed=*/false);
     }
-    const double heap_mb = conf.executor_memory_gb * 1024.0;
-    const double occupancy =
-        working_mb * cores_per_exec / std::max(1.0, heap_mb);
-    const double gc_frac = 0.02 + 0.4 * std::max(0.0, occupancy - 0.75);
-    const double gc_s = cpu_s * gc_frac;
-
-    // Disk IO: input reads, shuffle writes (with bypass-merge discount when
-    // the partition count is small enough to skip the merge sort), spill.
-    const double write_mb_eff = sw.shuffle_write_mb * compress;
-    const double read_mb_eff = sw.shuffle_read_mb * compress;
-    const double bypass =
-        conf.shuffle_partitions <= conf.bypass_merge_threshold ? 0.7 : 1.0;
-    const double total_io_mb =
-        sw.input_read_mb + write_mb_eff * bypass + spill_mb * tasks;
-    const double stage_io_s = total_io_mb / agg_disk_bw;
-
-    // Network: shuffle fetches plus broadcasts; fetch-wait from the number of
-    // in-flight windows needed to pull one task's shuffle input.
-    const double total_net_mb = read_mb_eff + sw.network_extra_mb;
-    const double stage_net_s = total_net_mb / agg_net_bw;
-    const double rounds =
-        (read_mb_eff / tasks) / std::max(1.0, conf.max_size_in_flight_mb);
-    const double fetch_wait_s = std::max(0.0, rounds - 1.0) * 0.01;
-
-    const double per_task_s =
-        cpu_s + gc_s + fetch_wait_s + options_.task_overhead_s;
-    const double sched_s = tasks / options_.scheduler_tasks_per_s;
-    const double stage_s =
-        waves * per_task_s + stage_io_s + stage_net_s + sched_s;
-    const double io_s = stage_io_s * static_cast<double>(concurrent) / tasks;
-
-    latency += stage_s;
-    busy_core_seconds += per_task_s * tasks + (stage_io_s + stage_net_s) *
-                                                  std::min(tasks, concurrent);
-    m.cpu_time_s += (cpu_s + gc_s) * tasks;
-    m.bytes_read_mb += sw.input_read_mb;
-    m.bytes_written_mb += write_mb_eff + spill_mb * tasks / 2.0;
-    m.shuffle_write_mb += write_mb_eff;
-    m.shuffle_read_mb += read_mb_eff;
-    m.fetch_wait_s += fetch_wait_s * tasks;
-    m.gc_time_s += gc_s * tasks;
-    m.spill_mb += spill_mb * tasks;
-    m.peak_task_memory_mb = std::max(m.peak_task_memory_mb, working_mb);
-    m.num_tasks += tasks;
-    m.scheduling_delay_s += sched_s;
-    m.io_wait_s += io_s * tasks;
-    m.network_mb += total_net_mb;
+    Accumulate(sw, c, &m, &latency, &busy_core_seconds);
   }
 
   // Deterministic multiplicative noise models run-to-run variance.
   if (options_.noise_stddev > 0) {
-    Rng noise(NoiseSeed(flow.name(), conf_raw));
+    uint64_t seed = NoiseSeed(flow.name(), conf_raw);
+    if (!live.empty()) seed = MixOverlaySeed(seed, live, num_stages);
+    Rng noise(seed);
     latency *= std::exp(noise.Gaussian(0.0, options_.noise_stddev));
   }
 
   m.latency_s = latency;
-  m.cpu_utilization =
-      std::min(1.0, busy_core_seconds / std::max(1e-9, latency * total_cores));
+  m.cpu_utilization = std::min(
+      1.0,
+      busy_core_seconds / std::max(1e-9, latency * base_res.total_cores));
   // Simulated-run accounting: trace collection and deployed-measurement
   // loops both funnel through here, so this counter is the bench reports'
   // "how many cluster runs did this experiment cost" number.
   UDAO_METRIC_COUNTER_ADD("udao.spark.sim_runs", 1);
   UDAO_METRIC_OBSERVE("udao.spark.sim_latency_s", latency);
+  if (adaptive_out != nullptr) adaptive_out->final_overlay = std::move(live);
   return m;
+}
+
+std::vector<StageProfile> SparkEngine::PlanStages(
+    const Dataflow& flow, const Vector& conf_raw,
+    bool planner_estimates) const {
+  UDAO_CHECK(flow.Validate().ok());
+  UDAO_CHECK(BatchParamSpace().Validate(conf_raw).ok());
+  const SparkConf conf = SparkConf::FromRaw(conf_raw);
+  const Resources res = DeriveResources(conf, options_.cluster);
+  return WalkPlan(flow, conf, res.executors, planner_estimates);
+}
+
+double SparkEngine::StageSeconds(const StageProfile& stage,
+                                 const SparkConf& conf,
+                                 WorkloadClass wclass) const {
+  const Resources res = DeriveResources(conf, options_.cluster);
+  return CostStage(stage, conf, options_, res, wclass != WorkloadClass::kMl,
+                   /*relaxed=*/false)
+      .stage_s;
+}
+
+double SparkEngine::StageSecondsRelaxed(const StageProfile& stage,
+                                        const SparkConf& conf,
+                                        WorkloadClass wclass) const {
+  const Resources res = DeriveResources(conf, options_.cluster);
+  return CostStage(stage, conf, options_, res, wclass != WorkloadClass::kMl,
+                   /*relaxed=*/true)
+      .stage_s;
 }
 
 double SparkEngine::Latency(const Dataflow& flow,

@@ -1,8 +1,12 @@
 #ifndef UDAO_SPARK_ENGINE_H_
 #define UDAO_SPARK_ENGINE_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "spark/cluster.h"
 #include "spark/conf.h"
 #include "spark/dataflow.h"
@@ -34,6 +38,68 @@ struct EngineOptions {
   double noise_stddev = 0.05;
 };
 
+/// Work profile of one stage as produced by the plan walk: everything the
+/// per-stage cost model needs, decoupled from any configuration choice made
+/// *after* planning. Public (rather than an engine-internal accumulator) so
+/// the hierarchical MOO layer can cost candidate per-stage confs against the
+/// same profiles the simulator executes.
+struct StageProfile {
+  double cpu_ops = 0;             ///< Row-op equivalents.
+  double input_read_mb = 0;       ///< Storage reads.
+  double shuffle_read_mb = 0;     ///< Raw (pre-compression) shuffle input.
+  double shuffle_write_mb = 0;    ///< Raw shuffle output.
+  double working_set_mb = 0;      ///< Bytes held by memory-intensive ops.
+  double network_extra_mb = 0;    ///< Broadcasts etc.
+  bool memory_intensive = false;
+  /// >0 when the stage's task count is fixed by input splits (scan stages).
+  int split_tasks = 0;
+};
+
+/// What the engine reports at one stage boundary of an adaptive run: the
+/// observed (runtime-true) work of completed stages and refreshed estimates
+/// for the rest -- the AQE statistics a mid-query re-solve keys on.
+struct RuntimeObservation {
+  int next_stage = 0;   ///< Stage about to start (== completed.size()).
+  int num_stages = 0;   ///< Total stages in the plan.
+  double elapsed_s = 0; ///< Simulated wall time spent so far.
+  std::vector<StageProfile> completed;  ///< Observed sizes, stage order.
+  std::vector<StageProfile> remaining;  ///< Refreshed estimates for stages
+                                        ///< [next_stage, num_stages).
+};
+
+/// Boundary re-solve callback of RunAdaptive. Called between stages with the
+/// current observation and a per-boundary budget; returns per-stage
+/// overrides for the REMAINING stages (keyed by absolute stage id; entries
+/// for completed stages are ignored). Contract: an error return, or
+/// returning after `budget` expired, keeps the incumbent overlay -- a
+/// re-solve can only improve the plan, never block the stage.
+using BoundaryResolver = std::function<StatusOr<StageConfOverlay>(
+    const RuntimeObservation&, const Deadline& budget)>;
+
+/// Controls for one adaptive (stage-level) simulated run.
+struct AdaptiveRunOptions {
+  /// Per-stage overrides deployed from the start (e.g. the hierarchical
+  /// solver's initial recommendation). May be empty.
+  StageConfOverlay overlay;
+  /// Invoked at each stage boundary; null runs `overlay` as-is.
+  BoundaryResolver resolver;
+  /// Budget handed to each resolver call.
+  double resolve_budget_ms = 10.0;
+  /// Resolver invocations are capped at this many boundaries.
+  int max_boundaries = 8;
+};
+
+/// Outcome of RunAdaptive: the metrics plus the re-solve audit trail.
+struct AdaptiveRunResult {
+  RuntimeMetrics metrics;
+  StageConfOverlay final_overlay;  ///< Overlay actually executed.
+  int boundaries = 0;              ///< Resolver invocations.
+  int applied = 0;                 ///< Boundaries whose overlay was adopted.
+  int fallbacks = 0;               ///< Errors/overruns that kept the
+                                   ///< incumbent.
+  std::vector<double> resolve_ms;  ///< Wall-clock of each resolver call.
+};
+
 /// Analytical Spark batch execution simulator.
 ///
 /// Given a dataflow DAG and a configuration, Run() decomposes the plan into
@@ -52,6 +118,10 @@ struct EngineOptions {
 ///
 /// The simulator is the ground truth against which models are trained and
 /// recommendations "measured" (the paper's cluster runs).
+///
+/// Stage-level tuning: stage STRUCTURE (boundary placement, broadcast-vs-
+/// shuffle joins, input splits) is always resolved from the base conf at
+/// plan time; a StageConfOverlay changes how individual stages are costed.
 class SparkEngine {
  public:
   explicit SparkEngine(EngineOptions options = EngineOptions());
@@ -61,12 +131,50 @@ class SparkEngine {
   /// repeated identical runs return identical traces.
   RuntimeMetrics Run(const Dataflow& flow, const Vector& conf_raw) const;
 
+  /// Run with per-stage overrides resolved at stage-costing time. An empty
+  /// overlay is bitwise-identical to Run (same noise seed included).
+  RuntimeMetrics RunWithOverlay(const Dataflow& flow, const Vector& conf_raw,
+                                const StageConfOverlay& overlay) const;
+
+  /// AQE-style adaptive run: pauses at stage boundaries, reports observed
+  /// cardinalities/shuffle sizes into a RuntimeObservation, and lets
+  /// `options.resolver` re-tune the remaining stages under a per-boundary
+  /// Deadline. Resolver failures or budget overruns keep the incumbent
+  /// overlay -- the run itself never fails or blocks on a re-solve. Emits
+  /// udao.engine.stage_resolve_* counters/histograms.
+  AdaptiveRunResult RunAdaptive(const Dataflow& flow, const Vector& conf_raw,
+                                const AdaptiveRunOptions& options) const;
+
+  /// Plan walk only: the per-stage work profiles `conf_raw` induces.
+  /// `planner_estimates` selects the optimizer-visible selectivities;
+  /// false uses the runtime-true ones (what an executed run observes).
+  std::vector<StageProfile> PlanStages(const Dataflow& flow,
+                                       const Vector& conf_raw,
+                                       bool planner_estimates) const;
+
+  /// Wall-clock cost of one stage under `conf` -- exactly the per-stage term
+  /// Run() adds for it (resources re-derived from `conf`). `wclass` selects
+  /// SQL vs RDD task sizing.
+  double StageSeconds(const StageProfile& stage, const SparkConf& conf,
+                      WorkloadClass wclass) const;
+
+  /// Smooth relaxation of StageSeconds for gradient-based per-stage solvers:
+  /// task and wave counts stay continuous instead of integer-quantized, so
+  /// finite differences see a slope. Identical formulas otherwise.
+  double StageSecondsRelaxed(const StageProfile& stage, const SparkConf& conf,
+                             WorkloadClass wclass) const;
+
   /// Latency-only convenience wrapper.
   double Latency(const Dataflow& flow, const Vector& conf_raw) const;
 
   const EngineOptions& options() const { return options_; }
 
  private:
+  RuntimeMetrics RunInternal(const Dataflow& flow, const Vector& conf_raw,
+                             const StageConfOverlay& overlay,
+                             const AdaptiveRunOptions* adaptive,
+                             AdaptiveRunResult* adaptive_out) const;
+
   EngineOptions options_;
 };
 

@@ -6,7 +6,7 @@ Vector RuntimeMetrics::ToVector() const {
   return {latency_s,      cpu_time_s,        bytes_read_mb,
           bytes_written_mb, shuffle_write_mb, shuffle_read_mb,
           fetch_wait_s,   gc_time_s,         spill_mb,
-          peak_task_memory_mb, num_tasks,    num_stages,
+          peak_task_memory_mb, num_tasks,    static_cast<double>(num_stages),
           scheduling_delay_s, cpu_utilization, io_wait_s,
           network_mb};
 }

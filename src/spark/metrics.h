@@ -24,7 +24,8 @@ struct RuntimeMetrics {
   double spill_mb = 0;             ///< Bytes spilled to disk.
   double peak_task_memory_mb = 0;  ///< Max per-task working set.
   double num_tasks = 0;            ///< Tasks launched.
-  double num_stages = 0;           ///< Stages executed.
+  int num_stages = 0;              ///< Stages executed (a count, kept
+                                   ///< integral; widened only in ToVector).
   double scheduling_delay_s = 0;   ///< Driver scheduling overhead.
   double cpu_utilization = 0;      ///< Mean fraction of allocated cores busy.
   double io_wait_s = 0;            ///< Time tasks spent blocked on disk IO.

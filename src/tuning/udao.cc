@@ -1,6 +1,7 @@
 #include "tuning/udao.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/byte_key.h"
 #include "common/check.h"
@@ -189,11 +190,103 @@ StatusOr<UdaoRecommendation> Udao::Recommend(
   }
   rec.frontier = frontier;
   rec.weights_used = weights;
+  rec.knob_names.reserve(request.space->NumParams());
+  for (const ParamSpec& spec : request.space->specs()) {
+    rec.knob_names.push_back(spec.name);
+  }
   rec.degraded = frontier.degraded;
   rec.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return rec;
+}
+
+namespace {
+
+void JsonDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void JsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void JsonVector(std::string* out, const Vector& v) {
+  out->push_back('[');
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out->push_back(',');
+    JsonDouble(out, v[i]);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string RecommendationJson(const UdaoRecommendation& rec) {
+  std::string out = "{";
+  // Named knobs when the recommendation is self-describing (names zip with
+  // values); the raw vector is always present as the fallback.
+  if (rec.knob_names.size() == rec.conf_raw.size()) {
+    out += "\"conf\":{";
+    for (size_t i = 0; i < rec.knob_names.size(); ++i) {
+      if (i) out.push_back(',');
+      JsonString(&out, rec.knob_names[i]);
+      out.push_back(':');
+      JsonDouble(&out, rec.conf_raw[i]);
+    }
+    out += "},";
+  }
+  out += "\"conf_raw\":";
+  JsonVector(&out, rec.conf_raw);
+  out += ",\"predicted_objectives\":";
+  JsonVector(&out, rec.predicted_objectives);
+  out += ",\"weights_used\":";
+  JsonVector(&out, rec.weights_used);
+  out += ",\"frontier_points\":";
+  JsonDouble(&out, static_cast<double>(rec.frontier.frontier.size()));
+  out += ",\"degraded\":";
+  out += rec.degraded ? "true" : "false";
+  out += ",\"seconds\":";
+  JsonDouble(&out, rec.seconds);
+  out += ",\"queue_wait_ms\":";
+  JsonDouble(&out, rec.queue_wait_ms);
+  // Stage-level refinement. std::map iteration makes both levels ordered,
+  // hence byte-stable across runs.
+  out += ",\"stage_overlay\":{";
+  bool first_stage = true;
+  for (const auto& [stage, knobs] : rec.stage_overlay.overrides) {
+    if (!first_stage) out.push_back(',');
+    first_stage = false;
+    JsonString(&out, std::to_string(stage));
+    out += ":{";
+    bool first_knob = true;
+    for (const auto& [knob, value] : knobs) {
+      if (!first_knob) out.push_back(',');
+      first_knob = false;
+      if (static_cast<size_t>(knob) < rec.knob_names.size()) {
+        JsonString(&out, rec.knob_names[knob]);
+      } else {
+        JsonString(&out, std::to_string(knob));
+      }
+      out.push_back(':');
+      JsonDouble(&out, value);
+    }
+    out += "}";
+  }
+  out += "},\"stage_confs\":[";
+  for (size_t s = 0; s < rec.stage_confs.size(); ++s) {
+    if (s) out.push_back(',');
+    JsonVector(&out, rec.stage_confs[s]);
+  }
+  out += "]}";
+  return out;
 }
 
 StatusOr<UdaoRecommendation> Udao::Optimize(const UdaoRequest& request) {

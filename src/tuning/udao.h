@@ -17,6 +17,8 @@
 
 namespace udao {
 
+class Dataflow;
+
 /// Which step-3 strategy picks the final configuration from the computed
 /// frontier (Appendix B). Knee/slope are 2D-only and fall back to WUN when
 /// inapplicable (k != 2, or the frontier has too few points for a slope).
@@ -42,6 +44,27 @@ enum class ShedPolicy {
   /// budget, so it runs a short anytime solve and returns a degraded
   /// frontier instead of joining an unbounded backlog at full cost.
   kDegrade,
+};
+
+/// Tuning granularity of one request. kJob is the paper's original surface:
+/// one configuration for the whole job. kStage adds the hierarchical layer
+/// (src/moo/hierarchical.h): shared context knobs chosen once, per-stage
+/// knobs solved per subproblem, returned as a StageConfOverlay beside the
+/// flat configuration.
+enum class AdaptiveGranularity { kJob, kStage };
+
+/// Stage-level adaptive tuning knobs. Like the rest of RequestOptions these
+/// never enter the serving cache key: the per-stage refinement is computed at
+/// recommendation time from the cached frontier's chosen point (which depends
+/// on the request's weights), never cached with the frontier itself.
+struct AdaptiveOptions {
+  AdaptiveGranularity granularity = AdaptiveGranularity::kJob;
+  /// Budget handed to each AQE-style boundary re-solve (engine
+  /// RunAdaptive deployments); also bounds the recommend-time per-stage
+  /// refinement as a whole-overlay budget.
+  double resolve_budget_ms = 10.0;
+  /// Boundary re-solves are capped at this many stage boundaries.
+  int max_boundaries = 8;
 };
 
 /// Per-request knobs, collected in one place so UdaoRequest stays "what to
@@ -82,6 +105,11 @@ struct RequestOptions {
   /// token never cancels and costs nothing to check.
   CancellationToken cancel;
 
+  /// Stage-level adaptive tuning (granularity, boundary re-solve budget).
+  /// Requires UdaoRequest::flow and a serving engine to take effect; plain
+  /// job-level requests leave the defaults.
+  AdaptiveOptions adaptive;
+
   /// Per-request override of the service-wide shed policy; nullopt uses
   /// UdaoServiceConfig::shed_policy. A latency-critical caller can demand
   /// kReject while the service default degrades, and vice versa.
@@ -99,6 +127,10 @@ struct RequestOptions {
 struct UdaoRequest {
   std::string workload_id;
   const ParamSpace* space = nullptr;
+  /// The workload's dataflow program, required for stage-level requests
+  /// (options.adaptive.granularity == kStage): the hierarchical solver plans
+  /// stages from it. Non-owning; may be null for job-level requests.
+  const Dataflow* flow = nullptr;
 
   /// Objectives use the stack-wide ObjectiveSpec (src/moo/problem.h). `name`
   /// is the model-server objective name (see workload/trace_gen.h constants).
@@ -141,7 +173,26 @@ struct UdaoRecommendation {
   /// Milliseconds the request sat in the serving admission queue before a
   /// worker picked it up. 0 when Udao is called directly (no queue).
   double queue_wait_ms = 0;
+
+  /// Self-description: the knob name for each conf_raw entry, in order,
+  /// copied from the request's ParamSpace. Always filled by Recommend, so
+  /// consumers never need the space to interpret the vector.
+  std::vector<std::string> knob_names;
+  /// Stage-level refinement (kStage requests only; empty otherwise): sparse
+  /// per-stage overrides of conf_raw, keyed by plan-walk stage id.
+  StageConfOverlay stage_overlay;
+  /// The overlay resolved per stage: stage_confs[s] is the full effective
+  /// raw configuration stage s runs under (== conf_raw where no override
+  /// applies). Empty for job-level requests.
+  std::vector<Vector> stage_confs;
 };
+
+/// Stable JSON rendering of a recommendation for tooling (udao_cli --json):
+/// knob names zipped with values, per-stage configurations, predicted
+/// objectives, and the degradation flags. Doubles print with %.17g so equal
+/// recommendations serialize byte-identically; map iteration is ordered, so
+/// the output is deterministic.
+std::string RecommendationJson(const UdaoRecommendation& rec);
 
 /// Solver policy: everything that determines what step 2 (Progressive
 /// Frontier) computes plus how step 3 recommends from it. One struct, nested

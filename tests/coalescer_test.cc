@@ -492,8 +492,8 @@ TEST(UdaoServiceShardingTest, ShardRoutingIsStableAndStatsSplitPerShard) {
   ASSERT_GE(shard, 0);
   ASSERT_LT(shard, service.config().cache_shards);
 
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());  // miss
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());  // hit
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());  // miss
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());  // hit
 
   const UdaoServiceStats s = service.stats();
   ASSERT_EQ(static_cast<int>(s.shards.size()), service.config().cache_shards);
@@ -590,8 +590,8 @@ TEST(UdaoServiceCoalescingTest, ModelFaultHitsOnlyTheFaultedRequest) {
     return request;
   };
   // Warm both models so the faulted run below fails at resolve, not train.
-  ASSERT_TRUE(service.Optimize(request_for("wa")).ok());
-  ASSERT_TRUE(service.Optimize(request_for("wb")).ok());
+  ASSERT_TRUE(service.Submit(request_for("wa")).Wait().ok());
+  ASSERT_TRUE(service.Submit(request_for("wb")).Wait().ok());
 
   FaultInjector::Global().Reset();
   FaultInjector::Global().FailNext("model_server.get_model",

@@ -268,7 +268,7 @@ TEST(DeadlineServiceTest, ExpiredBudgetNeverReachesTheSolver) {
 
   UdaoRequest zero = ConvexRequest();
   zero.options.deadline = Deadline::AfterMs(0.0);
-  const auto rec = service.Optimize(zero);
+  const auto rec = service.Submit(zero).Wait();
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kDeadlineExceeded);
   const UdaoServiceStats s = service.stats();
@@ -293,7 +293,7 @@ TEST(DeadlineServiceTest, DegradedFrontiersAreNeverCached) {
   budgeted.options.deadline = Deadline::AfterMs(250.0);
   FaultInjector::Global().Reset();
   FaultInjector::Global().DelayNext("pf.probe", 500.0, 1);
-  const auto degraded = service.Optimize(budgeted);
+  const auto degraded = service.Submit(budgeted).Wait();
   FaultInjector::Global().Reset();
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
   EXPECT_TRUE(degraded->degraded);
@@ -302,7 +302,7 @@ TEST(DeadlineServiceTest, DegradedFrontiersAreNeverCached) {
 
   // The same key without a budget computes the complete frontier and caches
   // it -- a second miss, never a hit on degraded leftovers.
-  const auto full = service.Optimize(ConvexRequest());
+  const auto full = service.Submit(ConvexRequest()).Wait();
   ASSERT_TRUE(full.ok()) << full.status().ToString();
   EXPECT_FALSE(full->degraded);
   EXPECT_EQ(service.CacheSize(), 1);

@@ -255,16 +255,16 @@ TEST(DensifyServiceTest, CacheHitDensifiesACopyAndNeverMutatesTheCache) {
   UdaoService service(&server, FastServiceConfig());
 
   const UdaoRequest plain = ConvexRequest();
-  const auto cold = service.Optimize(plain);
+  const auto cold = service.Submit(plain).Wait();
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
 
   UdaoRequest warm = ConvexRequest();
   warm.options.densify_samples = 32;
   warm.options.densify_radius = 0.1;
-  const auto densified = service.Optimize(warm);
+  const auto densified = service.Submit(warm).Wait();
   ASSERT_TRUE(densified.ok()) << densified.status().ToString();
 
-  const auto replay = service.Optimize(plain);
+  const auto replay = service.Submit(plain).Wait();
   ASSERT_TRUE(replay.ok());
 
   const UdaoServiceStats s = service.stats();
@@ -292,12 +292,12 @@ TEST(DensifyServiceTest, CacheHitDensifiesACopyAndNeverMutatesTheCache) {
 TEST(DensifyServiceTest, WarmDensifiedRepeatsAreBitwiseIdentical) {
   ModelServer server;
   UdaoService service(&server, FastServiceConfig());
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
 
   UdaoRequest warm = ConvexRequest();
   warm.options.densify_samples = 16;
-  const auto first = service.Optimize(warm);
-  const auto second = service.Optimize(warm);
+  const auto first = service.Submit(warm).Wait();
+  const auto second = service.Submit(warm).Wait();
   ASSERT_TRUE(first.ok() && second.ok());
   ExpectBitwiseEqual(first->frontier.frontier, second->frontier.frontier);
   EXPECT_EQ(first->conf_encoded, second->conf_encoded);

@@ -1,0 +1,10 @@
+// Seeded deprecated-optimize violations (lines 9 and 10): the pre-ticket
+// serving entry points must be flagged in serving scope. Not compiled --
+// fixtures are only scanned by udao_lint.
+
+struct Service;
+
+void Call(Service& service);
+
+void CallOld(Service& s) { Optimize(s); }
+void CallOldAsync(Service& s) { OptimizeAsync(s); }

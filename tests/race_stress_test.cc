@@ -331,7 +331,7 @@ TEST(RaceStressTest, ConcurrentServiceOptimizeVsIngest) {
   for (int t = 0; t < kClients; ++t) {
     attackers.emplace_back([&, t] {
       for (int i = 0; i < kRequestsPerClient; ++i) {
-        auto rec = service.Optimize(make_request(kRequestsPerClient * t + i));
+        auto rec = service.Submit(make_request(kRequestsPerClient * t + i)).Wait();
         if (!rec.ok()) {
           failures.fetch_add(1);
         } else if (rec->frontier.frontier.empty()) {
@@ -361,7 +361,7 @@ TEST(RaceStressTest, ConcurrentServiceOptimizeVsIngest) {
   EXPECT_EQ(s.errors, 0);
 }
 
-// Destroying the service while OptimizeAsync requests are still queued and
+// Destroying the service while submitted requests are still queued and
 // running: the destructor's pool drain has tasks locking the cache mutex and
 // bumping the stats atomics, so those members must outlive the pool
 // (admission_ is deliberately the last-declared member). TSan/ASan catch any
@@ -389,19 +389,22 @@ TEST(RaceStressTest, ServiceDestructionWithInflightRequests) {
       request.objectives[0].upper = 10.0 - 0.5 * (i % 3);
       return request;
     };
+    std::vector<RequestTicket> tickets;
+    tickets.reserve(kRequests);
     {
       UdaoService service(&server, cfg);
       // Prime the cache synchronously so the service destructor frees real
       // heap (map nodes, LRU strings, bucket arrays); draining lookups would
       // read that freed memory if destruction order regressed.
-      ASSERT_TRUE(service.Optimize(make_request(0)).ok());
+      ASSERT_TRUE(service.Submit(make_request(0)).Wait().ok());
       for (int i = 0; i < kRequests; ++i) {
-        service.OptimizeAsync(make_request(i),
-                              [&](StatusOr<UdaoRecommendation> r) {
-                                if (r.ok()) delivered.fetch_add(1);
-                              });
+        tickets.push_back(service.Submit(make_request(i)));
       }
     }  // destructor drains while requests are in flight
+    // Tickets outlive the service: the drain delivered every result.
+    for (RequestTicket& ticket : tickets) {
+      if (ticket.Wait().ok()) delivered.fetch_add(1);
+    }
     EXPECT_EQ(delivered.load(), kRequests);
   }
 }
@@ -428,6 +431,8 @@ TEST(RaceStressTest, CancellationRacingCompletion) {
   std::atomic<int> delivered{0};
   std::atomic<int> bad_responses{0};
   CancellationSource source;
+  std::vector<RequestTicket> tickets;
+  tickets.reserve(kRequests);
   {
     UdaoService service(&server, cfg);
     for (int i = 0; i < kRequests; ++i) {
@@ -437,17 +442,19 @@ TEST(RaceStressTest, CancellationRacingCompletion) {
       request.objectives = {problem.objective(0), problem.objective(1)};
       request.objectives[0].upper = 10.0 - 0.25 * i;  // distinct keys
       request.options.cancel = source.token();
-      service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
-        const bool valid_success = r.ok() && !r->frontier.frontier.empty();
-        const bool explicit_stop =
-            !r.ok() && r.status().code() == StatusCode::kDeadlineExceeded;
-        if (!valid_success && !explicit_stop) bad_responses.fetch_add(1);
-        delivered.fetch_add(1);
-      });
+      tickets.push_back(service.Submit(request));
     }
     std::thread canceller([&source] { source.Cancel(); });
     canceller.join();
   }  // destructor drains whatever the cancellation did not cut short
+  for (RequestTicket& ticket : tickets) {
+    StatusOr<UdaoRecommendation> r = ticket.Wait();
+    const bool valid_success = r.ok() && !r->frontier.frontier.empty();
+    const bool explicit_stop =
+        !r.ok() && r.status().code() == StatusCode::kDeadlineExceeded;
+    if (!valid_success && !explicit_stop) bad_responses.fetch_add(1);
+    delivered.fetch_add(1);
+  }
   EXPECT_EQ(delivered.load(), kRequests);
   EXPECT_EQ(bad_responses.load(), 0);
 }

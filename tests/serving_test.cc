@@ -5,9 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injector.h"
@@ -75,9 +74,9 @@ TEST(UdaoServiceTest, CacheHitIsBitwiseIdenticalToColdSolve) {
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
 
   UdaoService service(&server, FastServiceConfig());
-  auto cold = service.Optimize(ConvexRequest());
+  auto cold = service.Submit(ConvexRequest()).Wait();
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
-  auto warm = service.Optimize(ConvexRequest());
+  auto warm = service.Submit(ConvexRequest()).Wait();
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
 
   ExpectBitwiseEqual(*baseline, *cold);
@@ -98,13 +97,13 @@ TEST(UdaoServiceTest, WeightAndPolicyOnlyVariationsShareOneFrontier) {
   UdaoService service(&server, FastServiceConfig());
 
   // Prime the cache.
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
 
   // Different preference weights: served from the cached frontier, yet
   // bitwise identical to what a cold optimizer computes for those weights.
   UdaoRequest weighted = ConvexRequest();
   weighted.preference_weights = {0.9, 0.1};
-  auto from_cache = service.Optimize(weighted);
+  auto from_cache = service.Submit(weighted).Wait();
   ASSERT_TRUE(from_cache.ok()) << from_cache.status().ToString();
   auto from_cold = direct.Optimize(weighted);
   ASSERT_TRUE(from_cold.ok());
@@ -114,7 +113,7 @@ TEST(UdaoServiceTest, WeightAndPolicyOnlyVariationsShareOneFrontier) {
   // concerned.
   UdaoRequest knee = ConvexRequest();
   knee.options.policy = RecommendPolicy::kKnee;
-  auto knee_cached = service.Optimize(knee);
+  auto knee_cached = service.Submit(knee).Wait();
   ASSERT_TRUE(knee_cached.ok());
   auto knee_cold = direct.Optimize(knee);
   ASSERT_TRUE(knee_cold.ok());
@@ -129,12 +128,12 @@ TEST(UdaoServiceTest, WeightAndPolicyOnlyVariationsShareOneFrontier) {
 TEST(UdaoServiceTest, ConstraintChangesMissTheCache) {
   ModelServer server;
   UdaoService service(&server, FastServiceConfig());
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
 
   // A different value constraint changes what PF computes: new key.
   UdaoRequest constrained = ConvexRequest();
   constrained.objectives[0].upper = 0.8;
-  ASSERT_TRUE(service.Optimize(constrained).ok());
+  ASSERT_TRUE(service.Submit(constrained).Wait().ok());
 
   const UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.cache_misses, 2);
@@ -146,21 +145,21 @@ TEST(UdaoServiceTest, IngestInvalidatesCachedFrontier) {
   ModelServer server;
   UdaoService service(&server, FastServiceConfig());
 
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
   EXPECT_EQ(service.stats().cache_hits, 1);
 
   // A trace lands for this workload: its generation moves, so the cached
   // frontier may rest on out-of-date models and must not be served.
   server.Ingest("w", "f1", {0.5, 0.5}, 1.0);
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
   UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.invalidations, 1);
   EXPECT_EQ(s.cache_misses, 2);
 
   // Generation is per-workload: other workloads' entries are untouched, and
   // the recomputed entry serves hits again.
-  ASSERT_TRUE(service.Optimize(ConvexRequest()).ok());
+  ASSERT_TRUE(service.Submit(ConvexRequest()).Wait().ok());
   s = service.stats();
   EXPECT_EQ(s.cache_hits, 2);
   EXPECT_EQ(s.invalidations, 1);
@@ -185,10 +184,10 @@ TEST(UdaoServiceTest, LazyRetrainCausesAtMostOneSpuriousRecompute) {
   UdaoRequest request = ConvexRequest();
   request.objectives[0] = ObjectiveSpec{.name = "lat"};  // server-resolved
 
-  ASSERT_TRUE(service.Optimize(request).ok());  // miss; resolve trains
-  ASSERT_TRUE(service.Optimize(request).ok());  // spurious miss (gen moved)
-  ASSERT_TRUE(service.Optimize(request).ok());  // hit
-  ASSERT_TRUE(service.Optimize(request).ok());  // hit
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // miss; resolve trains
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // spurious miss (gen moved)
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // hit
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // hit
 
   const UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.cache_misses, 2);
@@ -207,11 +206,11 @@ TEST(UdaoServiceTest, LruEvictsLeastRecentlyUsedFrontier) {
   UdaoRequest b = ConvexRequest();
   b.objectives[0].upper = 0.8;
 
-  ASSERT_TRUE(service.Optimize(a).ok());  // miss, cached
-  ASSERT_TRUE(service.Optimize(b).ok());  // miss, evicts a
+  ASSERT_TRUE(service.Submit(a).Wait().ok());  // miss, cached
+  ASSERT_TRUE(service.Submit(b).Wait().ok());  // miss, evicts a
   EXPECT_EQ(service.CacheSize(), 1);
-  ASSERT_TRUE(service.Optimize(b).ok());  // hit
-  ASSERT_TRUE(service.Optimize(a).ok());  // miss again (was evicted)
+  ASSERT_TRUE(service.Submit(b).Wait().ok());  // hit
+  ASSERT_TRUE(service.Submit(a).Wait().ok());  // miss again (was evicted)
 
   const UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.cache_misses, 3);
@@ -223,7 +222,7 @@ TEST(UdaoServiceTest, InvalidRequestsAreCountedAsErrors) {
   ModelServer server;
   UdaoService service(&server, FastServiceConfig());
   UdaoRequest bad;  // no space, no objectives
-  auto rec = service.Optimize(bad);
+  auto rec = service.Submit(bad).Wait();
   EXPECT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
   const UdaoServiceStats s = service.stats();
@@ -249,8 +248,8 @@ TEST(UdaoServiceTest, RecycledSpaceAddressWithDifferentStructureMisses) {
   UdaoRequest request = ConvexRequest();
   request.space = &*space;
 
-  ASSERT_TRUE(service.Optimize(request).ok());  // miss, cached
-  ASSERT_TRUE(service.Optimize(request).ok());  // hit (same space)
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // miss, cached
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // hit (same space)
 
   // Same address, different knob bounds: structurally a different space.
   space.emplace(std::vector<ParamSpec>{
@@ -258,35 +257,36 @@ TEST(UdaoServiceTest, RecycledSpaceAddressWithDifferentStructureMisses) {
       {"u1", ParamType::kContinuous, 0.0, 1.0, {}, 0.5},
   });
   ASSERT_EQ(request.space, &*space);  // address really was recycled
-  ASSERT_TRUE(service.Optimize(request).ok());
+  ASSERT_TRUE(service.Submit(request).Wait().ok());
 
   const UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.cache_misses, 2);
   EXPECT_EQ(s.cache_hits, 1);
 }
 
-TEST(UdaoServiceTest, DestructorDrainsInflightAsyncRequests) {
-  // Every async request admitted before destruction must complete (and its
-  // callback run) before the destructor returns: the admission pool is the
+TEST(UdaoServiceTest, DestructorDrainsInflightRequests) {
+  // Every request admitted before destruction must complete (and its ticket
+  // resolve) before the destructor returns: the admission pool is the
   // last-destroyed member, so draining tasks still see a live cache/mutex.
   ModelServer server;
-  std::atomic<int> delivered{0};
-  std::atomic<int> ok{0};
   constexpr int kRequests = 16;
+  std::vector<RequestTicket> tickets;
+  tickets.reserve(kRequests);
   {
     UdaoService service(&server, FastServiceConfig());
     for (int i = 0; i < kRequests; ++i) {
       UdaoRequest request = ConvexRequest();
       const double w = 0.1 + 0.05 * i;  // distinct weights, shared frontier
       request.preference_weights = {w, 1.0 - w};
-      service.OptimizeAsync(request, [&](StatusOr<UdaoRecommendation> r) {
-        if (r.ok()) ok.fetch_add(1);
-        delivered.fetch_add(1);
-      });
+      tickets.push_back(service.Submit(request));
     }
   }  // destructor runs with most requests still queued
-  EXPECT_EQ(delivered.load(), kRequests);
-  EXPECT_EQ(ok.load(), kRequests);
+  int ok = 0;
+  for (RequestTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket.TryGet().has_value());  // drain already delivered
+    if (ticket.Wait().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, kRequests);
 }
 
 TEST(UdaoServiceTest, ModelFailureUnderStalePolicyServesCachedFrontier) {
@@ -308,9 +308,9 @@ TEST(UdaoServiceTest, ModelFailureUnderStalePolicyServesCachedFrontier) {
   UdaoRequest request = ConvexRequest();
   request.objectives[0] = ObjectiveSpec{.name = "lat"};  // server-resolved
 
-  ASSERT_TRUE(service.Optimize(request).ok());  // miss; resolve trains
-  ASSERT_TRUE(service.Optimize(request).ok());  // spurious miss (gen moved)
-  ASSERT_TRUE(service.Optimize(request).ok());  // hit; cache is current now
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // miss; resolve trains
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // spurious miss (gen moved)
+  ASSERT_TRUE(service.Submit(request).Wait().ok());  // hit; cache is current now
 
   // A new trace bumps the generation, and the model server faults before
   // the forced recompute can resolve its objectives. The stale policy falls
@@ -320,7 +320,7 @@ TEST(UdaoServiceTest, ModelFailureUnderStalePolicyServesCachedFrontier) {
   FaultInjector::Global().Reset();
   FaultInjector::Global().FailNext("model_server.get_model",
                                    Status::Unavailable("injected"), 1);
-  auto stale = service.Optimize(request);
+  auto stale = service.Submit(request).Wait();
   FaultInjector::Global().Reset();
   ASSERT_TRUE(stale.ok()) << stale.status().ToString();
   EXPECT_TRUE(stale->degraded);
@@ -332,7 +332,7 @@ TEST(UdaoServiceTest, ModelFailureUnderStalePolicyServesCachedFrontier) {
 
   // With the fault gone, the next request recomputes against the new
   // generation and serves a normal (non-degraded) result again.
-  auto recovered = service.Optimize(request);
+  auto recovered = service.Submit(request).Wait();
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_FALSE(recovered->degraded);
 }
@@ -346,15 +346,16 @@ TEST(UdaoServiceTest, QueueWaitTimeIsSurfacedInMetadata) {
   // Stall the first request's solve so the second demonstrably waits.
   FaultInjector::Global().Reset();
   FaultInjector::Global().DelayNext("pf.probe", 60.0, 1);
-  service.OptimizeAsync(ConvexRequest(), [](StatusOr<UdaoRecommendation>) {});
+  RequestTicket stalled = service.Submit(ConvexRequest());
   // Distinct key: the waiter cannot ride the first request's cache entry.
   UdaoRequest second = ConvexRequest();
   second.objectives[0].upper = 0.9;
-  auto rec = service.Optimize(second);
+  auto rec = service.Submit(second).Wait();
   FaultInjector::Global().Reset();
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_GT(rec->queue_wait_ms, 5.0);
   EXPECT_FALSE(rec->degraded);
+  EXPECT_TRUE(stalled.Wait().ok());
 }
 
 TEST(UdaoServiceTest, FullQueueWithRejectPolicyShedsExplicitly) {
@@ -367,14 +368,10 @@ TEST(UdaoServiceTest, FullQueueWithRejectPolicyShedsExplicitly) {
 
   FaultInjector::Global().Reset();
   FaultInjector::Global().DelayNext("pf.probe", 100.0, 1);
-  std::atomic<int> delivered{0};
-  service.OptimizeAsync(ConvexRequest(), [&](StatusOr<UdaoRecommendation> r) {
-    EXPECT_TRUE(r.ok());
-    delivered.fetch_add(1);
-  });
+  RequestTicket stalled = service.Submit(ConvexRequest());
   // Depth is already 1 (counted at admission), so this request is shed on
   // the caller thread with an explicit error -- it never queues.
-  auto shed = service.Optimize(ConvexRequest());
+  auto shed = service.Submit(ConvexRequest()).Wait();
   EXPECT_FALSE(shed.ok());
   EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
 
@@ -383,7 +380,7 @@ TEST(UdaoServiceTest, FullQueueWithRejectPolicyShedsExplicitly) {
   EXPECT_EQ(s.sheds, 1);
   EXPECT_EQ(s.errors, 1);
 
-  // Scope exit drains the stalled request; clear the injector afterwards.
+  EXPECT_TRUE(stalled.Wait().ok());
   FaultInjector::Global().Reset();
 }
 
@@ -399,12 +396,12 @@ TEST(UdaoServiceTest, FullQueueWithDegradePolicyStillAnswers) {
 
   FaultInjector::Global().Reset();
   FaultInjector::Global().DelayNext("pf.probe", 80.0, 1);
-  service.OptimizeAsync(ConvexRequest(), [](StatusOr<UdaoRecommendation>) {});
+  RequestTicket stalled = service.Submit(ConvexRequest());
   // Overflow request is admitted anyway, but its budget is clamped to
   // degraded_budget_ms at dequeue: it must come back quickly as either a
   // valid (possibly truncated) frontier or an explicit deadline error --
   // never be silently rejected, never run unbounded.
-  auto rec = service.Optimize(ConvexRequest());
+  auto rec = service.Submit(ConvexRequest()).Wait();
   FaultInjector::Global().Reset();
   if (rec.ok()) {
     EXPECT_FALSE(rec->frontier.frontier.empty());
@@ -415,25 +412,20 @@ TEST(UdaoServiceTest, FullQueueWithDegradePolicyStillAnswers) {
   const UdaoServiceStats s = service.stats();
   EXPECT_EQ(s.requests, 2);
   EXPECT_EQ(s.sheds, 1);
+  EXPECT_TRUE(stalled.Wait().ok());
 }
 
-TEST(UdaoServiceTest, AsyncCallbackDeliversTheResult) {
+TEST(UdaoServiceTest, TicketTryGetPollsWithoutBlocking) {
   ModelServer server;
   UdaoService service(&server, FastServiceConfig());
 
-  std::mutex m;
-  std::condition_variable cv;
+  // The async consumption pattern on the unified surface: poll TryGet until
+  // the admission worker delivers, never blocking the polling thread.
+  RequestTicket ticket = service.Submit(ConvexRequest());
   std::optional<StatusOr<UdaoRecommendation>> result;
-  service.OptimizeAsync(ConvexRequest(),
-                        [&](StatusOr<UdaoRecommendation> r) {
-                          // Notify under the lock: the main thread destroys
-                          // m/cv as soon as it sees the result.
-                          std::lock_guard<std::mutex> lock(m);
-                          result.emplace(std::move(r));
-                          cv.notify_one();
-                        });
-  std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return result.has_value(); });
+  while (!(result = ticket.TryGet()).has_value()) {
+    std::this_thread::yield();
+  }
   ASSERT_TRUE(result->ok()) << result->status().ToString();
   EXPECT_FALSE((*result)->frontier.frontier.empty());
 }

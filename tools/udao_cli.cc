@@ -10,12 +10,17 @@
 //   udao_cli frontier --job N [--points M] [--method PF-AP|PF-AS|WS|NC|Evo]
 //       [--traces DIR]
 //       Compute and print a Pareto frontier (latency vs cost in #cores).
-//   udao_cli optimize --job N [--wl W --wc W] [--traces DIR]
+//   udao_cli optimize --job N [--wl W --wc W] [--traces DIR] [--stage]
+//       [--json]
 //       End-to-end recommendation; deploys the result on the simulator.
+//       --stage adds hierarchical per-stage knob refinement around the
+//       chosen point; --json emits the self-describing recommendation
+//       (knob names, per-stage overlay, stage confs) as one stable JSON
+//       object on stdout.
 //   udao_cli serve-sim --job N [--requests R] [--clients C]
 //       [--ingest-every K] [--traces DIR] [--deadline-ms B]
 //       [--max-queue-depth D] [--shed-policy reject|stale|degrade]
-//       [--tenants T] [--zipf S]
+//       [--tenants T] [--zipf S] [--adaptive] [--adaptive-budget-ms B]
 //       Closed-loop driver for the UdaoService serving layer: R requests
 //       submitted through the ticketed Submit() surface with varying
 //       preference weights, optionally ingesting fresh traces every K
@@ -25,7 +30,12 @@
 //       exercises overload control. --tenants spreads traffic over T
 //       synthetic tenants under a zipf(S) popularity law to drive the
 //       cross-request solve coalescer. Prints cache, shed, degradation, and
-//       queue-wait counters.
+//       queue-wait counters. --adaptive turns on stage-level tuning:
+//       requests carry the dataflow and ask for per-stage refinement, and
+//       the final recommendation is deployed through the engine's AQE-style
+//       adaptive run (boundary re-solves against observed stage sizes under
+//       an --adaptive-budget-ms per-boundary budget, routed through the
+//       service's coalescer) next to a plain job-level deployment.
 //
 // Every command accepts --metrics-json PATH: after the command runs, the
 // process-wide MetricsRegistry snapshot (counters, gauges, histograms,
@@ -46,6 +56,7 @@
 #include "model/analytic_models.h"
 #include "model/checkpoint.h"
 #include "moo/evo.h"
+#include "moo/hierarchical.h"
 #include "moo/normal_constraints.h"
 #include "moo/progressive_frontier.h"
 #include "moo/weighted_sum.h"
@@ -115,11 +126,13 @@ int Usage() {
                "  trace     --job N [--samples K] [--out DIR]\n"
                "  frontier  --job N [--points M] [--method PF-AP] "
                "[--traces DIR]\n"
-               "  optimize  --job N [--wl W --wc W] [--traces DIR]\n"
+               "  optimize  --job N [--wl W --wc W] [--traces DIR] "
+               "[--stage] [--json]\n"
                "  serve-sim --job N [--requests R] [--clients C] "
                "[--ingest-every K] [--traces DIR] [--deadline-ms B] "
                "[--max-queue-depth D] [--shed-policy reject|stale|degrade] "
-               "[--tenants T] [--zipf S]\n"
+               "[--tenants T] [--zipf S] [--adaptive] "
+               "[--adaptive-budget-ms B]\n"
                "all commands: [--metrics-json PATH] writes the "
                "MetricsRegistry snapshot after the run\n");
   return 2;
@@ -334,6 +347,30 @@ int CmdOptimize(const Args& args) {
     std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
     return 1;
   }
+  if (args.Has("stage")) {
+    // Hierarchical refinement around the chosen point: per-stage knobs
+    // re-solved per subproblem against the engine's stage cost model.
+    HierarchicalMoo hmoo(&engine, HierarchicalConfig{});
+    const std::vector<StageProfile> stages = engine.PlanStages(
+        workload.flow, rec->conf_raw, /*planner_estimates=*/true);
+    auto overlay = hmoo.ResolveStages(rec->conf_raw, stages, 0,
+                                      workload.flow.workload_class(),
+                                      StopToken());
+    if (!overlay.ok()) {
+      std::fprintf(stderr, "stage refinement failed: %s\n",
+                   overlay.status().ToString().c_str());
+      return 1;
+    }
+    rec->stage_overlay = std::move(overlay).value();
+    rec->stage_confs.reserve(stages.size());
+    for (int s = 0; s < static_cast<int>(stages.size()); ++s) {
+      rec->stage_confs.push_back(rec->stage_overlay.Resolve(s, rec->conf_raw));
+    }
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n", RecommendationJson(*rec).c_str());
+    return 0;
+  }
   std::printf("recommended configuration for workload %s "
               "(weights %.2f/%.2f, %.2f s to optimize):\n",
               workload.id.c_str(), request.preference_weights[0],
@@ -350,6 +387,12 @@ int CmdOptimize(const Args& args) {
       engine.Latency(workload.flow, BatchParamSpace().Defaults());
   std::printf("deployed on the simulator: %.1f s (defaults: %.1f s)\n",
               measured, defaults);
+  if (!rec->stage_overlay.empty()) {
+    const RuntimeMetrics staged = engine.RunWithOverlay(
+        workload.flow, rec->conf_raw, rec->stage_overlay);
+    std::printf("with per-stage overrides (%zu stages tuned): %.1f s\n",
+                rec->stage_overlay.overrides.size(), staged.latency_s);
+  }
   return 0;
 }
 
@@ -369,9 +412,13 @@ int CmdServeSim(const Args& args) {
   SparkEngine engine;
   std::unique_ptr<ModelServer> server = MakeServer(args, workload, engine);
 
+  const bool adaptive = args.Has("adaptive");
+  const double adaptive_budget_ms = args.GetDouble("adaptive-budget-ms", 10.0);
+
   UdaoServiceConfig cfg;
   cfg.admission_threads = args.GetInt("clients", 4);
   cfg.max_queue_depth = args.GetInt("max-queue-depth", 0);
+  if (adaptive) cfg.engine = &engine;
   const std::string shed = args.Get("shed-policy", "reject");
   if (shed == "reject") {
     cfg.shed_policy = ShedPolicy::kReject;
@@ -446,6 +493,11 @@ int CmdServeSim(const Args& args) {
     }
     const double wl = 0.1 + 0.8 * (i % 9) / 8.0;
     request.preference_weights = {wl, 1.0 - wl};
+    if (adaptive) {
+      request.flow = &workload.flow;
+      request.options.adaptive.granularity = AdaptiveGranularity::kStage;
+      request.options.adaptive.resolve_budget_ms = adaptive_budget_ms;
+    }
     if (deadline_ms > 0) {
       // Each request's budget starts at submission: queue wait eats it,
       // which is exactly what makes the queue-deadline shed path fire
@@ -461,12 +513,14 @@ int CmdServeSim(const Args& args) {
       CollectBatchTraces(engine, workload, configs, server.get());
     }
   }
+  std::optional<UdaoRecommendation> last_ok;
   for (RequestTicket& ticket : tickets) {
-    const auto rec = ticket.Wait();
+    auto rec = ticket.Wait();
     if (rec.ok()) {
       service_seconds += rec->seconds;
       queue_wait_ms += rec->queue_wait_ms;
       if (rec->degraded) ++degraded;
+      last_ok = std::move(*rec);
     } else {
       ++failed;
     }
@@ -492,6 +546,32 @@ int CmdServeSim(const Args& args) {
   std::printf("mean in-service time: %.2f ms, mean queue wait: %.2f ms\n",
               ok > 0 ? 1e3 * service_seconds / ok : 0.0,
               ok > 0 ? queue_wait_ms / ok : 0.0);
+
+  // Adaptive deployment: take the last successful recommendation and run it
+  // through the engine's AQE-style loop, re-solving remaining stages at each
+  // boundary against the observed (runtime-true) stage sizes via the
+  // service's coalesced stage resolver, next to the plain job-level run.
+  if (adaptive && last_ok.has_value()) {
+    AdaptiveRunOptions opts;
+    opts.overlay = last_ok->stage_overlay;
+    opts.resolve_budget_ms = adaptive_budget_ms;
+    const Vector base = last_ok->conf_raw;
+    const WorkloadClass wclass = workload.flow.workload_class();
+    opts.resolver = [&service, &base, wclass](const RuntimeObservation& obs,
+                                              const Deadline& budget) {
+      std::vector<StageProfile> stages = obs.completed;
+      stages.insert(stages.end(), obs.remaining.begin(), obs.remaining.end());
+      return service.ResolveStages(base, stages, obs.next_stage, wclass,
+                                   StopToken(budget, CancellationToken()));
+    };
+    const AdaptiveRunResult ar =
+        engine.RunAdaptive(workload.flow, base, opts);
+    const RuntimeMetrics flat = engine.Run(workload.flow, base);
+    std::printf("adaptive deployment: %.1f s vs %.1f s job-level "
+                "(%d boundaries, %d applied, %d fallbacks, budget %.1f ms)\n",
+                ar.metrics.latency_s, flat.latency_s, ar.boundaries,
+                ar.applied, ar.fallbacks, adaptive_budget_ms);
+  }
   // Under overload control, shed errors are the contract working as designed
   // (the wait loop above already guarantees every request got a response),
   // so only the no-deadline configuration treats failures as a bad exit.

@@ -38,6 +38,10 @@
 //      behind the runtime-dispatched kernel table so every consumer honors
 //      UDAO_KERNEL and the scalar/vector parity contracts, and so a machine
 //      without AVX2 runs correct fallbacks everywhere.
+//  10. No Optimize()/OptimizeAsync() in src/serving/ -- the pre-ticket
+//      service entry points were removed in favor of Submit() +
+//      RequestTicket (Wait/TryGet/Cancel); this quarantines the old names so
+//      they cannot be reintroduced by a stale branch or a copy-paste.
 //
 // Usage: udao_lint <src-dir>
 // Exits nonzero and prints one "file:line: rule: detail" per finding.
@@ -245,6 +249,11 @@ const std::vector<TokenRule>& Rules() {
        "(src/common/sync.h); raw std primitives are invisible to clang "
        "thread-safety analysis, so locks taken through them go unchecked",
        &IsSyncFile},
+      {"deprecated-optimize",
+       std::regex(R"(\b(Optimize|OptimizeAsync)\s*\()"),
+       "the pre-ticket serving entry points were deleted; use "
+       "Submit(request) and the returned RequestTicket (Wait/TryGet/Cancel)",
+       nullptr, &IsServingFile},
       {"raw-intrinsic",
        std::regex(
            R"(\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[di]?\b|\bimmintrin\.h\b|#\s*pragma\s+omp\s+simd\b)"),
